@@ -1,0 +1,112 @@
+// Ablation A1: IPC transport choice.
+//
+// The paper uses a pipe for GDB-Kernel and sockets (4444/4445) for
+// Driver-Kernel. This benchmark measures raw round-trip latency and bulk
+// throughput of the three transports so the scheme-level results can be
+// normalized against transport cost.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ipc/channel.hpp"
+#include "ipc/message.hpp"
+
+namespace {
+
+using namespace nisc::ipc;
+
+Transport transport_of(int index) {
+  switch (index) {
+    case 0: return Transport::Pipe;
+    case 1: return Transport::SocketPair;
+    default: return Transport::Tcp;
+  }
+}
+
+/// Echo peer: returns every byte it receives. Uses bounded polls so the
+/// destructor can stop it without racing a blocked read.
+class EchoPeer {
+ public:
+  explicit EchoPeer(Channel channel) : channel_(std::move(channel)) {
+    thread_ = std::thread([this] { run(); });
+  }
+  ~EchoPeer() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+    channel_.close();
+  }
+
+ private:
+  void run() {
+    std::uint8_t buf[4096];
+    try {
+      while (!stop_.load()) {
+        if (!channel_.readable(10)) continue;
+        std::size_t got = channel_.recv_some(buf);
+        if (got > 0) channel_.send(std::span<const std::uint8_t>(buf, got));
+      }
+    } catch (...) {
+      // peer closed
+    }
+  }
+
+  Channel channel_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+void BM_RoundTrip(benchmark::State& state) {
+  ChannelPair pair = make_channel_pair(transport_of(static_cast<int>(state.range(0))));
+  EchoPeer peer(std::move(pair.b));
+  std::uint8_t byte = 0x55;
+  for (auto _ : state) {
+    pair.a.send(std::span<const std::uint8_t>(&byte, 1));
+    pair.a.recv_exact(std::span<std::uint8_t>(&byte, 1));
+  }
+  state.SetLabel(transport_name(transport_of(static_cast<int>(state.range(0)))));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoundTrip)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Throughput(benchmark::State& state) {
+  ChannelPair pair = make_channel_pair(transport_of(static_cast<int>(state.range(0))));
+  constexpr std::size_t kChunk = 64 * 1024;
+  std::vector<std::uint8_t> data(kChunk, 0xAA);
+  std::thread sink([&pair] {
+    std::vector<std::uint8_t> buf(kChunk);
+    try {
+      for (;;) pair.b.recv_exact(buf);
+    } catch (...) {
+    }
+  });
+  for (auto _ : state) {
+    pair.a.send(data);
+  }
+  pair.a.close();
+  pair.b.close();
+  sink.join();
+  state.SetLabel(transport_name(transport_of(static_cast<int>(state.range(0)))));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kChunk);
+}
+BENCHMARK(BM_Throughput)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_DriverMessageCodec(benchmark::State& state) {
+  DriverMessage msg;
+  msg.type = MsgType::Write;
+  for (int i = 0; i < state.range(0); ++i) {
+    msg.items.push_back({"router.to_cpu", {1, 2, 3, 4}});
+  }
+  for (auto _ : state) {
+    auto frame = encode_message(msg);
+    auto body = std::span<const std::uint8_t>(frame).subspan(4);
+    auto decoded = decode_message_body(body);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DriverMessageCodec)->Arg(1)->Arg(6)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

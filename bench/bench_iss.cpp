@@ -1,0 +1,104 @@
+// Ablation A2: raw ISS speed and the cost of its debug machinery.
+//
+// Establishes the baseline instruction throughput of the RV32IM
+// interpreter, the slowdown from armed breakpoints/watchpoints, and the
+// effect of quantum size on run() overhead — the knobs the co-simulation
+// layer turns.
+#include <benchmark/benchmark.h>
+
+#include "iss/assembler.hpp"
+#include "iss/cpu.hpp"
+
+namespace {
+
+using namespace nisc::iss;
+
+constexpr const char* kSpinLoop = R"(
+_start:
+    li t0, 0
+loop:
+    addi t0, t0, 1
+    andi t1, t0, 255
+    xor t2, t1, t0
+    j loop
+)";
+
+Cpu make_cpu(const char* source) {
+  Cpu cpu(1 << 16);
+  Program prog = assemble(source);
+  prog.load_into(cpu.mem());
+  cpu.reset(prog.entry);
+  return cpu;
+}
+
+void BM_IssExecution(benchmark::State& state) {
+  Cpu cpu = make_cpu(kSpinLoop);
+  for (auto _ : state) {
+    cpu.run(10000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cpu.instret()));
+  state.SetLabel("instructions/s");
+}
+BENCHMARK(BM_IssExecution);
+
+void BM_IssWithBreakpoints(benchmark::State& state) {
+  Cpu cpu = make_cpu(kSpinLoop);
+  // Armed but never hit: measures the per-instruction pc lookup.
+  for (int i = 0; i < state.range(0); ++i) {
+    cpu.add_breakpoint(0x1000 + static_cast<std::uint32_t>(i) * 4);
+  }
+  for (auto _ : state) {
+    cpu.run(10000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cpu.instret()));
+  state.SetLabel(std::to_string(state.range(0)) + " armed breakpoints");
+}
+BENCHMARK(BM_IssWithBreakpoints)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_IssWithWatchpoint(benchmark::State& state) {
+  Cpu cpu = make_cpu(R"(
+  _start:
+      la t3, var
+  loop:
+      addi t0, t0, 1
+      sw t0, 0(t3)
+      j loop
+  var: .word 0
+  unrelated: .word 0
+  )");
+  cpu.add_watchpoint(0xF000, 4);  // armed elsewhere: every store scans it
+  for (auto _ : state) {
+    cpu.run(10000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cpu.instret()));
+}
+BENCHMARK(BM_IssWithWatchpoint);
+
+void BM_IssQuantumGranularity(benchmark::State& state) {
+  Cpu cpu = make_cpu(kSpinLoop);
+  const std::uint64_t quantum = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    cpu.run(quantum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cpu.instret()));
+  state.SetLabel("quantum=" + std::to_string(quantum));
+}
+BENCHMARK(BM_IssQuantumGranularity)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Assembler(benchmark::State& state) {
+  std::string source;
+  for (int i = 0; i < 200; ++i) {
+    source += "l" + std::to_string(i) + ": addi t0, t0, 1\n";
+    source += "    bnez t0, l" + std::to_string(i) + "\n";
+  }
+  for (auto _ : state) {
+    Program prog = assemble(source);
+    benchmark::DoNotOptimize(prog);
+  }
+  state.SetItemsProcessed(state.iterations() * 400);  // statements
+}
+BENCHMARK(BM_Assembler);
+
+}  // namespace
+
+BENCHMARK_MAIN();

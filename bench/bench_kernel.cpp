@@ -1,0 +1,149 @@
+// Ablation A3: throughput of the SystemC-like simulation kernel itself,
+// and the marginal cost of the kernel-extension hooks the paper's schemes
+// add to the scheduler.
+#include <benchmark/benchmark.h>
+
+#include "sysc/sysc.hpp"
+
+namespace {
+
+using namespace nisc::sysc;
+using namespace nisc::sysc::time_literals;
+
+void BM_DeltaCycles(benchmark::State& state) {
+  sc_simcontext ctx;
+  sc_event ev("ev");
+  std::uint64_t burst = 0;
+  auto& p = ctx.create_method("p", [&] {
+    if (burst > 0) {
+      --burst;
+      ev.notify_delta();
+    }
+  });
+  p.make_sensitive(ev);
+  ctx.run(1_ps);  // initialization
+  std::uint64_t before = ctx.stats().delta_cycles;
+  for (auto _ : state) {
+    burst = 1000;
+    ev.notify_delta();
+    ctx.run(1_ps);  // runs the burst of deltas, then starves
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ctx.stats().delta_cycles - before));
+  state.SetLabel("delta cycles/s");
+}
+BENCHMARK(BM_DeltaCycles);
+
+void BM_TimedEvents(benchmark::State& state) {
+  sc_simcontext ctx;
+  sc_event ev("ev");
+  std::uint64_t fired = 0;
+  auto& p = ctx.create_method("p", [&] {
+    ++fired;
+    ev.notify(1_ns);
+  });
+  p.make_sensitive(ev);
+  for (auto _ : state) {
+    ctx.run(100_ns);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+  state.SetLabel("timed notifications/s");
+}
+BENCHMARK(BM_TimedEvents);
+
+void BM_SignalToggles(benchmark::State& state) {
+  sc_simcontext ctx;
+  sc_signal<int> sig("s");
+  sc_event ev("ev");
+  int value = 0;
+  auto& p = ctx.create_method("p", [&] {
+    sig.write(++value);
+    ev.notify(1_ns);
+  });
+  p.make_sensitive(ev);
+  for (auto _ : state) {
+    ctx.run(100_ns);
+  }
+  state.SetItemsProcessed(value);
+  state.SetLabel("signal updates/s");
+}
+BENCHMARK(BM_SignalToggles);
+
+void BM_ThreadContextSwitch(benchmark::State& state) {
+  sc_simcontext ctx;
+  sc_event kick("kick");
+  sc_event ping("ping");
+  sc_event pong("pong");
+  std::uint64_t burst = 0;
+  std::uint64_t switches = 0;
+  ctx.create_thread("a", [&] {
+    for (;;) {
+      while (burst == 0) wait(kick);
+      --burst;
+      ping.notify_delta();
+      ++switches;
+      wait(pong);
+    }
+  });
+  ctx.create_thread("b", [&] {
+    for (;;) {
+      wait(ping);
+      pong.notify_delta();
+    }
+  });
+  ctx.run(1_ps);
+  for (auto _ : state) {
+    burst = 500;
+    kick.notify_delta();
+    ctx.run(1_ps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(switches) * 2);
+  state.SetLabel("thread handoffs/s");
+}
+BENCHMARK(BM_ThreadContextSwitch);
+
+struct NullExtension : kernel_extension {};
+
+void BM_ExtensionHookOverhead(benchmark::State& state) {
+  sc_simcontext ctx;
+  std::vector<NullExtension> extensions(static_cast<std::size_t>(state.range(0)));
+  for (auto& ext : extensions) ctx.register_extension(&ext);
+  sc_event ev("ev");
+  std::uint64_t burst = 0;
+  auto& p = ctx.create_method("p", [&] {
+    if (burst > 0) {
+      --burst;
+      ev.notify_delta();
+    }
+  });
+  p.make_sensitive(ev);
+  ctx.run(1_ps);
+  std::uint64_t before = ctx.stats().delta_cycles;
+  for (auto _ : state) {
+    burst = 1000;
+    ev.notify_delta();
+    ctx.run(1_ps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ctx.stats().delta_cycles - before));
+  state.SetLabel(std::to_string(state.range(0)) + " idle extensions");
+}
+BENCHMARK(BM_ExtensionHookOverhead)->Arg(0)->Arg(1)->Arg(4);
+
+void BM_ClockedDesign(benchmark::State& state) {
+  sc_simcontext ctx;
+  sc_clock clk("clk", 10_ns);
+  sc_signal<int> sig("s");
+  int value = 0;
+  auto& p = ctx.create_method("p", [&] { sig.write(++value); });
+  p.make_sensitive(clk.posedge_event());
+  p.dont_initialize();
+  for (auto _ : state) {
+    ctx.run(1_us);  // 100 clock cycles per iteration
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(clk.posedge_count()));
+  state.SetLabel("clock cycles/s");
+}
+BENCHMARK(BM_ClockedDesign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

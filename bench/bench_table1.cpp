@@ -1,0 +1,65 @@
+// Reproduces Table 1 of the paper: co-simulation wall-clock time of the
+// router case study under the three schemes, for three simulated durations
+// in a 1 : 10 : 100 ratio (the paper's 1000 / 10000 / 100000 columns).
+//
+// Expected shape (paper): GDB-Kernel ~30% faster than the GDB-Wrapper
+// baseline; Driver-Kernel ~3x faster; speedups stable across durations.
+// Absolute numbers depend on the host — the ratios are the result.
+//
+//   $ ./bench_table1
+#include <cstdio>
+
+#include "router/testbench.hpp"
+
+using namespace nisc;
+using namespace nisc::sysc::time_literals;
+
+namespace {
+
+double run_scheme(router::Scheme scheme, sysc::sc_time duration) {
+  router::TestbenchConfig config;
+  config.scheme = scheme;
+  config.packets_per_producer = 0;  // continuous traffic for the whole run
+  config.num_producers = 4;
+  config.inter_packet_delay = 2_us;
+  config.instructions_per_us = 400000;
+  router::Testbench bench(config);
+  bench.run_for(duration);
+  router::TestbenchReport r = bench.report();
+  bench.shutdown();
+  return r.wall_seconds;
+}
+
+}  // namespace
+
+int main() {
+  const sysc::sc_time durations[] = {100_us, 1_ms, sysc::sc_time(10, sysc::SC_MS)};
+  const char* labels[] = {"100us", "1ms", "10ms"};
+  const router::Scheme schemes[] = {router::Scheme::GdbWrapper, router::Scheme::GdbKernel,
+                                    router::Scheme::DriverKernel};
+
+  std::printf("Table 1 — Simulation performance [wall-clock ms] vs simulated time\n");
+  std::printf("(paper columns 1000/10000/100000 map to the 1:10:100 ratio below)\n\n");
+  std::printf("%-14s %12s %12s %12s\n", "Scheme", labels[0], labels[1], labels[2]);
+
+  double wall[3][3] = {};
+  for (int s = 0; s < 3; ++s) {
+    std::printf("%-14s", router::scheme_name(schemes[s]));
+    for (int d = 0; d < 3; ++d) {
+      wall[s][d] = run_scheme(schemes[s], durations[d]);
+      std::printf(" %11.1f ", wall[s][d] * 1000.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nSpeedup over GDB-Wrapper (paper: GDB-Kernel ~1.3x, Driver-Kernel ~3x)\n");
+  for (int s = 1; s < 3; ++s) {
+    std::printf("%-14s", router::scheme_name(schemes[s]));
+    for (int d = 0; d < 3; ++d) {
+      std::printf(" %10.2fx ", wall[0][d] / wall[s][d]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

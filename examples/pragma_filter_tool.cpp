@@ -1,0 +1,97 @@
+// The §3.2 pragma filter as a standalone tool.
+//
+// Paper: "A special pragma, containing the name of the variable, is
+// inserted before the line where the breakpoint is to be set. A simple
+// filter automatically generates the proper GDB script for execution of
+// the program, and a text file to be used by the SystemC hardware
+// programmer that contains a map of the type <variable> <line>."
+//
+// Usage:
+//   ./pragma_filter_tool <guest.s>      # read a file
+//   ./pragma_filter_tool -              # read stdin
+//   ./pragma_filter_tool                # run on a built-in demo source
+//
+// Prints three artifacts: the transformed assembly, the generated GDB
+// script, and the <variable> <address> map.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cosim/pragma.hpp"
+#include "iss/assembler.hpp"
+
+using namespace nisc;
+
+namespace {
+
+constexpr const char* kDemo = R"(
+_start:
+    la t1, in_var
+    #pragma iss_out("hw.to_cpu", in_var)
+    lw t0, 0(t1)
+    slli t0, t0, 1
+    la t2, out_var
+    #pragma iss_in("hw.from_cpu", out_var)
+    sw t0, 0(t2)
+    nop
+    ebreak
+in_var:  .word 0
+out_var: .word 0
+)";
+
+std::string read_source(int argc, char** argv) {
+  if (argc < 2) return kDemo;
+  if (std::string(argv[1]) == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    return buf.str();
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::exit(1);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source = read_source(argc, argv);
+
+  cosim::FilteredSource filtered;
+  iss::Program program;
+  try {
+    filtered = cosim::filter_pragmas(source);
+    program = iss::assemble(filtered.source);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  auto bindings = cosim::resolve_bindings(filtered.bindings, program);
+
+  std::printf("# ---- transformed source (synthetic breakpoint labels) ----\n%s\n",
+              filtered.source.c_str());
+
+  std::printf("# ---- generated GDB script ----\n");
+  std::printf("target remote :1234\n");
+  for (const auto& b : bindings) {
+    std::printf("break *0x%x   # %s %s <-> port %s\n", b.breakpoint_addr,
+                b.direction == cosim::BindDirection::IssToSc ? "iss_in " : "iss_out",
+                b.variable.c_str(), b.port.c_str());
+  }
+  std::printf("continue\n\n");
+
+  std::printf("# ---- <variable> <address> map for the SystemC programmer ----\n");
+  for (const auto& b : bindings) {
+    std::printf("%-16s 0x%08x  (breakpoint 0x%08x, %s, port %s)\n", b.variable.c_str(),
+                b.variable_addr, b.breakpoint_addr,
+                b.direction == cosim::BindDirection::IssToSc ? "ISS->SC" : "SC->ISS",
+                b.port.c_str());
+  }
+  return 0;
+}

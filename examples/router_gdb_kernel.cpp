@@ -1,0 +1,49 @@
+// The paper's case study under GDB-Kernel co-simulation (§3 + §5).
+//
+// A 4x4 packet router modeled in the SystemC-like kernel offloads checksum
+// computation to a bare-metal RV32 program running on the ISS. The wrapper
+// is embedded in the simulation kernel: guest variables are bound to
+// iss_in/iss_out ports via #pragma annotations, breakpoints drive the data
+// exchange, and the modified scheduler polls the GDB pipe at every cycle.
+//
+//   $ ./router_gdb_kernel
+#include <cstdio>
+
+#include "router/testbench.hpp"
+
+using namespace nisc;
+using namespace nisc::sysc::time_literals;
+
+int main() {
+  router::TestbenchConfig config;
+  config.scheme = router::Scheme::GdbKernel;
+  config.packets_per_producer = 25;
+  config.num_producers = 4;
+  config.inter_packet_delay = 2_us;
+  config.instructions_per_us = 400000;
+
+  std::printf("== %s co-simulation of the 4x4 router ==\n",
+              router::scheme_name(config.scheme));
+  std::printf("guest program (filtered excerpt):\n%s...\n\n",
+              router::word_stream_checksum_source("router.to_cpu", "router.from_cpu")
+                  .substr(0, 420)
+                  .c_str());
+
+  router::Testbench bench(config);
+  bench.run_until_drained(sysc::sc_time(100, sysc::SC_MS));
+  router::TestbenchReport r = bench.report();
+
+  std::printf("simulated time    : %s\n", r.sim_time.to_string().c_str());
+  std::printf("wall clock        : %.3f s\n", r.wall_seconds);
+  std::printf("packets produced  : %llu\n", static_cast<unsigned long long>(r.produced));
+  std::printf("packets received  : %llu (%.1f%% forwarded)\n",
+              static_cast<unsigned long long>(r.received), r.forwarded_pct);
+  std::printf("checksum verified : %llu ok, %llu bad\n",
+              static_cast<unsigned long long>(r.checksum_ok),
+              static_cast<unsigned long long>(r.checksum_bad));
+  std::printf("breakpoint events : %llu (RSP transactions %llu)\n",
+              static_cast<unsigned long long>(r.breakpoint_events),
+              static_cast<unsigned long long>(r.rsp_transactions));
+  bench.shutdown();
+  return (r.received == r.produced && r.checksum_bad == 0) ? 0 : 1;
+}

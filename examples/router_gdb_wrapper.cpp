@@ -1,0 +1,44 @@
+// The paper's case study under the GDB-Wrapper baseline (ref. [14]).
+//
+// Same router, same guest program as router_gdb_kernel — but the wrapper is
+// an explicit SystemC module whose sc_method performs one blocking RSP
+// round trip per clock cycle (lock-step, synchronized through the host OS).
+// Compare the wall-clock time against router_gdb_kernel: this is the
+// overhead the paper's Table 1 measures.
+//
+//   $ ./router_gdb_wrapper
+#include <cstdio>
+
+#include "router/testbench.hpp"
+
+using namespace nisc;
+using namespace nisc::sysc::time_literals;
+
+int main() {
+  router::TestbenchConfig config;
+  config.scheme = router::Scheme::GdbWrapper;
+  config.packets_per_producer = 25;
+  config.num_producers = 4;
+  config.inter_packet_delay = 2_us;
+  config.instructions_per_us = 400000;
+
+  std::printf("== %s co-simulation of the 4x4 router ==\n",
+              router::scheme_name(config.scheme));
+
+  router::Testbench bench(config);
+  bench.run_until_drained(sysc::sc_time(100, sysc::SC_MS));
+  router::TestbenchReport r = bench.report();
+
+  std::printf("simulated time    : %s\n", r.sim_time.to_string().c_str());
+  std::printf("wall clock        : %.3f s\n", r.wall_seconds);
+  std::printf("packets produced  : %llu\n", static_cast<unsigned long long>(r.produced));
+  std::printf("packets received  : %llu (%.1f%% forwarded)\n",
+              static_cast<unsigned long long>(r.received), r.forwarded_pct);
+  std::printf("checksum verified : %llu ok, %llu bad\n",
+              static_cast<unsigned long long>(r.checksum_ok),
+              static_cast<unsigned long long>(r.checksum_bad));
+  std::printf("lock-step round trips: %llu (one per active clock cycle)\n",
+              static_cast<unsigned long long>(r.lockstep_steps));
+  bench.shutdown();
+  return (r.received == r.produced && r.checksum_bad == 0) ? 0 : 1;
+}

@@ -1,0 +1,262 @@
+#include "cosim/driver_kernel.hpp"
+
+#include "util/log.hpp"
+
+namespace nisc::cosim {
+
+// ---------------------------------------------------------------------------
+// DriverKernelExtension
+
+DriverKernelExtension::DriverKernelExtension(ipc::Channel data, ipc::Channel interrupts,
+                                             TimeBudget* budget, DriverKernelOptions options)
+    : data_(std::move(data)), interrupts_(std::move(interrupts)), budget_(budget),
+      options_(options) {}
+
+bool DriverKernelExtension::delivery_safe(sysc::sc_simcontext& ctx,
+                                          const sysc::iss_port_base* port) const {
+  auto it = last_delivery_delta_.find(port);
+  if (it == last_delivery_delta_.end()) return true;
+  // See GdbKernelExtension::delivery_safe: the sensitive iss_process runs
+  // two delta cycles after delivery.
+  return ctx.delta_count() >= it->second + 2;
+}
+
+void DriverKernelExtension::on_cycle_begin(sysc::sc_simcontext& ctx) {
+  // Paper Fig. 5: "message to exchange?" at the start of the cycle.
+  // Backlogged WRITEs (target port still draining) go first, in order.
+  while (!backlog_.empty()) {
+    const ipc::DriverMessage& msg = backlog_.front();
+    bool safe = true;
+    for (const ipc::MsgItem& item : msg.items) {
+      const sysc::iss_port_base* port = ctx.find_iss_port(item.port);
+      if (port != nullptr && port->is_input() && !delivery_safe(ctx, port)) safe = false;
+    }
+    if (!safe) return;  // preserve order: do not drain the channel past it
+    ipc::DriverMessage head = std::move(backlog_.front());
+    backlog_.pop_front();
+    handle_message(ctx, head);
+  }
+  try {
+    while (auto msg = ipc::try_recv_message(data_)) {
+      ++stats_.messages_in;
+      if (msg->type == ipc::MsgType::Write) {
+        bool safe = true;
+        for (const ipc::MsgItem& item : msg->items) {
+          const sysc::iss_port_base* port = ctx.find_iss_port(item.port);
+          if (port != nullptr && port->is_input() && !delivery_safe(ctx, port)) safe = false;
+        }
+        if (!safe) {
+          backlog_.push_back(std::move(*msg));
+          return;
+        }
+      }
+      handle_message(ctx, *msg);
+    }
+  } catch (const util::RuntimeError&) {
+    // Driver side closed; nothing more will arrive.
+  }
+}
+
+void DriverKernelExtension::handle_message(sysc::sc_simcontext& ctx,
+                                           const ipc::DriverMessage& msg) {
+  switch (msg.type) {
+    case ipc::MsgType::Write:
+      // Store each data item in the iss_in port named by SCPort_i and start
+      // the iss_processes sensitive to it.
+      for (const ipc::MsgItem& item : msg.items) {
+        sysc::iss_port_base* port = ctx.find_iss_port(item.port);
+        if (port == nullptr || !port->is_input()) {
+          NISC_WARN("driver-kernel") << "WRITE to unknown iss_in port " << item.port;
+          continue;
+        }
+        if (item.data.size() != port->width_bytes()) {
+          NISC_WARN("driver-kernel") << "WRITE to " << item.port << ": payload "
+                                     << item.data.size() << " bytes, port width "
+                                     << port->width_bytes();
+          continue;  // drop the malformed item, keep the session alive
+        }
+        port->deliver_bytes(item.data);
+        last_delivery_delta_[port] = ctx.delta_count();
+        ++stats_.words_delivered;
+      }
+      break;
+    case ipc::MsgType::Read: {
+      // Answer with the current value of each named iss_out port.
+      ipc::DriverMessage reply;
+      reply.type = ipc::MsgType::ReadReply;
+      for (const ipc::MsgItem& item : msg.items) {
+        sysc::iss_port_base* port = ctx.find_iss_port(item.port);
+        if (port == nullptr || port->is_input()) {
+          NISC_WARN("driver-kernel") << "READ of unknown iss_out port " << item.port;
+          continue;
+        }
+        reply.items.push_back({item.port, port->peek_bytes()});
+        port->consume_fresh();
+      }
+      ipc::send_message(data_, reply);
+      ++stats_.messages_out;
+      break;
+    }
+    default:
+      NISC_WARN("driver-kernel") << "unexpected message type from driver";
+      break;
+  }
+}
+
+void DriverKernelExtension::on_cycle_end(sysc::sc_simcontext& ctx) {
+  // Push freshly written iss_out values to the driver (asynchronous reads).
+  if (options_.push_outputs) {
+    auto owned = [this](const std::string& name) {
+      if (options_.owned_ports.empty()) return true;
+      return std::find(options_.owned_ports.begin(), options_.owned_ports.end(), name) !=
+             options_.owned_ports.end();
+    };
+    ipc::DriverMessage push;
+    push.type = ipc::MsgType::ReadReply;
+    for (sysc::iss_port_base* port : ctx.iss_ports()) {
+      if (port->is_input() || !port->has_fresh_value() || !owned(port->name())) continue;
+      push.items.push_back({port->name(), port->peek_bytes()});
+      port->consume_fresh();
+    }
+    if (!push.items.empty()) {
+      try {
+        ipc::send_message(data_, push);
+        ++stats_.messages_out;
+      } catch (const util::RuntimeError&) {
+        // Driver gone.
+      }
+    }
+  }
+  // Reverse throttle: hold simulated time while the guest lags far behind
+  // its instruction allowance (idle guests drain instantly in DriverTarget,
+  // so this only bites when the ISS thread is genuinely behind).
+  if (budget_ != nullptr && options_.max_budget_lead > 0 &&
+      budget_->available() > options_.max_budget_lead) {
+    budget_->wait_below(options_.max_budget_lead, 2);
+  }
+  // Paper Fig. 5: "interrupt generated?" at the end of the cycle.
+  while (!pending_interrupts_.empty()) {
+    std::uint32_t irq = pending_interrupts_.front();
+    pending_interrupts_.pop_front();
+    try {
+      ipc::send_message(interrupts_, ipc::DriverMessage::interrupt(irq));
+      ++stats_.interrupts_sent;
+    } catch (const util::RuntimeError&) {
+      pending_interrupts_.clear();
+      break;
+    }
+  }
+}
+
+void DriverKernelExtension::on_time_advance(sysc::sc_simcontext&, const sysc::sc_time& now) {
+  if (budget_ == nullptr) return;
+  const std::uint64_t elapsed_ps = now.ps() - last_time_ps_;
+  last_time_ps_ = now.ps();
+  const std::uint64_t scaled = elapsed_ps * options_.instructions_per_us + deposit_remainder_;
+  deposit_remainder_ = scaled % 1000000;
+  const std::uint64_t instructions = scaled / 1000000;
+  if (instructions > 0) budget_->deposit(instructions);
+}
+
+bool DriverKernelExtension::on_starvation(sysc::sc_simcontext& ctx) {
+  // Give the ISS slack and wait briefly for driver traffic.
+  if (budget_ != nullptr) budget_->deposit(options_.instructions_per_us);
+  try {
+    if (!data_.readable(10)) return false;
+  } catch (const util::RuntimeError&) {
+    return false;
+  }
+  on_cycle_begin(ctx);
+  return true;
+}
+
+void DriverKernelExtension::on_run_end(sysc::sc_simcontext&) {
+  if (budget_ != nullptr) budget_->deposit(options_.instructions_per_us);
+}
+
+// ---------------------------------------------------------------------------
+// ScPortDriver
+
+ScPortDriver::ScPortDriver(ipc::Channel data, std::string write_port, std::string read_port)
+    : data_(std::move(data)), write_port_(std::move(write_port)),
+      read_port_(std::move(read_port)) {}
+
+std::size_t ScPortDriver::write(std::span<const std::uint8_t> data) {
+  ipc::DriverMessage msg;
+  msg.type = ipc::MsgType::Write;
+  msg.items.push_back({write_port_, std::vector<std::uint8_t>(data.begin(), data.end())});
+  try {
+    ipc::send_message(data_, msg);
+  } catch (const util::RuntimeError&) {
+    return 0;
+  }
+  ++frames_sent_;
+  return data.size();
+}
+
+void ScPortDriver::drain_incoming() {
+  try {
+    while (auto msg = ipc::try_recv_message(data_)) {
+      ++frames_received_;
+      if (msg->type != ipc::MsgType::ReadReply) continue;
+      for (const ipc::MsgItem& item : msg->items) {
+        if (item.port != read_port_) continue;
+        rx_.insert(rx_.end(), item.data.begin(), item.data.end());
+      }
+    }
+  } catch (const util::RuntimeError&) {
+    // Kernel side closed.
+  }
+}
+
+std::size_t ScPortDriver::read(std::span<std::uint8_t> out) {
+  drain_incoming();
+  std::size_t n = 0;
+  while (n < out.size() && !rx_.empty()) {
+    out[n++] = rx_.front();
+    rx_.pop_front();
+  }
+  return n;
+}
+
+bool ScPortDriver::wait_incoming(int timeout_ms) {
+  if (!rx_.empty()) return true;
+  try {
+    return data_.readable(timeout_ms);
+  } catch (const util::RuntimeError&) {
+    return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InterruptPump
+
+InterruptPump::InterruptPump(ipc::Channel channel, rtos::Kernel& kernel)
+    : channel_(std::move(channel)), kernel_(kernel) {
+  thread_ = std::thread([this] { run(); });
+}
+
+InterruptPump::~InterruptPump() { stop(); }
+
+void InterruptPump::stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  channel_.close();
+}
+
+void InterruptPump::run() {
+  try {
+    while (!stop_.load()) {
+      if (!channel_.readable(20)) continue;  // bounded poll: clean shutdown
+      ipc::DriverMessage msg = ipc::recv_message(channel_);
+      if (auto irq = msg.irq()) {
+        kernel_.raise_irq(*irq);
+        delivered_.fetch_add(1);
+      }
+    }
+  } catch (const util::RuntimeError&) {
+    // Channel closed: normal shutdown.
+  }
+}
+
+}  // namespace nisc::cosim

@@ -1,0 +1,148 @@
+// Driver-Kernel co-simulation (paper §4): the ISS masters the simulation
+// through a device driver in its operating system.
+//
+// SystemC side (this extension, implementing the modified scheduler of
+// paper Fig. 5): at the beginning of each simulation cycle it drains the
+// *socket data port* (paper: port 4444) —
+//     WRITE messages store data into the named iss_in ports and wake their
+//     iss_processes; READ messages answer with the named iss_out values —
+// and at the end of each cycle it forwards device interrupts on the
+// *socket interrupt port* (paper: port 4445).
+//
+// ISS side: ScPortDriver is the device driver embedded in the RTOS. Guest
+// code calls the driver API (SYS_DEV_WRITE / SYS_DEV_READ); the driver
+// exchanges the §4.2 message format with this extension. A host listener
+// thread turns interrupt messages into rtos ISR dispatches.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "cosim/time_budget.hpp"
+#include "ipc/message.hpp"
+#include "rtos/rtos.hpp"
+#include "sysc/iss_port.hpp"
+#include "sysc/kernel.hpp"
+
+namespace nisc::cosim {
+
+struct DriverKernelOptions {
+  /// ISS instructions granted per microsecond of simulated time.
+  std::uint64_t instructions_per_us = 10000;
+  /// Push iss_out values to the driver as soon as hardware writes them
+  /// (asynchronous data flow). When false, the driver must send READ
+  /// requests.
+  bool push_outputs = true;
+  /// Reverse throttle (see GdbKernelOptions::max_budget_lead). 0 disables.
+  std::uint64_t max_budget_lead = 8192;
+  /// iss_out ports this extension's driver owns: only these are pushed on
+  /// its data socket. Empty = all output ports (single-CPU setups). In
+  /// multi-processor designs each CPU's extension must list its own ports,
+  /// or the first extension would consume every CPU's data.
+  std::vector<std::string> owned_ports;
+};
+
+struct DriverKernelStats {
+  std::uint64_t messages_in = 0;    ///< WRITE/READ frames from the driver
+  std::uint64_t messages_out = 0;   ///< READ-REPLY frames to the driver
+  std::uint64_t interrupts_sent = 0;
+  std::uint64_t words_delivered = 0;
+};
+
+/// SystemC-kernel-side endpoint of the Driver-Kernel scheme.
+class DriverKernelExtension : public sysc::kernel_extension {
+ public:
+  /// `data` and `interrupts` are the kernel-side endpoints of the data and
+  /// interrupt sockets; `budget` (may be null) meters the ISS.
+  DriverKernelExtension(ipc::Channel data, ipc::Channel interrupts, TimeBudget* budget,
+                        DriverKernelOptions options = {});
+
+  void on_cycle_begin(sysc::sc_simcontext& ctx) override;
+  void on_cycle_end(sysc::sc_simcontext& ctx) override;
+  void on_time_advance(sysc::sc_simcontext& ctx, const sysc::sc_time& now) override;
+  bool on_starvation(sysc::sc_simcontext& ctx) override;
+  void on_run_end(sysc::sc_simcontext& ctx) override;
+
+  /// Queues a device interrupt; it is sent on the interrupt socket at the
+  /// end of the current cycle (paper Fig. 5). Callable from SystemC
+  /// processes.
+  void post_interrupt(std::uint32_t irq) { pending_interrupts_.push_back(irq); }
+
+  const DriverKernelStats& stats() const noexcept { return stats_; }
+
+ private:
+  void handle_message(sysc::sc_simcontext& ctx, const ipc::DriverMessage& msg);
+
+  bool delivery_safe(sysc::sc_simcontext& ctx, const sysc::iss_port_base* port) const;
+
+  ipc::Channel data_;
+  ipc::Channel interrupts_;
+  TimeBudget* budget_;
+  DriverKernelOptions options_;
+  std::deque<std::uint32_t> pending_interrupts_;
+  /// Messages whose target port is still draining a previous delivery.
+  std::deque<ipc::DriverMessage> backlog_;
+  std::map<const sysc::iss_port_base*, std::uint64_t> last_delivery_delta_;
+  std::uint64_t last_time_ps_ = 0;
+  std::uint64_t deposit_remainder_ = 0;
+  DriverKernelStats stats_;
+};
+
+/// The device driver registered inside the RTOS: forwards guest dev_write
+/// payloads as WRITE messages to one iss_in port, and serves guest dev_read
+/// from the stream of values the kernel pushes for one iss_out port.
+class ScPortDriver : public rtos::Driver {
+ public:
+  ScPortDriver(ipc::Channel data, std::string write_port, std::string read_port);
+
+  std::string_view name() const noexcept override { return "scdev"; }
+  std::size_t write(std::span<const std::uint8_t> data) override;
+  std::size_t read(std::span<std::uint8_t> out) override;
+
+  /// Blocks up to `timeout_ms` for data on the channel (used by the target
+  /// loop while every guest thread is blocked in dev_read).
+  bool wait_incoming(int timeout_ms);
+
+  std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+  std::uint64_t frames_received() const noexcept { return frames_received_; }
+
+ private:
+  void drain_incoming();
+
+  ipc::Channel data_;
+  std::string write_port_;
+  std::string read_port_;
+  std::deque<std::uint8_t> rx_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+};
+
+/// Host thread pumping the interrupt socket into rtos ISR dispatches — the
+/// paper's "thread that listens to the interrupts generated from the
+/// SystemC device" (§4.1).
+class InterruptPump {
+ public:
+  InterruptPump(ipc::Channel channel, rtos::Kernel& kernel);
+  ~InterruptPump();
+
+  InterruptPump(const InterruptPump&) = delete;
+  InterruptPump& operator=(const InterruptPump&) = delete;
+
+  void stop();
+
+  std::uint64_t delivered() const noexcept { return delivered_.load(); }
+
+ private:
+  void run();
+
+  ipc::Channel channel_;
+  rtos::Kernel& kernel_;
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace nisc::cosim

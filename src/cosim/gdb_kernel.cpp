@@ -1,0 +1,136 @@
+#include "cosim/gdb_kernel.hpp"
+
+#include "util/log.hpp"
+
+namespace nisc::cosim {
+
+GdbKernelExtension::GdbKernelExtension(rsp::GdbClient& client, TimeBudget* budget,
+                                       std::vector<BreakpointBinding> bindings,
+                                       GdbKernelOptions options)
+    : client_(client), budget_(budget), bindings_(std::move(bindings)), options_(options) {
+  for (const BreakpointBinding& b : bindings_) by_addr_[b.breakpoint_addr] = &b;
+}
+
+void GdbKernelExtension::on_elaboration(sysc::sc_simcontext& ctx) {
+  // Validate that every binding references an existing iss port of the
+  // right direction, then install the breakpoints on the halted target.
+  for (const BreakpointBinding& b : bindings_) {
+    sysc::iss_port_base* port = ctx.find_iss_port(b.port);
+    util::require(port != nullptr, "GdbKernel: no iss port named " + b.port);
+    if (b.direction == BindDirection::IssToSc) {
+      util::require(port->is_input(), "GdbKernel: binding " + b.variable +
+                                          " targets non-input port " + b.port);
+    } else {
+      util::require(!port->is_input(), "GdbKernel: binding " + b.variable +
+                                           " reads from non-output port " + b.port);
+    }
+    client_.set_breakpoint(b.breakpoint_addr);
+  }
+  if (options_.auto_continue) client_.cont();
+}
+
+void GdbKernelExtension::on_time_advance(sysc::sc_simcontext&, const sysc::sc_time& now) {
+  if (budget_ == nullptr) return;
+  const std::uint64_t elapsed_ps = now.ps() - last_time_ps_;
+  last_time_ps_ = now.ps();
+  // instructions = elapsed_ps * instr_per_us / 1e6, with remainder carry.
+  const std::uint64_t scaled = elapsed_ps * options_.instructions_per_us + deposit_remainder_;
+  deposit_remainder_ = scaled % 1000000;
+  const std::uint64_t instructions = scaled / 1000000;
+  if (instructions > 0) budget_->deposit(instructions);
+}
+
+bool GdbKernelExtension::delivery_safe(sysc::sc_simcontext& ctx,
+                                       sysc::iss_port_base* port) const {
+  auto it = last_delivery_delta_.find(port);
+  if (it == last_delivery_delta_.end()) return true;
+  // A value delivered at delta N wakes its iss_process in delta N+1's
+  // evaluate phase, which runs *after* delta N+1's cycle_begin hook — so the
+  // port is free for a new value only from delta N+2 on.
+  return ctx.delta_count() >= it->second + 2;
+}
+
+void GdbKernelExtension::on_cycle_begin(sysc::sc_simcontext& ctx) {
+  if (finished_) return;
+  ++stats_.polls;
+  // Service stops as long as the involved ports can absorb them; a stop
+  // whose port is still draining stays deferred (the ISS remains halted:
+  // backpressure instead of value loss).
+  for (;;) {
+    if (!deferred_stop_) {
+      if (!client_.running()) return;
+      deferred_stop_ = client_.poll_stop();
+      if (!deferred_stop_) return;
+    }
+    if (!service_stop(ctx, *deferred_stop_)) return;  // still deferred
+    deferred_stop_.reset();
+    if (finished_) return;
+  }
+}
+
+void GdbKernelExtension::on_cycle_end(sysc::sc_simcontext&) {
+  // Reverse throttle: after this cycle's servicing, hold simulated time
+  // while the ISS is running but far behind on its instruction allowance.
+  if (finished_ || budget_ == nullptr || options_.max_budget_lead == 0) return;
+  if (!client_.running() || deferred_stop_) return;  // not draining by design
+  if (budget_->available() > options_.max_budget_lead) {
+    budget_->wait_below(options_.max_budget_lead, 2);
+  }
+}
+
+bool GdbKernelExtension::on_starvation(sysc::sc_simcontext& ctx) {
+  if (finished_) return false;
+  if (deferred_stop_) {
+    // A transfer is waiting (port draining, or no fresh hardware value).
+    // Starvation means all processes ran: retry once; if it still cannot be
+    // serviced the design is genuinely deadlocked and the run ends.
+    if (!service_stop(ctx, *deferred_stop_)) return false;
+    deferred_stop_.reset();
+    return true;
+  }
+  if (!client_.running()) return false;
+  // Nothing else can make progress: grant the ISS some slack and wait
+  // briefly for it to produce an event.
+  if (budget_ != nullptr) budget_->deposit(options_.instructions_per_us);
+  auto stop = client_.wait_stop(10);
+  if (!stop) return false;
+  if (!service_stop(ctx, *stop)) deferred_stop_ = *stop;
+  return true;
+}
+
+bool GdbKernelExtension::service_stop(sysc::sc_simcontext& ctx, const rsp::StopReply& stop) {
+  const std::uint32_t pc = stop.pc ? *stop.pc : client_.read_pc();
+  auto it = by_addr_.find(pc);
+  if (it == by_addr_.end() || stop.signal != 5) {
+    // Not one of our breakpoints: the guest finished (ebreak) or faulted.
+    finished_ = true;
+    if (budget_ != nullptr) budget_->close();  // never consuming again
+    NISC_INFO("gdb-kernel") << "target finished at pc=0x" << std::hex << pc << " signal "
+                            << std::dec << stop.signal;
+    return true;
+  }
+  const BreakpointBinding& binding = *it->second;
+  sysc::iss_port_base* port = ctx.find_iss_port(binding.port);
+  if (binding.direction == BindDirection::IssToSc) {
+    if (!delivery_safe(ctx, port)) return false;  // defer; ISS stays halted
+    // The guest just wrote the variable: fetch it and feed the iss_in port.
+    auto bytes = client_.read_memory(binding.variable_addr, binding.width);
+    port->deliver_bytes(bytes);
+    last_delivery_delta_[port] = ctx.delta_count();
+    ++stats_.values_to_sc;
+  } else {
+    // The guest is about to read the variable: inject the port's value.
+    // With the (default) freshness gate, the guest waits — halted — until
+    // the hardware writes a value it has not consumed yet: flow control.
+    if (options_.inject_requires_fresh && !port->has_fresh_value()) return false;
+    auto bytes = port->peek_bytes();
+    client_.write_memory(binding.variable_addr, bytes);
+    port->consume_fresh();
+    ++stats_.values_from_sc;
+  }
+  ++stats_.breakpoint_events;
+  client_.cont();
+  return true;
+}
+
+}  // namespace nisc::cosim

@@ -1,0 +1,97 @@
+// GDB-Kernel co-simulation (paper §3): the wrapper embedded in the SystemC
+// kernel.
+//
+// The SystemC simulation kernel is the master. At the beginning of every
+// simulation cycle the modified scheduler (here: this kernel extension)
+// checks — non-blocking, through the IPC pipe — whether GDB (the stub
+// attached to the ISS) is stopped at a breakpoint (paper Fig. 3):
+//
+//   * breakpoint bound to an iss_in port  -> read the guest variable via
+//     the remote protocol, store it in the port, wake its iss_processes;
+//   * breakpoint bound to an iss_out port -> copy the port's value into the
+//     guest variable before the stopped instruction executes;
+//   * then resume the ISS with `continue`.
+//
+// Unlike the GDB-Wrapper baseline there is no per-cycle blocking round
+// trip: while no data crosses the boundary the only cost is one
+// non-blocking poll per cycle.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cosim/pragma.hpp"
+#include "cosim/time_budget.hpp"
+#include "rsp/client.hpp"
+#include "sysc/iss_port.hpp"
+#include "sysc/kernel.hpp"
+
+namespace nisc::cosim {
+
+struct GdbKernelOptions {
+  /// ISS instructions granted per microsecond of simulated time (the CPU's
+  /// nominal speed relative to the hardware clock).
+  std::uint64_t instructions_per_us = 10000;
+  /// Resume the target automatically after elaboration.
+  bool auto_continue = true;
+  /// Gate iss_out injections on fresh hardware values: the guest blocks at
+  /// its breakpoint until hardware wrote a not-yet-consumed value. Disable
+  /// for status-register-style polling of the same value.
+  bool inject_requires_fresh = true;
+  /// Reverse throttle: simulated time stalls (briefly) while more than this
+  /// many granted-but-unexecuted instructions are outstanding, so a
+  /// host-scheduling hiccup on the ISS thread cannot masquerade as a slow
+  /// simulated CPU. 0 disables.
+  std::uint64_t max_budget_lead = 8192;
+};
+
+struct GdbKernelStats {
+  std::uint64_t polls = 0;              ///< non-blocking stop checks
+  std::uint64_t breakpoint_events = 0;  ///< serviced bindings
+  std::uint64_t values_to_sc = 0;       ///< guest variable -> iss_in port
+  std::uint64_t values_from_sc = 0;     ///< iss_out port -> guest variable
+};
+
+class GdbKernelExtension : public sysc::kernel_extension {
+ public:
+  /// `client` talks to the stub of the ISS; `budget` (may be null) is
+  /// deposited as simulated time advances; `bindings` come from the pragma
+  /// filter (resolve_bindings).
+  GdbKernelExtension(rsp::GdbClient& client, TimeBudget* budget,
+                     std::vector<BreakpointBinding> bindings, GdbKernelOptions options = {});
+
+  void on_elaboration(sysc::sc_simcontext& ctx) override;
+  void on_cycle_begin(sysc::sc_simcontext& ctx) override;
+  void on_cycle_end(sysc::sc_simcontext& ctx) override;
+  void on_time_advance(sysc::sc_simcontext& ctx, const sysc::sc_time& now) override;
+  bool on_starvation(sysc::sc_simcontext& ctx) override;
+
+  /// True once the guest program hit its final ebreak (or faulted).
+  bool target_finished() const noexcept { return finished_; }
+
+  const GdbKernelStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Returns false when the stop must stay deferred (port still draining).
+  bool service_stop(sysc::sc_simcontext& ctx, const rsp::StopReply& stop);
+
+  /// True when delivering into `port` now cannot overwrite a value whose
+  /// iss_process has not run yet (it runs two delta cycles after delivery).
+  bool delivery_safe(sysc::sc_simcontext& ctx, sysc::iss_port_base* port) const;
+
+  rsp::GdbClient& client_;
+  TimeBudget* budget_;
+  std::vector<BreakpointBinding> bindings_;
+  std::map<std::uint32_t, const BreakpointBinding*> by_addr_;
+  GdbKernelOptions options_;
+  bool finished_ = false;
+  std::uint64_t last_time_ps_ = 0;
+  std::uint64_t deposit_remainder_ = 0;
+  /// A stop whose iss_in delivery must wait for the port to drain. The ISS
+  /// stays halted meanwhile: natural backpressure.
+  std::optional<rsp::StopReply> deferred_stop_;
+  std::map<const sysc::iss_port_base*, std::uint64_t> last_delivery_delta_;
+  GdbKernelStats stats_;
+};
+
+}  // namespace nisc::cosim

@@ -1,0 +1,117 @@
+#include "cosim/gdb_wrapper.hpp"
+
+#include "util/log.hpp"
+
+namespace nisc::cosim {
+
+GdbWrapperModule::GdbWrapperModule(std::string name, rsp::GdbClient& client,
+                                   std::vector<BreakpointBinding> bindings,
+                                   GdbWrapperOptions options)
+    : sc_module(std::move(name)), client_(client), bindings_(std::move(bindings)),
+      options_(options) {
+  util::require(options_.instructions_per_cycle > 0, "GdbWrapper: zero lock-step ratio");
+  for (const BreakpointBinding& b : bindings_) by_addr_[b.breakpoint_addr] = &b;
+  declare_method("cycle", &GdbWrapperModule::cycle);
+  sensitive << clk.pos();
+  dont_initialize();
+}
+
+void GdbWrapperModule::on_elaboration() {
+  sc_module::on_elaboration();
+  // Quantum mode relies on target-side breakpoints to stop at binding lines.
+  for (const BreakpointBinding& b : bindings_) client_.set_breakpoint(b.breakpoint_addr);
+}
+
+void GdbWrapperModule::cycle() {
+  if (finished_) return;
+  ++stats_.cycles;
+  // A binding that could not be serviced yet (the hardware has not produced
+  // a fresh value): the ISS holds at its breakpoint line until it can. The
+  // per-cycle lock-step synchronization still happens — in [14] the host OS
+  // mediates ISS<->SystemC synchronization through IPC on *every* cycle,
+  // which is precisely the overhead the proposed schemes remove.
+  if (pending_binding_ != nullptr) {
+    if (!service_breakpoint(*pending_binding_)) {
+      (void)client_.read_pc();  // blocking sync round trip, result unused
+      ++stats_.steps;
+      return;
+    }
+    pending_binding_ = nullptr;
+  }
+  if (options_.mode == LockstepMode::Quantum) {
+    cycle_quantum();
+  } else {
+    cycle_single_step();
+  }
+}
+
+void GdbWrapperModule::cycle_quantum() {
+  // One blocking round trip: the per-cycle lock-step synchronization.
+  rsp::StopReply stop = client_.run_quantum(options_.instructions_per_cycle);
+  ++stats_.steps;
+  if (stop.signal == 0) return;  // quantum exhausted, still running
+  const std::uint32_t pc = stop.pc ? *stop.pc : client_.read_pc();
+  handle_stop(pc, stop.signal);
+}
+
+void GdbWrapperModule::cycle_single_step() {
+  std::uint32_t prev_pc = ~0u;
+  for (std::uint64_t i = 0; i < options_.instructions_per_cycle; ++i) {
+    // One blocking RSP round trip per instruction.
+    rsp::StopReply stop = client_.step();
+    ++stats_.steps;
+    const std::uint32_t pc = stop.pc ? *stop.pc : client_.read_pc();
+    if (pc == prev_pc) {
+      // No forward progress: the guest sits on its final ebreak.
+      finished_ = true;
+      NISC_INFO("gdb-wrapper") << "target finished at pc=0x" << std::hex << pc;
+      return;
+    }
+    prev_pc = pc;
+    auto it = by_addr_.find(pc);
+    if (it != by_addr_.end() && handle_stop(pc, stop.signal)) return;
+  }
+}
+
+bool GdbWrapperModule::handle_stop(std::uint32_t pc, int signal) {
+  auto it = by_addr_.find(pc);
+  if (it == by_addr_.end() || signal != 5) {
+    // Stopped somewhere that is not a binding line: the guest finished
+    // (ebreak) or faulted.
+    finished_ = true;
+    NISC_INFO("gdb-wrapper") << "target finished at pc=0x" << std::hex << pc << " signal "
+                             << std::dec << signal;
+    return true;
+  }
+  if (!service_breakpoint(*it->second)) {
+    pending_binding_ = it->second;
+    return true;
+  }
+  if (it->second->direction == BindDirection::IssToSc) {
+    // The delivered value wakes its iss_process in the next delta; end the
+    // cycle so a second delivery cannot overwrite it before the process
+    // runs.
+    return true;
+  }
+  return false;
+}
+
+bool GdbWrapperModule::service_breakpoint(const BreakpointBinding& binding) {
+  sysc::iss_port_base* port = context().find_iss_port(binding.port);
+  util::require(port != nullptr, "GdbWrapper: no iss port named " + binding.port);
+  if (binding.direction == BindDirection::IssToSc) {
+    auto bytes = client_.read_memory(binding.variable_addr, binding.width);
+    port->deliver_bytes(bytes);
+    ++stats_.values_to_sc;
+  } else {
+    if (!port->has_fresh_value()) return false;  // wait for the hardware
+    auto bytes = port->peek_bytes();
+    client_.write_memory(binding.variable_addr, bytes);
+    port->consume_fresh();
+    ++stats_.values_from_sc;
+  }
+  ++stats_.breakpoint_events;
+  return true;
+}
+
+}  // namespace nisc::cosim

@@ -1,0 +1,81 @@
+#include "cosim/time_budget.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace nisc::cosim {
+
+void TimeBudget::deposit(std::uint64_t tokens) {
+  {
+    std::lock_guard lock(mutex_);
+    if (idle_) {
+      // The consumer is idle: its allowance burns off immediately.
+      drained_.notify_all();
+      return;
+    }
+    tokens_ = std::min(tokens_ + tokens, cap_);
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t TimeBudget::acquire(std::uint64_t want) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return tokens_ > 0 || closed_; });
+  if (closed_ && tokens_ == 0) return 0;
+  std::uint64_t granted = std::min(want, tokens_);
+  tokens_ -= granted;
+  drained_.notify_all();
+  return granted;
+}
+
+std::uint64_t TimeBudget::try_acquire(std::uint64_t want) {
+  std::lock_guard lock(mutex_);
+  std::uint64_t granted = std::min(want, tokens_);
+  tokens_ -= granted;
+  if (granted > 0) drained_.notify_all();
+  return granted;
+}
+
+bool TimeBudget::pay(std::uint64_t amount) {
+  while (amount > 0) {
+    std::uint64_t got = acquire(amount);
+    if (got == 0) return false;  // closed
+    amount -= got;
+  }
+  return true;
+}
+
+bool TimeBudget::wait_below(std::uint64_t level, int timeout_ms) {
+  std::unique_lock lock(mutex_);
+  return drained_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [&] { return tokens_ < level || closed_ || idle_; });
+}
+
+void TimeBudget::set_idle(bool idle) {
+  {
+    std::lock_guard lock(mutex_);
+    idle_ = idle;
+    if (idle) tokens_ = 0;  // burn whatever was banked
+  }
+  drained_.notify_all();
+}
+
+void TimeBudget::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool TimeBudget::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::uint64_t TimeBudget::available() const {
+  std::lock_guard lock(mutex_);
+  return tokens_;
+}
+
+}  // namespace nisc::cosim

@@ -1,0 +1,67 @@
+// TimeBudget: correlates ISS execution with SystemC simulated time.
+//
+// The SystemC kernel deposits an instruction allowance every clock cycle
+// (modeling the CPU's nominal frequency); the target thread running the ISS
+// withdraws before executing. The deposit path never blocks; the withdraw
+// path blocks until tokens are available, which is what keeps the two
+// simulators loosely synchronized in the paper's free-running schemes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace nisc::cosim {
+
+class TimeBudget {
+ public:
+  /// `cap` bounds accumulation so a stalled ISS cannot bank unbounded credit
+  /// and later sprint arbitrarily far ahead of hardware time.
+  explicit TimeBudget(std::uint64_t cap = 1 << 20) : cap_(cap) {}
+
+  /// Adds `tokens` instructions of allowance (kernel thread, non-blocking).
+  void deposit(std::uint64_t tokens);
+
+  /// Withdraws up to `want` instructions, blocking until at least one token
+  /// is available or the budget is closed. Returns the granted amount
+  /// (0 only when closed).
+  std::uint64_t acquire(std::uint64_t want);
+
+  /// Non-blocking variant; returns 0 when no tokens are available.
+  std::uint64_t try_acquire(std::uint64_t want);
+
+  /// Blocks until `amount` tokens have been consumed (pay-after accounting:
+  /// the ISS runs a slice first, then pays its measured cycle cost).
+  /// Returns false when the budget was closed before the debt was settled.
+  bool pay(std::uint64_t amount);
+
+  /// Blocks until fewer than `level` tokens remain unconsumed, the budget
+  /// is closed, or `timeout_ms` elapses. Returns true when the level was
+  /// reached. This is the *reverse* throttle: the SystemC side calls it so
+  /// simulated time cannot race arbitrarily ahead of an ISS that has not
+  /// caught up with its allowance.
+  bool wait_below(std::uint64_t level, int timeout_ms);
+
+  /// Marks the consumer as idle: an idle CPU burns its allowance doing
+  /// nothing, so deposits are discarded (and wait_below passes) until the
+  /// consumer wakes. Set by the target loop around blocking-idle waits.
+  void set_idle(bool idle);
+
+  /// Unblocks all waiters permanently (teardown, or the guest exited and
+  /// will never consume again).
+  void close();
+
+  bool closed() const;
+  std::uint64_t available() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;        // waiters for tokens (ISS side)
+  std::condition_variable drained_;   // waiters for consumption (kernel side)
+  std::uint64_t tokens_ = 0;
+  std::uint64_t cap_;
+  bool closed_ = false;
+  bool idle_ = false;
+};
+
+}  // namespace nisc::cosim

@@ -1,0 +1,138 @@
+#include "ipc/channel.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace nisc::ipc {
+
+using util::RuntimeError;
+
+Channel Channel::from_socket(Fd socket_fd) {
+  // Duplicate so read and write sides can be closed independently.
+  int dup_fd = ::dup(socket_fd.get());
+  if (dup_fd < 0) throw RuntimeError(std::string("dup: ") + std::strerror(errno));
+  Fd write_side(dup_fd);
+  return Channel(std::move(socket_fd), std::move(write_side));
+}
+
+void Channel::send_str(const std::string& s) {
+  send(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+namespace {
+
+ChannelPair make_pipe_pair() {
+  int ab[2];
+  int ba[2];
+  if (::pipe(ab) < 0) throw RuntimeError(std::string("pipe: ") + std::strerror(errno));
+  if (::pipe(ba) < 0) {
+    ::close(ab[0]);
+    ::close(ab[1]);
+    throw RuntimeError(std::string("pipe: ") + std::strerror(errno));
+  }
+  ChannelPair pair;
+  pair.a = Channel(Fd(ba[0]), Fd(ab[1]));  // a reads b->a, writes a->b
+  pair.b = Channel(Fd(ab[0]), Fd(ba[1]));
+  return pair;
+}
+
+ChannelPair make_socketpair_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+    throw RuntimeError(std::string("socketpair: ") + std::strerror(errno));
+  }
+  ChannelPair pair;
+  pair.a = Channel::from_socket(Fd(fds[0]));
+  pair.b = Channel::from_socket(Fd(fds[1]));
+  return pair;
+}
+
+ChannelPair make_tcp_pair() {
+  TcpListener listener(0);
+  Channel client = tcp_connect(listener.port());
+  Channel server = listener.accept();
+  return ChannelPair{std::move(server), std::move(client)};
+}
+
+}  // namespace
+
+ChannelPair make_channel_pair(Transport transport) {
+  switch (transport) {
+    case Transport::Pipe: return make_pipe_pair();
+    case Transport::SocketPair: return make_socketpair_pair();
+    case Transport::Tcp: return make_tcp_pair();
+  }
+  throw util::LogicError("make_channel_pair: unknown transport");
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw RuntimeError(std::string("socket: ") + std::strerror(errno));
+  listen_fd_ = Fd(fd);
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw RuntimeError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 4) < 0) throw RuntimeError(std::string("listen: ") + std::strerror(errno));
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw RuntimeError(std::string("getsockname: ") + std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Channel TcpListener::accept() {
+  int fd;
+  do {
+    fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) throw RuntimeError(std::string("accept: ") + std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Channel::from_socket(Fd(fd));
+}
+
+Channel tcp_connect(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw RuntimeError(std::string("socket: ") + std::strerror(errno));
+  Fd sock(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw RuntimeError(std::string("connect: ") + std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Channel::from_socket(std::move(sock));
+}
+
+const char* transport_name(Transport transport) noexcept {
+  switch (transport) {
+    case Transport::Pipe: return "pipe";
+    case Transport::SocketPair: return "socketpair";
+    case Transport::Tcp: return "tcp";
+  }
+  return "?";
+}
+
+}  // namespace nisc::ipc

@@ -1,0 +1,84 @@
+// Byte-stream channels: pipes, socketpairs, and TCP — the transports the
+// paper's two co-simulation schemes use (a pipe for GDB-Kernel, sockets on
+// the data port 4444 / interrupt port 4445 for Driver-Kernel).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ipc/fd.hpp"
+
+namespace nisc::ipc {
+
+/// A bidirectional byte-stream endpoint. Reading and writing may happen from
+/// different threads (one reader, one writer).
+class Channel {
+ public:
+  Channel() = default;
+  Channel(Fd read_fd, Fd write_fd) : read_fd_(std::move(read_fd)), write_fd_(std::move(write_fd)) {}
+
+  /// Constructs from a single full-duplex descriptor (socket).
+  static Channel from_socket(Fd socket_fd);
+
+  bool valid() const noexcept { return read_fd_.valid() && write_fd_.valid(); }
+
+  const Fd& read_fd() const noexcept { return read_fd_; }
+  const Fd& write_fd() const noexcept { return write_fd_; }
+
+  void send(std::span<const std::uint8_t> data) { write_all(write_fd_, data); }
+  void send_str(const std::string& s);
+  void recv_exact(std::span<std::uint8_t> out) { read_exact(read_fd_, out); }
+  bool readable(int timeout_ms = 0) { return poll_readable(read_fd_, timeout_ms); }
+  std::size_t recv_some(std::span<std::uint8_t> out) { return read_some_nonblocking(read_fd_, out); }
+
+  /// Closes both directions.
+  void close() noexcept {
+    read_fd_.reset();
+    write_fd_.reset();
+  }
+
+ private:
+  Fd read_fd_;
+  Fd write_fd_;
+};
+
+/// Two channel endpoints wired back-to-back.
+struct ChannelPair {
+  Channel a;
+  Channel b;
+};
+
+/// Transport flavor for make_channel_pair.
+enum class Transport { Pipe, SocketPair, Tcp };
+
+/// Creates a connected pair of endpoints over the requested transport.
+/// Pipe uses two pipe(2) calls (matching the paper's GDB-Kernel IPC);
+/// SocketPair uses socketpair(2); Tcp opens a loopback listener on an
+/// ephemeral port and connects to it (matching the Driver-Kernel socket
+/// style without hard-coding 4444/4445, which tests could not share).
+ChannelPair make_channel_pair(Transport transport);
+
+/// Loopback TCP listener for explicit Driver-Kernel style setups.
+class TcpListener {
+ public:
+  /// Binds 127.0.0.1:`port`; port 0 picks an ephemeral port.
+  explicit TcpListener(std::uint16_t port);
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks until a peer connects; returns the accepted channel.
+  Channel accept();
+
+ private:
+  Fd listen_fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to a loopback TCP listener.
+Channel tcp_connect(std::uint16_t port);
+
+/// Human-readable transport name (for bench output).
+const char* transport_name(Transport transport) noexcept;
+
+}  // namespace nisc::ipc

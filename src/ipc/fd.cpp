@@ -1,0 +1,111 @@
+#include "ipc/fd.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace nisc::ipc {
+
+using util::RuntimeError;
+
+namespace {
+/// Writing to a pipe/socket whose peer died must surface as EPIPE (-> a
+/// RuntimeError the co-simulation can handle), not a process-killing
+/// SIGPIPE. Installed once, before the first write.
+void ignore_sigpipe_once() {
+  static const bool installed = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
+}
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void write_all(const Fd& fd, std::span<const std::uint8_t> data) {
+  ignore_sigpipe_once();
+  std::size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd.get(), data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Channel is blocking in normal operation; wait for writability.
+        struct pollfd pfd = {fd.get(), POLLOUT, 0};
+        ::poll(&pfd, 1, -1);
+        continue;
+      }
+      throw RuntimeError(std::string("write_all: ") + std::strerror(errno));
+    }
+    if (n == 0) throw RuntimeError("write_all: peer closed");
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void read_exact(const Fd& fd, std::span<std::uint8_t> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    ssize_t n = ::read(fd.get(), out.data() + got, out.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        struct pollfd pfd = {fd.get(), POLLIN, 0};
+        ::poll(&pfd, 1, -1);
+        continue;
+      }
+      throw RuntimeError(std::string("read_exact: ") + std::strerror(errno));
+    }
+    if (n == 0) throw RuntimeError("read_exact: peer closed");
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+bool poll_readable(const Fd& fd, int timeout_ms) {
+  struct pollfd pfd = {fd.get(), POLLIN, 0};
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw RuntimeError(std::string("poll_readable: ") + std::strerror(errno));
+    }
+    if (rc == 0) return false;
+    return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+  }
+}
+
+std::size_t read_some_nonblocking(const Fd& fd, std::span<std::uint8_t> out) {
+  if (!poll_readable(fd, 0)) return 0;
+  ssize_t n = ::read(fd.get(), out.data(), out.size());
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+    throw RuntimeError(std::string("read_some_nonblocking: ") + std::strerror(errno));
+  }
+  if (n == 0) throw RuntimeError("read_some_nonblocking: peer closed");
+  return static_cast<std::size_t>(n);
+}
+
+void set_nonblocking(const Fd& fd, bool nonblocking) {
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0) throw RuntimeError(std::string("fcntl(F_GETFL): ") + std::strerror(errno));
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd.get(), F_SETFL, flags) < 0) {
+    throw RuntimeError(std::string("fcntl(F_SETFL): ") + std::strerror(errno));
+  }
+}
+
+}  // namespace nisc::ipc

@@ -1,0 +1,67 @@
+// RAII file-descriptor wrapper and blocking/non-blocking I/O helpers.
+//
+// All inter-simulator traffic in niscosim (GDB remote-serial-protocol
+// streams, Driver-Kernel data/interrupt sockets) flows through real kernel
+// file descriptors, mirroring the paper's pipe/socket IPC.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nisc::ipc {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() noexcept = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  /// Releases ownership without closing.
+  int release() noexcept { return std::exchange(fd_, -1); }
+
+  /// Closes the descriptor (idempotent).
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Writes all of `data`, retrying on EINTR and short writes. Throws
+/// RuntimeError on error or EOF (peer closed).
+void write_all(const Fd& fd, std::span<const std::uint8_t> data);
+
+/// Reads exactly `out.size()` bytes. Throws RuntimeError on error/EOF.
+void read_exact(const Fd& fd, std::span<std::uint8_t> out);
+
+/// Returns true when at least one byte is readable without blocking.
+/// `timeout_ms` < 0 blocks indefinitely; 0 polls.
+bool poll_readable(const Fd& fd, int timeout_ms);
+
+/// Non-blocking read of up to `out.size()` bytes. Returns the number of
+/// bytes read (0 if nothing pending). Throws on error or EOF.
+std::size_t read_some_nonblocking(const Fd& fd, std::span<std::uint8_t> out);
+
+/// Marks the descriptor O_NONBLOCK (or clears it).
+void set_nonblocking(const Fd& fd, bool nonblocking);
+
+}  // namespace nisc::ipc

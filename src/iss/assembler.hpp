@@ -1,0 +1,30 @@
+// A two-pass RV32IM assembler.
+//
+// Lets guest programs (the paper's checksum application, the RTOS test
+// workloads) be written as strings and assembled at run time, removing any
+// dependency on an external cross toolchain.
+//
+// Supported syntax:
+//   label:                         # also on their own line
+//   addi a0, a1, -4                # all RV32IM instructions, ABI reg names
+//   lw   a0, 8(sp)                 # loads/stores with imm(reg) or (reg)
+//   beq  a0, a1, loop              # branch/jump targets: labels or numbers
+//   li / la / mv / not / neg / nop / j / jr / call / ret / seqz / snez
+//   beqz bnez bltz bgez bgtz blez bgt ble bgtu bleu    # pseudo-instructions
+//   .org .word .half .byte .ascii .asciz .space .align .equ .globl
+//   # ; //                         comments
+//
+// Errors throw util::RuntimeError with "line N: ..." messages.
+#pragma once
+
+#include <string_view>
+
+#include "iss/program.hpp"
+
+namespace nisc::iss {
+
+/// Assembles `source` into a loadable program. `base` is the load address
+/// of the first byte. Entry is the `_start` symbol when present, else base.
+Program assemble(std::string_view source, std::uint32_t base = 0);
+
+}  // namespace nisc::iss

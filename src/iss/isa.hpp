@@ -1,0 +1,74 @@
+// RV32IM instruction set: opcodes, decode, encode and disassembly.
+//
+// The niscosim ISS executes the RV32I base integer ISA plus the M extension
+// (the paper used an i386 synthetic target; any GDB-debuggable ISA serves —
+// see DESIGN.md). Encodings follow the RISC-V unprivileged specification so
+// the decoder and the assembler are mutually checkable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nisc::iss {
+
+/// All instructions the ISS executes. Illegal marks undecodable words.
+enum class Op : std::uint8_t {
+  // RV32I
+  Lui, Auipc, Jal, Jalr,
+  Beq, Bne, Blt, Bge, Bltu, Bgeu,
+  Lb, Lh, Lw, Lbu, Lhu,
+  Sb, Sh, Sw,
+  Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+  Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+  Fence, Ecall, Ebreak,
+  // M extension
+  Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+  Illegal,
+};
+
+/// Mnemonic for an Op ("addi", "lw", ...).
+std::string_view op_name(Op op) noexcept;
+
+/// A decoded instruction. Fields not used by the format are zero.
+struct Instr {
+  Op op = Op::Illegal;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// Decodes one 32-bit instruction word.
+Instr decode(std::uint32_t word) noexcept;
+
+/// Encodes a decoded instruction back to its word. Inverse of decode for
+/// all legal instructions. Throws LogicError on Illegal or malformed fields.
+std::uint32_t encode(const Instr& instr);
+
+/// Human-readable rendering, e.g. "addi x5, x0, 42".
+std::string disassemble(const Instr& instr);
+
+/// ABI register name ("zero", "ra", "sp", ..., "t6").
+std::string_view reg_abi_name(std::uint8_t reg) noexcept;
+
+/// Parses "x0".."x31" or an ABI name; nullopt if unknown.
+std::optional<std::uint8_t> parse_reg(std::string_view name) noexcept;
+
+/// True when `imm` fits the 12-bit signed immediate of I/S-type formats.
+constexpr bool fits_imm12(std::int64_t imm) noexcept { return imm >= -2048 && imm <= 2047; }
+
+/// True when `offset` fits the B-type branch range (±4 KiB, even).
+constexpr bool fits_branch(std::int64_t offset) noexcept {
+  return offset >= -4096 && offset <= 4094 && (offset & 1) == 0;
+}
+
+/// True when `offset` fits the J-type jump range (±1 MiB, even).
+constexpr bool fits_jump(std::int64_t offset) noexcept {
+  return offset >= -1048576 && offset <= 1048574 && (offset & 1) == 0;
+}
+
+}  // namespace nisc::iss

@@ -1,0 +1,78 @@
+// Flat little-endian guest memory with bounds checking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nisc::iss {
+
+/// The ISS's byte-addressed memory. Accesses outside [0, size) throw
+/// RuntimeError (the CPU converts this into a MemoryFault halt).
+class Memory {
+ public:
+  explicit Memory(std::size_t size = 1 << 20) : bytes_(size, 0) {}
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+
+  std::uint8_t read8(std::uint32_t addr) const {
+    check(addr, 1);
+    return bytes_[addr];
+  }
+  std::uint16_t read16(std::uint32_t addr) const {
+    check(addr, 2);
+    return static_cast<std::uint16_t>(bytes_[addr] | (bytes_[addr + 1] << 8));
+  }
+  std::uint32_t read32(std::uint32_t addr) const {
+    check(addr, 4);
+    return static_cast<std::uint32_t>(bytes_[addr]) |
+           (static_cast<std::uint32_t>(bytes_[addr + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes_[addr + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[addr + 3]) << 24);
+  }
+
+  void write8(std::uint32_t addr, std::uint8_t value) {
+    check(addr, 1);
+    bytes_[addr] = value;
+  }
+  void write16(std::uint32_t addr, std::uint16_t value) {
+    check(addr, 2);
+    bytes_[addr] = static_cast<std::uint8_t>(value);
+    bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+  }
+  void write32(std::uint32_t addr, std::uint32_t value) {
+    check(addr, 4);
+    bytes_[addr] = static_cast<std::uint8_t>(value);
+    bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    bytes_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
+    bytes_[addr + 3] = static_cast<std::uint8_t>(value >> 24);
+  }
+
+  /// Bulk copy into guest memory (program loading, debugger writes).
+  void write_block(std::uint32_t addr, std::span<const std::uint8_t> data) {
+    check(addr, data.size());
+    std::copy(data.begin(), data.end(), bytes_.begin() + addr);
+  }
+
+  /// Bulk copy out of guest memory (debugger reads).
+  std::vector<std::uint8_t> read_block(std::uint32_t addr, std::size_t len) const {
+    check(addr, len);
+    return {bytes_.begin() + addr, bytes_.begin() + addr + len};
+  }
+
+  /// Zeroes all of memory.
+  void clear() noexcept { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+ private:
+  void check(std::uint32_t addr, std::size_t len) const {
+    if (static_cast<std::uint64_t>(addr) + len > bytes_.size()) {
+      throw util::RuntimeError("memory access out of bounds at 0x" + std::to_string(addr));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace nisc::iss

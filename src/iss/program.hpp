@@ -1,0 +1,40 @@
+// An assembled guest program: raw image, symbols, entry point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iss/memory.hpp"
+#include "util/error.hpp"
+
+namespace nisc::iss {
+
+/// Output of the assembler; loadable into the ISS memory. Symbols map guest
+/// labels (the paper's "variables of the application") to addresses, which
+/// is what the co-simulation layer binds breakpoints and iss ports to.
+struct Program {
+  std::uint32_t base = 0;
+  std::vector<std::uint8_t> bytes;
+  std::map<std::string, std::uint32_t> symbols;
+  std::uint32_t entry = 0;
+
+  bool has_symbol(const std::string& name) const { return symbols.count(name) > 0; }
+
+  /// Address of `name`; throws RuntimeError when undefined.
+  std::uint32_t symbol(const std::string& name) const {
+    auto it = symbols.find(name);
+    if (it == symbols.end()) throw util::RuntimeError("undefined symbol: " + name);
+    return it->second;
+  }
+
+  std::uint32_t end_address() const noexcept {
+    return base + static_cast<std::uint32_t>(bytes.size());
+  }
+
+  /// Copies the image into guest memory at its base address.
+  void load_into(Memory& mem) const { mem.write_block(base, bytes); }
+};
+
+}  // namespace nisc::iss

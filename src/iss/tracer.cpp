@@ -1,0 +1,35 @@
+#include "iss/tracer.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace nisc::iss {
+
+ExecutionTracer::ExecutionTracer(Cpu& cpu, std::size_t capacity)
+    : cpu_(cpu), capacity_(capacity) {
+  util::require(capacity_ > 0, "ExecutionTracer: capacity must be positive");
+  cpu_.set_trace_hook([this](std::uint32_t pc, std::uint32_t word) { record(pc, word); });
+}
+
+ExecutionTracer::~ExecutionTracer() { cpu_.set_trace_hook(nullptr); }
+
+void ExecutionTracer::record(std::uint32_t pc, std::uint32_t word) {
+  if (entries_.size() >= capacity_) entries_.pop_front();
+  entries_.push_back(TraceEntry{pc, word, cpu_.instret()});
+  ++total_;
+}
+
+std::string ExecutionTracer::dump() const {
+  std::string out;
+  char line[96];
+  for (const TraceEntry& e : entries_) {
+    std::snprintf(line, sizeof(line), "  %8llu  %08x: %s\n",
+                  static_cast<unsigned long long>(e.instret), e.pc,
+                  disassemble(decode(e.word)).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nisc::iss

@@ -1,0 +1,50 @@
+// Instruction-trace support for the ISS: a bounded ring buffer of the most
+// recently retired instructions, dumpable with disassembly — the tool one
+// reaches for when a co-simulated guest misbehaves.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "iss/cpu.hpp"
+
+namespace nisc::iss {
+
+/// One retired instruction.
+struct TraceEntry {
+  std::uint32_t pc = 0;
+  std::uint32_t word = 0;
+  std::uint64_t instret = 0;
+};
+
+/// Attaches to a Cpu and records every retired instruction into a ring
+/// buffer of fixed capacity. Detaches automatically on destruction.
+class ExecutionTracer {
+ public:
+  ExecutionTracer(Cpu& cpu, std::size_t capacity = 64);
+  ~ExecutionTracer();
+
+  ExecutionTracer(const ExecutionTracer&) = delete;
+  ExecutionTracer& operator=(const ExecutionTracer&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::uint64_t total_recorded() const noexcept { return total_; }
+  const std::deque<TraceEntry>& entries() const noexcept { return entries_; }
+
+  /// Formats the buffered tail as "  <instret>  <pc>: <disassembly>" lines.
+  std::string dump() const;
+
+  /// Clears the buffer (counters keep running).
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  void record(std::uint32_t pc, std::uint32_t word);
+
+  Cpu& cpu_;
+  std::size_t capacity_;
+  std::deque<TraceEntry> entries_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nisc::iss

@@ -1,0 +1,49 @@
+// Packet consumer (paper §5): a SystemC module attached to a router output
+// port verifying the integrity of received packets against the host-side
+// golden checksum.
+#pragma once
+
+#include "router/packet.hpp"
+#include "sysc/sc_fifo.hpp"
+#include "sysc/sc_module.hpp"
+
+namespace nisc::router {
+
+struct ConsumerStats {
+  std::uint64_t received = 0;
+  std::uint64_t checksum_ok = 0;
+  std::uint64_t checksum_bad = 0;
+};
+
+class Consumer : public sysc::sc_module {
+ public:
+  Consumer(std::string name, sysc::sc_fifo<Packet>& fifo)
+      : sc_module(std::move(name)), fifo_(fifo) {
+    declare_thread("consume", &Consumer::consume_loop);
+  }
+
+  const ConsumerStats& stats() const noexcept { return stats_; }
+
+  /// The most recently received packet (valid when received > 0).
+  const Packet& last_packet() const noexcept { return last_; }
+
+ private:
+  void consume_loop() {
+    for (;;) {
+      Packet packet = fifo_.read();  // blocking
+      last_ = packet;
+      ++stats_.received;
+      if (packet.checksum == packet.golden_checksum()) {
+        ++stats_.checksum_ok;
+      } else {
+        ++stats_.checksum_bad;
+      }
+    }
+  }
+
+  sysc::sc_fifo<Packet>& fifo_;
+  ConsumerStats stats_;
+  Packet last_;
+};
+
+}  // namespace nisc::router

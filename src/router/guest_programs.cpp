@@ -1,0 +1,80 @@
+#include "router/guest_programs.hpp"
+
+#include "router/packet.hpp"
+
+namespace nisc::router {
+
+std::string word_stream_checksum_source(const std::string& to_cpu_port,
+                                        const std::string& from_cpu_port) {
+  std::string source = R"(# Checksum application, GDB-scheme flavor (bare metal).
+# Receives packet words one at a time through `word_in` and returns the
+# 32-bit word-sum checksum through `csum_out`.
+_start:
+main_loop:
+    li s1, )" + std::to_string(kWireWords) + R"(
+    li s2, 0
+    la t1, word_in
+word_loop:
+    #pragma iss_out(")" + to_cpu_port + R"(", word_in)
+    lw t0, 0(t1)
+    add s2, s2, t0
+    addi s1, s1, -1
+    bnez s1, word_loop
+    la t2, csum_out
+    #pragma iss_in(")" + from_cpu_port + R"(", csum_out)
+    sw s2, 0(t2)
+    nop
+    j main_loop
+word_in:  .word 0
+csum_out: .word 0
+)";
+  return source;
+}
+
+std::string bulk_checksum_source() {
+  const int bytes = kWireWords * 4;
+  std::string source = R"(# Checksum application, Driver-Kernel flavor (runs on the RTOS).
+# Reads a whole packet from the SystemC device (dev 0), checksums it and
+# writes the result back through the driver.
+_start:
+main_loop:
+    li s3, )" + std::to_string(bytes) + R"(
+    la s2, buf
+read_loop:
+    li a0, 0
+    mv a1, s2
+    mv a2, s3
+    li a7, SYS_DEV_READ
+    ecall
+    add s2, s2, a0
+    sub s3, s3, a0
+    bnez s3, read_loop
+    la t1, buf
+    li s1, )" + std::to_string(kWireWords) + R"(
+    li s2, 0
+sum_loop:
+    lw t0, 0(t1)
+    add s2, s2, t0
+    addi t1, t1, 4
+    addi s1, s1, -1
+    bnez s1, sum_loop
+    la t1, out
+    sw s2, 0(t1)
+    li a0, 0
+    la a1, out
+    li a2, 4
+    li a7, SYS_DEV_WRITE
+    ecall
+    j main_loop
+buf: .space )" + std::to_string(bytes) + R"(
+out: .word 0
+)";
+  return source;
+}
+
+std::string guest_programs_doc() {
+  return "checksum = 32-bit word sum over " + std::to_string(kWireWords) +
+         " little-endian words (header, id, payload)";
+}
+
+}  // namespace nisc::router

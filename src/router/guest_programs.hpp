@@ -1,0 +1,28 @@
+// The software side of the case study: checksum applications executed by
+// the ISS (paper §5, "the checksum calculation is performed by an
+// application executed by a CPU, as commonly done in embedded routers").
+#pragma once
+
+#include <string>
+
+namespace nisc::router {
+
+/// Bare-metal guest for the GDB-Wrapper / GDB-Kernel schemes: loops forever
+/// reading kWireWords words through the `word_in` variable (bound to the
+/// router's to_cpu iss_out port by a #pragma iss_out), accumulating the
+/// 32-bit word sum, and publishing it through `csum_out` (bound to the
+/// from_cpu iss_in port by a #pragma iss_in).
+std::string word_stream_checksum_source(const std::string& to_cpu_port,
+                                        const std::string& from_cpu_port);
+
+/// RTOS guest for the Driver-Kernel scheme: loops forever reading a whole
+/// packet (kWireWords * 4 bytes) from the SystemC device driver (blocking
+/// SYS_DEV_READ), computing the word sum, and writing the 4-byte result
+/// back with SYS_DEV_WRITE.
+std::string bulk_checksum_source();
+
+/// Host-side reference of what both guests compute (32-bit word sum).
+/// Provided for documentation symmetry; equals Packet::golden_checksum().
+std::string guest_programs_doc();
+
+}  // namespace nisc::router

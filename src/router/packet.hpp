@@ -1,0 +1,49 @@
+// The packet type of the paper's case study (§5): Source address,
+// Destination address, Packet identifier (for debugging), Data field, and
+// Checksum. The checksum is computed *in software* by the application
+// running on the ISS; the host-side golden value is used by the consumer to
+// verify integrity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace nisc::router {
+
+inline constexpr int kNumPorts = 4;      ///< 4 input and 4 output ports (§5)
+inline constexpr int kPayloadWords = 4;  ///< data field size
+inline constexpr int kWireWords = kPayloadWords + 2;  ///< header + payload
+
+struct Packet {
+  std::uint8_t src = 0;
+  std::uint8_t dst = 0;
+  std::uint32_t id = 0;
+  std::array<std::uint32_t, kPayloadWords> payload{};
+  std::uint32_t checksum = 0;  ///< filled in by the CPU during forwarding
+
+  bool operator==(const Packet&) const = default;
+
+  /// The words the checksum covers, in wire order: header word
+  /// (src | dst<<8), id, then the payload.
+  std::array<std::uint32_t, kWireWords> wire_words() const noexcept;
+
+  /// wire_words() as little-endian bytes (what the guest program sees).
+  std::vector<std::uint8_t> checksum_bytes() const;
+
+  /// Host-side reference checksum (util::word_sum32 over checksum_bytes()).
+  std::uint32_t golden_checksum() const noexcept;
+};
+
+/// Trivially copyable bulk image of a packet's checksum-covered words; used
+/// as the iss_out payload in the Driver-Kernel scheme, where a whole packet
+/// crosses the boundary in one message.
+struct PacketWire {
+  std::uint32_t words[kWireWords];
+};
+static_assert(sizeof(PacketWire) == kWireWords * 4);
+
+/// Packs a packet for bulk transfer.
+PacketWire to_wire(const Packet& packet) noexcept;
+
+}  // namespace nisc::router

@@ -1,0 +1,49 @@
+// Packet producer (paper §5): a SystemC module attached to a router input
+// port generating packets with random destination addresses at a
+// configurable inter-packet delay — the independent variable of Figure 7.
+#pragma once
+
+#include "router/packet.hpp"
+#include "sysc/sc_fifo.hpp"
+#include "sysc/sc_module.hpp"
+#include "util/rng.hpp"
+
+namespace nisc::router {
+
+struct ProducerConfig {
+  int port = 0;                     ///< source address stamped into packets
+  sysc::sc_time delay{};            ///< inter-packet delay
+  std::uint64_t num_packets = 0;    ///< 0 = produce forever
+  std::uint64_t seed = 1;
+  int address_space = 16;           ///< destinations drawn from [0, space)
+};
+
+struct ProducerStats {
+  std::uint64_t produced = 0;       ///< generation attempts
+  std::uint64_t accepted = 0;       ///< entered the input FIFO
+  std::uint64_t dropped_input = 0;  ///< lost: input FIFO full
+  bool done = false;                ///< finished its quota
+};
+
+class Producer : public sysc::sc_module {
+ public:
+  Producer(std::string name, sysc::sc_fifo<Packet>& fifo, sysc::sc_event& enqueue_event,
+           ProducerConfig config);
+
+  const ProducerStats& stats() const noexcept { return stats_; }
+
+  /// Deterministically builds packet `index` for this producer's stream
+  /// (exposed so tests can predict the traffic).
+  Packet make_packet(std::uint64_t index);
+
+ private:
+  void produce_loop();
+
+  sysc::sc_fifo<Packet>& fifo_;
+  sysc::sc_event& enqueue_event_;
+  ProducerConfig config_;
+  util::Rng rng_;
+  ProducerStats stats_;
+};
+
+}  // namespace nisc::router

@@ -1,0 +1,109 @@
+#include "router/router.hpp"
+
+namespace nisc::router {
+
+using sysc::wait;
+
+Router::Router(std::string name, RoutingTable table, OffloadMode mode,
+               std::size_t fifo_capacity, int engines)
+    : sc_module(std::move(name)),
+      table_(std::move(table)),
+      mode_(mode),
+      engines_(engines),
+      enqueue_event_(this->name() + ".enqueue") {
+  util::require(engines_ >= 1 && engines_ <= 16, "Router: 1..16 engines");
+  stats_.per_engine.assign(static_cast<std::size_t>(engines_), 0);
+  for (int i = 0; i < kNumPorts; ++i) {
+    inputs_[static_cast<std::size_t>(i)] = std::make_unique<sysc::sc_fifo<Packet>>(
+        this->name() + ".in" + std::to_string(i), fifo_capacity);
+    outputs_[static_cast<std::size_t>(i)] = std::make_unique<sysc::sc_fifo<Packet>>(
+        this->name() + ".out" + std::to_string(i), fifo_capacity);
+  }
+  for (int e = 0; e < engines_; ++e) {
+    if (mode_ == OffloadMode::WordStream) {
+      to_cpu_word_.push_back(
+          std::make_unique<sysc::iss_out<std::uint32_t>>(to_cpu_port_name(e)));
+    } else {
+      to_cpu_bulk_.push_back(std::make_unique<sysc::iss_out<PacketWire>>(to_cpu_port_name(e)));
+    }
+    from_cpu_.push_back(std::make_unique<sysc::iss_in<std::uint32_t>>(from_cpu_port_name(e)));
+    declare_thread("forward" + std::to_string(e), [this, e] { forward_loop(e); });
+  }
+}
+
+std::string Router::to_cpu_port_name(int engine) const {
+  util::require(engine >= 0 && engine < engines_, "Router: bad engine");
+  return engines_ == 1 ? name() + ".to_cpu" : name() + ".to_cpu" + std::to_string(engine);
+}
+
+std::string Router::from_cpu_port_name(int engine) const {
+  util::require(engine >= 0 && engine < engines_, "Router: bad engine");
+  return engines_ == 1 ? name() + ".from_cpu" : name() + ".from_cpu" + std::to_string(engine);
+}
+
+sysc::sc_fifo<Packet>& Router::input(int port) {
+  util::require(port >= 0 && port < kNumPorts, "Router::input: bad port");
+  return *inputs_[static_cast<std::size_t>(port)];
+}
+
+sysc::sc_fifo<Packet>& Router::output(int port) {
+  util::require(port >= 0 && port < kNumPorts, "Router::output: bad port");
+  return *outputs_[static_cast<std::size_t>(port)];
+}
+
+bool Router::pop_next(Packet& out) {
+  for (int scanned = 0; scanned < kNumPorts; ++scanned) {
+    int port = (round_robin_ + scanned) % kNumPorts;
+    if (inputs_[static_cast<std::size_t>(port)]->nb_read(out)) {
+      round_robin_ = (port + 1) % kNumPorts;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t Router::offload_checksum(int engine, const Packet& packet) {
+  const auto e = static_cast<std::size_t>(engine);
+  if (mode_ == OffloadMode::WordStream) {
+    // One word per handshake: write, wait until the co-simulation layer
+    // reports the CPU consumed it.
+    for (std::uint32_t word : packet.wire_words()) {
+      to_cpu_word_[e]->write(word);
+      while (to_cpu_word_[e]->has_fresh_value()) wait(to_cpu_word_[e]->consumed_event());
+    }
+  } else {
+    to_cpu_bulk_[e]->write(to_wire(packet));
+    while (to_cpu_bulk_[e]->has_fresh_value()) wait(to_cpu_bulk_[e]->consumed_event());
+  }
+  // Await the CPU's result on the return port.
+  while (!from_cpu_[e]->has_fresh_value()) wait(from_cpu_[e]->written_event());
+  std::uint32_t checksum = from_cpu_[e]->read();
+  from_cpu_[e]->consume_fresh();
+  return checksum;
+}
+
+void Router::forward_loop(int engine) {
+  for (;;) {
+    Packet packet;
+    while (!pop_next(packet)) wait(enqueue_event_);
+    ++stats_.accepted;
+
+    packet.checksum = offload_checksum(engine, packet);
+    ++stats_.checksummed;
+    ++stats_.per_engine[static_cast<std::size_t>(engine)];
+
+    auto port = table_.lookup(packet.dst);
+    if (!port) {
+      ++stats_.dropped_no_route;
+      continue;
+    }
+    if (outputs_[static_cast<std::size_t>(*port)]->nb_write(packet)) {
+      ++stats_.forwarded;
+      ++stats_.per_output[static_cast<std::size_t>(*port)];
+    } else {
+      ++stats_.dropped_output_full;
+    }
+  }
+}
+
+}  // namespace nisc::router

@@ -1,0 +1,87 @@
+// The 4x4 packet router of the paper's case study (§5), an extension of the
+// SystemC 2.0.1 "Multicast Helix Packet Switch" example.
+//
+// Packets entering the router are buffered in per-input FIFOs. Forwarding
+// processes pop the next packet (round robin), offload the checksum
+// computation to a CPU — through iss ports, under whichever co-simulation
+// scheme is active — stamp the result, look up the destination in the
+// static routing table and forward to the matching output FIFO.
+//
+// Multi-processor operation (the paper's architectural template, §3,
+// assumes "several processors interacting with hardware blocks"): the
+// router can drive `engines` independent CPUs, one forwarding process per
+// engine, each with its own to_cpu/from_cpu port pair. Packets are load
+// balanced across whichever CPU is free.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "router/packet.hpp"
+#include "router/routing_table.hpp"
+#include "sysc/iss_port.hpp"
+#include "sysc/sc_fifo.hpp"
+#include "sysc/sc_module.hpp"
+
+namespace nisc::router {
+
+/// How packet data crosses to the CPU.
+enum class OffloadMode {
+  WordStream,  ///< one 32-bit word at a time (GDB schemes: variables)
+  BulkPacket,  ///< whole packet per transfer (Driver-Kernel: one message)
+};
+
+struct RouterStats {
+  std::uint64_t accepted = 0;            ///< packets popped from input FIFOs
+  std::uint64_t checksummed = 0;         ///< results received from the CPUs
+  std::uint64_t forwarded = 0;           ///< pushed to an output FIFO
+  std::uint64_t dropped_no_route = 0;    ///< destination not in the table
+  std::uint64_t dropped_output_full = 0; ///< output FIFO overflow
+  std::array<std::uint64_t, kNumPorts> per_output{};
+  std::vector<std::uint64_t> per_engine; ///< packets checksummed per CPU
+};
+
+class Router : public sysc::sc_module {
+ public:
+  Router(std::string name, RoutingTable table, OffloadMode mode,
+         std::size_t fifo_capacity = 8, int engines = 1);
+
+  sysc::sc_fifo<Packet>& input(int port);
+  sysc::sc_fifo<Packet>& output(int port);
+
+  /// Producers notify this event after pushing into an input FIFO.
+  sysc::sc_event& enqueue_event() noexcept { return enqueue_event_; }
+
+  OffloadMode mode() const noexcept { return mode_; }
+  int engines() const noexcept { return engines_; }
+  const RouterStats& stats() const noexcept { return stats_; }
+
+  /// iss port names the co-simulation bindings/messages must use. With a
+  /// single engine the names are "<router>.to_cpu"/"<router>.from_cpu";
+  /// with several, "<router>.to_cpu<k>"/"<router>.from_cpu<k>".
+  std::string to_cpu_port_name(int engine = 0) const;
+  std::string from_cpu_port_name(int engine = 0) const;
+
+ private:
+  void forward_loop(int engine);
+  bool pop_next(Packet& out);
+  std::uint32_t offload_checksum(int engine, const Packet& packet);
+
+  RoutingTable table_;
+  OffloadMode mode_;
+  int engines_;
+  std::array<std::unique_ptr<sysc::sc_fifo<Packet>>, kNumPorts> inputs_;
+  std::array<std::unique_ptr<sysc::sc_fifo<Packet>>, kNumPorts> outputs_;
+  sysc::sc_event enqueue_event_;
+
+  // Per engine, exactly one of the to_cpu flavors exists (offload mode).
+  std::vector<std::unique_ptr<sysc::iss_out<std::uint32_t>>> to_cpu_word_;
+  std::vector<std::unique_ptr<sysc::iss_out<PacketWire>>> to_cpu_bulk_;
+  std::vector<std::unique_ptr<sysc::iss_in<std::uint32_t>>> from_cpu_;
+
+  int round_robin_ = 0;
+  RouterStats stats_;
+};
+
+}  // namespace nisc::router

@@ -1,0 +1,56 @@
+// The static routing table embedded in the router (paper §5): each entry
+// matches a destination address to an output port.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace nisc::router {
+
+class RoutingTable {
+ public:
+  /// Routes destination address `dst` to `port`. Overwrites earlier entries.
+  void add_route(std::uint8_t dst, int port) {
+    util::require(port >= 0, "RoutingTable: negative port");
+    table_[dst] = port;
+  }
+
+  /// Output port for `dst`; nullopt when unrouted (packet is dropped).
+  std::optional<int> lookup(std::uint8_t dst) const noexcept {
+    int port = table_[dst];
+    if (port < 0) return std::nullopt;
+    return port;
+  }
+
+  /// Number of routed destination addresses.
+  std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (int p : table_) {
+      if (p >= 0) ++n;
+    }
+    return n;
+  }
+
+  /// dst -> dst % num_ports over `address_space` destinations.
+  static RoutingTable uniform(int num_ports, int address_space = 256) {
+    util::require(num_ports > 0 && address_space >= 1 && address_space <= 256,
+                  "RoutingTable::uniform: bad arguments");
+    RoutingTable table;
+    for (int dst = 0; dst < address_space; ++dst) {
+      table.add_route(static_cast<std::uint8_t>(dst), dst % num_ports);
+    }
+    return table;
+  }
+
+ private:
+  std::array<int, 256> table_ = [] {
+    std::array<int, 256> t{};
+    t.fill(-1);
+    return t;
+  }();
+};
+
+}  // namespace nisc::router

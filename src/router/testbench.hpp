@@ -1,0 +1,123 @@
+// Full case-study testbench: router + producers + consumers + the selected
+// co-simulation scheme, ready to run. Powers the examples, the integration
+// tests and the Table 1 / Figure 7 benchmarks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cosim/driver_kernel.hpp"
+#include "cosim/gdb_kernel.hpp"
+#include "cosim/gdb_wrapper.hpp"
+#include "cosim/session.hpp"
+#include "router/consumer.hpp"
+#include "router/guest_programs.hpp"
+#include "router/producer.hpp"
+#include "router/router.hpp"
+#include "sysc/sysc.hpp"
+
+namespace nisc::router {
+
+/// The three co-simulation schemes the paper compares.
+enum class Scheme {
+  GdbWrapper,   ///< baseline [14]: explicit wrapper module, lock-step
+  GdbKernel,    ///< paper §3: wrapper embedded in the SystemC kernel
+  DriverKernel, ///< paper §4: device driver in the OS on the ISS
+};
+
+const char* scheme_name(Scheme scheme) noexcept;
+
+struct TestbenchConfig {
+  Scheme scheme = Scheme::GdbKernel;
+  sysc::sc_time clock_period = sysc::sc_time::from_ps(10000);  // 10 ns
+  sysc::sc_time inter_packet_delay = sysc::sc_time::from_ps(2000000);  // 2 us
+  std::uint64_t packets_per_producer = 10;  ///< 0 = unbounded
+  int num_producers = kNumPorts;
+  /// Number of checksum CPUs (the paper's multi-processor template): each
+  /// gets its own ISS instance, port pair and co-simulation session.
+  int num_cpus = 1;
+  std::size_t fifo_capacity = 8;
+  int address_space = 16;
+  std::uint64_t seed = 42;
+  /// Simulated CPU speed: ISS instructions per simulated microsecond.
+  std::uint64_t instructions_per_us = 400000;
+  /// RTOS cost model (Driver-Kernel only).
+  rtos::RtosConfig rtos;
+  /// IPC transport (pipe for GDB schemes, sockets for Driver-Kernel, as in
+  /// the paper; override for the transport ablation).
+  std::optional<ipc::Transport> transport;
+};
+
+struct TestbenchReport {
+  // traffic
+  std::uint64_t produced = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t received = 0;
+  std::uint64_t checksum_ok = 0;
+  std::uint64_t checksum_bad = 0;
+  std::uint64_t dropped_input = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_output = 0;
+  double forwarded_pct = 0.0;  ///< received / produced * 100 (Figure 7 metric)
+  // timing
+  double wall_seconds = 0.0;
+  sysc::sc_time sim_time;
+  // co-simulation traffic (scheme-dependent; zero when not applicable)
+  std::uint64_t rsp_transactions = 0;
+  std::uint64_t breakpoint_events = 0;
+  std::uint64_t lockstep_steps = 0;
+  std::uint64_t driver_messages = 0;
+  std::uint64_t kernel_delta_cycles = 0;
+};
+
+/// One self-contained co-simulated router scenario.
+class Testbench {
+ public:
+  explicit Testbench(TestbenchConfig config);
+  ~Testbench();
+
+  Testbench(const Testbench&) = delete;
+  Testbench& operator=(const Testbench&) = delete;
+
+  /// Advances the simulation by `duration` (callable repeatedly).
+  void run_for(sysc::sc_time duration);
+
+  /// Runs in `window` steps until every produced packet is accounted for
+  /// (received or dropped) or `max_duration` of simulated time elapsed.
+  /// Requires bounded producers.
+  void run_until_drained(sysc::sc_time max_duration,
+                         sysc::sc_time window = sysc::sc_time::from_ps(10000000));
+
+  /// Snapshot of all statistics.
+  TestbenchReport report() const;
+
+  /// Stops the ISS side; called automatically on destruction.
+  void shutdown();
+
+  Router& router() noexcept { return *router_; }
+  sysc::sc_simcontext& context() noexcept { return *ctx_; }
+  const std::vector<Producer*>& producers() const noexcept { return producers_; }
+  const std::vector<Consumer*>& consumers() const noexcept { return consumers_; }
+
+ private:
+  TestbenchConfig config_;
+  std::unique_ptr<sysc::sc_simcontext> ctx_;
+  sysc::sc_clock* clock_ = nullptr;
+  Router* router_ = nullptr;
+  std::vector<Producer*> producers_;
+  std::vector<Consumer*> consumers_;
+
+  // scheme plumbing, one entry per CPU (only the active scheme's vectors
+  // are populated)
+  std::vector<std::unique_ptr<cosim::GdbTarget>> gdb_targets_;
+  std::vector<std::unique_ptr<cosim::GdbKernelExtension>> gdb_exts_;
+  std::vector<cosim::GdbWrapperModule*> wrappers_;
+  std::vector<std::unique_ptr<cosim::DriverTarget>> driver_targets_;
+  std::vector<std::unique_ptr<cosim::DriverKernelExtension>> driver_exts_;
+
+  double wall_seconds_ = 0.0;
+  bool shut_down_ = false;
+};
+
+}  // namespace nisc::router

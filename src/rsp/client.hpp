@@ -1,0 +1,109 @@
+// Host-side GDB RSP client.
+//
+// The SystemC-side wrappers drive the ISS through this class, exactly as
+// the paper's schemes drive gdb: set breakpoints on guest variables, read
+// and write guest memory/registers, continue, and poll (non-blockingly, at
+// the start of each simulation cycle) whether the target stopped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ipc/channel.hpp"
+#include "rsp/packet.hpp"
+
+namespace nisc::rsp {
+
+/// A target stop notification (GDB "T"/"S" stop-reply).
+struct StopReply {
+  int signal = 0;                          ///< e.g. 5 = SIGTRAP
+  std::optional<std::uint32_t> watch_addr; ///< set for watchpoint stops
+  std::optional<std::uint32_t> pc;         ///< expedited pc (T-packets)
+};
+
+/// Client statistics (for the Table 1 / ablation benchmarks).
+struct ClientStats {
+  std::uint64_t transactions = 0;   ///< synchronous request/replies
+  std::uint64_t continues = 0;
+  std::uint64_t stop_polls = 0;     ///< non-blocking stop checks
+  std::uint64_t stops_received = 0;
+};
+
+class GdbClient {
+ public:
+  explicit GdbClient(ipc::Channel channel);
+
+  // -- raw protocol ---------------------------------------------------------
+
+  /// Sends a command and waits for its reply (handles acks/retransmits).
+  /// Must not be called while the target is running.
+  std::string transact(const std::string& payload);
+
+  // -- typed helpers ----------------------------------------------------------
+
+  std::vector<std::uint32_t> read_registers();  ///< x0..x31 then pc
+  std::uint32_t read_register(int regnum);
+  void write_register(int regnum, std::uint32_t value);
+  std::uint32_t read_pc() { return read_register(32); }
+  void write_pc(std::uint32_t pc) { write_register(32, pc); }
+
+  std::vector<std::uint8_t> read_memory(std::uint32_t addr, std::size_t len);
+  void write_memory(std::uint32_t addr, std::span<const std::uint8_t> bytes);
+  std::uint32_t read_u32(std::uint32_t addr);
+  void write_u32(std::uint32_t addr, std::uint32_t value);
+
+  void set_breakpoint(std::uint32_t addr);
+  void remove_breakpoint(std::uint32_t addr);
+  void set_watchpoint(std::uint32_t addr, std::uint32_t len);
+  void remove_watchpoint(std::uint32_t addr, std::uint32_t len);
+
+  // -- execution control --------------------------------------------------------
+
+  /// Sends 'c'; the target runs until it stops. Use poll_stop()/wait_stop().
+  void cont();
+
+  /// True between cont() and the matching stop reply.
+  bool running() const noexcept { return running_; }
+
+  /// Non-blocking: has a stop reply arrived? (The paper's Fig. 3 check "GDB
+  /// stopped at breakpoint?" implemented over the IPC channel.)
+  std::optional<StopReply> poll_stop();
+
+  /// Blocks until the target stops. `timeout_ms` < 0 waits forever.
+  /// Returns nullopt on timeout.
+  std::optional<StopReply> wait_stop(int timeout_ms = -1);
+
+  /// Single-steps and returns the stop reply.
+  StopReply step();
+
+  /// Synchronously runs up to `max_instructions` on the target (vendor
+  /// packet qnisc.run). signal == 0 in the reply means the quantum was
+  /// exhausted without a halt. One blocking round trip: the lock-step
+  /// synchronization primitive of wrapper-style co-simulation.
+  StopReply run_quantum(std::uint64_t max_instructions);
+
+  /// Sends the 0x03 interrupt byte to halt a running target.
+  void interrupt();
+
+  /// Asks the stub to exit ('k'); no reply expected.
+  void kill();
+
+  const ClientStats& stats() const noexcept { return stats_; }
+
+ private:
+  void send_frame(const std::string& payload);
+  void pump(bool blocking, int timeout_ms = -1);
+  std::string await_reply();
+  static StopReply parse_stop(const std::string& payload);
+
+  ipc::Channel channel_;
+  PacketReader reader_;
+  bool running_ = false;
+  std::string last_frame_;
+  ClientStats stats_;
+};
+
+}  // namespace nisc::rsp

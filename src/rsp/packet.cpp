@@ -1,0 +1,94 @@
+#include "rsp/packet.hpp"
+
+#include "util/hex.hpp"
+
+namespace nisc::rsp {
+
+std::uint8_t packet_checksum(std::string_view payload) noexcept {
+  unsigned sum = 0;
+  for (char c : payload) sum += static_cast<std::uint8_t>(c);
+  return static_cast<std::uint8_t>(sum);
+}
+
+std::string frame_packet(std::string_view payload) {
+  std::string escaped;
+  escaped.reserve(payload.size());
+  for (char c : payload) {
+    if (c == '$' || c == '#' || c == '}' || c == '*') {
+      escaped.push_back('}');
+      escaped.push_back(static_cast<char>(c ^ 0x20));
+    } else {
+      escaped.push_back(c);
+    }
+  }
+  std::uint8_t sum = packet_checksum(escaped);
+  std::string frame;
+  frame.reserve(escaped.size() + 4);
+  frame.push_back('$');
+  frame += escaped;
+  frame.push_back('#');
+  frame.push_back(util::hex_digit(sum >> 4));
+  frame.push_back(util::hex_digit(sum & 0xF));
+  return frame;
+}
+
+void PacketReader::feed(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<RspEvent> PacketReader::next() {
+  while (!buffer_.empty()) {
+    std::uint8_t first = buffer_.front();
+    if (first == '+') {
+      buffer_.pop_front();
+      return RspEvent{RspEventKind::Ack, {}};
+    }
+    if (first == '-') {
+      buffer_.pop_front();
+      return RspEvent{RspEventKind::Nak, {}};
+    }
+    if (first == 0x03) {
+      buffer_.pop_front();
+      return RspEvent{RspEventKind::Interrupt, {}};
+    }
+    if (first != '$') {
+      buffer_.pop_front();  // stray byte between frames
+      continue;
+    }
+    // Find the '#' terminator followed by two checksum digits.
+    std::size_t hash = 0;
+    bool found = false;
+    for (std::size_t i = 1; i < buffer_.size(); ++i) {
+      if (buffer_[i] == '#') {
+        hash = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found || hash + 2 >= buffer_.size()) return std::nullopt;  // incomplete
+
+    std::string escaped(buffer_.begin() + 1, buffer_.begin() + static_cast<std::ptrdiff_t>(hash));
+    int hi = util::hex_value(static_cast<char>(buffer_[hash + 1]));
+    int lo = util::hex_value(static_cast<char>(buffer_[hash + 2]));
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(hash + 3));
+    if (hi < 0 || lo < 0 ||
+        static_cast<std::uint8_t>((hi << 4) | lo) != packet_checksum(escaped)) {
+      return RspEvent{RspEventKind::Nak, {}};
+    }
+    // Unescape.
+    std::string payload;
+    payload.reserve(escaped.size());
+    for (std::size_t i = 0; i < escaped.size(); ++i) {
+      if (escaped[i] == '}' && i + 1 < escaped.size()) {
+        payload.push_back(static_cast<char>(escaped[i + 1] ^ 0x20));
+        ++i;
+      } else {
+        payload.push_back(escaped[i]);
+      }
+    }
+    return RspEvent{RspEventKind::Packet, std::move(payload)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace nisc::rsp

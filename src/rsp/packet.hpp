@@ -1,0 +1,52 @@
+// GDB Remote Serial Protocol framing.
+//
+// Frames look like `$payload#cc` where cc is a two-digit hex modulo-256 sum
+// of the payload. Receivers acknowledge with '+' (ok) or '-' (resend). The
+// single byte 0x03 is an out-of-band interrupt request. This module handles
+// only the byte-level framing; command semantics live in stub.cpp/client.cpp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nisc::rsp {
+
+/// Modulo-256 sum of payload bytes, as used in the RSP trailer.
+std::uint8_t packet_checksum(std::string_view payload) noexcept;
+
+/// Wraps `payload` into `$payload#cc`. Payload characters '$', '#', '}' and
+/// '*' are escaped with '}' per the protocol.
+std::string frame_packet(std::string_view payload);
+
+/// Events a PacketReader can produce.
+enum class RspEventKind : std::uint8_t { Packet, Ack, Nak, Interrupt };
+
+struct RspEvent {
+  RspEventKind kind;
+  std::string payload;  // for Packet only (unescaped)
+};
+
+/// Incremental RSP parser: feed raw bytes, poll complete events.
+/// Packets with bad checksums are dropped and surface as Nak events so the
+/// caller can request retransmission.
+class PacketReader {
+ public:
+  /// Appends raw bytes from the transport.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Pops the next complete event, if any.
+  std::optional<RspEvent> next();
+
+  /// Bytes currently buffered but not yet consumed.
+  std::size_t pending_bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  std::deque<std::uint8_t> buffer_;
+};
+
+}  // namespace nisc::rsp

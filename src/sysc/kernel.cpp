@@ -1,0 +1,463 @@
+#include "sysc/kernel.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sysc/iss_port.hpp"
+#include "util/log.hpp"
+
+namespace nisc::sysc {
+
+namespace {
+thread_local sc_simcontext* g_current_context = nullptr;
+thread_local sc_process* g_current_process = nullptr;
+}  // namespace
+
+sc_simcontext& current_context() {
+  util::require(g_current_context != nullptr, "no simulation context is current on this thread");
+  return *g_current_context;
+}
+
+sc_process* current_process() noexcept { return g_current_process; }
+
+// ---------------------------------------------------------------------------
+// sc_object
+
+sc_object::sc_object(std::string name) : ctx_(&current_context()) {
+  name_ = ctx_->unique_name(name);
+  ctx_->add_object(this);
+}
+
+sc_object::~sc_object() { ctx_->remove_object(this); }
+
+// ---------------------------------------------------------------------------
+// sc_event
+
+sc_event::sc_event(std::string name) : name_(std::move(name)), ctx_(&current_context()) {}
+
+sc_event::~sc_event() { ctx_->cancel_event(this); }
+
+void sc_event::notify() { fire(); }
+
+void sc_event::notify_delta() { ctx_->schedule_event_delta(this); }
+
+void sc_event::notify(const sc_time& delay) {
+  ctx_->schedule_event_timed(this, ctx_->time_stamp() + delay);
+}
+
+void sc_event::add_static(sc_process* process) {
+  if (std::find(static_sensitive_.begin(), static_sensitive_.end(), process) ==
+      static_sensitive_.end()) {
+    static_sensitive_.push_back(process);
+  }
+}
+
+void sc_event::add_dynamic(sc_process* process) { dynamic_waiters_.push_back(process); }
+
+void sc_event::remove_dynamic(sc_process* process) noexcept {
+  std::erase(dynamic_waiters_, process);
+}
+
+void sc_event::fire() {
+  for (sc_process* p : static_sensitive_) {
+    if (p->triggerable_by(this)) ctx_->make_runnable(p);
+  }
+  if (!dynamic_waiters_.empty()) {
+    std::vector<sc_process*> waiters;
+    waiters.swap(dynamic_waiters_);
+    for (sc_process* p : waiters) ctx_->make_runnable(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sc_process
+
+sc_process::sc_process(std::string name, process_kind kind, std::function<void()> body)
+    : sc_object(std::move(name)), kind_(kind), body_(std::move(body)) {
+  util::require(static_cast<bool>(body_), "sc_process: empty body");
+}
+
+sc_process::~sc_process() { kill(); }
+
+void sc_process::make_sensitive(sc_event& event) { event.add_static(this); }
+
+bool sc_process::triggerable_by(const sc_event* event) const noexcept {
+  (void)event;
+  if (terminated_) return false;
+  if (kind_ != process_kind::Thread) return true;
+  // Threads honour their current wait mode: a thread blocked in wait(event)
+  // or wait(time) ignores static sensitivity.
+  if (!started_) return true;  // has not reached its first wait yet
+  return wait_mode_ == WaitMode::Static;
+}
+
+void sc_process::execute() {
+  if (terminated_) return;
+  ++run_count_;
+  if (kind_ != process_kind::Thread) {
+    sc_process* prev = g_current_process;
+    g_current_process = this;
+    try {
+      body_();
+    } catch (...) {
+      g_current_process = prev;
+      throw;
+    }
+    g_current_process = prev;
+    return;
+  }
+  if (!started_) {
+    started_ = true;
+    host_ = std::thread(&sc_process::thread_main, this);
+  }
+  resume_and_wait();
+  if (pending_exception_) {
+    std::exception_ptr ex = pending_exception_;
+    pending_exception_ = nullptr;
+    terminated_ = true;
+    std::rethrow_exception(ex);
+  }
+}
+
+void sc_process::thread_main() {
+  g_current_process = this;
+  {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return turn_ == Turn::Process; });
+  }
+  if (!kill_requested_) {
+    try {
+      body_();
+    } catch (KillException&) {
+      // normal termination path during kill()
+    } catch (...) {
+      pending_exception_ = std::current_exception();
+    }
+  }
+  terminated_ = true;
+  {
+    std::lock_guard lock(mutex_);
+    turn_ = Turn::Kernel;
+  }
+  cv_.notify_all();
+}
+
+void sc_process::resume_and_wait() {
+  std::unique_lock lock(mutex_);
+  turn_ = Turn::Process;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return turn_ == Turn::Kernel; });
+}
+
+void sc_process::yield_to_kernel() {
+  std::unique_lock lock(mutex_);
+  turn_ = Turn::Kernel;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return turn_ == Turn::Process; });
+  if (kill_requested_) throw KillException{};
+}
+
+void sc_process::kill() {
+  if (kind_ == process_kind::Thread && started_ && !terminated_) {
+    kill_requested_ = true;
+    resume_and_wait();
+  }
+  if (host_.joinable()) host_.join();
+  terminated_ = true;
+  pending_exception_ = nullptr;
+}
+
+void sc_process::wait_static() {
+  util::require(g_current_process == this && kind_ == process_kind::Thread,
+                "wait() outside thread process");
+  wait_mode_ = WaitMode::Static;
+  yield_to_kernel();
+}
+
+void sc_process::wait_event(sc_event& event) {
+  util::require(g_current_process == this && kind_ == process_kind::Thread,
+                "wait(event) outside thread process");
+  wait_mode_ = WaitMode::Event;
+  dynamic_event_ = &event;
+  event.add_dynamic(this);
+  yield_to_kernel();
+  dynamic_event_ = nullptr;
+  wait_mode_ = WaitMode::Static;
+}
+
+void sc_process::wait_time(const sc_time& delay) {
+  util::require(g_current_process == this && kind_ == process_kind::Thread,
+                "wait(time) outside thread process");
+  wait_mode_ = WaitMode::Timed;
+  context().schedule_process_timed(this, context().time_stamp() + delay);
+  yield_to_kernel();
+  wait_mode_ = WaitMode::Static;
+}
+
+// ---------------------------------------------------------------------------
+// sc_prim_channel
+
+void sc_prim_channel::request_update() {
+  if (update_requested_) return;
+  update_requested_ = true;
+  context().request_update(this);
+}
+
+// ---------------------------------------------------------------------------
+// sc_simcontext
+
+sc_simcontext::sc_simcontext() : previous_current_(g_current_context) {
+  g_current_context = this;
+}
+
+sc_simcontext::~sc_simcontext() {
+  kill_all_processes();
+  // Owned objects are destroyed in reverse creation order, after every
+  // process is dead, so thread unwinding can never observe destroyed state.
+  while (!owned_objects_.empty()) owned_objects_.pop_back();
+  processes_.clear();
+  g_current_context = previous_current_;
+}
+
+sc_simcontext::ContextGuard::ContextGuard(sc_simcontext& ctx) : previous_(g_current_context) {
+  g_current_context = &ctx;
+}
+
+sc_simcontext::ContextGuard::~ContextGuard() { g_current_context = previous_; }
+
+sc_process& sc_simcontext::create_method(std::string name, std::function<void()> body,
+                                         process_kind kind) {
+  util::require(kind != process_kind::Thread, "create_method: use create_thread for threads");
+  ContextGuard guard(*this);
+  processes_.push_back(std::make_unique<sc_process>(std::move(name), kind, std::move(body)));
+  return *processes_.back();
+}
+
+sc_process& sc_simcontext::create_thread(std::string name, std::function<void()> body) {
+  ContextGuard guard(*this);
+  processes_.push_back(
+      std::make_unique<sc_process>(std::move(name), process_kind::Thread, std::move(body)));
+  return *processes_.back();
+}
+
+void sc_simcontext::register_extension(kernel_extension* extension) {
+  util::require(extension != nullptr, "register_extension: null");
+  extensions_.push_back(extension);
+}
+
+void sc_simcontext::unregister_extension(kernel_extension* extension) noexcept {
+  std::erase(extensions_, extension);
+}
+
+void sc_simcontext::register_iss_port(iss_port_base* port) {
+  util::require(port != nullptr, "register_iss_port: null");
+  util::require(find_iss_port(port->name()) == nullptr,
+                "register_iss_port: duplicate port name " + port->name());
+  iss_ports_.push_back(port);
+}
+
+iss_port_base* sc_simcontext::find_iss_port(std::string_view name) const noexcept {
+  for (iss_port_base* port : iss_ports_) {
+    if (port->name() == name) return port;
+  }
+  return nullptr;
+}
+
+void sc_simcontext::elaborate() {
+  if (elaborated_) return;
+  elaborated_ = true;
+  ContextGuard guard(*this);
+  std::vector<sc_object*> snapshot = objects_;
+  for (sc_object* obj : snapshot) obj->on_elaboration();
+  for (kernel_extension* ext : extensions_) ext->on_elaboration(*this);
+}
+
+void sc_simcontext::initialize_processes() {
+  for (const auto& process : processes_) {
+    if (process->initialize()) make_runnable(process.get());
+  }
+}
+
+void sc_simcontext::run_one_delta() {
+  for (kernel_extension* ext : extensions_) {
+    ext->on_cycle_begin(*this);
+    ++stats_.extension_checks;
+  }
+  // Evaluate phase. Immediate notifications may append to the worklist.
+  std::size_t i = 0;
+  while (i < runnable_.size()) {
+    sc_process* p = runnable_[i++];
+    p->runnable_flag = false;
+    p->execute();
+    ++stats_.process_dispatches;
+  }
+  runnable_.clear();
+  // Update phase.
+  for (sc_prim_channel* ch : update_queue_) {
+    ch->update_requested_ = false;
+    ch->update();
+    ++stats_.channel_updates;
+  }
+  update_queue_.clear();
+  // Delta-notification phase.
+  ++stats_.delta_cycles;
+  if (!delta_events_.empty()) {
+    std::vector<sc_event*> events;
+    events.swap(delta_events_);
+    for (sc_event* e : events) e->fire();
+  }
+  for (kernel_extension* ext : extensions_) ext->on_cycle_end(*this);
+}
+
+bool sc_simcontext::advance_time(const sc_time& limit) {
+  if (timed_queue_.empty()) return false;
+  sc_time next = sc_time::from_ps(timed_queue_.begin()->first.first);
+  if (next > limit) {
+    now_ = limit;
+    return false;
+  }
+  now_ = next;
+  ++stats_.timed_advances;
+  while (!timed_queue_.empty() && timed_queue_.begin()->first.first == next.ps()) {
+    TimedEntry entry = timed_queue_.begin()->second;
+    timed_queue_.erase(timed_queue_.begin());
+    if (entry.event != nullptr) {
+      entry.event->fire();
+    } else if (entry.process != nullptr) {
+      make_runnable(entry.process);
+    }
+  }
+  for (kernel_extension* ext : extensions_) ext->on_time_advance(*this, now_);
+  return true;
+}
+
+bool sc_simcontext::has_pending_activity() const noexcept {
+  return !runnable_.empty() || !update_queue_.empty() || !delta_events_.empty();
+}
+
+sc_time sc_simcontext::run(sc_time duration) {
+  return run_until(now_ + duration);
+}
+
+sc_time sc_simcontext::run_to_starvation() { return run_until(sc_time::max()); }
+
+sc_time sc_simcontext::run_until(sc_time end) {
+  ContextGuard guard(*this);
+  elaborate();
+  if (!initialized_) {
+    initialized_ = true;
+    initialize_processes();
+  }
+  stop_requested_ = false;
+  for (;;) {
+    run_one_delta();
+    if (stop_requested_) break;
+    if (has_pending_activity()) continue;
+    if (now_ >= end) break;
+    if (advance_time(end)) continue;
+    if (now_ >= end) break;  // clamped to the window end, nothing to fire
+    // Starvation before the window end: give co-simulation extensions a
+    // chance to wait for external (ISS) activity.
+    bool resumed = false;
+    for (kernel_extension* ext : extensions_) resumed = ext->on_starvation(*this) || resumed;
+    if (!resumed) break;
+  }
+  for (kernel_extension* ext : extensions_) ext->on_run_end(*this);
+  return now_;
+}
+
+void sc_simcontext::make_runnable(sc_process* process) {
+  if (process == nullptr || process->terminated() || process->runnable_flag) return;
+  process->runnable_flag = true;
+  runnable_.push_back(process);
+}
+
+void sc_simcontext::request_update(sc_prim_channel* channel) { update_queue_.push_back(channel); }
+
+void sc_simcontext::schedule_event_delta(sc_event* event) {
+  if (std::find(delta_events_.begin(), delta_events_.end(), event) == delta_events_.end()) {
+    delta_events_.push_back(event);
+  }
+}
+
+void sc_simcontext::schedule_event_timed(sc_event* event, sc_time at) {
+  util::require(at >= now_, "schedule_event_timed: time in the past");
+  timed_queue_.emplace(TimedKey{at.ps(), timed_seq_++}, TimedEntry{event, nullptr});
+}
+
+void sc_simcontext::schedule_process_timed(sc_process* process, sc_time at) {
+  util::require(at >= now_, "schedule_process_timed: time in the past");
+  timed_queue_.emplace(TimedKey{at.ps(), timed_seq_++}, TimedEntry{nullptr, process});
+}
+
+void sc_simcontext::cancel_event(sc_event* event) noexcept {
+  std::erase(delta_events_, event);
+  for (auto it = timed_queue_.begin(); it != timed_queue_.end();) {
+    if (it->second.event == event) {
+      it = timed_queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void sc_simcontext::add_object(sc_object* object) {
+  objects_.push_back(object);
+  objects_by_name_.emplace(object->name(), object);
+}
+
+void sc_simcontext::remove_object(sc_object* object) noexcept {
+  std::erase(objects_, object);
+  auto it = objects_by_name_.find(object->name());
+  if (it != objects_by_name_.end() && it->second == object) objects_by_name_.erase(it);
+  std::erase_if(iss_ports_, [object](iss_port_base* p) {
+    return static_cast<sc_object*>(p) == object;
+  });
+}
+
+std::string sc_simcontext::unique_name(const std::string& base) {
+  if (objects_by_name_.find(base) == objects_by_name_.end() && name_counters_.find(base) == name_counters_.end()) {
+    name_counters_[base] = 0;
+    return base;
+  }
+  int& counter = name_counters_[base];
+  for (;;) {
+    ++counter;
+    std::ostringstream candidate;
+    candidate << base << "_" << counter;
+    if (objects_by_name_.find(candidate.str()) == objects_by_name_.end()) return candidate.str();
+  }
+}
+
+sc_object* sc_simcontext::find_object(std::string_view name) const noexcept {
+  auto it = objects_by_name_.find(name);
+  return it == objects_by_name_.end() ? nullptr : it->second;
+}
+
+void sc_simcontext::kill_all_processes() noexcept {
+  for (const auto& process : processes_) {
+    try {
+      process->kill();
+    } catch (...) {
+      // Destruction path must not throw.
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// free wait functions
+
+namespace {
+sc_process& waiting_process() {
+  sc_process* p = g_current_process;
+  util::require(p != nullptr, "wait() called outside a process");
+  util::require(p->is_thread(), "wait() called from a method process");
+  return *p;
+}
+}  // namespace
+
+void wait() { waiting_process().wait_static(); }
+void wait(sc_event& event) { waiting_process().wait_event(event); }
+void wait(const sc_time& delay) { waiting_process().wait_time(delay); }
+
+}  // namespace nisc::sysc

@@ -1,0 +1,385 @@
+// The niscosim SystemC-like simulation kernel.
+//
+// A from-scratch discrete-event kernel following SystemC 2.0 semantics
+// (evaluate -> update -> delta-notify -> timed-notify), extended with the
+// hooks the paper's two co-simulation schemes patch into the OSCI kernel:
+//
+//  * kernel_extension::on_cycle_begin  -- the "GDB stopped at breakpoint?" /
+//    "message to exchange?" check at the start of every simulation cycle
+//    (paper Figs. 3 and 5);
+//  * kernel_extension::on_cycle_end    -- the "interrupt generated?" check
+//    after event handling (paper Fig. 5);
+//  * an iss-port registry so extensions can route ISS traffic to iss_in /
+//    iss_out ports by name (paper §3.1, §4.2).
+//
+// Unlike OSCI SystemC there is no global simulation context: each
+// sc_simcontext is an independent kernel instance (a thread-local "current"
+// pointer exists only to serve object constructors), so tests can run many
+// simulations per process.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "sysc/sc_time.hpp"
+#include "util/error.hpp"
+
+namespace nisc::sysc {
+
+class sc_simcontext;
+class sc_event;
+class sc_process;
+class iss_port_base;
+
+/// Returns the innermost live simulation context on this thread.
+/// Throws LogicError when no context exists.
+sc_simcontext& current_context();
+
+/// Base of every named simulation object (modules, channels, ports,
+/// processes). Registers with the current context on construction.
+class sc_object {
+ public:
+  explicit sc_object(std::string name);
+  virtual ~sc_object();
+
+  sc_object(const sc_object&) = delete;
+  sc_object& operator=(const sc_object&) = delete;
+
+  /// Unique (context-wide) object name.
+  const std::string& name() const noexcept { return name_; }
+
+  /// The kernel instance this object belongs to.
+  sc_simcontext& context() const noexcept { return *ctx_; }
+
+  /// Called once by the kernel before the first delta cycle; used by ports
+  /// to verify binding. Throws on elaboration errors.
+  virtual void on_elaboration() {}
+
+ private:
+  std::string name_;
+  sc_simcontext* ctx_;
+};
+
+/// A notifiable synchronization point (SystemC sc_event). Supports
+/// immediate, delta and timed notification.
+class sc_event {
+ public:
+  explicit sc_event(std::string name = "event");
+  ~sc_event();
+
+  sc_event(const sc_event&) = delete;
+  sc_event& operator=(const sc_event&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Immediate notification: sensitive processes become runnable in the
+  /// *current* evaluate phase.
+  void notify();
+  /// Delta notification: sensitive processes run in the next delta cycle.
+  void notify_delta();
+  /// Timed notification after `delay`.
+  void notify(const sc_time& delay);
+
+  /// Static sensitivity registration (used by `sensitive <<`).
+  void add_static(sc_process* process);
+  /// Dynamic registration for a thread blocked in wait(event).
+  void add_dynamic(sc_process* process);
+  void remove_dynamic(sc_process* process) noexcept;
+
+  /// Kernel-internal: triggers all sensitive processes.
+  void fire();
+
+ private:
+  std::string name_;
+  sc_simcontext* ctx_;
+  std::vector<sc_process*> static_sensitive_;
+  std::vector<sc_process*> dynamic_waiters_;
+};
+
+/// Process flavors. IssMethod is the paper's `iss_process`: scheduled only
+/// when data actually crosses the ISS boundary (§3.1).
+enum class process_kind : std::uint8_t { Method, Thread, IssMethod };
+
+/// A simulation process: either a run-to-completion method or a cooperative
+/// thread (hosted on a std::thread, exactly one of kernel/process running
+/// at any instant).
+class sc_process : public sc_object {
+ public:
+  sc_process(std::string name, process_kind kind, std::function<void()> body);
+  ~sc_process() override;
+
+  process_kind kind() const noexcept { return kind_; }
+  bool is_thread() const noexcept { return kind_ == process_kind::Thread; }
+  bool terminated() const noexcept { return terminated_; }
+
+  /// Number of times the process has been dispatched by the scheduler.
+  std::uint64_t run_count() const noexcept { return run_count_; }
+
+  /// Excludes the process from the initialization phase.
+  void dont_initialize() noexcept { dont_initialize_ = true; }
+  bool initialize() const noexcept { return !dont_initialize_; }
+
+  /// Adds `event` to the static sensitivity list.
+  void make_sensitive(sc_event& event);
+
+  // -- scheduler interface ------------------------------------------------
+
+  /// Runs the process once (method: full call; thread: until next wait()).
+  void execute();
+
+  /// True when a notification of `event` should make this process runnable
+  /// (method: always; thread: depends on its current wait mode).
+  bool triggerable_by(const sc_event* event) const noexcept;
+
+  /// Kernel-internal flag avoiding duplicate entries in the runnable queue.
+  bool runnable_flag = false;
+
+  /// Terminates a thread process by unwinding it with a kill exception.
+  void kill();
+
+  // -- thread-side interface (valid only inside this process's body) ------
+
+  void wait_static();
+  void wait_event(sc_event& event);
+  void wait_time(const sc_time& delay);
+
+ private:
+  enum class WaitMode : std::uint8_t { Static, Event, Timed };
+  enum class Turn : std::uint8_t { Kernel, Process };
+
+  struct KillException {};
+
+  void thread_main();
+  void yield_to_kernel();
+  void resume_and_wait();
+
+  process_kind kind_;
+  std::function<void()> body_;
+  bool dont_initialize_ = false;
+  bool terminated_ = false;
+  bool started_ = false;
+  std::uint64_t run_count_ = 0;
+
+  WaitMode wait_mode_ = WaitMode::Static;
+  sc_event* dynamic_event_ = nullptr;
+
+  // thread machinery
+  std::thread host_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::Kernel;
+  bool kill_requested_ = false;
+  std::exception_ptr pending_exception_;
+};
+
+/// A deferred reference to an event that may not be resolvable yet (e.g. a
+/// port's edge event before the port is bound). Resolved at elaboration.
+struct event_finder {
+  std::function<sc_event&()> resolve;
+};
+
+/// Base class of channels that take part in the update phase (sc_signal,
+/// sc_fifo).
+class sc_prim_channel : public sc_object {
+ public:
+  using sc_object::sc_object;
+
+  /// Performs the deferred value update; called by the kernel during the
+  /// update phase.
+  virtual void update() {}
+
+ protected:
+  /// Enqueues this channel for the next update phase (idempotent per phase).
+  void request_update();
+
+ private:
+  friend class sc_simcontext;
+  bool update_requested_ = false;
+};
+
+/// The paper's kernel-modification surface. Extensions registered with a
+/// context are invoked by the scheduler at the points the paper's modified
+/// scheduling algorithms (Figs. 3 and 5) insert their checks.
+class kernel_extension {
+ public:
+  virtual ~kernel_extension() = default;
+
+  /// After elaboration, before the initialization phase.
+  virtual void on_elaboration(sc_simcontext&) {}
+  /// Start of every simulation (delta) cycle, before evaluation.
+  virtual void on_cycle_begin(sc_simcontext&) {}
+  /// End of every simulation cycle, after the update/delta-notify phases.
+  virtual void on_cycle_end(sc_simcontext&) {}
+  /// Whenever simulated time advances.
+  virtual void on_time_advance(sc_simcontext&, const sc_time& now) { (void)now; }
+  /// Called when the kernel would otherwise starve (nothing runnable, no
+  /// pending notifications) before the end of the run window. An extension
+  /// expecting external activity (e.g. the ISS is still executing) may block
+  /// for it, inject events, and return true to keep the run alive.
+  virtual bool on_starvation(sc_simcontext&) { return false; }
+  /// When run() returns.
+  virtual void on_run_end(sc_simcontext&) {}
+};
+
+/// Aggregate scheduler statistics (exposed for tests and benchmarks).
+struct kernel_stats {
+  std::uint64_t delta_cycles = 0;
+  std::uint64_t process_dispatches = 0;
+  std::uint64_t channel_updates = 0;
+  std::uint64_t timed_advances = 0;
+  std::uint64_t extension_checks = 0;
+};
+
+/// One independent simulation kernel: object registry, event queues and the
+/// scheduler.
+class sc_simcontext {
+ public:
+  sc_simcontext();
+  ~sc_simcontext();
+
+  sc_simcontext(const sc_simcontext&) = delete;
+  sc_simcontext& operator=(const sc_simcontext&) = delete;
+
+  // -- construction API ----------------------------------------------------
+
+  /// Creates a kernel-owned object (module, channel, ...) destroyed with the
+  /// context, after all processes have been killed. This is the recommended
+  /// way to build a design: it guarantees thread processes never outlive the
+  /// state they reference.
+  template <typename T, typename... Args>
+  T& create(Args&&... args) {
+    ContextGuard guard(*this);
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    owned_objects_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Registers a free-standing (module-less) method process; used by
+  /// sc_clock and by tests.
+  sc_process& create_method(std::string name, std::function<void()> body,
+                            process_kind kind = process_kind::Method);
+  /// Registers a free-standing thread process.
+  sc_process& create_thread(std::string name, std::function<void()> body);
+
+  /// Registers an extension (non-owning; must outlive the context's runs).
+  void register_extension(kernel_extension* extension);
+  void unregister_extension(kernel_extension* extension) noexcept;
+
+  /// iss_in / iss_out registry (paper's kernel-level port table).
+  void register_iss_port(iss_port_base* port);
+  iss_port_base* find_iss_port(std::string_view name) const noexcept;
+  const std::vector<iss_port_base*>& iss_ports() const noexcept { return iss_ports_; }
+
+  // -- run control ----------------------------------------------------------
+
+  /// Performs elaboration checks once (idempotent; run() calls it).
+  void elaborate();
+
+  /// Advances the simulation by at most `duration`. Returns the new absolute
+  /// time. May be called repeatedly to continue the same simulation.
+  sc_time run(sc_time duration);
+
+  /// Runs until event starvation (no runnable processes, no pending
+  /// notifications) or sc_stop.
+  sc_time run_to_starvation();
+
+  /// Requests the current run() to return after the current delta cycle.
+  void stop() noexcept { stop_requested_ = true; }
+  bool stop_requested() const noexcept { return stop_requested_; }
+
+  sc_time time_stamp() const noexcept { return now_; }
+  std::uint64_t delta_count() const noexcept { return stats_.delta_cycles; }
+  const kernel_stats& stats() const noexcept { return stats_; }
+
+  // -- scheduler services (used by kernel components) ------------------------
+
+  void make_runnable(sc_process* process);
+  void request_update(sc_prim_channel* channel);
+  void schedule_event_delta(sc_event* event);
+  void schedule_event_timed(sc_event* event, sc_time at);
+  void schedule_process_timed(sc_process* process, sc_time at);
+  void cancel_event(sc_event* event) noexcept;
+
+  // -- registry services ------------------------------------------------------
+
+  void add_object(sc_object* object);
+  void remove_object(sc_object* object) noexcept;
+  std::string unique_name(const std::string& base);
+  sc_object* find_object(std::string_view name) const noexcept;
+  std::size_t object_count() const noexcept { return objects_.size(); }
+
+  /// RAII helper making this context current on the calling thread.
+  class ContextGuard {
+   public:
+    explicit ContextGuard(sc_simcontext& ctx);
+    ~ContextGuard();
+
+   private:
+    sc_simcontext* previous_;
+  };
+
+ private:
+  // Timed notifications keyed by (time, insertion sequence). A sorted map —
+  // not a priority queue — so destroyed events can cancel their entries.
+  struct TimedEntry {
+    sc_event* event = nullptr;  // exactly one of event/process is set
+    sc_process* process = nullptr;
+  };
+  using TimedKey = std::pair<std::uint64_t, std::uint64_t>;  // (ps, seq)
+
+  sc_time run_until(sc_time end);
+  void initialize_processes();
+  void run_one_delta();
+  bool advance_time(const sc_time& limit);
+  bool has_pending_activity() const noexcept;
+  void kill_all_processes() noexcept;
+
+  sc_simcontext* previous_current_;
+
+  sc_time now_;
+  bool elaborated_ = false;
+  bool initialized_ = false;
+  bool stop_requested_ = false;
+  std::uint64_t timed_seq_ = 0;
+
+  std::vector<sc_process*> runnable_;
+  std::vector<sc_prim_channel*> update_queue_;
+  std::vector<sc_event*> delta_events_;
+  std::multimap<TimedKey, TimedEntry> timed_queue_;
+
+  std::vector<sc_object*> objects_;  // non-owning registry, insertion order
+  std::map<std::string, sc_object*, std::less<>> objects_by_name_;
+  std::map<std::string, int> name_counters_;
+  std::vector<std::unique_ptr<sc_process>> processes_;
+  std::vector<std::unique_ptr<sc_object>> owned_objects_;
+  std::vector<kernel_extension*> extensions_;
+  std::vector<iss_port_base*> iss_ports_;
+
+  kernel_stats stats_;
+};
+
+// -- thread-process wait API (valid only inside an executing thread body) ---
+
+/// Suspends the calling thread process until its static sensitivity fires.
+void wait();
+/// Suspends until `event` is notified.
+void wait(sc_event& event);
+/// Suspends for `delay` of simulated time.
+void wait(const sc_time& delay);
+
+/// The process currently being dispatched on this thread (nullptr outside
+/// process execution).
+sc_process* current_process() noexcept;
+
+}  // namespace nisc::sysc

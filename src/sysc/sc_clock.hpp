@@ -1,0 +1,52 @@
+// sc_clock: a free-running boolean clock source.
+//
+// The value starts false; the first posedge lands in the first delta cycle
+// of t = 0, then the signal toggles every half period (posedges at k*period).
+#pragma once
+
+#include "sysc/sc_signal.hpp"
+
+namespace nisc::sysc {
+
+class sc_clock : public sc_object {
+ public:
+  sc_clock(std::string name, sc_time period)
+      : sc_object(std::move(name)),
+        period_(period),
+        half_(sc_time::from_ps(period.ps() / 2)),
+        signal_(this->name() + ".sig", false),
+        tick_(this->name() + ".tick") {
+    util::require(period.ps() >= 2 && period.ps() % 2 == 0,
+                  "sc_clock: period must be a positive even number of ps");
+    process_ = &context().create_method(this->name() + ".toggle", [this] { toggle(); });
+    process_->make_sensitive(tick_);
+  }
+
+  const sc_time& period() const noexcept { return period_; }
+  bool read() const noexcept { return signal_.read(); }
+
+  /// Number of completed posedges so far.
+  std::uint64_t posedge_count() const noexcept { return posedges_; }
+
+  sc_signal<bool>& signal() noexcept { return signal_; }
+  sc_event& posedge_event() noexcept { return signal_.posedge_event(); }
+  sc_event& negedge_event() noexcept { return signal_.negedge_event(); }
+  sc_event& default_event() noexcept { return signal_.value_changed_event(); }
+
+ private:
+  void toggle() {
+    const bool next = !signal_.read();
+    signal_.write(next);
+    if (next) ++posedges_;
+    tick_.notify(half_);
+  }
+
+  sc_time period_;
+  sc_time half_;
+  sc_signal<bool> signal_;
+  sc_event tick_;
+  sc_process* process_ = nullptr;
+  std::uint64_t posedges_ = 0;
+};
+
+}  // namespace nisc::sysc

@@ -1,0 +1,77 @@
+// sc_fifo<T>: bounded FIFO channel with blocking (thread-process) and
+// non-blocking access, modeled on SystemC's sc_fifo.
+//
+// Values written become visible immediately; readers and writers blocked on
+// capacity are woken by delta-notified events, so handshakes settle within
+// the same timestep across delta cycles.
+#pragma once
+
+#include <deque>
+
+#include "sysc/kernel.hpp"
+
+namespace nisc::sysc {
+
+template <typename T>
+class sc_fifo : public sc_prim_channel {
+ public:
+  explicit sc_fifo(std::string name = "fifo", std::size_t capacity = 16)
+      : sc_prim_channel(std::move(name)),
+        capacity_(capacity),
+        data_written_(this->name() + ".data_written"),
+        data_read_(this->name() + ".data_read") {
+    util::require(capacity_ > 0, "sc_fifo: capacity must be positive");
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t num_available() const noexcept { return buffer_.size(); }
+  std::size_t num_free() const noexcept { return capacity_ - buffer_.size(); }
+  bool empty() const noexcept { return buffer_.empty(); }
+  bool full() const noexcept { return buffer_.size() >= capacity_; }
+
+  /// Non-blocking write; returns false when full.
+  bool nb_write(const T& value) {
+    if (full()) return false;
+    buffer_.push_back(value);
+    data_written_.notify_delta();
+    return true;
+  }
+
+  /// Non-blocking read; returns false when empty.
+  bool nb_read(T& out) {
+    if (empty()) return false;
+    out = buffer_.front();
+    buffer_.pop_front();
+    data_read_.notify_delta();
+    return true;
+  }
+
+  /// Blocking write (thread processes only): waits for space.
+  void write(const T& value) {
+    while (full()) ::nisc::sysc::wait(data_read_);
+    buffer_.push_back(value);
+    data_written_.notify_delta();
+  }
+
+  /// Blocking read (thread processes only): waits for data.
+  T read() {
+    while (empty()) ::nisc::sysc::wait(data_written_);
+    T value = buffer_.front();
+    buffer_.pop_front();
+    data_read_.notify_delta();
+    return value;
+  }
+
+  /// Event notified (delta) after each successful write / read.
+  sc_event& data_written_event() noexcept { return data_written_; }
+  sc_event& data_read_event() noexcept { return data_read_; }
+  sc_event& default_event() noexcept { return data_written_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> buffer_;
+  sc_event data_written_;
+  sc_event data_read_;
+};
+
+}  // namespace nisc::sysc

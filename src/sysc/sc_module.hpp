@@ -1,0 +1,124 @@
+// sc_module: structural container declaring processes and sensitivities.
+//
+// Mirrors the SystemC usage pattern:
+//
+//   struct Stage : sc_module {
+//     explicit Stage(std::string name) : sc_module(std::move(name)) {
+//       declare_method("step", &Stage::step);
+//       sensitive << clk.posedge_event();
+//     }
+//     void step();
+//     sc_in<bool> clk{"clk"};
+//   };
+#pragma once
+
+#include <concepts>
+
+#include "sysc/kernel.hpp"
+
+namespace nisc::sysc {
+
+class sc_module : public sc_object {
+ public:
+  ~sc_module() override = default;
+
+ protected:
+  explicit sc_module(std::string name) : sc_object(std::move(name)) {}
+
+  /// Declares a run-to-completion method process from a member function.
+  template <typename M>
+  sc_process& declare_method(const std::string& process_name, void (M::*fn)()) {
+    return declare_method(process_name, [this, fn] { (static_cast<M*>(this)->*fn)(); });
+  }
+
+  /// Declares a method process from a callable.
+  sc_process& declare_method(const std::string& process_name, std::function<void()> body,
+                             process_kind kind = process_kind::Method) {
+    sc_process& p = context().create_method(name() + "." + process_name, std::move(body), kind);
+    sensitive.attach(&p);
+    return p;
+  }
+
+  /// Declares the paper's `iss_process` (§3.1): a method process dedicated
+  /// to ISS traffic, dispatched only when data crosses the ISS boundary.
+  template <typename M>
+  sc_process& declare_iss_method(const std::string& process_name, void (M::*fn)()) {
+    return declare_method(
+        process_name, [this, fn] { (static_cast<M*>(this)->*fn)(); }, process_kind::IssMethod);
+  }
+
+  /// Declares a cooperative thread process from a member function.
+  template <typename M>
+  sc_process& declare_thread(const std::string& process_name, void (M::*fn)()) {
+    return declare_thread(process_name, [this, fn] { (static_cast<M*>(this)->*fn)(); });
+  }
+
+  /// Declares a thread process from a callable.
+  sc_process& declare_thread(const std::string& process_name, std::function<void()> body) {
+    sc_process& p = context().create_thread(name() + "." + process_name, std::move(body));
+    sensitive.attach(&p);
+    return p;
+  }
+
+  /// Excludes the most recently declared process from initialization.
+  void dont_initialize() {
+    util::require(sensitive.attached() != nullptr, "dont_initialize: no process declared");
+    sensitive.attached()->dont_initialize();
+  }
+
+ public:
+  /// Streams events, channels exposing default_event(), or port event
+  /// finders (clk.pos() on a not-yet-bound port) into the static sensitivity
+  /// list of the most recently declared process. Finders are resolved at
+  /// elaboration, after all ports are bound.
+  class sensitive_proxy {
+   public:
+    explicit sensitive_proxy(sc_module* module) noexcept : module_(module) {}
+
+    sensitive_proxy& operator<<(sc_event& event) {
+      util::require(process_ != nullptr, "sensitive: no process declared yet");
+      process_->make_sensitive(event);
+      return *this;
+    }
+
+    sensitive_proxy& operator<<(event_finder finder) {
+      util::require(process_ != nullptr, "sensitive: no process declared yet");
+      module_->deferred_sensitivity_.emplace_back(process_, std::move(finder));
+      return *this;
+    }
+
+    template <typename C>
+      requires requires(C& channel) { { channel.default_event() } -> std::same_as<sc_event&>; }
+    sensitive_proxy& operator<<(C& channel) {
+      return (*this) << channel.default_event();
+    }
+
+    template <typename P>
+      requires requires(P& port) { { port.default_event_finder() } -> std::same_as<event_finder>; }
+    sensitive_proxy& operator<<(P& port) {
+      return (*this) << port.default_event_finder();
+    }
+
+    void attach(sc_process* process) noexcept { process_ = process; }
+    sc_process* attached() const noexcept { return process_; }
+
+   private:
+    sc_module* module_;
+    sc_process* process_ = nullptr;
+  };
+
+  sensitive_proxy sensitive{this};
+
+  void on_elaboration() override {
+    for (auto& [process, finder] : deferred_sensitivity_) {
+      process->make_sensitive(finder.resolve());
+    }
+    deferred_sensitivity_.clear();
+  }
+
+ private:
+  friend class sensitive_proxy;
+  std::vector<std::pair<sc_process*, event_finder>> deferred_sensitivity_;
+};
+
+}  // namespace nisc::sysc

@@ -1,0 +1,77 @@
+// sc_signal<T>: the request-update primitive channel of SystemC.
+//
+// Writes are deferred to the update phase; a change of value raises a delta
+// notification on value_changed_event() (and posedge/negedge events for
+// bool), so all readers within a delta cycle observe a consistent value.
+#pragma once
+
+#include <type_traits>
+
+#include "sysc/kernel.hpp"
+
+namespace nisc::sysc {
+
+template <typename T>
+class sc_signal : public sc_prim_channel {
+  static_assert(std::is_copy_assignable_v<T>, "sc_signal needs copy-assignable T");
+
+ public:
+  explicit sc_signal(std::string name = "signal", T initial = T{})
+      : sc_prim_channel(std::move(name)),
+        current_(initial),
+        next_(initial),
+        changed_(this->name() + ".value_changed"),
+        posedge_(this->name() + ".posedge"),
+        negedge_(this->name() + ".negedge") {}
+
+  /// Current (updated) value.
+  const T& read() const noexcept { return current_; }
+
+  /// Schedules `value` to become visible in the next update phase.
+  void write(const T& value) {
+    next_ = value;
+    request_update();
+  }
+
+  /// Event notified (delta) whenever the updated value differs from the old.
+  sc_event& value_changed_event() noexcept { return changed_; }
+  /// Conventional default event for `sensitive <<`.
+  sc_event& default_event() noexcept { return changed_; }
+
+  /// For T == bool: notified on false->true / true->false transitions.
+  sc_event& posedge_event() noexcept {
+    static_assert(std::is_same_v<T, bool>, "posedge_event requires sc_signal<bool>");
+    return posedge_;
+  }
+  sc_event& negedge_event() noexcept {
+    static_assert(std::is_same_v<T, bool>, "negedge_event requires sc_signal<bool>");
+    return negedge_;
+  }
+
+  /// True when the last update changed the value (SystemC's event()).
+  bool event() const noexcept { return changed_delta_ == context().delta_count(); }
+
+  void update() override {
+    if (next_ == current_) return;
+    const T old = current_;
+    current_ = next_;
+    changed_delta_ = context().delta_count() + 1;
+    changed_.notify_delta();
+    if constexpr (std::is_same_v<T, bool>) {
+      if (!old && current_) posedge_.notify_delta();
+      if (old && !current_) negedge_.notify_delta();
+    } else {
+      (void)old;
+    }
+  }
+
+ private:
+  T current_;
+  T next_;
+  sc_event changed_;
+  sc_event posedge_;
+  sc_event negedge_;
+  std::uint64_t changed_delta_ = ~0ULL;
+};
+
+}  // namespace nisc::sysc

@@ -1,0 +1,11 @@
+// Umbrella header for the niscosim SystemC-like kernel.
+#pragma once
+
+#include "sysc/iss_port.hpp"
+#include "sysc/kernel.hpp"
+#include "sysc/sc_clock.hpp"
+#include "sysc/sc_fifo.hpp"
+#include "sysc/sc_module.hpp"
+#include "sysc/sc_port.hpp"
+#include "sysc/sc_signal.hpp"
+#include "sysc/sc_time.hpp"

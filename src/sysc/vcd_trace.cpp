@@ -1,0 +1,93 @@
+#include "sysc/vcd_trace.hpp"
+
+#include "util/error.hpp"
+
+namespace nisc::sysc {
+
+vcd_trace_file::vcd_trace_file(const std::string& path, sc_simcontext& ctx)
+    : ctx_(ctx), out_(path, std::ios::trunc) {
+  if (!out_) throw util::RuntimeError("vcd_trace_file: cannot open " + path);
+  ctx_.register_extension(this);
+}
+
+vcd_trace_file::~vcd_trace_file() {
+  ctx_.unregister_extension(this);
+  flush();
+}
+
+std::string vcd_trace_file::id_for(std::size_t index) {
+  // Printable identifier codes: '!'..'~', multi-character for > 93 signals.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+void vcd_trace_file::add_channel(const std::string& name, unsigned width,
+                                 std::function<std::uint64_t()> sample) {
+  util::require(!header_written_, "vcd_trace_file: trace() after the first run");
+  Channel channel;
+  channel.name = name;
+  channel.id = id_for(channels_.size());
+  channel.width = width;
+  channel.sample = std::move(sample);
+  channels_.push_back(std::move(channel));
+}
+
+void vcd_trace_file::write_header() {
+  out_ << "$version niscosim vcd_trace $end\n";
+  out_ << "$timescale 1 ps $end\n";
+  out_ << "$scope module top $end\n";
+  for (const Channel& c : channels_) {
+    out_ << "$var wire " << c.width << " " << c.id << " " << c.name << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void vcd_trace_file::on_elaboration(sc_simcontext&) {
+  if (!header_written_) write_header();
+}
+
+void vcd_trace_file::sample_all(std::uint64_t now_ps) {
+  timestamp_written_ = false;
+  for (Channel& c : channels_) {
+    std::uint64_t value = c.sample();
+    if (c.written_once && value == c.last_value) continue;
+    if (!timestamp_written_ && now_ps != last_timestamp_) {
+      out_ << "#" << now_ps << "\n";
+      last_timestamp_ = now_ps;
+    }
+    timestamp_written_ = true;
+    if (c.width == 1) {
+      out_ << (value & 1) << c.id << "\n";
+    } else {
+      out_ << "b";
+      bool leading = true;
+      for (int bit = static_cast<int>(c.width) - 1; bit >= 0; --bit) {
+        bool set = (value >> bit) & 1;
+        if (set) leading = false;
+        if (!leading || bit == 0) out_ << (set ? '1' : '0');
+      }
+      out_ << " " << c.id << "\n";
+    }
+    c.last_value = value;
+    c.written_once = true;
+    ++changes_;
+  }
+}
+
+void vcd_trace_file::on_cycle_end(sc_simcontext& ctx) {
+  sample_all(ctx.time_stamp().ps());
+}
+
+void vcd_trace_file::on_run_end(sc_simcontext& ctx) {
+  sample_all(ctx.time_stamp().ps());
+  flush();
+}
+
+void vcd_trace_file::flush() { out_.flush(); }
+
+}  // namespace nisc::sysc

@@ -1,0 +1,92 @@
+// VCD waveform tracing (the sc_trace facility of SystemC).
+//
+// A vcd_trace_file registers itself as a kernel extension and samples the
+// traced signals at the end of every simulation cycle, emitting IEEE-1364
+// value-change-dump records that gtkwave & friends can display. Supported
+// value types: bool (1-bit wire) and unsigned/signed integrals (N-bit
+// vectors).
+//
+//   sc_simcontext ctx;
+//   sc_clock clk("clk", 10_ns);
+//   sc_signal<int> count("count");
+//   vcd_trace_file vcd("waves.vcd", ctx);
+//   vcd.trace(clk.signal(), "clk");
+//   vcd.trace(count, "count");
+//   ctx.run(1_us);            // samples are written as the kernel runs
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sysc/sc_signal.hpp"
+
+namespace nisc::sysc {
+
+class vcd_trace_file : public kernel_extension {
+ public:
+  /// Opens `path` for writing and hooks into `ctx`. Throws RuntimeError if
+  /// the file cannot be created.
+  vcd_trace_file(const std::string& path, sc_simcontext& ctx);
+  ~vcd_trace_file() override;
+
+  vcd_trace_file(const vcd_trace_file&) = delete;
+  vcd_trace_file& operator=(const vcd_trace_file&) = delete;
+
+  /// Adds a signal to the trace set. Must be called before the first run.
+  template <typename T>
+  void trace(sc_signal<T>& signal, const std::string& name) {
+    static_assert(std::is_same_v<T, bool> || std::is_integral_v<T>,
+                  "vcd_trace_file supports bool and integral signals");
+    unsigned width = std::is_same_v<T, bool> ? 1 : sizeof(T) * 8;
+    add_channel(name, width, [&signal]() -> std::uint64_t {
+      if constexpr (std::is_same_v<T, bool>) {
+        return signal.read() ? 1 : 0;
+      } else {
+        return static_cast<std::uint64_t>(
+            static_cast<std::make_unsigned_t<T>>(signal.read()));
+      }
+    });
+  }
+
+  /// Number of traced channels.
+  std::size_t channel_count() const noexcept { return channels_.size(); }
+  /// Number of value-change records written so far.
+  std::uint64_t changes_written() const noexcept { return changes_; }
+
+  // kernel_extension interface
+  void on_elaboration(sc_simcontext& ctx) override;
+  void on_cycle_end(sc_simcontext& ctx) override;
+  void on_run_end(sc_simcontext& ctx) override;
+
+  /// Flushes buffered output to disk.
+  void flush();
+
+ private:
+  struct Channel {
+    std::string name;
+    std::string id;  // VCD identifier code
+    unsigned width;
+    std::function<std::uint64_t()> sample;
+    std::uint64_t last_value = ~0ULL;
+    bool written_once = false;
+  };
+
+  void add_channel(const std::string& name, unsigned width,
+                   std::function<std::uint64_t()> sample);
+  void write_header();
+  void sample_all(std::uint64_t now_ps);
+  static std::string id_for(std::size_t index);
+
+  sc_simcontext& ctx_;
+  std::ofstream out_;
+  std::vector<Channel> channels_;
+  bool header_written_ = false;
+  bool timestamp_written_ = false;
+  std::uint64_t last_timestamp_ = ~0ULL;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace nisc::sysc

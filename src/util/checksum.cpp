@@ -1,0 +1,49 @@
+#include "util/checksum.hpp"
+
+namespace nisc::util {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) | (static_cast<std::uint32_t>(data[i + 1]) << 8);
+  }
+  if (i < data.size()) sum += data[i];
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) noexcept {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t byte : data) {
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 0x8000) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+std::uint32_t word_sum32(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    std::uint32_t w = static_cast<std::uint32_t>(data[i]) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                      (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    sum += w;
+  }
+  std::uint32_t tail = 0;
+  for (unsigned shift = 0; i < data.size(); ++i, shift += 8) {
+    tail |= static_cast<std::uint32_t>(data[i]) << shift;
+  }
+  sum += tail;
+  return sum;
+}
+
+}  // namespace nisc::util

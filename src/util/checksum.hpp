@@ -1,0 +1,26 @@
+// Host-side reference checksums.
+//
+// The paper's router offloads checksum computation to a program running on
+// the ISS; these host implementations are the golden reference the consumer
+// uses to verify packet integrity, and what tests compare the guest
+// program's output against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nisc::util {
+
+/// RFC 1071 Internet checksum: one's-complement sum of 16-bit words
+/// (little-endian pairing, odd trailing byte zero-padded), complemented.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection).
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) noexcept;
+
+/// Simple 32-bit additive checksum over little-endian words; trailing bytes
+/// are zero-extended. This is the algorithm the guest assembly programs
+/// implement (cheap on RV32 yet order-sensitive enough to catch swaps).
+std::uint32_t word_sum32(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace nisc::util

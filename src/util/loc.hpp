@@ -1,0 +1,25 @@
+// Source lines-of-code counter for the paper's §5 software-complexity
+// comparison (Driver-Kernel vs GDB-Kernel programming effort).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace nisc::util {
+
+struct LocCount {
+  int code = 0;     ///< non-blank, non-comment lines
+  int comment = 0;  ///< pure comment lines
+  int blank = 0;    ///< whitespace-only lines
+  int total() const noexcept { return code + comment + blank; }
+};
+
+/// Counts LoC in a C/C++ or RV32 assembly source string. Handles //, /* */
+/// and leading-'#'/';' assembly comments. A line holding both code and a
+/// comment counts as code.
+LocCount count_loc(std::string_view source);
+
+/// Counts LoC in a file on disk; throws RuntimeError if unreadable.
+LocCount count_loc_file(const std::string& path);
+
+}  // namespace nisc::util

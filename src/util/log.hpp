@@ -1,0 +1,51 @@
+// Minimal thread-safe leveled logger.
+//
+// Logging is off by default (level Off) so benchmarks and tests stay quiet;
+// set NISC_LOG=debug|info|warn|error in the environment or call
+// set_level() to enable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nisc::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global log threshold.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global log threshold (initialized from $NISC_LOG on first use).
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if `level` passes the threshold. Thread-safe.
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* component) : level_(level), component_(component) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace nisc::util
+
+#define NISC_LOG(level, component)                                      \
+  if (::nisc::util::log_level() <= ::nisc::util::LogLevel::level)       \
+  ::nisc::util::detail::LogStream(::nisc::util::LogLevel::level, component)
+
+#define NISC_DEBUG(component) NISC_LOG(Debug, component)
+#define NISC_INFO(component) NISC_LOG(Info, component)
+#define NISC_WARN(component) NISC_LOG(Warn, component)
+#define NISC_ERROR(component) NISC_LOG(Error, component)

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Used wherever the paper's case study needs randomness (packet destination
+// addresses, payloads) so that every co-simulation run is reproducible from
+// a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace nisc::util {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  /// Seeds the generator via splitmix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept { reseed(seed); }
+
+  /// Re-seeds in place.
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Next 32-bit value.
+  std::uint32_t next_u32() noexcept { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli draw with probability `p` (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace nisc::util

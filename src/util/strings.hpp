@@ -1,0 +1,31 @@
+// Small string utilities used by the assembler, the RSP codec, and tools.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nisc::util {
+
+/// Strips leading and trailing whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on any run of whitespace, dropping empty fields.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Parses a signed integer: decimal, 0x-hex, 0b-binary, optional leading '-'.
+/// Returns nullopt on malformed input or overflow of int64.
+std::optional<std::int64_t> parse_int(std::string_view s) noexcept;
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view s);
+
+}  // namespace nisc::util

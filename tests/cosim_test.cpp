@@ -1,0 +1,510 @@
+// Tests for the co-simulation layer: time budget, pragma filter, and
+// end-to-end runs of the GDB-Kernel, GDB-Wrapper and Driver-Kernel schemes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "cosim/driver_kernel.hpp"
+#include "cosim/gdb_kernel.hpp"
+#include "cosim/gdb_wrapper.hpp"
+#include "cosim/pragma.hpp"
+#include "cosim/session.hpp"
+#include "cosim/time_budget.hpp"
+#include "iss/assembler.hpp"
+#include "sysc/sysc.hpp"
+#include "util/error.hpp"
+
+namespace nisc::cosim {
+namespace {
+
+using namespace nisc::sysc::time_literals;
+
+// ---------------------------------------------------------------- TimeBudget
+
+TEST(TimeBudgetTest, DepositThenAcquire) {
+  TimeBudget budget;
+  budget.deposit(100);
+  EXPECT_EQ(budget.acquire(60), 60u);
+  EXPECT_EQ(budget.acquire(60), 40u);  // partial grant
+}
+
+TEST(TimeBudgetTest, TryAcquireNonBlocking) {
+  TimeBudget budget;
+  EXPECT_EQ(budget.try_acquire(10), 0u);
+  budget.deposit(5);
+  EXPECT_EQ(budget.try_acquire(10), 5u);
+}
+
+TEST(TimeBudgetTest, CapBoundsAccumulation) {
+  TimeBudget budget(100);
+  budget.deposit(1000);
+  EXPECT_EQ(budget.available(), 100u);
+}
+
+TEST(TimeBudgetTest, CloseUnblocksWaiter) {
+  TimeBudget budget;
+  std::uint64_t got = 99;
+  std::thread waiter([&] { got = budget.acquire(10); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  budget.close();
+  waiter.join();
+  EXPECT_EQ(got, 0u);
+  EXPECT_TRUE(budget.closed());
+}
+
+TEST(TimeBudgetTest, AcquireBlocksUntilDeposit) {
+  TimeBudget budget;
+  std::uint64_t got = 0;
+  std::thread waiter([&] { got = budget.acquire(10); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  budget.deposit(3);
+  waiter.join();
+  EXPECT_EQ(got, 3u);
+}
+
+// ---------------------------------------------------------------- pragma filter
+
+TEST(PragmaTest, IssOutLabelLandsOnSameLine) {
+  auto filtered = filter_pragmas(R"(
+_start:
+    #pragma iss_out("hw.to_cpu", in_var)
+    lw t0, 0(t1)
+    ebreak
+in_var: .word 0
+)");
+  ASSERT_EQ(filtered.bindings.size(), 1u);
+  EXPECT_EQ(filtered.bindings[0].direction, BindDirection::ScToIss);
+  EXPECT_EQ(filtered.bindings[0].port, "hw.to_cpu");
+  EXPECT_EQ(filtered.bindings[0].variable, "in_var");
+  // Label must directly precede the lw.
+  std::size_t label = filtered.source.find("__bp_0:");
+  std::size_t lw = filtered.source.find("lw t0");
+  ASSERT_NE(label, std::string::npos);
+  EXPECT_LT(label, lw);
+  EXPECT_EQ(filtered.source.find("#pragma"), std::string::npos);  // stripped
+}
+
+TEST(PragmaTest, IssInLabelLandsOnFollowingLine) {
+  auto filtered = filter_pragmas(R"(
+    #pragma iss_in("hw.from_cpu", out_var)
+    sw t0, 0(t2)
+    nop
+    ebreak
+out_var: .word 0
+)");
+  ASSERT_EQ(filtered.bindings.size(), 1u);
+  std::size_t sw_pos = filtered.source.find("sw t0");
+  std::size_t label = filtered.source.find("__bp_0:");
+  std::size_t nop = filtered.source.find("nop");
+  ASSERT_NE(label, std::string::npos);
+  EXPECT_LT(sw_pos, label);  // label is after the annotated statement...
+  EXPECT_LT(label, nop);     // ...and before the next one
+}
+
+TEST(PragmaTest, ResolvedBindingsCarryAddresses) {
+  auto filtered = filter_pragmas(R"(
+_start:
+    #pragma iss_out("p", var)
+    lw t0, 0(t1)
+    ebreak
+var: .word 0
+)");
+  iss::Program prog = iss::assemble(filtered.source);
+  auto bindings = resolve_bindings(filtered.bindings, prog);
+  ASSERT_EQ(bindings.size(), 1u);
+  EXPECT_EQ(bindings[0].breakpoint_addr, prog.symbol("__bp_0"));
+  EXPECT_EQ(bindings[0].variable_addr, prog.symbol("var"));
+  EXPECT_EQ(bindings[0].width, 4u);
+}
+
+TEST(PragmaTest, ConsecutivePragmas) {
+  auto filtered = filter_pragmas(R"(
+    #pragma iss_out("a", v1)
+    lw t0, 0(t1)
+    #pragma iss_out("b", v2)
+    lw t2, 0(t3)
+    ebreak
+v1: .word 0
+v2: .word 0
+)");
+  ASSERT_EQ(filtered.bindings.size(), 2u);
+  iss::Program prog = iss::assemble(filtered.source);
+  auto bindings = resolve_bindings(filtered.bindings, prog);
+  EXPECT_NE(bindings[0].breakpoint_addr, bindings[1].breakpoint_addr);
+}
+
+TEST(PragmaTest, PassesThroughPlainSource) {
+  std::string source = "_start:\n  nop\n  ebreak\n";
+  auto filtered = filter_pragmas(source);
+  EXPECT_TRUE(filtered.bindings.empty());
+  EXPECT_EQ(filtered.source, source);
+}
+
+TEST(PragmaTest, RejectsMalformedPragma) {
+  EXPECT_THROW(filter_pragmas("#pragma iss_in(noquotes, v)\nnop\n"), util::RuntimeError);
+  EXPECT_THROW(filter_pragmas("#pragma bogus(\"p\", v)\nnop\n"), util::RuntimeError);
+  EXPECT_THROW(filter_pragmas("#pragma iss_in(\"p\")\nnop\n"), util::RuntimeError);
+}
+
+TEST(PragmaTest, RejectsPragmaWithoutStatement) {
+  EXPECT_THROW(filter_pragmas("nop\n#pragma iss_out(\"p\", v)\n"), util::RuntimeError);
+  EXPECT_THROW(filter_pragmas("#pragma iss_in(\"p\", v)\nnop\n"), util::RuntimeError);
+}
+
+TEST(PragmaTest, ResolveFailsOnUnknownVariable) {
+  auto filtered = filter_pragmas("#pragma iss_out(\"p\", ghost)\nlw t0, 0(t1)\nebreak\n");
+  iss::Program prog = iss::assemble(filtered.source);
+  EXPECT_THROW(resolve_bindings(filtered.bindings, prog), util::RuntimeError);
+}
+
+// ---------------------------------------------------------------- GDB-Kernel
+
+/// Guest: read in_var (injected from SystemC), double it, publish out_var.
+constexpr const char* kDoublerGuest = R"(
+_start:
+    la t1, in_var
+    #pragma iss_out("hw.to_cpu", in_var)
+    lw t0, 0(t1)
+    slli t0, t0, 1
+    la t2, out_var
+    #pragma iss_in("hw.from_cpu", out_var)
+    sw t0, 0(t2)
+    nop
+    ebreak
+in_var: .word 0
+out_var: .word 0
+)";
+
+TEST(GdbKernelTest, SingleShotRoundTrip) {
+  sysc::sc_simcontext ctx;
+  sysc::sc_clock clk("clk", 10_ns);
+  sysc::iss_out<std::uint32_t> to_cpu("hw.to_cpu");
+  sysc::iss_in<std::uint32_t> from_cpu("hw.from_cpu");
+  to_cpu.write(21);
+
+  GdbTarget target(kDoublerGuest);
+  GdbKernelOptions options;
+  options.instructions_per_us = 1000000;
+  GdbKernelExtension ext(target.client(), &target.budget(), target.bindings(), options);
+  ctx.register_extension(&ext);
+  target.start();
+
+  { auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!ext.target_finished() && std::chrono::steady_clock::now() < deadline) ctx.run(100_ns); }
+  EXPECT_TRUE(ext.target_finished());
+  EXPECT_EQ(from_cpu.read(), 42u);
+  EXPECT_EQ(ext.stats().values_from_sc, 1u);
+  EXPECT_EQ(ext.stats().values_to_sc, 1u);
+  EXPECT_GT(ext.stats().polls, 0u);
+  target.shutdown();
+}
+
+TEST(GdbKernelTest, IssProcessWakesOnDelivery) {
+  sysc::sc_simcontext ctx;
+  sysc::sc_clock clk("clk", 10_ns);
+  sysc::iss_out<std::uint32_t> to_cpu("hw.to_cpu");
+  sysc::iss_in<std::uint32_t> from_cpu("hw.from_cpu");
+  to_cpu.write(5);
+
+  std::vector<std::uint32_t> results;
+  auto& proc = ctx.create_method("collect", [&] { results.push_back(from_cpu.read()); },
+                                 sysc::process_kind::IssMethod);
+  proc.make_sensitive(from_cpu.written_event());
+  proc.dont_initialize();
+
+  GdbTarget target(kDoublerGuest);
+  GdbKernelOptions options;
+  options.instructions_per_us = 1000000;
+  GdbKernelExtension ext(target.client(), &target.budget(), target.bindings(), options);
+  ctx.register_extension(&ext);
+  target.start();
+
+  { auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!ext.target_finished() && std::chrono::steady_clock::now() < deadline) ctx.run(100_ns); }
+  ASSERT_TRUE(ext.target_finished());
+  // The iss_process ran exactly once: when data actually crossed the
+  // boundary (paper §3.1).
+  EXPECT_EQ(results, (std::vector<std::uint32_t>{10}));
+  EXPECT_EQ(proc.run_count(), 1u);
+  target.shutdown();
+}
+
+TEST(GdbKernelTest, LoopedTransfersPreserveOrder) {
+  // Guest echoes (value + index accumulator) for 5 handshakes: SystemC
+  // writes a fresh value only after consuming the previous result.
+  constexpr const char* kEchoGuest = R"(
+_start:
+    li s0, 5
+    la t1, in_var
+    la t2, out_var
+loop:
+    #pragma iss_out("hw.to_cpu", in_var)
+    lw t0, 0(t1)
+    addi t0, t0, 100
+    #pragma iss_in("hw.from_cpu", out_var)
+    sw t0, 0(t2)
+    nop
+    addi s0, s0, -1
+    bnez s0, loop
+    ebreak
+in_var: .word 0
+out_var: .word 0
+)";
+  sysc::sc_simcontext ctx;
+  sysc::sc_clock clk("clk", 10_ns);
+  sysc::iss_out<std::uint32_t> to_cpu("hw.to_cpu");
+  sysc::iss_in<std::uint32_t> from_cpu("hw.from_cpu");
+
+  std::vector<std::uint32_t> results;
+  auto& proc = ctx.create_method(
+      "collect",
+      [&] {
+        results.push_back(from_cpu.read());
+        to_cpu.write(static_cast<std::uint32_t>(results.size() + 1));  // next input
+      },
+      sysc::process_kind::IssMethod);
+  proc.make_sensitive(from_cpu.written_event());
+  proc.dont_initialize();
+  to_cpu.write(1);
+
+  GdbTarget target(kEchoGuest);
+  GdbKernelOptions options;
+  options.instructions_per_us = 1000000;
+  GdbKernelExtension ext(target.client(), &target.budget(), target.bindings(), options);
+  ctx.register_extension(&ext);
+  target.start();
+
+  { auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!ext.target_finished() && std::chrono::steady_clock::now() < deadline) ctx.run(100_ns); }
+  ASSERT_TRUE(ext.target_finished());
+  // The freshness gate makes the handshake lossless and deterministic: each
+  // injected input is consumed exactly once.
+  EXPECT_EQ(results, (std::vector<std::uint32_t>{101, 102, 103, 104, 105}));
+  target.shutdown();
+}
+
+TEST(GdbKernelTest, ElaborationRejectsUnknownPort) {
+  sysc::sc_simcontext ctx;
+  sysc::sc_clock clk("clk", 10_ns);
+  // No iss ports registered at all.
+  GdbTarget target(kDoublerGuest);
+  GdbKernelExtension ext(target.client(), &target.budget(), target.bindings());
+  ctx.register_extension(&ext);
+  target.start();
+  EXPECT_THROW(ctx.run(10_ns), util::LogicError);
+  target.shutdown();
+}
+
+// ---------------------------------------------------------------- GDB-Wrapper
+
+TEST(GdbWrapperTest, SingleShotRoundTrip) {
+  sysc::sc_simcontext ctx;
+  sysc::sc_clock clk("clk", 10_ns);
+  sysc::iss_out<std::uint32_t> to_cpu("hw.to_cpu");
+  sysc::iss_in<std::uint32_t> from_cpu("hw.from_cpu");
+  to_cpu.write(21);
+
+  GdbTargetConfig config;
+  config.throttled = false;  // the wrapper's lock-step paces the ISS itself
+  GdbTarget target(kDoublerGuest, config);
+  GdbWrapperOptions options;
+  options.instructions_per_cycle = 4;
+  auto& wrapper = ctx.create<GdbWrapperModule>("wrapper", target.client(), target.bindings(),
+                                               options);
+  wrapper.clk.bind(clk.signal());
+  target.start();
+
+  { auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!wrapper.target_finished() && std::chrono::steady_clock::now() < deadline) ctx.run(100_ns); }
+  EXPECT_TRUE(wrapper.target_finished());
+  EXPECT_EQ(from_cpu.read(), 42u);
+  EXPECT_EQ(wrapper.stats().values_from_sc, 1u);
+  EXPECT_EQ(wrapper.stats().values_to_sc, 1u);
+  // Lock-step: one blocking quantum round trip per clock cycle; the guest
+  // needs several cycles at 4 instructions each.
+  EXPECT_GE(wrapper.stats().steps, 3u);
+  EXPECT_EQ(wrapper.stats().breakpoint_events, 2u);
+  target.shutdown();
+}
+
+// ---------------------------------------------------------------- Driver-Kernel
+
+/// Guest: blocking dev_read of one word, add one, dev_write it back, exit.
+constexpr const char* kIncrementGuest = R"(
+_start:
+    li a0, 0
+    la a1, buf
+    li a2, 4
+    li a7, SYS_DEV_READ
+    ecall
+    la t0, buf
+    lw t1, 0(t0)
+    addi t1, t1, 1
+    sw t1, 0(t0)
+    li a0, 0
+    la a1, buf
+    li a2, 4
+    li a7, SYS_DEV_WRITE
+    ecall
+    li a7, SYS_EXIT
+    ecall
+buf: .word 0
+)";
+
+struct DriverFixture : ::testing::Test {
+  void boot(const std::string& guest, DriverKernelOptions ext_options = {}) {
+    ctx = std::make_unique<sysc::sc_simcontext>();
+    clk = &ctx->create<sysc::sc_clock>("clk", 10_ns);
+    to_cpu = &ctx->create<sysc::iss_out<std::uint32_t>>("hw.to_cpu");
+    from_cpu = &ctx->create<sysc::iss_in<std::uint32_t>>("hw.from_cpu");
+
+    DriverTargetConfig config;
+    config.write_port = "hw.from_cpu";
+    config.read_port = "hw.to_cpu";
+    target = std::make_unique<DriverTarget>(guest, config);
+    ext_options.instructions_per_us = 1000000;
+    ext = std::make_unique<DriverKernelExtension>(target->take_data_endpoint(),
+                                                  target->take_interrupt_endpoint(),
+                                                  &target->budget(), ext_options);
+    ctx->register_extension(ext.get());
+    target->start();
+  }
+
+  void run_until_finished() {
+    // Bound by wall clock, not window count: the target thread's progress
+    // depends on host scheduling.
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!target->finished() && std::chrono::steady_clock::now() < deadline) {
+      ctx->run(100_ns);
+    }
+  }
+
+  void TearDown() override {
+    if (target) target->shutdown();
+    if (ctx && ext) ctx->unregister_extension(ext.get());
+  }
+
+  std::unique_ptr<sysc::sc_simcontext> ctx;
+  sysc::sc_clock* clk = nullptr;
+  sysc::iss_out<std::uint32_t>* to_cpu = nullptr;
+  sysc::iss_in<std::uint32_t>* from_cpu = nullptr;
+  std::unique_ptr<DriverTarget> target;
+  std::unique_ptr<DriverKernelExtension> ext;
+};
+
+TEST_F(DriverFixture, ReadIncrementWriteRoundTrip) {
+  boot(kIncrementGuest);
+  to_cpu->write(41);  // pushed to the driver at the end of the first cycle
+  run_until_finished();
+  ASSERT_TRUE(target->finished());
+  EXPECT_EQ(target->last_status(), rtos::RunStatus::AllDone);
+  EXPECT_EQ(from_cpu->read(), 42u);
+  EXPECT_GE(ext->stats().messages_in, 1u);   // the guest's WRITE
+  EXPECT_GE(ext->stats().messages_out, 1u);  // the pushed input value
+}
+
+TEST_F(DriverFixture, InterruptReachesGuestIsr) {
+  constexpr const char* kIsrGuest = R"(
+_start:
+    la a1, isr
+    li a0, 5
+    li a7, SYS_IRQ_ATTACH
+    ecall
+spin:
+    la t0, flag
+    lw t1, 0(t0)
+    beqz t1, spin
+    li a7, SYS_PUTC
+    li a0, 68          # 'D'
+    ecall
+    li a7, SYS_EXIT
+    ecall
+isr:
+    li a7, SYS_PUTC
+    li a0, 73          # 'I'
+    ecall
+    la t0, flag
+    li t1, 1
+    sw t1, 0(t0)
+    ret
+flag: .word 0
+)";
+  boot(kIsrGuest);
+  // Let the guest attach its handler, then raise the device interrupt.
+  ctx->run(1_us);
+  ext->post_interrupt(5);
+  run_until_finished();
+  ASSERT_TRUE(target->finished());
+  EXPECT_EQ(target->kernel().console(), "ID");
+  EXPECT_EQ(ext->stats().interrupts_sent, 1u);
+  EXPECT_EQ(target->kernel().stats().isr_dispatches, 1u);
+}
+
+TEST_F(DriverFixture, MultipleTransfersKeepOrder) {
+  // Guest loops 4 times: read word, add 100, write back.
+  constexpr const char* kLoopGuest = R"(
+_start:
+    li s0, 4
+loop:
+    li a0, 0
+    la a1, buf
+    li a2, 4
+    li a7, SYS_DEV_READ
+    ecall
+    la t0, buf
+    lw t1, 0(t0)
+    addi t1, t1, 100
+    sw t1, 0(t0)
+    li a0, 0
+    la a1, buf
+    li a2, 4
+    li a7, SYS_DEV_WRITE
+    ecall
+    addi s0, s0, -1
+    bnez s0, loop
+    li a7, SYS_EXIT
+    ecall
+buf: .word 0
+)";
+  boot(kLoopGuest);
+
+  std::vector<std::uint32_t> results;
+  auto& proc = ctx->create_method(
+      "collect",
+      [&] {
+        results.push_back(from_cpu->read());
+        to_cpu->write(static_cast<std::uint32_t>(results.size() + 1));
+      },
+      sysc::process_kind::IssMethod);
+  proc.make_sensitive(from_cpu->written_event());
+  proc.dont_initialize();
+
+  to_cpu->write(1);
+  run_until_finished();
+  ASSERT_TRUE(target->finished());
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0], 101u);
+  EXPECT_EQ(results[1], 102u);
+  EXPECT_EQ(results[2], 103u);
+  EXPECT_EQ(results[3], 104u);
+}
+
+TEST_F(DriverFixture, GuestFaultEndsSession) {
+  boot("_start:\n  .word 0xffffffff\n");
+  run_until_finished();
+  EXPECT_TRUE(target->finished());
+  EXPECT_EQ(target->last_status(), rtos::RunStatus::Fault);
+}
+
+TEST(DriverTargetTest, EndpointsCanOnlyBeTakenOnce) {
+  DriverTargetConfig config;
+  config.write_port = "a";
+  config.read_port = "b";
+  DriverTarget target("_start:\n li a7, SYS_EXIT\n ecall\n", config);
+  (void)target.take_data_endpoint();
+  EXPECT_THROW(target.take_data_endpoint(), util::LogicError);
+}
+
+}  // namespace
+}  // namespace nisc::cosim

@@ -1,0 +1,231 @@
+// Failure injection: broken transports, malformed protocol traffic, guest
+// faults and corrupted frames must degrade gracefully, never crash or hang
+// the co-simulation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "cosim/driver_kernel.hpp"
+#include "cosim/gdb_kernel.hpp"
+#include "cosim/session.hpp"
+#include "ipc/message.hpp"
+#include "iss/assembler.hpp"
+#include "rsp/client.hpp"
+#include "rsp/stub.hpp"
+#include "sysc/sysc.hpp"
+#include "util/error.hpp"
+
+namespace nisc {
+namespace {
+
+using namespace nisc::sysc::time_literals;
+
+// ---------------------------------------------------------------- RSP layer
+
+TEST(RspFailure, ClientSurvivesCorruptedReplyViaNak) {
+  // A proxy thread corrupts the first stop-reply frame; the client NAKs and
+  // the stub retransmits, so the transaction still completes.
+  iss::Cpu cpu(1 << 16);
+  iss::Program prog = iss::assemble("ebreak\n");
+  prog.load_into(cpu.mem());
+
+  auto stub_side = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  auto client_side = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  rsp::GdbStub stub(cpu, std::move(stub_side.a));
+  rsp::GdbClient client(std::move(client_side.a));
+
+  std::atomic<bool> stop{false};
+  std::thread proxy([&] {
+    // stub_side.b <-> client_side.b, flipping one byte of the first frame
+    // from the stub.
+    bool corrupted = false;
+    std::uint8_t buf[512];
+    while (!stop.load()) {
+      if (client_side.b.readable(5)) {
+        std::size_t n = client_side.b.recv_some(buf);
+        if (n > 0) stub_side.b.send(std::span<const std::uint8_t>(buf, n));
+      }
+      if (stub_side.b.readable(5)) {
+        std::size_t n = stub_side.b.recv_some(buf);
+        if (n > 0) {
+          if (!corrupted) {
+            for (std::size_t i = 0; i < n; ++i) {
+              if (buf[i] == '$' && i + 1 < n) {
+                buf[i + 1] ^= 0x01;  // corrupt the first payload byte
+                corrupted = true;
+                break;
+              }
+            }
+          }
+          client_side.b.send(std::span<const std::uint8_t>(buf, n));
+        }
+      }
+    }
+  });
+  std::thread serve([&] { stub.serve(); });
+
+  EXPECT_EQ(client.transact("?"), "S05");  // survives the corruption
+  client.kill();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  proxy.join();
+  serve.join();
+}
+
+TEST(RspFailure, StubExitsOnTransportClose) {
+  iss::Cpu cpu(1 << 16);
+  auto pair = ipc::make_channel_pair(ipc::Transport::Pipe);
+  rsp::GdbStub stub(cpu, std::move(pair.a));
+  std::thread serve([&] { stub.serve(); });
+  pair.b.close();  // peer disappears
+  serve.join();    // must terminate, not hang
+}
+
+TEST(RspFailure, ClientThrowsAfterPeerDeath) {
+  iss::Cpu cpu(1 << 16);
+  auto pair = ipc::make_channel_pair(ipc::Transport::Pipe);
+  auto stub = std::make_unique<rsp::GdbStub>(cpu, std::move(pair.a));
+  rsp::GdbClient client(std::move(pair.b));
+  std::thread serve([&] { stub->serve(); });
+  client.kill();
+  serve.join();
+  stub.reset();  // closes the stub-side fds
+  EXPECT_THROW(client.transact("?"), util::RuntimeError);
+}
+
+// ---------------------------------------------------------------- Driver layer
+
+struct DriverFailureFixture : ::testing::Test {
+  void boot() {
+    ctx = std::make_unique<sysc::sc_simcontext>();
+    clk = &ctx->create<sysc::sc_clock>("clk", 10_ns);
+    port_in = &ctx->create<sysc::iss_in<std::uint32_t>>("dev.in");
+    port_out = &ctx->create<sysc::iss_out<std::uint32_t>>("dev.out");
+    auto data = ipc::make_channel_pair(ipc::Transport::SocketPair);
+    auto irq = ipc::make_channel_pair(ipc::Transport::SocketPair);
+    ext = std::make_unique<cosim::DriverKernelExtension>(std::move(data.a), std::move(irq.a),
+                                                         nullptr);
+    ctx->register_extension(ext.get());
+    driver_data = std::move(data.b);
+    driver_irq = std::move(irq.b);
+  }
+
+  void TearDown() override {
+    if (ctx && ext) ctx->unregister_extension(ext.get());
+  }
+
+  std::unique_ptr<sysc::sc_simcontext> ctx;
+  sysc::sc_clock* clk = nullptr;
+  sysc::iss_in<std::uint32_t>* port_in = nullptr;
+  sysc::iss_out<std::uint32_t>* port_out = nullptr;
+  std::unique_ptr<cosim::DriverKernelExtension> ext;
+  ipc::Channel driver_data;
+  ipc::Channel driver_irq;
+};
+
+TEST_F(DriverFailureFixture, WriteToUnknownPortIsDropped) {
+  boot();
+  ipc::send_message(driver_data, ipc::DriverMessage::write_u32("no.such.port", 1));
+  ipc::send_message(driver_data, ipc::DriverMessage::write_u32("dev.in", 42));
+  ctx->run(100_ns);
+  EXPECT_EQ(port_in->read(), 42u);  // the good message still lands
+  EXPECT_EQ(ext->stats().messages_in, 2u);
+}
+
+TEST_F(DriverFailureFixture, WrongWidthPayloadIsDropped) {
+  boot();
+  ipc::DriverMessage bad;
+  bad.type = ipc::MsgType::Write;
+  bad.items.push_back({"dev.in", {0x01, 0x02}});  // 2 bytes into a u32 port
+  ipc::send_message(driver_data, bad);
+  ipc::send_message(driver_data, ipc::DriverMessage::write_u32("dev.in", 7));
+  ctx->run(100_ns);
+  EXPECT_EQ(port_in->read(), 7u);
+  EXPECT_EQ(ext->stats().words_delivered, 1u);
+}
+
+TEST_F(DriverFailureFixture, ReadOfInputPortIsRejected) {
+  boot();
+  ipc::send_message(driver_data, ipc::DriverMessage::read_request("dev.in"));
+  ctx->run(100_ns);
+  // The reply must arrive (possibly with no items) and the kernel survives.
+  ASSERT_TRUE(driver_data.readable(1000));
+  ipc::DriverMessage reply = ipc::recv_message(driver_data);
+  EXPECT_EQ(reply.type, ipc::MsgType::ReadReply);
+  EXPECT_TRUE(reply.items.empty());
+}
+
+TEST_F(DriverFailureFixture, DriverDisappearingMidRunIsTolerated) {
+  boot();
+  port_out->write(9);     // something to push
+  driver_data.close();    // the ISS process dies
+  driver_irq.close();
+  ctx->run(200_ns);       // pushes fail silently; simulation continues
+  ext->post_interrupt(3);
+  ctx->run(200_ns);
+  EXPECT_GT(ctx->time_stamp().ps(), 0u);
+}
+
+TEST(DriverTargetFailure, GuestFaultShutsDownCleanly) {
+  cosim::DriverTargetConfig config;
+  config.write_port = "a";
+  config.read_port = "b";
+  config.throttled = false;
+  cosim::DriverTarget target("_start:\n  .word 0xffffffff\n", config);
+  (void)target.take_data_endpoint();
+  (void)target.take_interrupt_endpoint();
+  target.start();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!target.finished() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(target.finished());
+  EXPECT_EQ(target.last_status(), rtos::RunStatus::Fault);
+  target.shutdown();
+}
+
+// ---------------------------------------------------------------- GDB session
+
+TEST(GdbSessionFailure, GuestFaultFinishesExtension) {
+  sysc::sc_simcontext ctx;
+  sysc::sc_clock clk("clk", 10_ns);
+  // The guest dereferences a wild pointer immediately.
+  cosim::GdbTarget target("_start:\n  li t0, 0x7ff00000\n  lw t1, 0(t0)\n  ebreak\n");
+  cosim::GdbKernelOptions options;
+  options.instructions_per_us = 1000000;
+  cosim::GdbKernelExtension ext(target.client(), &target.budget(), {}, options);
+  ctx.register_extension(&ext);
+  target.start();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!ext.target_finished() && std::chrono::steady_clock::now() < deadline) {
+    ctx.run(1_us);
+  }
+  EXPECT_TRUE(ext.target_finished());  // SIGSEGV stop marks the end
+  target.shutdown();
+  ctx.unregister_extension(&ext);
+}
+
+TEST(GdbSessionFailure, ShutdownWhileGuestSpinsForever) {
+  sysc::sc_simcontext ctx;
+  sysc::sc_clock clk("clk", 10_ns);
+  cosim::GdbTarget target("_start:\nspin:\n  j spin\n");
+  cosim::GdbKernelOptions options;
+  options.instructions_per_us = 1000000;
+  cosim::GdbKernelExtension ext(target.client(), &target.budget(), {}, options);
+  ctx.register_extension(&ext);
+  target.start();
+  ctx.run(1_us);
+  target.shutdown();  // must interrupt the free-running guest and join
+  ctx.unregister_extension(&ext);
+}
+
+TEST(GdbSessionFailure, DoubleShutdownIsIdempotent) {
+  cosim::GdbTarget target("_start:\n  ebreak\n");
+  target.start();
+  target.shutdown();
+  target.shutdown();
+}
+
+}  // namespace
+}  // namespace nisc

@@ -1,0 +1,242 @@
+// Unit tests for nisc::ipc — fds, channels over all transports, and the
+// Driver-Kernel message protocol.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "ipc/channel.hpp"
+#include "ipc/fd.hpp"
+#include "ipc/message.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace nisc::ipc {
+namespace {
+
+using util::RuntimeError;
+
+std::span<const std::uint8_t> bytes_of(const char* s) {
+  return {reinterpret_cast<const std::uint8_t*>(s), std::strlen(s)};
+}
+
+// ---------------------------------------------------------------- Fd
+
+TEST(FdTest, DefaultInvalid) {
+  Fd fd;
+  EXPECT_FALSE(fd.valid());
+}
+
+TEST(FdTest, MoveTransfersOwnership) {
+  ChannelPair pair = make_channel_pair(Transport::Pipe);
+  int raw = pair.a.read_fd().get();
+  EXPECT_GE(raw, 0);
+  Channel moved = std::move(pair.a);
+  EXPECT_EQ(moved.read_fd().get(), raw);
+  EXPECT_FALSE(pair.a.read_fd().valid());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(FdTest, ReleaseDisownsDescriptor) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  Fd a(fds[0]);
+  int raw = a.release();
+  EXPECT_EQ(raw, fds[0]);
+  EXPECT_FALSE(a.valid());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------- Channel
+
+class ChannelTest : public ::testing::TestWithParam<Transport> {};
+
+TEST_P(ChannelTest, RoundTrip) {
+  ChannelPair pair = make_channel_pair(GetParam());
+  pair.a.send_str("hello");
+  std::uint8_t buf[5];
+  pair.b.recv_exact(buf);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 5), "hello");
+}
+
+TEST_P(ChannelTest, BothDirections) {
+  ChannelPair pair = make_channel_pair(GetParam());
+  pair.a.send_str("ping");
+  pair.b.send_str("pong");
+  std::uint8_t buf[4];
+  pair.b.recv_exact(buf);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 4), "ping");
+  pair.a.recv_exact(buf);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 4), "pong");
+}
+
+TEST_P(ChannelTest, ReadableReflectsPendingData) {
+  ChannelPair pair = make_channel_pair(GetParam());
+  EXPECT_FALSE(pair.b.readable(0));
+  pair.a.send_str("x");
+  EXPECT_TRUE(pair.b.readable(100));
+  std::uint8_t buf[1];
+  pair.b.recv_exact(buf);
+  EXPECT_FALSE(pair.b.readable(0));
+}
+
+TEST_P(ChannelTest, RecvSomeNonBlocking) {
+  ChannelPair pair = make_channel_pair(GetParam());
+  std::uint8_t buf[16];
+  EXPECT_EQ(pair.b.recv_some(buf), 0u);
+  pair.a.send_str("abc");
+  // Data may need a moment on TCP loopback.
+  ASSERT_TRUE(pair.b.readable(1000));
+  EXPECT_EQ(pair.b.recv_some(buf), 3u);
+}
+
+TEST_P(ChannelTest, PeerCloseRaises) {
+  ChannelPair pair = make_channel_pair(GetParam());
+  pair.a.close();
+  std::uint8_t buf[1];
+  EXPECT_THROW(pair.b.recv_exact(buf), RuntimeError);
+}
+
+TEST_P(ChannelTest, LargeTransferAcrossThreads) {
+  ChannelPair pair = make_channel_pair(GetParam());
+  std::vector<std::uint8_t> payload(1 << 20);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<std::uint8_t>(i * 7);
+  std::thread sender([&] { pair.a.send(payload); });
+  std::vector<std::uint8_t> received(payload.size());
+  pair.b.recv_exact(received);
+  sender.join();
+  EXPECT_EQ(received, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, ChannelTest,
+                         ::testing::Values(Transport::Pipe, Transport::SocketPair, Transport::Tcp),
+                         [](const auto& info) { return transport_name(info.param); });
+
+TEST(TcpTest, ListenerReportsEphemeralPort) {
+  TcpListener listener(0);
+  EXPECT_GT(listener.port(), 0);
+}
+
+TEST(TcpTest, ExplicitConnect) {
+  TcpListener listener(0);
+  Channel client = tcp_connect(listener.port());
+  Channel server = listener.accept();
+  client.send_str("hi");
+  std::uint8_t buf[2];
+  server.recv_exact(buf);
+  EXPECT_EQ(buf[0], 'h');
+  EXPECT_EQ(buf[1], 'i');
+}
+
+// ---------------------------------------------------------------- messages
+
+TEST(MessageTest, TypeNames) {
+  EXPECT_STREQ(msg_type_name(MsgType::Read), "READ");
+  EXPECT_STREQ(msg_type_name(MsgType::Write), "WRITE");
+  EXPECT_STREQ(msg_type_name(MsgType::ReadReply), "READ-REPLY");
+  EXPECT_STREQ(msg_type_name(MsgType::Interrupt), "INTERRUPT");
+}
+
+TEST(MessageTest, EncodeDecodeRoundTripEmpty) {
+  DriverMessage msg;
+  msg.type = MsgType::Read;
+  auto frame = encode_message(msg);
+  auto body = std::span<const std::uint8_t>(frame).subspan(4);
+  auto decoded = decode_message_body(body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), msg);
+}
+
+TEST(MessageTest, EncodeDecodeRoundTripItems) {
+  DriverMessage msg;
+  msg.type = MsgType::Write;
+  msg.items.push_back({"router.data_in", {1, 2, 3, 4}});
+  msg.items.push_back({"router.len_in", {9}});
+  auto frame = encode_message(msg);
+  auto decoded = decode_message_body(std::span<const std::uint8_t>(frame).subspan(4));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), msg);
+}
+
+TEST(MessageTest, WriteU32Helper) {
+  auto msg = DriverMessage::write_u32("p", 0xAABBCCDD);
+  EXPECT_EQ(msg.type, MsgType::Write);
+  ASSERT_EQ(msg.items.size(), 1u);
+  EXPECT_EQ(msg.items[0].data, (std::vector<std::uint8_t>{0xDD, 0xCC, 0xBB, 0xAA}));
+}
+
+TEST(MessageTest, InterruptHelper) {
+  auto msg = DriverMessage::interrupt(7);
+  EXPECT_EQ(msg.irq(), 7u);
+  auto other = DriverMessage::read_request("p");
+  EXPECT_FALSE(other.irq().has_value());
+}
+
+TEST(MessageTest, DecodeRejectsTruncatedHeader) {
+  std::uint8_t body[] = {0x01};
+  EXPECT_FALSE(decode_message_body(body).ok());
+}
+
+TEST(MessageTest, DecodeRejectsUnknownType) {
+  std::uint8_t body[] = {0x09, 0x00, 0x00};
+  EXPECT_FALSE(decode_message_body(body).ok());
+}
+
+TEST(MessageTest, DecodeRejectsTruncatedItem) {
+  DriverMessage msg = DriverMessage::write_u32("port", 1);
+  auto frame = encode_message(msg);
+  auto body = std::span<const std::uint8_t>(frame).subspan(4);
+  for (std::size_t cut = 3; cut + 1 < body.size(); ++cut) {
+    EXPECT_FALSE(decode_message_body(body.subspan(0, cut)).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(MessageTest, DecodeRejectsTrailingBytes) {
+  DriverMessage msg = DriverMessage::read_request("p");
+  auto frame = encode_message(msg);
+  frame.push_back(0xEE);
+  auto body = std::span<const std::uint8_t>(frame).subspan(4);
+  EXPECT_FALSE(decode_message_body(body).ok());
+}
+
+TEST(MessageTest, SendRecvOverChannel) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  DriverMessage msg;
+  msg.type = MsgType::ReadReply;
+  msg.items.push_back({"csum_out", {0xEF, 0xBE, 0xAD, 0xDE}});
+  send_message(pair.a, msg);
+  DriverMessage received = recv_message(pair.b);
+  EXPECT_EQ(received, msg);
+}
+
+TEST(MessageTest, TryRecvReturnsNulloptWhenIdle) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  EXPECT_FALSE(try_recv_message(pair.b).has_value());
+  send_message(pair.a, DriverMessage::interrupt(3));
+  ASSERT_TRUE(pair.b.readable(1000));
+  auto msg = try_recv_message(pair.b);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->irq(), 3u);
+}
+
+TEST(MessageTest, ManyMessagesInFlight) {
+  ChannelPair pair = make_channel_pair(Transport::Pipe);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    send_message(pair.a, DriverMessage::write_u32("p", i));
+  }
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    DriverMessage m = recv_message(pair.b);
+    ASSERT_EQ(m.items.size(), 1u);
+    EXPECT_EQ(util::read_le(m.items[0].data, 4), i);
+  }
+}
+
+TEST(MessageTest, RecvRejectsOversizedFrame) {
+  ChannelPair pair = make_channel_pair(Transport::Pipe);
+  std::uint8_t bogus[4] = {0xFF, 0xFF, 0xFF, 0x7F};  // ~2 GiB body
+  pair.a.send(bogus);
+  EXPECT_THROW(recv_message(pair.b), RuntimeError);
+}
+
+}  // namespace
+}  // namespace nisc::ipc

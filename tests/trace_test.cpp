@@ -1,0 +1,184 @@
+// Tests for the observability tooling: VCD waveform tracing (kernel side)
+// and the instruction tracer (ISS side).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "iss/assembler.hpp"
+#include "iss/tracer.hpp"
+#include "sysc/sysc.hpp"
+#include "sysc/vcd_trace.hpp"
+
+namespace {
+
+using namespace nisc::sysc;
+using namespace nisc::sysc::time_literals;
+
+std::string temp_path(const char* stem) {
+  return std::string("/tmp/niscosim_") + stem + "_" + std::to_string(::getpid()) + ".vcd";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ---------------------------------------------------------------- VCD
+
+TEST(VcdTest, HeaderListsTracedSignals) {
+  std::string path = temp_path("header");
+  {
+    sc_simcontext ctx;
+    sc_signal<bool> flag("flag");
+    sc_signal<int> count("count");
+    vcd_trace_file vcd(path, ctx);
+    vcd.trace(flag, "flag");
+    vcd.trace(count, "count");
+    EXPECT_EQ(vcd.channel_count(), 2u);
+    ctx.run(1_ns);
+  }
+  std::string text = slurp(path);
+  EXPECT_NE(text.find("$timescale 1 ps $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1 ! flag $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 32 \" count $end"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(VcdTest, RecordsClockToggles) {
+  std::string path = temp_path("clock");
+  std::uint64_t changes = 0;
+  {
+    sc_simcontext ctx;
+    sc_clock clk("clk", 10_ns);
+    vcd_trace_file vcd(path, ctx);
+    vcd.trace(clk.signal(), "clk");
+    ctx.run(100_ns);
+    changes = vcd.changes_written();
+  }
+  std::string text = slurp(path);
+  // 100 ns at a 10 ns period: ~20 toggles, each a "0!" or "1!" record.
+  EXPECT_GE(changes, 18u);
+  EXPECT_NE(text.find("#5000"), std::string::npos);  // negedge at 5 ns
+  EXPECT_NE(text.find("1!"), std::string::npos);
+  EXPECT_NE(text.find("0!"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(VcdTest, VectorValuesWrittenInBinary) {
+  std::string path = temp_path("vector");
+  {
+    sc_simcontext ctx;
+    sc_signal<int> value("value");
+    vcd_trace_file vcd(path, ctx);
+    vcd.trace(value, "value");
+    ctx.create_method("drive", [&] { value.write(5); });
+    ctx.run(1_ns);
+  }
+  std::string text = slurp(path);
+  EXPECT_NE(text.find("b101 !"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(VcdTest, NoDuplicateRecordsForStableSignals) {
+  std::string path = temp_path("stable");
+  std::uint64_t changes = 0;
+  {
+    sc_simcontext ctx;
+    sc_signal<int> constant("constant", 7);
+    sc_clock clk("clk", 10_ns);  // keeps cycles happening
+    vcd_trace_file vcd(path, ctx);
+    vcd.trace(constant, "constant");
+    ctx.run(200_ns);
+    changes = vcd.changes_written();
+  }
+  EXPECT_EQ(changes, 1u);  // initial value only
+  std::remove(path.c_str());
+}
+
+TEST(VcdTest, RejectsUnwritablePath) {
+  sc_simcontext ctx;
+  EXPECT_THROW(vcd_trace_file("/nonexistent_dir/x.vcd", ctx), nisc::util::RuntimeError);
+}
+
+TEST(VcdTest, TraceAfterRunRejected) {
+  std::string path = temp_path("late");
+  sc_simcontext ctx;
+  sc_signal<bool> flag("flag");
+  vcd_trace_file vcd(path, ctx);
+  ctx.run(1_ns);
+  EXPECT_THROW(vcd.trace(flag, "flag"), nisc::util::LogicError);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- instruction tracer
+
+TEST(TracerTest, RecordsExecutedInstructions) {
+  nisc::iss::Cpu cpu(1 << 16);
+  nisc::iss::Program prog = nisc::iss::assemble("li a0, 1\nli a0, 2\nebreak\n");
+  prog.load_into(cpu.mem());
+  nisc::iss::ExecutionTracer tracer(cpu, 16);
+  cpu.run(100);
+  EXPECT_EQ(tracer.total_recorded(), 3u);  // two li + the ebreak fetch
+  ASSERT_GE(tracer.size(), 2u);
+  EXPECT_EQ(tracer.entries()[0].pc, 0u);
+  EXPECT_EQ(tracer.entries()[1].pc, 4u);
+}
+
+TEST(TracerTest, RingBufferKeepsTail) {
+  nisc::iss::Cpu cpu(1 << 16);
+  nisc::iss::Program prog = nisc::iss::assemble(R"(
+      li t0, 100
+  spin:
+      addi t0, t0, -1
+      bnez t0, spin
+      ebreak
+  )");
+  prog.load_into(cpu.mem());
+  nisc::iss::ExecutionTracer tracer(cpu, 8);
+  cpu.run(10000);
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_GT(tracer.total_recorded(), 8u);
+  // The last entry is the ebreak.
+  EXPECT_EQ(tracer.entries().back().pc, prog.symbol("spin") + 8);
+}
+
+TEST(TracerTest, DumpContainsDisassembly) {
+  nisc::iss::Cpu cpu(1 << 16);
+  nisc::iss::Program prog = nisc::iss::assemble("addi a0, zero, 42\nebreak\n");
+  prog.load_into(cpu.mem());
+  nisc::iss::ExecutionTracer tracer(cpu);
+  cpu.run(10);
+  std::string dump = tracer.dump();
+  EXPECT_NE(dump.find("addi x10, x0, 42"), std::string::npos);
+  EXPECT_NE(dump.find("ebreak"), std::string::npos);
+}
+
+TEST(TracerTest, DetachRestoresFullSpeedPath) {
+  nisc::iss::Cpu cpu(1 << 16);
+  nisc::iss::Program prog = nisc::iss::assemble("spin: j spin\n");
+  prog.load_into(cpu.mem());
+  {
+    nisc::iss::ExecutionTracer tracer(cpu, 4);
+    cpu.run(100);
+    EXPECT_EQ(tracer.total_recorded(), 100u);
+  }
+  cpu.run(100);  // tracer destroyed: hook removed, no crash
+}
+
+TEST(TracerTest, ClearKeepsCounters) {
+  nisc::iss::Cpu cpu(1 << 16);
+  nisc::iss::Program prog = nisc::iss::assemble("spin: j spin\n");
+  prog.load_into(cpu.mem());
+  nisc::iss::ExecutionTracer tracer(cpu, 4);
+  cpu.run(10);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+}
+
+}  // namespace
