@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipc.dir/bench_ipc.cpp.o"
+  "CMakeFiles/bench_ipc.dir/bench_ipc.cpp.o.d"
+  "bench_ipc"
+  "bench_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iss.dir/bench_iss.cpp.o"
+  "CMakeFiles/bench_iss.dir/bench_iss.cpp.o.d"
+  "bench_iss"
+  "bench_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel.dir/bench_kernel.cpp.o"
+  "CMakeFiles/bench_kernel.dir/bench_kernel.cpp.o.d"
+  "bench_kernel"
+  "bench_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

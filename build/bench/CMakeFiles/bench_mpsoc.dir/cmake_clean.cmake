@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpsoc.dir/bench_mpsoc.cpp.o"
+  "CMakeFiles/bench_mpsoc.dir/bench_mpsoc.cpp.o.d"
+  "bench_mpsoc"
+  "bench_mpsoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpsoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

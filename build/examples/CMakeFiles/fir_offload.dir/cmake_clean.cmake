@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_offload.dir/fir_offload.cpp.o"
+  "CMakeFiles/fir_offload.dir/fir_offload.cpp.o.d"
+  "fir_offload"
+  "fir_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/interrupt_latency.cpp" "examples/CMakeFiles/interrupt_latency.dir/interrupt_latency.cpp.o" "gcc" "examples/CMakeFiles/interrupt_latency.dir/interrupt_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cosim/CMakeFiles/nisc_cosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/nisc_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsp/CMakeFiles/nisc_rsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/nisc_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/nisc_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/nisc_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nisc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrupt_latency.dir/interrupt_latency.cpp.o"
+  "CMakeFiles/interrupt_latency.dir/interrupt_latency.cpp.o.d"
+  "interrupt_latency"
+  "interrupt_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrupt_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_router.dir/mpsoc_router.cpp.o"
+  "CMakeFiles/mpsoc_router.dir/mpsoc_router.cpp.o.d"
+  "mpsoc_router"
+  "mpsoc_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_filter_tool.dir/pragma_filter_tool.cpp.o"
+  "CMakeFiles/pragma_filter_tool.dir/pragma_filter_tool.cpp.o.d"
+  "pragma_filter_tool"
+  "pragma_filter_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_filter_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

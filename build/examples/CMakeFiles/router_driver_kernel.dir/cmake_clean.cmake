@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_driver_kernel.dir/router_driver_kernel.cpp.o"
+  "CMakeFiles/router_driver_kernel.dir/router_driver_kernel.cpp.o.d"
+  "router_driver_kernel"
+  "router_driver_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_driver_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_gdb_kernel.dir/router_gdb_kernel.cpp.o"
+  "CMakeFiles/router_gdb_kernel.dir/router_gdb_kernel.cpp.o.d"
+  "router_gdb_kernel"
+  "router_gdb_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_gdb_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_gdb_wrapper.dir/router_gdb_wrapper.cpp.o"
+  "CMakeFiles/router_gdb_wrapper.dir/router_gdb_wrapper.cpp.o.d"
+  "router_gdb_wrapper"
+  "router_gdb_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_gdb_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for router_gdb_wrapper.
+# This may be replaced when dependencies are built.

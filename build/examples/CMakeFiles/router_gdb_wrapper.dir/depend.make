@@ -1,0 +1,2 @@
+# Empty dependencies file for router_gdb_wrapper.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosim/driver_kernel.cpp" "src/cosim/CMakeFiles/nisc_cosim.dir/driver_kernel.cpp.o" "gcc" "src/cosim/CMakeFiles/nisc_cosim.dir/driver_kernel.cpp.o.d"
+  "/root/repo/src/cosim/gdb_kernel.cpp" "src/cosim/CMakeFiles/nisc_cosim.dir/gdb_kernel.cpp.o" "gcc" "src/cosim/CMakeFiles/nisc_cosim.dir/gdb_kernel.cpp.o.d"
+  "/root/repo/src/cosim/gdb_wrapper.cpp" "src/cosim/CMakeFiles/nisc_cosim.dir/gdb_wrapper.cpp.o" "gcc" "src/cosim/CMakeFiles/nisc_cosim.dir/gdb_wrapper.cpp.o.d"
+  "/root/repo/src/cosim/pragma.cpp" "src/cosim/CMakeFiles/nisc_cosim.dir/pragma.cpp.o" "gcc" "src/cosim/CMakeFiles/nisc_cosim.dir/pragma.cpp.o.d"
+  "/root/repo/src/cosim/session.cpp" "src/cosim/CMakeFiles/nisc_cosim.dir/session.cpp.o" "gcc" "src/cosim/CMakeFiles/nisc_cosim.dir/session.cpp.o.d"
+  "/root/repo/src/cosim/time_budget.cpp" "src/cosim/CMakeFiles/nisc_cosim.dir/time_budget.cpp.o" "gcc" "src/cosim/CMakeFiles/nisc_cosim.dir/time_budget.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sysc/CMakeFiles/nisc_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsp/CMakeFiles/nisc_rsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/nisc_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/nisc_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/nisc_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nisc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nisc_cosim.dir/driver_kernel.cpp.o"
+  "CMakeFiles/nisc_cosim.dir/driver_kernel.cpp.o.d"
+  "CMakeFiles/nisc_cosim.dir/gdb_kernel.cpp.o"
+  "CMakeFiles/nisc_cosim.dir/gdb_kernel.cpp.o.d"
+  "CMakeFiles/nisc_cosim.dir/gdb_wrapper.cpp.o"
+  "CMakeFiles/nisc_cosim.dir/gdb_wrapper.cpp.o.d"
+  "CMakeFiles/nisc_cosim.dir/pragma.cpp.o"
+  "CMakeFiles/nisc_cosim.dir/pragma.cpp.o.d"
+  "CMakeFiles/nisc_cosim.dir/session.cpp.o"
+  "CMakeFiles/nisc_cosim.dir/session.cpp.o.d"
+  "CMakeFiles/nisc_cosim.dir/time_budget.cpp.o"
+  "CMakeFiles/nisc_cosim.dir/time_budget.cpp.o.d"
+  "libnisc_cosim.a"
+  "libnisc_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nisc_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

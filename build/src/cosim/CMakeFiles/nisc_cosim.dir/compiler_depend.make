@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nisc_cosim.
+# This may be replaced when dependencies are built.

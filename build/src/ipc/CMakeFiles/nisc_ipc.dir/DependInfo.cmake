@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/channel.cpp" "src/ipc/CMakeFiles/nisc_ipc.dir/channel.cpp.o" "gcc" "src/ipc/CMakeFiles/nisc_ipc.dir/channel.cpp.o.d"
+  "/root/repo/src/ipc/fd.cpp" "src/ipc/CMakeFiles/nisc_ipc.dir/fd.cpp.o" "gcc" "src/ipc/CMakeFiles/nisc_ipc.dir/fd.cpp.o.d"
+  "/root/repo/src/ipc/message.cpp" "src/ipc/CMakeFiles/nisc_ipc.dir/message.cpp.o" "gcc" "src/ipc/CMakeFiles/nisc_ipc.dir/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nisc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nisc_ipc.dir/channel.cpp.o"
+  "CMakeFiles/nisc_ipc.dir/channel.cpp.o.d"
+  "CMakeFiles/nisc_ipc.dir/fd.cpp.o"
+  "CMakeFiles/nisc_ipc.dir/fd.cpp.o.d"
+  "CMakeFiles/nisc_ipc.dir/message.cpp.o"
+  "CMakeFiles/nisc_ipc.dir/message.cpp.o.d"
+  "libnisc_ipc.a"
+  "libnisc_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nisc_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iss/assembler.cpp" "src/iss/CMakeFiles/nisc_iss.dir/assembler.cpp.o" "gcc" "src/iss/CMakeFiles/nisc_iss.dir/assembler.cpp.o.d"
+  "/root/repo/src/iss/cpu.cpp" "src/iss/CMakeFiles/nisc_iss.dir/cpu.cpp.o" "gcc" "src/iss/CMakeFiles/nisc_iss.dir/cpu.cpp.o.d"
+  "/root/repo/src/iss/isa.cpp" "src/iss/CMakeFiles/nisc_iss.dir/isa.cpp.o" "gcc" "src/iss/CMakeFiles/nisc_iss.dir/isa.cpp.o.d"
+  "/root/repo/src/iss/tracer.cpp" "src/iss/CMakeFiles/nisc_iss.dir/tracer.cpp.o" "gcc" "src/iss/CMakeFiles/nisc_iss.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nisc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

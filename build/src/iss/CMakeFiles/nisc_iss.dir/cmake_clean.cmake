@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nisc_iss.dir/assembler.cpp.o"
+  "CMakeFiles/nisc_iss.dir/assembler.cpp.o.d"
+  "CMakeFiles/nisc_iss.dir/cpu.cpp.o"
+  "CMakeFiles/nisc_iss.dir/cpu.cpp.o.d"
+  "CMakeFiles/nisc_iss.dir/isa.cpp.o"
+  "CMakeFiles/nisc_iss.dir/isa.cpp.o.d"
+  "CMakeFiles/nisc_iss.dir/tracer.cpp.o"
+  "CMakeFiles/nisc_iss.dir/tracer.cpp.o.d"
+  "libnisc_iss.a"
+  "libnisc_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nisc_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

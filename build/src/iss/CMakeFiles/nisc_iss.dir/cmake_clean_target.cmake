@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnisc_iss.a"
+)

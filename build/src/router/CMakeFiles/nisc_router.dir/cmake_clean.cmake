@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nisc_router.dir/guest_programs.cpp.o"
+  "CMakeFiles/nisc_router.dir/guest_programs.cpp.o.d"
+  "CMakeFiles/nisc_router.dir/packet.cpp.o"
+  "CMakeFiles/nisc_router.dir/packet.cpp.o.d"
+  "CMakeFiles/nisc_router.dir/producer.cpp.o"
+  "CMakeFiles/nisc_router.dir/producer.cpp.o.d"
+  "CMakeFiles/nisc_router.dir/router.cpp.o"
+  "CMakeFiles/nisc_router.dir/router.cpp.o.d"
+  "CMakeFiles/nisc_router.dir/testbench.cpp.o"
+  "CMakeFiles/nisc_router.dir/testbench.cpp.o.d"
+  "libnisc_router.a"
+  "libnisc_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nisc_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsp/client.cpp" "src/rsp/CMakeFiles/nisc_rsp.dir/client.cpp.o" "gcc" "src/rsp/CMakeFiles/nisc_rsp.dir/client.cpp.o.d"
+  "/root/repo/src/rsp/packet.cpp" "src/rsp/CMakeFiles/nisc_rsp.dir/packet.cpp.o" "gcc" "src/rsp/CMakeFiles/nisc_rsp.dir/packet.cpp.o.d"
+  "/root/repo/src/rsp/stub.cpp" "src/rsp/CMakeFiles/nisc_rsp.dir/stub.cpp.o" "gcc" "src/rsp/CMakeFiles/nisc_rsp.dir/stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nisc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/nisc_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/nisc_iss.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nisc_rsp.dir/client.cpp.o"
+  "CMakeFiles/nisc_rsp.dir/client.cpp.o.d"
+  "CMakeFiles/nisc_rsp.dir/packet.cpp.o"
+  "CMakeFiles/nisc_rsp.dir/packet.cpp.o.d"
+  "CMakeFiles/nisc_rsp.dir/stub.cpp.o"
+  "CMakeFiles/nisc_rsp.dir/stub.cpp.o.d"
+  "libnisc_rsp.a"
+  "libnisc_rsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nisc_rsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nisc_rtos.dir/rtos.cpp.o"
+  "CMakeFiles/nisc_rtos.dir/rtos.cpp.o.d"
+  "libnisc_rtos.a"
+  "libnisc_rtos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nisc_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nisc_rtos.
+# This may be replaced when dependencies are built.

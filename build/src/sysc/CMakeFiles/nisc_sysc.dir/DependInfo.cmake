@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sysc/kernel.cpp" "src/sysc/CMakeFiles/nisc_sysc.dir/kernel.cpp.o" "gcc" "src/sysc/CMakeFiles/nisc_sysc.dir/kernel.cpp.o.d"
+  "/root/repo/src/sysc/sc_time.cpp" "src/sysc/CMakeFiles/nisc_sysc.dir/sc_time.cpp.o" "gcc" "src/sysc/CMakeFiles/nisc_sysc.dir/sc_time.cpp.o.d"
+  "/root/repo/src/sysc/vcd_trace.cpp" "src/sysc/CMakeFiles/nisc_sysc.dir/vcd_trace.cpp.o" "gcc" "src/sysc/CMakeFiles/nisc_sysc.dir/vcd_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nisc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

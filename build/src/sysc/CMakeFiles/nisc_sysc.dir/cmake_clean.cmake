@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nisc_sysc.dir/kernel.cpp.o"
+  "CMakeFiles/nisc_sysc.dir/kernel.cpp.o.d"
+  "CMakeFiles/nisc_sysc.dir/sc_time.cpp.o"
+  "CMakeFiles/nisc_sysc.dir/sc_time.cpp.o.d"
+  "CMakeFiles/nisc_sysc.dir/vcd_trace.cpp.o"
+  "CMakeFiles/nisc_sysc.dir/vcd_trace.cpp.o.d"
+  "libnisc_sysc.a"
+  "libnisc_sysc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nisc_sysc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

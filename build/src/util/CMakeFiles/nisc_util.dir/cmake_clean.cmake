@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nisc_util.dir/checksum.cpp.o"
+  "CMakeFiles/nisc_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/nisc_util.dir/hex.cpp.o"
+  "CMakeFiles/nisc_util.dir/hex.cpp.o.d"
+  "CMakeFiles/nisc_util.dir/loc.cpp.o"
+  "CMakeFiles/nisc_util.dir/loc.cpp.o.d"
+  "CMakeFiles/nisc_util.dir/log.cpp.o"
+  "CMakeFiles/nisc_util.dir/log.cpp.o.d"
+  "CMakeFiles/nisc_util.dir/rng.cpp.o"
+  "CMakeFiles/nisc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nisc_util.dir/strings.cpp.o"
+  "CMakeFiles/nisc_util.dir/strings.cpp.o.d"
+  "libnisc_util.a"
+  "libnisc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nisc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

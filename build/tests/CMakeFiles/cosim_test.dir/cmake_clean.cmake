@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosim_test.dir/cosim_test.cpp.o"
+  "CMakeFiles/cosim_test.dir/cosim_test.cpp.o.d"
+  "cosim_test"
+  "cosim_test.pdb"
+  "cosim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

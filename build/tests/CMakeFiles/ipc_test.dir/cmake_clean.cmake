@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_test.dir/ipc_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/ipc_test.cpp.o.d"
+  "ipc_test"
+  "ipc_test.pdb"
+  "ipc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

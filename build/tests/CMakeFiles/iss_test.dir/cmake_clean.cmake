@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iss_test.dir/iss_test.cpp.o"
+  "CMakeFiles/iss_test.dir/iss_test.cpp.o.d"
+  "iss_test"
+  "iss_test.pdb"
+  "iss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsp_test.dir/rsp_test.cpp.o"
+  "CMakeFiles/rsp_test.dir/rsp_test.cpp.o.d"
+  "rsp_test"
+  "rsp_test.pdb"
+  "rsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtos_test.dir/rtos_test.cpp.o"
+  "CMakeFiles/rtos_test.dir/rtos_test.cpp.o.d"
+  "rtos_test"
+  "rtos_test.pdb"
+  "rtos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

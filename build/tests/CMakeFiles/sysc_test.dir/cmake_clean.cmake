@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysc_test.dir/sysc_test.cpp.o"
+  "CMakeFiles/sysc_test.dir/sysc_test.cpp.o.d"
+  "sysc_test"
+  "sysc_test.pdb"
+  "sysc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

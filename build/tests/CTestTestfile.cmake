@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/sysc_test[1]_include.cmake")
+include("/root/repo/build/tests/iss_test[1]_include.cmake")
+include("/root/repo/build/tests/rsp_test[1]_include.cmake")
+include("/root/repo/build/tests/rtos_test[1]_include.cmake")
+include("/root/repo/build/tests/cosim_test[1]_include.cmake")
+include("/root/repo/build/tests/router_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
