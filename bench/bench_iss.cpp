@@ -88,8 +88,12 @@ BENCHMARK(BM_IssQuantumGranularity)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
 void BM_Assembler(benchmark::State& state) {
   std::string source;
   for (int i = 0; i < 200; ++i) {
-    source += "l" + std::to_string(i) + ": addi t0, t0, 1\n";
-    source += "    bnez t0, l" + std::to_string(i) + "\n";
+    std::string label = "l";
+    label += std::to_string(i);
+    source += label;
+    source += ": addi t0, t0, 1\n    bnez t0, ";
+    source += label;
+    source += "\n";
   }
   for (auto _ : state) {
     Program prog = assemble(source);

@@ -1,0 +1,42 @@
+# Checksum application, Driver-Kernel flavor (runs on the RTOS) — on-disk
+# twin of nisc::router::bulk_checksum_source() with the default 6-word
+# packet size, kept as a cosim_lint target for CI:
+#
+#   cosim_lint --rtos-prelude examples/guests/checksum_driver.s
+#
+# Reads a whole packet from the SystemC device (dev 0) via SYS_DEV_READ,
+# checksums it and writes the result back through the driver. No pragmas:
+# the Driver-Kernel scheme crosses the ISS boundary through syscalls, not
+# breakpoints.
+_start:
+main_loop:
+    li s3, 24
+    la s2, buf
+read_loop:
+    li a0, 0
+    mv a1, s2
+    mv a2, s3
+    li a7, SYS_DEV_READ
+    ecall
+    add s2, s2, a0
+    sub s3, s3, a0
+    bnez s3, read_loop
+    la t1, buf
+    li s1, 6
+    li s2, 0
+sum_loop:
+    lw t0, 0(t1)
+    add s2, s2, t0
+    addi t1, t1, 4
+    addi s1, s1, -1
+    bnez s1, sum_loop
+    la t1, out
+    sw s2, 0(t1)
+    li a0, 0
+    la a1, out
+    li a2, 4
+    li a7, SYS_DEV_WRITE
+    ecall
+    j main_loop
+buf: .space 24
+out: .word 0

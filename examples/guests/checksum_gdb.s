@@ -1,0 +1,27 @@
+# Checksum application, GDB-Kernel flavor (bare metal) — on-disk twin of
+# nisc::router::word_stream_checksum_source("router.to_cpu",
+# "router.from_cpu") with the default 6-word packet size, kept as a
+# cosim_lint target for CI:
+#
+#   cosim_lint --ports router.to_cpu,router.from_cpu examples/guests/checksum_gdb.s
+#
+# Receives packet words one at a time through `word_in` and returns the
+# 32-bit word-sum checksum through `csum_out`.
+_start:
+main_loop:
+    li s1, 6
+    li s2, 0
+    la t1, word_in
+word_loop:
+    #pragma iss_out("router.to_cpu", word_in)
+    lw t0, 0(t1)
+    add s2, s2, t0
+    addi s1, s1, -1
+    bnez s1, word_loop
+    la t2, csum_out
+    #pragma iss_in("router.from_cpu", csum_out)
+    sw s2, 0(t2)
+    nop
+    j main_loop
+word_in:  .word 0
+csum_out: .word 0

@@ -1,0 +1,80 @@
+#include "analysis/elab.hpp"
+
+#include "sysc/iss_port.hpp"
+#include "sysc/sc_module.hpp"
+#include "sysc/sc_port.hpp"
+
+namespace nisc::analysis {
+
+std::size_t check_elaboration(const sysc::sc_simcontext& ctx, DiagEngine& diags) {
+  std::size_t before = diags.diagnostics().size();
+
+  for (const sysc::sc_object* obj : ctx.objects()) {
+    if (const auto* port = dynamic_cast<const sysc::sc_port_base*>(obj)) {
+      if (!port->bound()) {
+        diags.report(Severity::Error, "elab.unbound-port",
+                     std::string(port->port_kind()) + " '" + port->name() +
+                         "' is not bound to a signal; elaboration would fail");
+      }
+    }
+  }
+
+  for (const sysc::sc_process* process : ctx.process_list()) {
+    if (process->kind() != sysc::process_kind::IssMethod) continue;
+    std::size_t sensitivity = process->static_sensitivity_count();
+    // Deferred entries (sensitive << port.pos() before binding) resolve at
+    // elaboration; count them as sensitivity-to-be.
+    for (const sysc::sc_object* obj : ctx.objects()) {
+      if (const auto* module = dynamic_cast<const sysc::sc_module*>(obj)) {
+        sensitivity += module->pending_sensitivity_count(process);
+      }
+    }
+    if (sensitivity == 0) {
+      diags.report(Severity::Warning, "elab.iss-process-not-sensitized",
+                   "iss_process '" + process->name() +
+                       "' has no sensitivity; ISS traffic can never trigger it");
+    }
+  }
+
+  return diags.diagnostics().size() - before;
+}
+
+std::size_t check_iss_bindings(const sysc::sc_simcontext& ctx,
+                               std::span<const cosim::BreakpointBinding> bindings,
+                               DiagEngine& diags) {
+  std::size_t before = diags.diagnostics().size();
+
+  for (const sysc::iss_port_base* port : ctx.iss_ports()) {
+    bool bound = false;
+    for (const cosim::BreakpointBinding& b : bindings) {
+      if (b.port == port->name()) bound = true;
+    }
+    if (!bound) {
+      diags.report(Severity::Warning, "elab.iss-port-unbound",
+                   std::string(port->is_input() ? "iss_in" : "iss_out") + " port '" +
+                       port->name() + "' has no breakpoint binding; no guest pragma routes "
+                       "data through it");
+    }
+  }
+
+  for (const cosim::BreakpointBinding& b : bindings) {
+    const sysc::iss_port_base* port = ctx.find_iss_port(b.port);
+    if (port == nullptr) {
+      diags.report(Severity::Error, "elab.binding-unknown-port",
+                   "breakpoint binding for variable '" + b.variable + "' names iss port '" +
+                       b.port + "' which does not exist in the design");
+      continue;
+    }
+    const bool needs_input = b.direction == cosim::BindDirection::IssToSc;
+    if (needs_input != port->is_input()) {
+      diags.report(Severity::Error, "elab.binding-direction",
+                   "binding for variable '" + b.variable + "' is " +
+                       (needs_input ? "iss_in" : "iss_out") + " but port '" + b.port +
+                       "' is an " + (port->is_input() ? "iss_in" : "iss_out") + " port");
+    }
+  }
+
+  return diags.diagnostics().size() - before;
+}
+
+}  // namespace nisc::analysis

@@ -1,0 +1,42 @@
+// Elaboration-time model checks.
+//
+// The kernel's own elaboration (sc_simcontext::elaborate) throws on the
+// first defect it meets; these passes instead walk the not-yet-elaborated
+// design and report *every* defect through the diagnostics engine, so a
+// model author sees the whole picture in one run.
+//
+// Rules:
+//  * elab.unbound-port (error): an sc_in/sc_out was never bound to a signal
+//    (elaboration would throw).
+//  * elab.iss-process-not-sensitized (warning): an iss_process (the paper's
+//    §3.1 ISS-boundary process kind) has no static sensitivity and no
+//    pending deferred sensitivity — it would run once at initialization and
+//    never again, so ISS traffic could never reach it.
+//  * elab.iss-port-unbound (warning): an iss_in/iss_out port no breakpoint
+//    binding refers to — no guest pragma routes data to/from it.
+//  * elab.binding-unknown-port (error): a breakpoint binding names an iss
+//    port that does not exist in the design.
+//  * elab.binding-direction (error): a binding's direction contradicts the
+//    port it names (iss_in pragma -> Out port or vice versa).
+#pragma once
+
+#include <span>
+
+#include "analysis/diag.hpp"
+#include "cosim/pragma.hpp"
+#include "sysc/kernel.hpp"
+
+namespace nisc::analysis {
+
+/// Structural checks needing only the design: unbound ports, unsensitized
+/// iss processes. Safe to call before ctx.elaborate(); does not modify the
+/// design. Returns the number of diagnostics added.
+std::size_t check_elaboration(const sysc::sc_simcontext& ctx, DiagEngine& diags);
+
+/// Cross-checks the design's iss ports against resolved guest breakpoint
+/// bindings (cosim::resolve_bindings output). Returns diagnostics added.
+std::size_t check_iss_bindings(const sysc::sc_simcontext& ctx,
+                               std::span<const cosim::BreakpointBinding> bindings,
+                               DiagEngine& diags);
+
+}  // namespace nisc::analysis

@@ -1,0 +1,68 @@
+#include "analysis/frame.hpp"
+
+#include <algorithm>
+
+#include "ipc/message.hpp"
+#include "util/hex.hpp"
+
+namespace nisc::analysis {
+
+std::size_t check_frames(std::span<const std::uint8_t> buffer, DiagEngine& diags,
+                         const std::string& origin) {
+  std::size_t good = 0;
+  std::size_t offset = 0;
+  int ordinal = 0;
+  while (offset < buffer.size()) {
+    ++ordinal;
+    SourceLoc loc{origin, ordinal, 0};
+    std::size_t remaining = buffer.size() - offset;
+    if (remaining < 4) {
+      diags.report(Severity::Error, "frame.truncated",
+                   "frame #" + std::to_string(ordinal) + " at offset " + std::to_string(offset) +
+                       ": only " + std::to_string(remaining) +
+                       " byte(s) left, size field needs 4",
+                   loc);
+      break;
+    }
+    std::uint32_t size = util::read_le(buffer.subspan(offset), 4);
+    if (size > ipc::kMaxMessageBody) {
+      diags.report(Severity::Error, "frame.oversized",
+                   "frame #" + std::to_string(ordinal) + " at offset " + std::to_string(offset) +
+                       ": packet_size " + std::to_string(size) + " exceeds the " +
+                       std::to_string(ipc::kMaxMessageBody) + "-byte limit; stopping scan",
+                   loc);
+      break;
+    }
+    if (remaining - 4 < size) {
+      diags.report(Severity::Error, "frame.truncated",
+                   "frame #" + std::to_string(ordinal) + " at offset " + std::to_string(offset) +
+                       ": body needs " + std::to_string(size) + " bytes but only " +
+                       std::to_string(remaining - 4) + " remain",
+                   loc);
+      break;
+    }
+    std::span<const std::uint8_t> body = buffer.subspan(offset + 4, size);
+    auto decoded = ipc::decode_message_body(body);
+    if (!decoded.ok()) {
+      diags.report(Severity::Error, "frame.malformed",
+                   "frame #" + std::to_string(ordinal) + ": " + decoded.error(), loc);
+    } else {
+      std::vector<std::uint8_t> reencoded = ipc::encode_message(decoded.value());
+      std::span<const std::uint8_t> original = buffer.subspan(offset, 4 + size);
+      if (!std::equal(reencoded.begin(), reencoded.end(), original.begin(), original.end())) {
+        diags.report(Severity::Warning, "frame.roundtrip",
+                     "frame #" + std::to_string(ordinal) +
+                         " decodes but is not canonical: re-encoding yields " +
+                         std::to_string(reencoded.size()) + " bytes vs " +
+                         std::to_string(4 + size) + " on the wire",
+                     loc);
+      } else {
+        ++good;
+      }
+    }
+    offset += 4 + size;
+  }
+  return good;
+}
+
+}  // namespace nisc::analysis

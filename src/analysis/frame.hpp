@@ -1,0 +1,34 @@
+// Driver-Kernel wire-protocol frame validator (paper §4.2).
+//
+// Validates a buffer holding zero or more concatenated framed messages
+// ({u32 packet_size, body}) as produced by ipc::encode_message. Each frame
+// body is decoded with ipc::decode_message_body and re-encoded; a decode
+// failure or a round-trip mismatch is a defect in the sender.
+//
+// Rules:
+//  * frame.truncated (error): buffer ends inside a size field or a body.
+//  * frame.oversized (error): packet_size exceeds ipc::kMaxMessageBody
+//    (corrupt size field; scanning stops — resynchronisation is hopeless).
+//  * frame.malformed (error): body fails to decode (bad type, truncated
+//    item, trailing bytes).
+//  * frame.roundtrip (warning): body decodes but re-encoding differs —
+//    the frame is readable but not canonical.
+//
+// The reported SourceLoc uses `file` for the buffer's origin and `line` for
+// the 1-based frame ordinal within it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "analysis/diag.hpp"
+
+namespace nisc::analysis {
+
+/// Validates every frame in `buffer`; returns the number of well-formed
+/// frames (decoded and canonical).
+std::size_t check_frames(std::span<const std::uint8_t> buffer, DiagEngine& diags,
+                         const std::string& origin = "<frames>");
+
+}  // namespace nisc::analysis

@@ -1,0 +1,60 @@
+// cosim-lint: static analysis of guest assembly programs and their pragma
+// port bindings — the paper's §3.2 filter tool grown into a checker.
+//
+// Rules (all locations refer to the original, unfiltered source):
+//  * lint.pragma (error): malformed #pragma iss_in/iss_out, or a pragma with
+//    no statement to attach its breakpoint to (breakpoint on a missing
+//    line).
+//  * lint.asm (error): the program does not assemble — undefined labels,
+//    unknown mnemonics, bad operands (assembler messages, re-homed to the
+//    original line numbers).
+//  * lint.duplicate-binding (error): the same iss port bound by two pragmas
+//    of the same direction.
+//  * lint.conflicting-binding (error): the same iss port bound as both
+//    iss_in and iss_out.
+//  * lint.unknown-port (error, needs LintOptions::known_ports): a pragma
+//    names a port outside the declared design port list.
+//  * lint.variable-undefined (error): a bound guest variable is not a symbol
+//    of the assembled program.
+//  * lint.variable-unused (warning): a bound variable is never read or
+//    written by any instruction — the binding can never carry data.
+//  * lint.bind-direction (warning): an iss_in pragma annotates a statement
+//    that is not a store (the guest must write the variable before the
+//    breakpoint), or an iss_out pragma annotates one that is not a load.
+//  * lint.unreachable-breakpoint (warning): the breakpoint line can only be
+//    entered by falling through an unconditional jump (j/jr/ret/tail) and
+//    carries no label — the ISS can never stop there.
+//
+// Inline suppression: a `nolint` token in a comment on the offending line
+// silences all rules for that line; `nolint(rule-a,rule-b)` silences only
+// the listed rules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diag.hpp"
+#include "cosim/pragma.hpp"
+#include "iss/program.hpp"
+
+namespace nisc::analysis {
+
+struct LintOptions {
+  /// When non-empty, pragma port names must appear in this list.
+  std::vector<std::string> known_ports;
+  /// Load address passed to the assembler.
+  std::uint32_t base = 0;
+};
+
+struct LintResult {
+  bool assembled = false;                        ///< program assembled cleanly
+  iss::Program program;                          ///< valid when assembled
+  std::vector<cosim::PragmaBinding> bindings;    ///< parsed pragma bindings
+};
+
+/// Lints one guest program. `file` is used in diagnostic locations.
+LintResult lint_guest_source(std::string_view source, const std::string& file,
+                             DiagEngine& diags, const LintOptions& options = {});
+
+}  // namespace nisc::analysis

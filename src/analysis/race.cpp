@@ -1,0 +1,81 @@
+#include "analysis/race.hpp"
+
+#include <algorithm>
+
+namespace nisc::analysis {
+
+namespace {
+
+bool contains(const std::vector<const sysc::sc_process*>& v, const sysc::sc_process* p) {
+  return std::find(v.begin(), v.end(), p) != v.end();
+}
+
+std::string process_name(const sysc::sc_process* p) {
+  return p != nullptr ? p->name() : std::string("<non-process>");
+}
+
+}  // namespace
+
+void race_monitor::on_channel_write(const sysc::sc_object& channel,
+                                    const sysc::sc_process* writer, std::uint64_t delta) {
+  (void)delta;
+  if (writer == nullptr) return;  // testbench writes order deterministically
+  ChannelAccess& access = accesses_[&channel];
+  if (!contains(access.writers, writer)) access.writers.push_back(writer);
+}
+
+void race_monitor::on_channel_read(const sysc::sc_object& channel,
+                                   const sysc::sc_process* reader, std::uint64_t delta) {
+  (void)delta;
+  if (reader == nullptr) return;
+  ChannelAccess& access = accesses_[&channel];
+  if (!contains(access.readers, reader)) access.readers.push_back(reader);
+}
+
+void race_monitor::on_delta_end(sysc::sc_simcontext& ctx, std::uint64_t delta) {
+  (void)ctx;
+  flush(delta);
+}
+
+void race_monitor::flush(std::uint64_t delta) {
+  for (auto& [channel, access] : accesses_) {
+    if (access.writers.size() >= 2) {
+      ++total_races_;
+      std::string key = std::string("race.write-write\0", 17) + channel->name();
+      if (reported_.insert(key).second) {
+        std::string who = process_name(access.writers[0]);
+        for (std::size_t i = 1; i < access.writers.size(); ++i) {
+          who += ", " + process_name(access.writers[i]);
+        }
+        diags_->report(Severity::Error, "race.write-write",
+                       "signal '" + channel->name() + "' written by " +
+                           std::to_string(access.writers.size()) + " processes (" + who +
+                           ") in delta " + std::to_string(delta) +
+                           "; last-dispatched writer wins nondeterministically");
+      }
+    }
+    if (!access.writers.empty() && !access.readers.empty()) {
+      for (const sysc::sc_process* reader : access.readers) {
+        bool foreign_write = false;
+        for (const sysc::sc_process* writer : access.writers) {
+          if (writer != reader) foreign_write = true;
+        }
+        if (!foreign_write) continue;
+        ++total_races_;
+        std::string key = std::string("race.read-after-write\0", 22) + channel->name();
+        if (reported_.insert(key).second) {
+          diags_->report(Severity::Warning, "race.read-after-write",
+                         "signal '" + channel->name() + "' read by '" + process_name(reader) +
+                             "' in the same delta (" + std::to_string(delta) +
+                             ") another process writes it; the observed value is "
+                             "evaluation-order dependent");
+        }
+        break;  // one report per channel per delta is enough
+      }
+    }
+    access.writers.clear();
+    access.readers.clear();
+  }
+}
+
+}  // namespace nisc::analysis

@@ -1,0 +1,84 @@
+// Delta-cycle race detector.
+//
+// Implements sysc::access_monitor: sc_signal<T>::read()/write() report every
+// access (channel, process, delta) while a monitor is installed, and the
+// kernel calls on_delta_end() after each delta cycle. The monitor keeps
+// per-delta writer/reader sets per channel and reports:
+//
+//  * race.write-write (error): two distinct processes wrote the same signal
+//    in one delta cycle. sc_signal keeps a single pending next-value, so the
+//    final value is whichever writer the scheduler happened to dispatch
+//    last — classic SystemC nondeterminism.
+//  * race.read-after-write (warning): a process read a signal that a
+//    *different* process wrote in the same delta cycle. With deferred-update
+//    signals the read returns the pre-delta value, but the code's behaviour
+//    silently changes if the channel is ever swapped for one with immediate
+//    semantics (iss ports!) or the processes are merged — an evaluation-
+//    order dependence worth surfacing.
+//
+// Accesses from outside any process (testbench top-level code, which runs
+// strictly before or after the scheduler's evaluate phase) are ignored:
+// their ordering against processes is deterministic.
+//
+// Each (rule, channel) pair is reported once per monitoring session to keep
+// cyclic designs from flooding the log; total_races() still counts every
+// occurrence.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.hpp"
+#include "sysc/kernel.hpp"
+
+namespace nisc::analysis {
+
+class race_monitor final : public sysc::access_monitor {
+ public:
+  /// Diagnostics go to `diags` (not owned; must outlive the monitor).
+  explicit race_monitor(DiagEngine& diags) : diags_(&diags) {}
+
+  /// RAII attach: installs the monitor on `ctx`, restores the previous one
+  /// on destruction.
+  class scoped_attach {
+   public:
+    scoped_attach(sysc::sc_simcontext& ctx, race_monitor& monitor)
+        : ctx_(&ctx), previous_(ctx.monitor()) {
+      ctx.set_monitor(&monitor);
+    }
+    ~scoped_attach() { ctx_->set_monitor(previous_); }
+
+    scoped_attach(const scoped_attach&) = delete;
+    scoped_attach& operator=(const scoped_attach&) = delete;
+
+   private:
+    sysc::sc_simcontext* ctx_;
+    sysc::access_monitor* previous_;
+  };
+
+  void on_channel_write(const sysc::sc_object& channel, const sysc::sc_process* writer,
+                        std::uint64_t delta) override;
+  void on_channel_read(const sysc::sc_object& channel, const sysc::sc_process* reader,
+                       std::uint64_t delta) override;
+  void on_delta_end(sysc::sc_simcontext& ctx, std::uint64_t delta) override;
+
+  /// Total race occurrences observed (including ones deduplicated away).
+  std::uint64_t total_races() const noexcept { return total_races_; }
+
+ private:
+  struct ChannelAccess {
+    std::vector<const sysc::sc_process*> writers;
+    std::vector<const sysc::sc_process*> readers;
+  };
+
+  void flush(std::uint64_t delta);
+
+  DiagEngine* diags_;
+  std::map<const sysc::sc_object*, ChannelAccess> accesses_;
+  std::set<std::string> reported_;  // "rule\0channel" pairs already reported
+  std::uint64_t total_races_ = 0;
+};
+
+}  // namespace nisc::analysis

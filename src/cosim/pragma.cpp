@@ -126,6 +126,8 @@ FilteredSource filter_pragmas(std::string_view source) {
                            ": iss_in pragma needs a statement after the annotated one");
       }
     }
+    binding.statement_line = static_cast<int>(stmt) + 1;
+    binding.breakpoint_line = static_cast<int>(bp_line) + 1;
     labels_at[bp_line].push_back(binding.label);
     out.bindings.push_back(std::move(binding));
   }

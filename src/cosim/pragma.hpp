@@ -43,10 +43,12 @@ enum class BindDirection : std::uint8_t {
 /// One pragma occurrence, before address resolution.
 struct PragmaBinding {
   BindDirection direction;
-  std::string port;        ///< SystemC iss port name
-  std::string variable;    ///< guest symbol
-  std::string label;       ///< synthetic breakpoint label injected in source
-  int pragma_line = 0;     ///< 1-based source line of the pragma
+  std::string port;         ///< SystemC iss port name
+  std::string variable;     ///< guest symbol
+  std::string label;        ///< synthetic breakpoint label injected in source
+  int pragma_line = 0;      ///< 1-based source line of the pragma
+  int statement_line = 0;   ///< 1-based line of the annotated statement
+  int breakpoint_line = 0;  ///< 1-based line the breakpoint label lands on
 };
 
 /// Output of the filter: transformed source plus binding records.

@@ -9,6 +9,15 @@
 
 namespace nisc::iss {
 
+// GCC 12's jump threading duplicates the byte accesses onto the out-of-bounds
+// path that check() terminates with a throw, producing -Warray-bounds and
+// -Wstringop-overflow reports for code that can never execute (GCC PR106297).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
+
 /// The ISS's byte-addressed memory. Accesses outside [0, size) throw
 /// RuntimeError (the CPU converts this into a MemoryFault halt).
 class Memory {
@@ -74,5 +83,9 @@ class Memory {
 
   std::vector<std::uint8_t> bytes_;
 };
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace nisc::iss

@@ -49,6 +49,7 @@ void sc_event::add_static(sc_process* process) {
   if (std::find(static_sensitive_.begin(), static_sensitive_.end(), process) ==
       static_sensitive_.end()) {
     static_sensitive_.push_back(process);
+    process->note_static_sensitized();
   }
 }
 
@@ -279,6 +280,7 @@ void sc_simcontext::initialize_processes() {
 }
 
 void sc_simcontext::run_one_delta() {
+  const std::uint64_t delta_id = stats_.delta_cycles;
   for (kernel_extension* ext : extensions_) {
     ext->on_cycle_begin(*this);
     ++stats_.extension_checks;
@@ -307,6 +309,7 @@ void sc_simcontext::run_one_delta() {
     for (sc_event* e : events) e->fire();
   }
   for (kernel_extension* ext : extensions_) ext->on_cycle_end(*this);
+  if (monitor_ != nullptr) monitor_->on_delta_end(*this, delta_id);
 }
 
 bool sc_simcontext::advance_time(const sc_time& limit) {
@@ -432,6 +435,13 @@ std::string sc_simcontext::unique_name(const std::string& base) {
 sc_object* sc_simcontext::find_object(std::string_view name) const noexcept {
   auto it = objects_by_name_.find(name);
   return it == objects_by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<sc_process*> sc_simcontext::process_list() const {
+  std::vector<sc_process*> out;
+  out.reserve(processes_.size());
+  for (const auto& process : processes_) out.push_back(process.get());
+  return out;
 }
 
 void sc_simcontext::kill_all_processes() noexcept {

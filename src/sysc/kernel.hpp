@@ -144,6 +144,11 @@ class sc_process : public sc_object {
   /// Kernel-internal flag avoiding duplicate entries in the runnable queue.
   bool runnable_flag = false;
 
+  /// Number of events in this process's static sensitivity list (maintained
+  /// by sc_event::add_static; exposed for the elaboration analysis passes).
+  std::size_t static_sensitivity_count() const noexcept { return static_sensitivity_count_; }
+  void note_static_sensitized() noexcept { ++static_sensitivity_count_; }
+
   /// Terminates a thread process by unwinding it with a kill exception.
   void kill();
 
@@ -169,6 +174,7 @@ class sc_process : public sc_object {
   bool terminated_ = false;
   bool started_ = false;
   std::uint64_t run_count_ = 0;
+  std::size_t static_sensitivity_count_ = 0;
 
   WaitMode wait_mode_ = WaitMode::Static;
   sc_event* dynamic_event_ = nullptr;
@@ -180,6 +186,28 @@ class sc_process : public sc_object {
   Turn turn_ = Turn::Kernel;
   bool kill_requested_ = false;
   std::exception_ptr pending_exception_;
+};
+
+/// Observer interface for channel-access instrumentation. The delta-cycle
+/// race detector (src/analysis/race.hpp) implements it; the kernel and the
+/// primitive channels invoke it only when a monitor is installed, so the
+/// disabled-path cost is a single pointer test per access.
+///
+/// Implementations must not throw: the hooks are called from noexcept-ish
+/// hot paths (sc_signal::read).
+class access_monitor {
+ public:
+  virtual ~access_monitor() = default;
+
+  /// A process (nullptr when called from outside any process, e.g. testbench
+  /// top-level code) wrote `channel` during delta cycle `delta`.
+  virtual void on_channel_write(const sc_object& channel, const sc_process* writer,
+                                std::uint64_t delta) = 0;
+  /// A process read `channel` during delta cycle `delta`.
+  virtual void on_channel_read(const sc_object& channel, const sc_process* reader,
+                               std::uint64_t delta) = 0;
+  /// Delta cycle `delta` finished (evaluate + update + delta-notify done).
+  virtual void on_delta_end(sc_simcontext& ctx, std::uint64_t delta) = 0;
 };
 
 /// A deferred reference to an event that may not be resolvable yet (e.g. a
@@ -276,6 +304,11 @@ class sc_simcontext {
   void register_extension(kernel_extension* extension);
   void unregister_extension(kernel_extension* extension) noexcept;
 
+  /// Installs (or clears, with nullptr) the channel-access monitor used by
+  /// the delta-cycle race detector. Non-owning; at most one at a time.
+  void set_monitor(access_monitor* monitor) noexcept { monitor_ = monitor; }
+  access_monitor* monitor() const noexcept { return monitor_; }
+
   /// iss_in / iss_out registry (paper's kernel-level port table).
   void register_iss_port(iss_port_base* port);
   iss_port_base* find_iss_port(std::string_view name) const noexcept;
@@ -318,6 +351,11 @@ class sc_simcontext {
   std::string unique_name(const std::string& base);
   sc_object* find_object(std::string_view name) const noexcept;
   std::size_t object_count() const noexcept { return objects_.size(); }
+
+  /// All live objects, in registration order (analysis passes iterate this).
+  const std::vector<sc_object*>& objects() const noexcept { return objects_; }
+  /// All processes registered with this context (non-owning views).
+  std::vector<sc_process*> process_list() const;
 
   /// RAII helper making this context current on the calling thread.
   class ContextGuard {
@@ -365,6 +403,7 @@ class sc_simcontext {
   std::vector<std::unique_ptr<sc_object>> owned_objects_;
   std::vector<kernel_extension*> extensions_;
   std::vector<iss_port_base*> iss_ports_;
+  access_monitor* monitor_ = nullptr;
 
   kernel_stats stats_;
 };

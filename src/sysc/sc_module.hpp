@@ -116,6 +116,17 @@ class sc_module : public sc_object {
     deferred_sensitivity_.clear();
   }
 
+  /// Number of not-yet-resolved deferred sensitivity entries for `process`.
+  /// Used by the pre-elaboration analysis passes: a process with pending
+  /// entries will become sensitized once elaboration resolves them.
+  std::size_t pending_sensitivity_count(const sc_process* process) const noexcept {
+    std::size_t n = 0;
+    for (const auto& [p, finder] : deferred_sensitivity_) {
+      if (p == process) ++n;
+    }
+    return n;
+  }
+
  private:
   friend class sensitive_proxy;
   std::vector<std::pair<sc_process*, event_finder>> deferred_sensitivity_;

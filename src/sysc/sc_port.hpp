@@ -5,15 +5,28 @@
 
 namespace nisc::sysc {
 
+/// Type-erased base of sc_in / sc_out, letting analysis passes enumerate
+/// signal ports and query their binding state without knowing T.
+class sc_port_base : public sc_object {
+ public:
+  using sc_object::sc_object;
+
+  /// True once the port has been bound to a signal.
+  virtual bool bound() const noexcept = 0;
+  /// "sc_in" or "sc_out" (for diagnostics).
+  virtual const char* port_kind() const noexcept = 0;
+};
+
 /// Read-only port onto an sc_signal<T>.
 template <typename T>
-class sc_in : public sc_object {
+class sc_in : public sc_port_base {
  public:
-  explicit sc_in(std::string name = "in") : sc_object(std::move(name)) {}
+  explicit sc_in(std::string name = "in") : sc_port_base(std::move(name)) {}
 
   void bind(sc_signal<T>& signal) noexcept { signal_ = &signal; }
   void operator()(sc_signal<T>& signal) noexcept { bind(signal); }
-  bool bound() const noexcept { return signal_ != nullptr; }
+  bool bound() const noexcept override { return signal_ != nullptr; }
+  const char* port_kind() const noexcept override { return "sc_in"; }
 
   const T& read() const {
     util::require(bound(), "sc_in " + name() + ": read before bind");
@@ -57,13 +70,14 @@ class sc_in : public sc_object {
 
 /// Write port onto an sc_signal<T> (reading back is allowed, as in SystemC).
 template <typename T>
-class sc_out : public sc_object {
+class sc_out : public sc_port_base {
  public:
-  explicit sc_out(std::string name = "out") : sc_object(std::move(name)) {}
+  explicit sc_out(std::string name = "out") : sc_port_base(std::move(name)) {}
 
   void bind(sc_signal<T>& signal) noexcept { signal_ = &signal; }
   void operator()(sc_signal<T>& signal) noexcept { bind(signal); }
-  bool bound() const noexcept { return signal_ != nullptr; }
+  bool bound() const noexcept override { return signal_ != nullptr; }
+  const char* port_kind() const noexcept override { return "sc_out"; }
 
   void write(const T& value) {
     util::require(bound(), "sc_out " + name() + ": write before bind");

@@ -25,10 +25,18 @@ class sc_signal : public sc_prim_channel {
         negedge_(this->name() + ".negedge") {}
 
   /// Current (updated) value.
-  const T& read() const noexcept { return current_; }
+  const T& read() const noexcept {
+    if (access_monitor* mon = context().monitor()) {
+      mon->on_channel_read(*this, current_process(), context().delta_count());
+    }
+    return current_;
+  }
 
   /// Schedules `value` to become visible in the next update phase.
   void write(const T& value) {
+    if (access_monitor* mon = context().monitor()) {
+      mon->on_channel_write(*this, current_process(), context().delta_count());
+    }
     next_ = value;
     request_update();
   }

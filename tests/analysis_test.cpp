@@ -1,0 +1,429 @@
+// Tests for the analysis subsystem: diagnostics engine, delta-cycle race
+// detector, elaboration checks, guest-program lint and the IPC frame
+// validator — each seeded-defect class must produce its diagnostic, and the
+// shipped router example must stay clean (no false positives).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/diag.hpp"
+#include "analysis/elab.hpp"
+#include "analysis/frame.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/race.hpp"
+#include "ipc/message.hpp"
+#include "router/testbench.hpp"
+#include "rtos/rtos.hpp"
+#include "sysc/sysc.hpp"
+
+namespace nisc::analysis {
+namespace {
+
+using namespace sysc::time_literals;
+
+// ---------------------------------------------------------------- DiagEngine
+
+TEST(DiagEngineTest, CountsAndRendering) {
+  DiagEngine diags;
+  diags.report(Severity::Error, "test.rule-a", "first", SourceLoc{"f.s", 3, 0});
+  diags.report(Severity::Warning, "test.rule-b", "second");
+  EXPECT_EQ(diags.errors(), 1u);
+  EXPECT_EQ(diags.warnings(), 1u);
+  EXPECT_TRUE(diags.has_rule("test.rule-a"));
+  EXPECT_FALSE(diags.has_rule("test.rule-c"));
+
+  std::string text = render_text(diags);
+  EXPECT_NE(text.find("f.s:3: error: first [test.rule-a]"), std::string::npos);
+  EXPECT_NE(text.find("1 error, 1 warning"), std::string::npos);
+
+  std::string json = render_json(diags);
+  EXPECT_NE(json.find("\"rule\":\"test.rule-b\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+}
+
+TEST(DiagEngineTest, PerRuleSuppression) {
+  DiagEngine diags;
+  diags.suppress_rule("test.noisy");
+  diags.report(Severity::Error, "test.noisy", "dropped");
+  diags.report(Severity::Error, "test.kept", "kept");
+  EXPECT_EQ(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.suppressed_count(), 1u);
+  EXPECT_TRUE(diags.has_rule("test.kept"));
+}
+
+TEST(DiagEngineTest, JsonEscaping) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// ---------------------------------------------------------------- race detector
+
+// Seeded defect: two processes write the same signal in one delta cycle.
+TEST(RaceDetectorTest, SameDeltaDoubleWriteFlagged) {
+  sysc::sc_simcontext ctx;
+  DiagEngine diags;
+  race_monitor monitor(diags);
+  race_monitor::scoped_attach attach(ctx, monitor);
+
+  sysc::sc_signal<int> sig("sig");
+  auto& a = ctx.create_method("writer_a", [&] { sig.write(1); });
+  auto& b = ctx.create_method("writer_b", [&] { sig.write(2); });
+  (void)a;
+  (void)b;
+  ctx.run(1_ns);  // both run in the initialization delta
+
+  ASSERT_TRUE(diags.has_rule("race.write-write"));
+  EXPECT_GE(monitor.total_races(), 1u);
+  const Diagnostic& d = diags.diagnostics().front();
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_NE(d.message.find("writer_a"), std::string::npos);
+  EXPECT_NE(d.message.find("writer_b"), std::string::npos);
+}
+
+TEST(RaceDetectorTest, ReadAfterWriteSameDeltaFlagged) {
+  sysc::sc_simcontext ctx;
+  DiagEngine diags;
+  race_monitor monitor(diags);
+  race_monitor::scoped_attach attach(ctx, monitor);
+
+  sysc::sc_signal<int> sig("sig");
+  int seen = 0;
+  ctx.create_method("writer", [&] { sig.write(7); });
+  ctx.create_method("reader", [&] { seen = sig.read(); });
+  ctx.run(1_ns);
+
+  EXPECT_TRUE(diags.has_rule("race.read-after-write"));
+  EXPECT_EQ(seen, 0);  // deferred update: reader saw the pre-delta value
+}
+
+// The handshake idiom — write in delta N, read in delta N+1 via the
+// value-changed notification — must stay clean.
+TEST(RaceDetectorTest, CrossDeltaHandshakeClean) {
+  sysc::sc_simcontext ctx;
+  DiagEngine diags;
+  race_monitor monitor(diags);
+  race_monitor::scoped_attach attach(ctx, monitor);
+
+  sysc::sc_signal<int> sig("sig");
+  int seen = 0;
+  auto& writer = ctx.create_method("writer", [&] { sig.write(41); });
+  (void)writer;
+  auto& reader = ctx.create_method("reader", [&] { seen = sig.read(); });
+  reader.make_sensitive(sig.value_changed_event());
+  reader.dont_initialize();
+  ctx.run(1_ns);
+
+  EXPECT_EQ(seen, 41);
+  EXPECT_TRUE(diags.empty()) << render_text(diags);
+}
+
+TEST(RaceDetectorTest, SameProcessRereadAndTestbenchAccessClean) {
+  sysc::sc_simcontext ctx;
+  DiagEngine diags;
+  race_monitor monitor(diags);
+  race_monitor::scoped_attach attach(ctx, monitor);
+
+  sysc::sc_signal<int> sig("sig");
+  sig.write(5);  // testbench write, outside any process: deterministic
+  ctx.create_method("worker", [&] {
+    sig.write(sig.read() + 1);  // same-process read+write is not a race
+  });
+  ctx.run(1_ns);
+  // Both writes shared the init delta; the worker read the pre-delta value
+  // (0) and its deferred write committed last.
+  EXPECT_EQ(sig.read(), 1);  // testbench read, outside any process
+  EXPECT_TRUE(diags.empty()) << render_text(diags);
+}
+
+TEST(RaceDetectorTest, RepeatedRaceReportedOnce) {
+  sysc::sc_simcontext ctx;
+  DiagEngine diags;
+  race_monitor monitor(diags);
+  race_monitor::scoped_attach attach(ctx, monitor);
+
+  sysc::sc_signal<int> sig("sig");
+  sysc::sc_clock clk("clk", 10_ns);
+  int value = 0;
+  auto& a = ctx.create_method("writer_a", [&] { sig.write(++value); });
+  a.make_sensitive(clk.posedge_event());
+  a.dont_initialize();
+  auto& b = ctx.create_method("writer_b", [&] { sig.write(-value); });
+  b.make_sensitive(clk.posedge_event());
+  b.dont_initialize();
+  ctx.run(1_us);  // 100 racing clock edges
+
+  std::size_t reports = 0;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.rule == "race.write-write") ++reports;
+  }
+  EXPECT_EQ(reports, 1u);                   // deduplicated per (rule, channel)
+  EXPECT_GT(monitor.total_races(), 50u);    // but every occurrence is counted
+}
+
+// ---------------------------------------------------------------- elaboration
+
+// Seeded defect: an sc_in left unbound.
+TEST(ElabCheckTest, UnboundPortFlagged) {
+  sysc::sc_simcontext ctx;
+  sysc::sc_signal<int> sig("sig");
+  sysc::sc_in<int> bound_port("bound");
+  bound_port.bind(sig);
+  sysc::sc_in<int> loose_in("loose_in");
+  sysc::sc_out<int> loose_out("loose_out");
+
+  DiagEngine diags;
+  EXPECT_EQ(check_elaboration(ctx, diags), 2u);
+  ASSERT_TRUE(diags.has_rule("elab.unbound-port"));
+  std::string text = render_text(diags);
+  EXPECT_NE(text.find("loose_in"), std::string::npos);
+  EXPECT_NE(text.find("loose_out"), std::string::npos);
+  EXPECT_EQ(text.find("'bound'"), std::string::npos);
+}
+
+TEST(ElabCheckTest, UnsensitizedIssProcessFlagged) {
+  sysc::sc_simcontext ctx;
+  sysc::sc_event ev("ev");
+  ctx.create_method("orphan", [] {}, sysc::process_kind::IssMethod);
+  auto& wired = ctx.create_method("wired", [] {}, sysc::process_kind::IssMethod);
+  wired.make_sensitive(ev);
+  ctx.create_method("plain", [] {});  // ordinary methods are not checked
+
+  DiagEngine diags;
+  check_elaboration(ctx, diags);
+  ASSERT_EQ(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].rule, "elab.iss-process-not-sensitized");
+  EXPECT_NE(diags.diagnostics()[0].message.find("orphan"), std::string::npos);
+}
+
+TEST(ElabCheckTest, IssBindingCrossChecks) {
+  sysc::sc_simcontext ctx;
+  sysc::iss_in<std::uint32_t> from_cpu("from_cpu");
+  sysc::iss_out<std::uint32_t> to_cpu("to_cpu");
+  sysc::iss_in<std::uint32_t> dangling("dangling");
+
+  std::vector<cosim::BreakpointBinding> bindings;
+  bindings.push_back({cosim::BindDirection::IssToSc, "from_cpu", "csum", 0, 0, 4});
+  bindings.push_back({cosim::BindDirection::ScToIss, "to_cpu", "word", 0, 0, 4});
+  // defect: names a port that does not exist
+  bindings.push_back({cosim::BindDirection::IssToSc, "ghost", "x", 0, 0, 4});
+  // defect: iss_out pragma targeting an iss_in port
+  bindings.push_back({cosim::BindDirection::ScToIss, "from_cpu", "y", 0, 0, 4});
+
+  DiagEngine diags;
+  check_iss_bindings(ctx, bindings, diags);
+  EXPECT_TRUE(diags.has_rule("elab.iss-port-unbound"));       // 'dangling'
+  EXPECT_TRUE(diags.has_rule("elab.binding-unknown-port"));   // 'ghost'
+  EXPECT_TRUE(diags.has_rule("elab.binding-direction"));      // 'from_cpu' as out
+  std::string text = render_text(diags);
+  EXPECT_NE(text.find("dangling"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- lint
+
+// Seeded defect: breakpoint on a missing line (pragma with nothing to
+// attach to).
+TEST(LintTest, BreakpointOnMissingLineFlagged) {
+  DiagEngine diags;
+  LintResult result = lint_guest_source(
+      "_start:\n"
+      "    nop\n"
+      "    #pragma iss_in(\"hw.port\", value)\n",
+      "seed.s", diags);
+  EXPECT_FALSE(result.assembled);
+  ASSERT_TRUE(diags.has_rule("lint.pragma"));
+  EXPECT_EQ(diags.diagnostics()[0].loc.line, 3);
+}
+
+TEST(LintTest, UndefinedLabelFlagged) {
+  DiagEngine diags;
+  LintResult result = lint_guest_source("_start:\n    j nowhere\n", "seed.s", diags);
+  EXPECT_FALSE(result.assembled);
+  ASSERT_TRUE(diags.has_rule("lint.asm"));
+  EXPECT_EQ(diags.diagnostics()[0].loc.line, 2);
+  EXPECT_NE(diags.diagnostics()[0].message.find("nowhere"), std::string::npos);
+}
+
+// Seeded defect: variable bound to a port but never touched by code.
+TEST(LintTest, BoundButUnusedVariableFlagged) {
+  DiagEngine diags;
+  lint_guest_source(
+      "_start:\n"
+      "    #pragma iss_in(\"hw.result\", dead)\n"
+      "    nop\n"
+      "    nop\n"
+      "dead: .word 0\n",
+      "seed.s", diags);
+  EXPECT_TRUE(diags.has_rule("lint.variable-unused"));
+  EXPECT_TRUE(diags.has_rule("lint.bind-direction"));  // nop is not a store
+}
+
+TEST(LintTest, DuplicateAndConflictingBindingsFlagged) {
+  DiagEngine diags;
+  lint_guest_source(
+      "_start:\n"
+      "    la t0, v\n"
+      "    #pragma iss_out(\"hw.p\", v)\n"
+      "    lw t1, 0(t0)\n"
+      "    #pragma iss_out(\"hw.p\", v)\n"
+      "    lw t2, 0(t0)\n"
+      "    #pragma iss_in(\"hw.p\", v)\n"
+      "    sw t1, 0(t0)\n"
+      "    nop\n"
+      "v: .word 0\n",
+      "seed.s", diags);
+  EXPECT_TRUE(diags.has_rule("lint.duplicate-binding"));
+  EXPECT_TRUE(diags.has_rule("lint.conflicting-binding"));
+}
+
+TEST(LintTest, UnreachableBreakpointFlagged) {
+  DiagEngine diags;
+  lint_guest_source(
+      "_start:\n"
+      "    la t0, v\n"
+      "    j _start\n"
+      "    #pragma iss_out(\"hw.p\", v)\n"
+      "    lw t1, 0(t0)\n"
+      "v: .word 0\n",
+      "seed.s", diags);
+  EXPECT_TRUE(diags.has_rule("lint.unreachable-breakpoint"));
+}
+
+TEST(LintTest, UnknownPortFlaggedAgainstDeclaredList) {
+  DiagEngine diags;
+  LintOptions options;
+  options.known_ports = {"router.to_cpu"};
+  lint_guest_source(
+      "_start:\n"
+      "    la t0, v\n"
+      "    #pragma iss_out(\"router.to_gpu\", v)\n"
+      "    lw t1, 0(t0)\n"
+      "v: .word 0\n",
+      "seed.s", diags, options);
+  EXPECT_TRUE(diags.has_rule("lint.unknown-port"));
+}
+
+TEST(LintTest, NolintCommentSuppressesRuleOnLine) {
+  DiagEngine diags;
+  lint_guest_source(
+      "_start:\n"
+      "    #pragma iss_in(\"hw.result\", dead)  # nolint(lint.variable-unused)\n"
+      "    sw t0, 0(t1)\n"
+      "    nop\n"
+      "dead: .word 0\n"
+      "t1_base: .word 0\n",
+      "seed.s", diags);
+  EXPECT_FALSE(diags.has_rule("lint.variable-unused"));
+}
+
+TEST(LintTest, LineNumbersSurviveThePragmaFilter) {
+  // The defect sits *after* two pragmas; the reported line must refer to
+  // the original file, not the filtered one.
+  DiagEngine diags;
+  lint_guest_source(
+      "_start:\n"
+      "    la t0, v\n"
+      "    #pragma iss_out(\"hw.a\", v)\n"
+      "    lw t1, 0(t0)\n"
+      "    la t2, w\n"
+      "    #pragma iss_in(\"hw.b\", w)\n"
+      "    sw t1, 0(t2)\n"
+      "    nop\n"
+      "    j missing_label\n"
+      "v: .word 0\n"
+      "w: .word 0\n",
+      "seed.s", diags);
+  ASSERT_TRUE(diags.has_rule("lint.asm"));
+  EXPECT_EQ(diags.diagnostics()[0].loc.line, 9);
+}
+
+// ---------------------------------------------------------------- frames
+
+std::vector<std::uint8_t> sample_frames() {
+  std::vector<std::uint8_t> bytes;
+  for (const ipc::DriverMessage& msg :
+       {ipc::DriverMessage::write_u32("router.from_cpu", 0xDEADBEEF),
+        ipc::DriverMessage::read_request("router.to_cpu"), ipc::DriverMessage::interrupt(3)}) {
+    std::vector<std::uint8_t> frame = ipc::encode_message(msg);
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  return bytes;
+}
+
+TEST(FrameCheckTest, WellFormedFramesPass) {
+  DiagEngine diags;
+  EXPECT_EQ(check_frames(sample_frames(), diags), 3u);
+  EXPECT_TRUE(diags.empty()) << render_text(diags);
+}
+
+// Seeded defect: truncated frame (buffer ends inside the last body).
+TEST(FrameCheckTest, TruncatedFrameFlagged) {
+  std::vector<std::uint8_t> bytes = sample_frames();
+  bytes.resize(bytes.size() - 3);
+  DiagEngine diags;
+  EXPECT_EQ(check_frames(bytes, diags), 2u);
+  ASSERT_TRUE(diags.has_rule("frame.truncated"));
+  EXPECT_EQ(diags.diagnostics()[0].loc.line, 3);  // third frame is the bad one
+}
+
+// Seeded defect: oversized frame (corrupt packet_size field).
+TEST(FrameCheckTest, OversizedFrameFlagged) {
+  std::vector<std::uint8_t> bytes = sample_frames();
+  bytes[0] = 0xFF;  // patch the first size field far beyond kMaxMessageBody
+  bytes[1] = 0xFF;
+  bytes[2] = 0xFF;
+  bytes[3] = 0xFF;
+  DiagEngine diags;
+  EXPECT_EQ(check_frames(bytes, diags), 0u);
+  EXPECT_TRUE(diags.has_rule("frame.oversized"));
+}
+
+TEST(FrameCheckTest, MalformedBodyFlagged) {
+  // A frame whose size field is consistent but whose body is garbage.
+  std::vector<std::uint8_t> bytes = {4, 0, 0, 0, 0xEE, 0xEE, 0xEE, 0xEE};
+  DiagEngine diags;
+  EXPECT_EQ(check_frames(bytes, diags), 0u);
+  EXPECT_TRUE(diags.has_rule("frame.malformed"));
+}
+
+TEST(FrameCheckTest, EmptyBufferIsClean) {
+  DiagEngine diags;
+  EXPECT_EQ(check_frames({}, diags), 0u);
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------- clean model
+
+// The shipped router example must produce zero diagnostics end to end: the
+// guest programs lint clean, the elaborated design checks clean, and a live
+// co-simulated run raises no race reports.
+TEST(CleanModelTest, RouterExampleHasNoFindings) {
+  DiagEngine diags;
+
+  LintOptions options;
+  options.known_ports = {"router.to_cpu", "router.from_cpu"};
+  LintResult gdb_guest = lint_guest_source(
+      router::word_stream_checksum_source("router.to_cpu", "router.from_cpu"),
+      "<builtin:checksum_gdb>", diags, options);
+  EXPECT_TRUE(gdb_guest.assembled);
+  EXPECT_EQ(gdb_guest.bindings.size(), 2u);
+
+  lint_guest_source(rtos::guest_abi_prelude() + router::bulk_checksum_source(),
+                    "<builtin:checksum_driver>", diags);
+
+  race_monitor monitor(diags);
+  router::TestbenchConfig config;
+  config.scheme = router::Scheme::GdbKernel;
+  config.packets_per_producer = 2;
+  config.num_producers = 2;
+  config.inter_packet_delay = 2_us;
+  router::Testbench bench(config);
+  race_monitor::scoped_attach attach(bench.context(), monitor);
+  check_elaboration(bench.context(), diags);
+  bench.run_until_drained(sysc::sc_time(50, sysc::SC_MS));
+  EXPECT_GE(bench.report().received, 1u);
+
+  EXPECT_TRUE(diags.empty()) << render_text(diags);
+  EXPECT_EQ(monitor.total_races(), 0u);
+}
+
+}  // namespace
+}  // namespace nisc::analysis

@@ -16,10 +16,6 @@ namespace {
 
 using util::RuntimeError;
 
-std::span<const std::uint8_t> bytes_of(const char* s) {
-  return {reinterpret_cast<const std::uint8_t*>(s), std::strlen(s)};
-}
-
 // ---------------------------------------------------------------- Fd
 
 TEST(FdTest, DefaultInvalid) {

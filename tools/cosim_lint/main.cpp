@@ -1,0 +1,156 @@
+// cosim_lint: standalone static analyzer for guest assembly programs, their
+// pragma port bindings, and Driver-Kernel wire frames — the paper's §3.2
+// filter tool grown into a checker (see src/analysis/lint.hpp for the rule
+// catalog, DESIGN.md §8 for the subsystem overview).
+//
+// Usage:
+//   cosim_lint [options] [file.s ...]
+//     --json               emit a JSON report instead of text
+//     --suppress RULE      drop diagnostics of RULE (repeatable)
+//     --ports p1,p2,...    declared iss port list; pragmas must stay inside it
+//     --base ADDR          guest load address (default 0)
+//     --frames FILE        validate FILE as concatenated driver-kernel frames
+//     --builtin            lint the built-in router guest programs
+//     --rtos-prelude       prepend the RTOS guest-ABI prelude (SYS_* equates)
+//                          to each linted source, as the Driver-Kernel
+//                          session does before assembling
+//     -                    read a guest program from stdin
+//
+// Exit status: 0 clean, 1 findings (any warning or error), 2 usage/IO error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/frame.hpp"
+#include "analysis/lint.hpp"
+#include "router/guest_programs.hpp"
+#include "rtos/rtos.hpp"
+#include "util/strings.hpp"
+
+using namespace nisc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--suppress RULE]... [--ports p1,p2] [--base ADDR]\n"
+               "       %*s [--rtos-prelude] [--frames FILE] [--builtin] [file.s ... | -]\n",
+               argv0, static_cast<int>(std::string(argv0).size()), "");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  analysis::DiagEngine diags;
+  analysis::LintOptions options;
+  bool json = false;
+  bool builtin = false;
+  bool rtos_prelude = false;
+  std::vector<std::string> sources;
+  std::vector<std::string> frame_files;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an argument\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--builtin") {
+      builtin = true;
+    } else if (arg == "--rtos-prelude") {
+      rtos_prelude = true;
+    } else if (arg == "--suppress") {
+      const char* rule = next();
+      if (rule == nullptr) return usage(argv[0]);
+      diags.suppress_rule(rule);
+    } else if (arg == "--ports") {
+      const char* list = next();
+      if (list == nullptr) return usage(argv[0]);
+      for (std::string_view port : util::split(list, ',')) {
+        port = util::trim(port);
+        if (!port.empty()) options.known_ports.emplace_back(port);
+      }
+    } else if (arg == "--base") {
+      const char* text = next();
+      if (text == nullptr) return usage(argv[0]);
+      auto value = util::parse_int(text);
+      if (!value || *value < 0) {
+        std::fprintf(stderr, "--base: bad address '%s'\n", text);
+        return 2;
+      }
+      options.base = static_cast<std::uint32_t>(*value);
+    } else if (arg == "--frames") {
+      const char* path = next();
+      if (path == nullptr) return usage(argv[0]);
+      frame_files.emplace_back(path);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "-" || arg[0] != '-') {
+      sources.push_back(arg);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (sources.empty() && frame_files.empty() && !builtin) return usage(argv[0]);
+
+  for (const std::string& path : sources) {
+    std::string text;
+    if (path == "-") {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      text = buf.str();
+    } else if (!read_file(path, text)) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    if (rtos_prelude) text = rtos::guest_abi_prelude() + text;
+    analysis::lint_guest_source(text, path == "-" ? "<stdin>" : path, diags, options);
+  }
+
+  if (builtin) {
+    analysis::lint_guest_source(
+        router::word_stream_checksum_source("router.to_cpu", "router.from_cpu"),
+        "<builtin:checksum_gdb>", diags, options);
+    analysis::lint_guest_source(rtos::guest_abi_prelude() + router::bulk_checksum_source(),
+                                "<builtin:checksum_driver>", diags, options);
+  }
+
+  for (const std::string& path : frame_files) {
+    std::string bytes;
+    if (!read_file(path, bytes)) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    analysis::check_frames(
+        std::span(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()), diags,
+        path);
+  }
+
+  if (json) {
+    std::fputs(analysis::render_json(diags).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fputs(analysis::render_text(diags).c_str(), stdout);
+  }
+  return diags.empty() ? 0 : 1;
+}
