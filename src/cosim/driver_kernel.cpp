@@ -21,7 +21,19 @@ bool DriverKernelExtension::delivery_safe(sysc::sc_simcontext& ctx,
   return ctx.delta_count() >= it->second + 2;
 }
 
+void DriverKernelExtension::quiesce(const std::string& reason) {
+  if (quiesced_) return;
+  quiesced_ = true;
+  error_ = make_cosim_error("driver-kernel", reason, data_.capture());
+  NISC_WARN("driver-kernel") << "offload port quiesced (simulation continues): " << reason;
+  data_.close();
+  interrupts_.close();
+  backlog_.clear();
+  pending_interrupts_.clear();
+}
+
 void DriverKernelExtension::on_cycle_begin(sysc::sc_simcontext& ctx) {
+  if (quiesced_) return;
   // Paper Fig. 5: "message to exchange?" at the start of the cycle.
   // Backlogged WRITEs (target port still draining) go first, in order.
   while (!backlog_.empty()) {
@@ -52,8 +64,10 @@ void DriverKernelExtension::on_cycle_begin(sysc::sc_simcontext& ctx) {
       }
       handle_message(ctx, *msg);
     }
-  } catch (const util::RuntimeError&) {
-    // Driver side closed; nothing more will arrive.
+  } catch (const util::RuntimeError& e) {
+    // Driver side gone or stream corrupted beyond framing: shut this port
+    // down but keep simulating.
+    quiesce(std::string("data port receive failed: ") + e.what());
   }
 }
 
@@ -93,8 +107,12 @@ void DriverKernelExtension::handle_message(sysc::sc_simcontext& ctx,
         reply.items.push_back({item.port, port->peek_bytes()});
         port->consume_fresh();
       }
-      ipc::send_message(data_, reply);
-      ++stats_.messages_out;
+      try {
+        ipc::send_message(data_, reply);
+        ++stats_.messages_out;
+      } catch (const util::RuntimeError& e) {
+        quiesce(std::string("read-reply send failed: ") + e.what());
+      }
       break;
     }
     default:
@@ -104,6 +122,7 @@ void DriverKernelExtension::handle_message(sysc::sc_simcontext& ctx,
 }
 
 void DriverKernelExtension::on_cycle_end(sysc::sc_simcontext& ctx) {
+  if (quiesced_) return;
   // Push freshly written iss_out values to the driver (asynchronous reads).
   if (options_.push_outputs) {
     auto owned = [this](const std::string& name) {
@@ -122,8 +141,9 @@ void DriverKernelExtension::on_cycle_end(sysc::sc_simcontext& ctx) {
       try {
         ipc::send_message(data_, push);
         ++stats_.messages_out;
-      } catch (const util::RuntimeError&) {
-        // Driver gone.
+      } catch (const util::RuntimeError& e) {
+        quiesce(std::string("output push failed: ") + e.what());
+        return;
       }
     }
   }
@@ -141,8 +161,8 @@ void DriverKernelExtension::on_cycle_end(sysc::sc_simcontext& ctx) {
     try {
       ipc::send_message(interrupts_, ipc::DriverMessage::interrupt(irq));
       ++stats_.interrupts_sent;
-    } catch (const util::RuntimeError&) {
-      pending_interrupts_.clear();
+    } catch (const util::RuntimeError& e) {
+      quiesce(std::string("interrupt send failed: ") + e.what());
       break;
     }
   }
@@ -161,9 +181,11 @@ void DriverKernelExtension::on_time_advance(sysc::sc_simcontext&, const sysc::sc
 bool DriverKernelExtension::on_starvation(sysc::sc_simcontext& ctx) {
   // Give the ISS slack and wait briefly for driver traffic.
   if (budget_ != nullptr) budget_->deposit(options_.instructions_per_us);
+  if (quiesced_) return false;
   try {
     if (!data_.readable(10)) return false;
-  } catch (const util::RuntimeError&) {
+  } catch (const util::RuntimeError& e) {
+    quiesce(std::string("data port poll failed: ") + e.what());
     return false;
   }
   on_cycle_begin(ctx);
@@ -181,13 +203,22 @@ ScPortDriver::ScPortDriver(ipc::Channel data, std::string write_port, std::strin
     : data_(std::move(data)), write_port_(std::move(write_port)),
       read_port_(std::move(read_port)) {}
 
+void ScPortDriver::mark_degraded(const char* what) {
+  if (!degraded_.exchange(true, std::memory_order_relaxed)) {
+    NISC_WARN("scdev") << "driver degraded (" << what
+                       << "): device writes are now swallowed";
+  }
+}
+
 std::size_t ScPortDriver::write(std::span<const std::uint8_t> data) {
+  if (degraded()) return 0;
   ipc::DriverMessage msg;
   msg.type = ipc::MsgType::Write;
   msg.items.push_back({write_port_, std::vector<std::uint8_t>(data.begin(), data.end())});
   try {
     ipc::send_message(data_, msg);
   } catch (const util::RuntimeError&) {
+    mark_degraded("send failed");
     return 0;
   }
   ++frames_sent_;
@@ -195,6 +226,7 @@ std::size_t ScPortDriver::write(std::span<const std::uint8_t> data) {
 }
 
 void ScPortDriver::drain_incoming() {
+  if (degraded()) return;
   try {
     while (auto msg = ipc::try_recv_message(data_)) {
       ++frames_received_;
@@ -205,7 +237,7 @@ void ScPortDriver::drain_incoming() {
       }
     }
   } catch (const util::RuntimeError&) {
-    // Kernel side closed.
+    mark_degraded("receive failed");
   }
 }
 
@@ -221,9 +253,11 @@ std::size_t ScPortDriver::read(std::span<std::uint8_t> out) {
 
 bool ScPortDriver::wait_incoming(int timeout_ms) {
   if (!rx_.empty()) return true;
+  if (degraded()) return false;
   try {
     return data_.readable(timeout_ms);
   } catch (const util::RuntimeError&) {
+    mark_degraded("poll failed");
     return false;
   }
 }

@@ -18,9 +18,11 @@
 #include <algorithm>
 #include <atomic>
 #include <deque>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "cosim/error.hpp"
 #include "cosim/time_budget.hpp"
 #include "ipc/message.hpp"
 #include "rtos/rtos.hpp"
@@ -71,10 +73,23 @@ class DriverKernelExtension : public sysc::kernel_extension {
   /// processes.
   void post_interrupt(std::uint32_t irq) { pending_interrupts_.push_back(irq); }
 
+  /// True once the offload port died and was quiesced: the extension stops
+  /// exchanging messages but the simulation (router, other CPUs' ports)
+  /// keeps running — graceful degradation instead of teardown.
+  bool quiesced() const noexcept { return quiesced_; }
+
+  /// The failure that caused the quiesce, with the data-port wire
+  /// post-mortem. Unset while healthy.
+  const std::optional<CosimError>& error() const noexcept { return error_; }
+
   const DriverKernelStats& stats() const noexcept { return stats_; }
 
  private:
   void handle_message(sysc::sc_simcontext& ctx, const ipc::DriverMessage& msg);
+
+  /// Shuts the data/interrupt ports down after a transport failure and
+  /// latches a CosimError; idempotent.
+  void quiesce(const std::string& reason);
 
   bool delivery_safe(sysc::sc_simcontext& ctx, const sysc::iss_port_base* port) const;
 
@@ -88,6 +103,8 @@ class DriverKernelExtension : public sysc::kernel_extension {
   std::map<const sysc::iss_port_base*, std::uint64_t> last_delivery_delta_;
   std::uint64_t last_time_ps_ = 0;
   std::uint64_t deposit_remainder_ = 0;
+  bool quiesced_ = false;
+  std::optional<CosimError> error_;
   DriverKernelStats stats_;
 };
 
@@ -106,16 +123,22 @@ class ScPortDriver : public rtos::Driver {
   /// loop while every guest thread is blocked in dev_read).
   bool wait_incoming(int timeout_ms);
 
+  /// True once the data channel died: writes are swallowed (returning 0 to
+  /// the guest) and reads only drain what already arrived.
+  bool degraded() const noexcept { return degraded_.load(std::memory_order_relaxed); }
+
   std::uint64_t frames_sent() const noexcept { return frames_sent_; }
   std::uint64_t frames_received() const noexcept { return frames_received_; }
 
  private:
   void drain_incoming();
+  void mark_degraded(const char* what);
 
   ipc::Channel data_;
   std::string write_port_;
   std::string read_port_;
   std::deque<std::uint8_t> rx_;
+  std::atomic<bool> degraded_{false};
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;
 };

@@ -13,7 +13,8 @@ GdbKernelExtension::GdbKernelExtension(rsp::GdbClient& client, TimeBudget* budge
 
 void GdbKernelExtension::on_elaboration(sysc::sc_simcontext& ctx) {
   // Validate that every binding references an existing iss port of the
-  // right direction, then install the breakpoints on the halted target.
+  // right direction (configuration mistakes propagate as LogicError), then
+  // install the breakpoints on the halted target.
   for (const BreakpointBinding& b : bindings_) {
     sysc::iss_port_base* port = ctx.find_iss_port(b.port);
     util::require(port != nullptr, "GdbKernel: no iss port named " + b.port);
@@ -24,9 +25,15 @@ void GdbKernelExtension::on_elaboration(sysc::sc_simcontext& ctx) {
       util::require(!port->is_input(), "GdbKernel: binding " + b.variable +
                                            " reads from non-output port " + b.port);
     }
-    client_.set_breakpoint(b.breakpoint_addr);
   }
-  if (options_.auto_continue) client_.cont();
+  // Transport faults during bring-up end the run with a structured error,
+  // like any mid-run failure.
+  try {
+    for (const BreakpointBinding& b : bindings_) client_.set_breakpoint(b.breakpoint_addr);
+    if (options_.auto_continue) client_.cont();
+  } catch (const util::RuntimeError& e) {
+    fail(ctx, e.what());
+  }
 }
 
 void GdbKernelExtension::on_time_advance(sysc::sc_simcontext&, const sysc::sc_time& now) {
@@ -50,21 +57,33 @@ bool GdbKernelExtension::delivery_safe(sysc::sc_simcontext& ctx,
   return ctx.delta_count() >= it->second + 2;
 }
 
+void GdbKernelExtension::fail(sysc::sc_simcontext& ctx, const std::string& what) {
+  finished_ = true;
+  if (budget_ != nullptr) budget_->close();
+  error_ = make_cosim_error("gdb-kernel", what, client_.channel().capture());
+  NISC_ERROR("gdb-kernel") << "transport failure, ending simulation: " << what;
+  ctx.stop();
+}
+
 void GdbKernelExtension::on_cycle_begin(sysc::sc_simcontext& ctx) {
   if (finished_) return;
   ++stats_.polls;
   // Service stops as long as the involved ports can absorb them; a stop
   // whose port is still draining stays deferred (the ISS remains halted:
   // backpressure instead of value loss).
-  for (;;) {
-    if (!deferred_stop_) {
-      if (!client_.running()) return;
-      deferred_stop_ = client_.poll_stop();
-      if (!deferred_stop_) return;
+  try {
+    for (;;) {
+      if (!deferred_stop_) {
+        if (!client_.running()) return;
+        deferred_stop_ = client_.poll_stop();
+        if (!deferred_stop_) return;
+      }
+      if (!service_stop(ctx, *deferred_stop_)) return;  // still deferred
+      deferred_stop_.reset();
+      if (finished_) return;
     }
-    if (!service_stop(ctx, *deferred_stop_)) return;  // still deferred
-    deferred_stop_.reset();
-    if (finished_) return;
+  } catch (const util::RuntimeError& e) {
+    fail(ctx, e.what());
   }
 }
 
@@ -80,22 +99,27 @@ void GdbKernelExtension::on_cycle_end(sysc::sc_simcontext&) {
 
 bool GdbKernelExtension::on_starvation(sysc::sc_simcontext& ctx) {
   if (finished_) return false;
-  if (deferred_stop_) {
-    // A transfer is waiting (port draining, or no fresh hardware value).
-    // Starvation means all processes ran: retry once; if it still cannot be
-    // serviced the design is genuinely deadlocked and the run ends.
-    if (!service_stop(ctx, *deferred_stop_)) return false;
-    deferred_stop_.reset();
+  try {
+    if (deferred_stop_) {
+      // A transfer is waiting (port draining, or no fresh hardware value).
+      // Starvation means all processes ran: retry once; if it still cannot
+      // be serviced the design is genuinely deadlocked and the run ends.
+      if (!service_stop(ctx, *deferred_stop_)) return false;
+      deferred_stop_.reset();
+      return true;
+    }
+    if (!client_.running()) return false;
+    // Nothing else can make progress: grant the ISS some slack and wait
+    // briefly for it to produce an event.
+    if (budget_ != nullptr) budget_->deposit(options_.instructions_per_us);
+    auto stop = client_.wait_stop(10);
+    if (!stop) return false;
+    if (!service_stop(ctx, *stop)) deferred_stop_ = *stop;
     return true;
+  } catch (const util::RuntimeError& e) {
+    fail(ctx, e.what());
+    return false;
   }
-  if (!client_.running()) return false;
-  // Nothing else can make progress: grant the ISS some slack and wait
-  // briefly for it to produce an event.
-  if (budget_ != nullptr) budget_->deposit(options_.instructions_per_us);
-  auto stop = client_.wait_stop(10);
-  if (!stop) return false;
-  if (!service_stop(ctx, *stop)) deferred_stop_ = *stop;
-  return true;
 }
 
 bool GdbKernelExtension::service_stop(sysc::sc_simcontext& ctx, const rsp::StopReply& stop) {

@@ -18,8 +18,10 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <vector>
 
+#include "cosim/error.hpp"
 #include "cosim/pragma.hpp"
 #include "cosim/time_budget.hpp"
 #include "rsp/client.hpp"
@@ -69,9 +71,17 @@ class GdbKernelExtension : public sysc::kernel_extension {
   /// True once the guest program hit its final ebreak (or faulted).
   bool target_finished() const noexcept { return finished_; }
 
+  /// Set when the scheme died on its IPC boundary (reply deadline blown,
+  /// peer gone): the simulation was stopped gracefully and this carries the
+  /// wire post-mortem.
+  const std::optional<CosimError>& error() const noexcept { return error_; }
+
   const GdbKernelStats& stats() const noexcept { return stats_; }
 
  private:
+  /// Ends the run on a transport failure: latches a CosimError with the
+  /// client channel's wire capture and stops the simulation.
+  void fail(sysc::sc_simcontext& ctx, const std::string& what);
   /// Returns false when the stop must stay deferred (port still draining).
   bool service_stop(sysc::sc_simcontext& ctx, const rsp::StopReply& stop);
 
@@ -85,6 +95,7 @@ class GdbKernelExtension : public sysc::kernel_extension {
   std::map<std::uint32_t, const BreakpointBinding*> by_addr_;
   GdbKernelOptions options_;
   bool finished_ = false;
+  std::optional<CosimError> error_;
   std::uint64_t last_time_ps_ = 0;
   std::uint64_t deposit_remainder_ = 0;
   /// A stop whose iss_in delivery must wait for the port to drain. The ISS

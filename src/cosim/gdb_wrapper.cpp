@@ -19,29 +19,47 @@ GdbWrapperModule::GdbWrapperModule(std::string name, rsp::GdbClient& client,
 void GdbWrapperModule::on_elaboration() {
   sc_module::on_elaboration();
   // Quantum mode relies on target-side breakpoints to stop at binding lines.
-  for (const BreakpointBinding& b : bindings_) client_.set_breakpoint(b.breakpoint_addr);
+  // A transport fault this early ends the run with a structured error, the
+  // same as a mid-run failure.
+  try {
+    for (const BreakpointBinding& b : bindings_) client_.set_breakpoint(b.breakpoint_addr);
+  } catch (const util::RuntimeError& e) {
+    fail(e.what());
+  }
+}
+
+void GdbWrapperModule::fail(const std::string& what) {
+  finished_ = true;
+  error_ = make_cosim_error("gdb-wrapper", what, client_.channel().capture());
+  NISC_ERROR("gdb-wrapper") << "transport failure, ending simulation: " << what;
+  context().stop();
 }
 
 void GdbWrapperModule::cycle() {
   if (finished_) return;
   ++stats_.cycles;
-  // A binding that could not be serviced yet (the hardware has not produced
-  // a fresh value): the ISS holds at its breakpoint line until it can. The
-  // per-cycle lock-step synchronization still happens — in [14] the host OS
-  // mediates ISS<->SystemC synchronization through IPC on *every* cycle,
-  // which is precisely the overhead the proposed schemes remove.
-  if (pending_binding_ != nullptr) {
-    if (!service_breakpoint(*pending_binding_)) {
-      (void)client_.read_pc();  // blocking sync round trip, result unused
-      ++stats_.steps;
-      return;
+  try {
+    // A binding that could not be serviced yet (the hardware has not
+    // produced a fresh value): the ISS holds at its breakpoint line until it
+    // can. The per-cycle lock-step synchronization still happens — in [14]
+    // the host OS mediates ISS<->SystemC synchronization through IPC on
+    // *every* cycle, which is precisely the overhead the proposed schemes
+    // remove.
+    if (pending_binding_ != nullptr) {
+      if (!service_breakpoint(*pending_binding_)) {
+        (void)client_.read_pc();  // blocking sync round trip, result unused
+        ++stats_.steps;
+        return;
+      }
+      pending_binding_ = nullptr;
     }
-    pending_binding_ = nullptr;
-  }
-  if (options_.mode == LockstepMode::Quantum) {
-    cycle_quantum();
-  } else {
-    cycle_single_step();
+    if (options_.mode == LockstepMode::Quantum) {
+      cycle_quantum();
+    } else {
+      cycle_single_step();
+    }
+  } catch (const util::RuntimeError& e) {
+    fail(e.what());
   }
 }
 

@@ -20,8 +20,10 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <vector>
 
+#include "cosim/error.hpp"
 #include "cosim/pragma.hpp"
 #include "rsp/client.hpp"
 #include "sysc/iss_port.hpp"
@@ -55,12 +57,19 @@ class GdbWrapperModule : public sysc::sc_module {
   sysc::sc_in<bool> clk{"clk"};
 
   bool target_finished() const noexcept { return finished_; }
+
+  /// Set when the lock-step transport died (reply deadline blown, peer
+  /// gone): the simulation was stopped and this carries the wire
+  /// post-mortem.
+  const std::optional<CosimError>& error() const noexcept { return error_; }
+
   const GdbWrapperStats& stats() const noexcept { return stats_; }
 
   void on_elaboration() override;
 
  private:
   void cycle();
+  void fail(const std::string& what);
   void cycle_quantum();
   void cycle_single_step();
   /// Returns false when the binding must wait (no fresh hardware value).
@@ -74,6 +83,7 @@ class GdbWrapperModule : public sysc::sc_module {
   GdbWrapperOptions options_;
   const BreakpointBinding* pending_binding_ = nullptr;
   bool finished_ = false;
+  std::optional<CosimError> error_;
   GdbWrapperStats stats_;
 };
 

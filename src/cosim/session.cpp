@@ -1,17 +1,41 @@
 #include "cosim/session.hpp"
 
 #include <chrono>
+#include <thread>
 
 #include "iss/assembler.hpp"
+#include "util/deadline.hpp"
 #include "util/log.hpp"
 
 namespace nisc::cosim {
+
+namespace {
+
+/// Waits for `exited` under a deadline, then joins. All target-side
+/// blocking paths are individually bounded, so the join after an expired
+/// deadline still terminates; the log line tells the operator which session
+/// overstayed.
+void join_with_deadline(const char* who, std::thread& thread, const std::atomic<bool>& exited,
+                        int timeout_ms) {
+  if (!thread.joinable()) return;
+  const util::Deadline deadline = util::Deadline::after_ms(timeout_ms);
+  while (!exited.load(std::memory_order_acquire) && !deadline.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (!exited.load(std::memory_order_acquire)) {
+    NISC_ERROR(who) << "target thread still running after " << timeout_ms
+                    << " ms; joining anyway (bounded I/O deadlines will release it)";
+  }
+  thread.join();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // GdbTarget
 
 GdbTarget::GdbTarget(const std::string& guest_source, GdbTargetConfig config)
-    : config_(config) {
+    : config_(std::move(config)) {
   FilteredSource filtered = filter_pragmas(guest_source);
   program_ = iss::assemble(filtered.source);
   bindings_ = resolve_bindings(filtered.bindings, program_);
@@ -21,17 +45,31 @@ GdbTarget::GdbTarget(const std::string& guest_source, GdbTargetConfig config)
   cpu_->reset(program_.entry);
 
   ipc::ChannelPair pair = ipc::make_channel_pair(config_.transport);
+  pair.a.set_io_timeout(config_.io_timeout_ms);
+  pair.b.set_io_timeout(config_.io_timeout_ms);
+  if (!config_.fault_plan.empty()) {
+    fault_state_ = ipc::FaultyChannel::install(pair.a, config_.fault_plan);
+  }
+  if (config_.capture_wire) {
+    capture_ = std::make_shared<ipc::WireCapture>("gdb", config_.capture_frames);
+    pair.b.attach_capture(capture_);
+  }
   rsp::StubOptions stub_options;
   stub_options.quantum = config_.stub_quantum;
   if (config_.throttled) {
-    stub_options.acquire_quantum = [this](std::uint64_t want) { return budget_.acquire(want); };
+    stub_options.acquire_quantum = [this](std::uint64_t want) {
+      std::uint64_t granted = budget_.acquire_for(want, config_.stall_timeout_ms);
+      if (granted > 0) progress_.fetch_add(1, std::memory_order_relaxed);
+      return granted;
+    };
     // A halted CPU does not consume simulated time: park its allowance so
     // the reverse throttle never mistakes a breakpoint stop for a slow CPU.
     stub_options.on_run_state = [this](bool running) { budget_.set_idle(!running); };
     budget_.set_idle(true);  // the stub starts halted
   }
   stub_ = std::make_unique<rsp::GdbStub>(*cpu_, std::move(pair.a), std::move(stub_options));
-  client_ = std::make_unique<rsp::GdbClient>(std::move(pair.b));
+  client_ = std::make_unique<rsp::GdbClient>(std::move(pair.b),
+                                             rsp::ClientOptions{config_.reply_timeout_ms});
 }
 
 GdbTarget::~GdbTarget() { shutdown(); }
@@ -39,7 +77,13 @@ GdbTarget::~GdbTarget() { shutdown(); }
 void GdbTarget::start() {
   util::require(!started_, "GdbTarget::start called twice");
   started_ = true;
-  thread_ = std::thread([this] { stub_->serve(); });
+  if (config_.watchdog && config_.throttled) {
+    watchdog_ = std::make_unique<LivenessWatchdog>("gdb-target", progress_, &budget_);
+  }
+  thread_ = std::thread([this] {
+    stub_->serve();
+    exited_.store(true, std::memory_order_release);
+  });
 }
 
 void GdbTarget::shutdown() {
@@ -53,10 +97,12 @@ void GdbTarget::shutdown() {
     }
     client_->kill();
   } catch (const util::RuntimeError&) {
-    // Transport already gone; the join below still succeeds because the
-    // stub exits on EOF.
+    // Transport already gone; the stub also exits on EOF or its bounded
+    // serve tick after request_stop below.
   }
-  if (thread_.joinable()) thread_.join();
+  stub_->request_stop();
+  join_with_deadline("gdb-target", thread_, exited_, config_.join_timeout_ms);
+  if (watchdog_) watchdog_->stop();
 }
 
 // ---------------------------------------------------------------------------
@@ -74,6 +120,17 @@ DriverTarget::DriverTarget(const std::string& guest_source, DriverTargetConfig c
 
   ipc::ChannelPair data = ipc::make_channel_pair(config_.transport);
   ipc::ChannelPair irq = ipc::make_channel_pair(config_.transport);
+  data.a.set_io_timeout(config_.io_timeout_ms);
+  data.b.set_io_timeout(config_.io_timeout_ms);
+  irq.a.set_io_timeout(config_.io_timeout_ms);
+  irq.b.set_io_timeout(config_.io_timeout_ms);
+  if (!config_.fault_plan.empty()) {
+    fault_state_ = ipc::FaultyChannel::install(data.b, config_.fault_plan);
+  }
+  if (config_.capture_wire) {
+    capture_ = std::make_shared<ipc::WireCapture>("drv-data", config_.capture_frames);
+    data.a.attach_capture(capture_);
+  }
   data_kernel_side_ = std::move(data.a);
   irq_kernel_side_ = std::move(irq.a);
   irq_target_side_ = std::move(irq.b);
@@ -100,8 +157,14 @@ ipc::Channel DriverTarget::take_interrupt_endpoint() {
 void DriverTarget::start() {
   util::require(!started_, "DriverTarget::start called twice");
   started_ = true;
+  if (config_.watchdog && config_.throttled) {
+    watchdog_ = std::make_unique<LivenessWatchdog>("driver-target", progress_, &budget_);
+  }
   pump_ = std::make_unique<InterruptPump>(std::move(irq_target_side_), *kernel_);
-  thread_ = std::thread([this] { run_loop(); });
+  thread_ = std::thread([this] {
+    run_loop();
+    exited_.store(true, std::memory_order_release);
+  });
 }
 
 void DriverTarget::run_loop() {
@@ -114,10 +177,20 @@ void DriverTarget::run_loop() {
     const std::uint64_t cycles_before = cpu_->cycles();
     rtos::RunStatus status = kernel_->run(config_.run_quantum);
     last_status_.store(status);
-    if (config_.throttled) {
+    progress_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.throttled && !throttle_lost_.load(std::memory_order_relaxed)) {
       const std::uint64_t cost = cpu_->cycles() - cycles_before;
-      if (cost > 0 && !budget_.pay(cost) && status == rtos::RunStatus::Budget) {
-        break;  // budget closed: shutdown
+      if (cost > 0 && !budget_.pay_for(cost, config_.pay_timeout_ms)) {
+        if (budget_.closed()) {
+          if (status == rtos::RunStatus::Budget) break;  // shutdown
+        } else {
+          // The SystemC side stopped depositing (stalled or quiesced this
+          // port): abandon time correlation rather than deadlock the guest.
+          NISC_WARN("driver-target")
+              << "allowance not settled within " << config_.pay_timeout_ms
+              << " ms: time correlation lost, continuing unthrottled";
+          throttle_lost_.store(true, std::memory_order_relaxed);
+        }
       }
     }
     switch (status) {
@@ -135,7 +208,11 @@ void DriverTarget::run_loop() {
         // Every guest thread is blocked in dev_read: the CPU idles, burning
         // its allowance doing nothing, until device data arrives.
         budget_.set_idle(true);
-        driver_->wait_incoming(1);
+        if (!driver_->wait_incoming(1) && driver_->degraded()) {
+          // No data will ever arrive on a degraded driver: idle politely
+          // instead of hot-spinning until shutdown.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
         budget_.set_idle(false);
         break;
       case rtos::RunStatus::Budget:
@@ -149,8 +226,9 @@ void DriverTarget::shutdown() {
   shut_down_ = true;
   stop_.store(true);
   budget_.close();
-  if (thread_.joinable()) thread_.join();
+  join_with_deadline("driver-target", thread_, exited_, config_.join_timeout_ms);
   if (pump_) pump_->stop();
+  if (watchdog_) watchdog_->stop();
 }
 
 }  // namespace nisc::cosim

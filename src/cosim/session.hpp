@@ -16,7 +16,10 @@
 #include "cosim/driver_kernel.hpp"
 #include "cosim/pragma.hpp"
 #include "cosim/time_budget.hpp"
+#include "cosim/watchdog.hpp"
+#include "ipc/capture.hpp"
 #include "ipc/channel.hpp"
+#include "ipc/fault.hpp"
 #include "iss/cpu.hpp"
 #include "iss/program.hpp"
 #include "rsp/client.hpp"
@@ -35,6 +38,22 @@ struct GdbTargetConfig {
   std::uint64_t stub_quantum = 1024;
   /// Meter ISS execution against a TimeBudget fed by the SystemC side.
   bool throttled = true;
+  /// Fault-injection plan installed on the stub-side endpoint (empty =
+  /// healthy transport, zero overhead).
+  ipc::FaultPlan fault_plan;
+  /// Ring-buffer the client-side wire traffic for post-mortems.
+  bool capture_wire = true;
+  std::size_t capture_frames = 32;
+  /// Client reply deadline (see rsp::ClientOptions).
+  int reply_timeout_ms = 10000;
+  /// Hard deadline on every blocking channel send/recv.
+  int io_timeout_ms = 30000;
+  /// How long shutdown() waits for the target thread before complaining.
+  int join_timeout_ms = 10000;
+  /// Throttle stall bound: acquire gives up (granting 0) after this long.
+  int stall_timeout_ms = 10000;
+  /// Run a LivenessWatchdog over the target thread (throttled runs only).
+  bool watchdog = false;
 };
 
 class GdbTarget {
@@ -52,6 +71,13 @@ class GdbTarget {
   rsp::GdbClient& client() noexcept { return *client_; }
   TimeBudget& budget() noexcept { return budget_; }
   const rsp::GdbStub& stub() const noexcept { return *stub_; }
+
+  /// Fault-injection stats handle (null without a fault_plan).
+  const std::shared_ptr<ipc::FaultState>& fault_state() const noexcept { return fault_state_; }
+  /// Client-side wire capture (null when capture_wire is off).
+  const std::shared_ptr<ipc::WireCapture>& capture() const noexcept { return capture_; }
+  /// Liveness monitor (null unless enabled and started).
+  LivenessWatchdog* watchdog() noexcept { return watchdog_.get(); }
 
   /// The CPU is owned by the target thread while running; inspect it only
   /// before start() or after shutdown().
@@ -71,6 +97,11 @@ class GdbTarget {
   TimeBudget budget_;
   std::unique_ptr<rsp::GdbStub> stub_;
   std::unique_ptr<rsp::GdbClient> client_;
+  std::shared_ptr<ipc::FaultState> fault_state_;
+  std::shared_ptr<ipc::WireCapture> capture_;
+  std::atomic<std::uint64_t> progress_{0};
+  std::unique_ptr<LivenessWatchdog> watchdog_;
+  std::atomic<bool> exited_{false};
   std::thread thread_;
   bool started_ = false;
   bool shut_down_ = false;
@@ -89,6 +120,21 @@ struct DriverTargetConfig {
   std::string read_port;
   std::uint64_t run_quantum = 2048;
   bool throttled = true;
+  /// Fault-injection plan installed on the driver-side data endpoint.
+  ipc::FaultPlan fault_plan;
+  /// Ring-buffer the kernel-side data traffic for post-mortems.
+  bool capture_wire = true;
+  std::size_t capture_frames = 32;
+  /// Hard deadline on every blocking channel send/recv.
+  int io_timeout_ms = 30000;
+  /// Pay-after settlement bound: when the SystemC side stops depositing for
+  /// this long, time correlation is abandoned (the guest keeps running
+  /// unthrottled) instead of deadlocking the target thread.
+  int pay_timeout_ms = 5000;
+  /// How long shutdown() waits for the target thread before complaining.
+  int join_timeout_ms = 10000;
+  /// Run a LivenessWatchdog over the target thread (throttled runs only).
+  bool watchdog = false;
 };
 
 class DriverTarget {
@@ -112,6 +158,15 @@ class DriverTarget {
   iss::Cpu& cpu() noexcept { return *cpu_; }
   const ScPortDriver& driver() const noexcept { return *driver_; }
 
+  /// Fault-injection stats handle (null without a fault_plan).
+  const std::shared_ptr<ipc::FaultState>& fault_state() const noexcept { return fault_state_; }
+  /// Kernel-side data-port wire capture (null when capture_wire is off).
+  const std::shared_ptr<ipc::WireCapture>& capture() const noexcept { return capture_; }
+  /// Liveness monitor (null unless enabled and started).
+  LivenessWatchdog* watchdog() noexcept { return watchdog_.get(); }
+  /// True once the target abandoned time correlation (pay deadline blown).
+  bool throttle_lost() const noexcept { return throttle_lost_.load(); }
+
   /// Launches the RTOS scheduling loop and the interrupt listener thread.
   void start();
 
@@ -134,6 +189,12 @@ class DriverTarget {
   ipc::Channel data_kernel_side_;
   ipc::Channel irq_kernel_side_;
   ipc::Channel irq_target_side_;
+  std::shared_ptr<ipc::FaultState> fault_state_;
+  std::shared_ptr<ipc::WireCapture> capture_;
+  std::atomic<std::uint64_t> progress_{0};
+  std::unique_ptr<LivenessWatchdog> watchdog_;
+  std::atomic<bool> exited_{false};
+  std::atomic<bool> throttle_lost_{false};
   std::unique_ptr<InterruptPump> pump_;
   std::thread thread_;
   std::atomic<bool> stop_{false};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/deadline.hpp"
+
 namespace nisc::cosim {
 
 void TimeBudget::deposit(std::uint64_t tokens) {
@@ -18,10 +20,22 @@ void TimeBudget::deposit(std::uint64_t tokens) {
   cv_.notify_all();
 }
 
-std::uint64_t TimeBudget::acquire(std::uint64_t want) {
+std::uint64_t TimeBudget::acquire(std::uint64_t want) { return acquire_for(want, -1); }
+
+std::uint64_t TimeBudget::acquire_for(std::uint64_t want, int timeout_ms) {
+  const util::Deadline deadline = util::Deadline::after_ms(timeout_ms);
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return tokens_ > 0 || closed_; });
-  if (closed_ && tokens_ == 0) return 0;
+  for (;;) {
+    if (tokens_ > 0) break;
+    if (closed_) return 0;
+    const int remaining = deadline.remaining_ms();
+    if (remaining < 0) {
+      cv_.wait(lock);
+    } else {
+      if (remaining == 0) return 0;  // timed out (caller checks closed())
+      cv_.wait_for(lock, std::chrono::milliseconds(remaining));
+    }
+  }
   std::uint64_t granted = std::min(want, tokens_);
   tokens_ -= granted;
   drained_.notify_all();
@@ -40,6 +54,16 @@ bool TimeBudget::pay(std::uint64_t amount) {
   while (amount > 0) {
     std::uint64_t got = acquire(amount);
     if (got == 0) return false;  // closed
+    amount -= got;
+  }
+  return true;
+}
+
+bool TimeBudget::pay_for(std::uint64_t amount, int timeout_ms) {
+  const util::Deadline deadline = util::Deadline::after_ms(timeout_ms);
+  while (amount > 0) {
+    std::uint64_t got = acquire_for(amount, deadline.remaining_ms());
+    if (got == 0) return false;  // closed or deadline hit; remainder forgiven
     amount -= got;
   }
   return true;
@@ -71,6 +95,11 @@ void TimeBudget::close() {
 bool TimeBudget::closed() const {
   std::lock_guard lock(mutex_);
   return closed_;
+}
+
+bool TimeBudget::idle() const {
+  std::lock_guard lock(mutex_);
+  return idle_;
 }
 
 std::uint64_t TimeBudget::available() const {

@@ -27,6 +27,10 @@ class TimeBudget {
   /// (0 only when closed).
   std::uint64_t acquire(std::uint64_t want);
 
+  /// Bounded variant: additionally gives up after `timeout_ms` (< 0 waits
+  /// forever). Returns 0 on timeout or close — distinguish via closed().
+  std::uint64_t acquire_for(std::uint64_t want, int timeout_ms);
+
   /// Non-blocking variant; returns 0 when no tokens are available.
   std::uint64_t try_acquire(std::uint64_t want);
 
@@ -34,6 +38,12 @@ class TimeBudget {
   /// the ISS runs a slice first, then pays its measured cycle cost).
   /// Returns false when the budget was closed before the debt was settled.
   bool pay(std::uint64_t amount);
+
+  /// Bounded variant of pay(): gives up after `timeout_ms` total (< 0 waits
+  /// forever). Returns false on timeout or close — distinguish via
+  /// closed(); on timeout the unsettled remainder is forgiven (the caller
+  /// degrades to unthrottled execution rather than deadlock).
+  bool pay_for(std::uint64_t amount, int timeout_ms);
 
   /// Blocks until fewer than `level` tokens remain unconsumed, the budget
   /// is closed, or `timeout_ms` elapses. Returns true when the level was
@@ -52,6 +62,7 @@ class TimeBudget {
   void close();
 
   bool closed() const;
+  bool idle() const;
   std::uint64_t available() const;
 
  private:

@@ -1,0 +1,75 @@
+#include "cosim/watchdog.hpp"
+
+#include <chrono>
+
+#include "util/log.hpp"
+
+namespace nisc::cosim {
+
+LivenessWatchdog::LivenessWatchdog(std::string name, const std::atomic<std::uint64_t>& progress,
+                                   const TimeBudget* budget, WatchdogConfig config)
+    : name_(std::move(name)), progress_(progress), budget_(budget), config_(config) {
+  thread_ = std::thread([this] { run(); });
+}
+
+LivenessWatchdog::~LivenessWatchdog() { stop(); }
+
+void LivenessWatchdog::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::string LivenessWatchdog::report() const {
+  std::lock_guard lock(mutex_);
+  return report_;
+}
+
+void LivenessWatchdog::run() {
+  std::uint64_t last_progress = progress_.load(std::memory_order_relaxed);
+  int stalled_ms = 0;
+  std::unique_lock lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(config_.check_interval_ms),
+                 [&] { return stop_requested_; });
+    if (stop_requested_) break;
+
+    const std::uint64_t now = progress_.load(std::memory_order_relaxed);
+    if (now != last_progress) {
+      last_progress = now;
+      stalled_ms = 0;
+      continue;
+    }
+    if (budget_ != nullptr && (budget_->closed() || budget_->idle())) {
+      // Halted at a breakpoint or past guest exit: silence is expected.
+      stalled_ms = 0;
+      continue;
+    }
+    stalled_ms += config_.check_interval_ms;
+    if (stalled_ms < config_.stall_threshold_ms || tripped_.load(std::memory_order_relaxed)) {
+      continue;
+    }
+
+    std::string diagnosis;
+    if (budget_ == nullptr) {
+      diagnosis = "no budget attached; cannot attribute the stall";
+    } else if (budget_->available() > 0) {
+      diagnosis = "allowance available (" + std::to_string(budget_->available()) +
+                  " instructions) but not consumed: the ISS/target side is blocked";
+    } else {
+      diagnosis = "no allowance deposited: the SystemC side stopped advancing time";
+    }
+    const std::string report = "[" + name_ + "] no progress for " + std::to_string(stalled_ms) +
+                               " ms: " + diagnosis;
+    report_ = report;
+    tripped_.store(true, std::memory_order_release);
+    lock.unlock();
+    NISC_WARN("watchdog") << report;
+    lock.lock();
+  }
+}
+
+}  // namespace nisc::cosim

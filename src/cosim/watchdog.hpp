@@ -1,0 +1,77 @@
+// LivenessWatchdog: detects a co-simulation that is silently stuck.
+//
+// The throttled schemes interleave two failure-prone waits: the ISS thread
+// waits on its TimeBudget allowance, and the SystemC side waits on ISS
+// traffic. Both waits are individually bounded, but a protocol-level wedge
+// (a lost frame both sides wait out) shows up only as *no progress*. The
+// watchdog samples an atomic progress counter the target thread bumps on
+// every slice; if the counter stops moving for `stall_threshold_ms` it
+// diagnoses which side is blocked from the budget state:
+//
+//   allowance available, consumer not idle -> the ISS/target side is stuck
+//     (it has instructions to burn and is not burning them);
+//   no allowance and consumer not idle     -> the SystemC side is stuck
+//     (it stopped depositing simulated time);
+//   consumer idle or budget closed          -> not a stall (halted at a
+//     breakpoint / guest exited): the watchdog stays quiet.
+//
+// The watchdog never kills anything — it trips a flag, logs one warning
+// with the diagnosis, and leaves the decision to the session/test.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cosim/time_budget.hpp"
+
+namespace nisc::cosim {
+
+struct WatchdogConfig {
+  /// Sampling period.
+  int check_interval_ms = 100;
+  /// No-progress duration that counts as a stall.
+  int stall_threshold_ms = 2000;
+};
+
+class LivenessWatchdog {
+ public:
+  /// Watches `progress` (bumped by the target thread) against `budget`
+  /// (may be null: then only total silence is reported, unattributed).
+  /// Monitoring starts immediately on a background thread.
+  LivenessWatchdog(std::string name, const std::atomic<std::uint64_t>& progress,
+                   const TimeBudget* budget, WatchdogConfig config = {});
+  ~LivenessWatchdog();
+
+  LivenessWatchdog(const LivenessWatchdog&) = delete;
+  LivenessWatchdog& operator=(const LivenessWatchdog&) = delete;
+
+  /// Stops the monitor thread (idempotent; the destructor calls it).
+  void stop();
+
+  /// True once a stall was diagnosed (latched).
+  bool tripped() const noexcept { return tripped_.load(std::memory_order_acquire); }
+
+  /// The diagnosis ("[name] no progress for N ms: ..."); empty until tripped.
+  std::string report() const;
+
+ private:
+  void run();
+
+  std::string name_;
+  const std::atomic<std::uint64_t>& progress_;
+  const TimeBudget* budget_;
+  WatchdogConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::string report_;
+  std::atomic<bool> tripped_{false};
+  std::thread thread_;
+};
+
+}  // namespace nisc::cosim

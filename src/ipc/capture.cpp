@@ -1,0 +1,61 @@
+#include "ipc/capture.hpp"
+
+#include <sstream>
+
+#include "ipc/message.hpp"
+#include "util/hex.hpp"
+
+namespace nisc::ipc {
+
+WireCapture::WireCapture(std::string label, std::size_t max_frames)
+    : label_(std::move(label)), max_frames_(max_frames == 0 ? 1 : max_frames) {}
+
+void WireCapture::record(CaptureDir dir, std::span<const std::uint8_t> bytes) {
+  std::lock_guard lock(mutex_);
+  ring_.push_back(Entry{dir, next_seq_++, {bytes.begin(), bytes.end()}});
+  while (ring_.size() > max_frames_) ring_.pop_front();
+}
+
+std::vector<std::uint8_t> WireCapture::dump() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::uint8_t> out;
+  for (const Entry& entry : ring_) {
+    DriverMessage msg;
+    msg.type = MsgType::Write;
+    msg.items.push_back(MsgItem{
+        label_ + (entry.dir == CaptureDir::Tx ? ".tx#" : ".rx#") + std::to_string(entry.seq),
+        entry.bytes});
+    std::vector<std::uint8_t> frame = encode_message(msg);
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  return out;
+}
+
+std::string WireCapture::render_text(std::size_t max_bytes_per_entry) const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  for (const Entry& entry : ring_) {
+    out << label_ << (entry.dir == CaptureDir::Tx ? " tx#" : " rx#") << entry.seq << " ("
+        << entry.bytes.size() << " bytes)";
+    const std::size_t shown = std::min(entry.bytes.size(), max_bytes_per_entry);
+    if (shown > 0) {
+      out << ' '
+          << util::hex_encode(std::span<const std::uint8_t>(entry.bytes.data(), shown));
+      if (shown < entry.bytes.size()) out << "...";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::size_t WireCapture::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t WireCapture::total_recorded() const {
+  std::lock_guard lock(mutex_);
+  return next_seq_;
+}
+
+}  // namespace nisc::ipc

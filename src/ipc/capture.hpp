@@ -1,0 +1,62 @@
+// Wire-capture ring buffer: the last N transfers seen on a channel, kept
+// for post-mortem diagnosis when a co-simulation scheme dies on its IPC
+// boundary.
+//
+// Each recorded transfer is one send()/recv() on the channel, tagged with
+// its direction and a monotonically increasing sequence number. dump()
+// re-frames the ring as a stream of Driver-Kernel wire frames (one WRITE
+// message per transfer, port "<label>.tx#<seq>" / "<label>.rx#<seq>", data =
+// the raw bytes) — exactly the concatenated-frame format that
+// `cosim_lint --frames` validates, so a crash dump from any scheme (RSP
+// traffic included) can be inspected with the analysis tooling from PR 1.
+//
+// Thread-safe: the channel's reader and writer threads record concurrently.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nisc::ipc {
+
+enum class CaptureDir : std::uint8_t { Tx, Rx };
+
+class WireCapture {
+ public:
+  /// `label` prefixes the pseudo-port names in dumps; the ring keeps the
+  /// most recent `max_frames` transfers.
+  explicit WireCapture(std::string label, std::size_t max_frames = 32);
+
+  void record(CaptureDir dir, std::span<const std::uint8_t> bytes);
+
+  /// Serializes the ring, oldest first, as concatenated Driver-Kernel
+  /// frames (`u32 size | body`), readable by `cosim_lint --frames` and
+  /// analysis::check_frames.
+  std::vector<std::uint8_t> dump() const;
+
+  /// One-line-per-transfer human rendering (direction, size, hex prefix).
+  std::string render_text(std::size_t max_bytes_per_entry = 16) const;
+
+  const std::string& label() const noexcept { return label_; }
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  std::uint64_t total_recorded() const;
+
+ private:
+  struct Entry {
+    CaptureDir dir;
+    std::uint64_t seq;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  mutable std::mutex mutex_;
+  std::string label_;
+  std::size_t max_frames_;
+  std::uint64_t next_seq_ = 0;
+  std::deque<Entry> ring_;
+};
+
+}  // namespace nisc::ipc

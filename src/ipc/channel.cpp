@@ -1,13 +1,18 @@
 #include "ipc/channel.hpp"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
 
+#include "ipc/capture.hpp"
+#include "ipc/fault.hpp"
 #include "util/error.hpp"
 
 namespace nisc::ipc {
@@ -22,8 +27,81 @@ Channel Channel::from_socket(Fd socket_fd) {
   return Channel(std::move(socket_fd), std::move(write_side));
 }
 
+void Channel::set_io_timeout(int timeout_ms) {
+  io_timeout_ms_ = timeout_ms;
+  // A deadline is only enforceable when a wait can EAGAIN out to poll; the
+  // unlimited default keeps the seed's one-syscall blocking hot path.
+  if (timeout_ms >= 0) {
+    if (read_fd_.valid()) set_nonblocking(read_fd_, true);
+    if (write_fd_.valid()) set_nonblocking(write_fd_, true);
+  }
+}
+
+void Channel::send(std::span<const std::uint8_t> data) {
+  if (!faults_) {
+    write_all(write_fd_, data, io_timeout_ms_);
+    if (capture_) capture_->record(CaptureDir::Tx, data);
+    return;
+  }
+  SendVerdict verdict = faults_->on_send(data);
+  if (verdict.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(verdict.delay_us));
+  }
+  for (int i = 0; i < verdict.copies; ++i) {
+    write_all(write_fd_, verdict.bytes, io_timeout_ms_);
+    if (capture_) capture_->record(CaptureDir::Tx, verdict.bytes);
+  }
+  if (verdict.close_after) close();
+}
+
 void Channel::send_str(const std::string& s) {
   send(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void Channel::recv_exact(std::span<std::uint8_t> out) {
+  if (!faults_) {
+    read_exact(read_fd_, out, io_timeout_ms_);
+    if (capture_) capture_->record(CaptureDir::Rx, out);
+    return;
+  }
+  // A short-read fault splits the transfer; recv_exact still fills `out`,
+  // the split only exercises the peer's partial-write tolerance.
+  const std::size_t cap = faults_->recv_cap();
+  if (cap < out.size()) {
+    read_exact(read_fd_, out.first(cap), io_timeout_ms_);
+    read_exact(read_fd_, out.subspan(cap), io_timeout_ms_);
+  } else {
+    read_exact(read_fd_, out, io_timeout_ms_);
+  }
+  faults_->on_received(out);
+  if (capture_) capture_->record(CaptureDir::Rx, out);
+}
+
+bool Channel::readable(int timeout_ms) {
+  if (faults_ && faults_->suppress_poll()) {
+    // Storm in progress: report "nothing there" but do not busy-spin the
+    // caller's poll loop.
+    if (timeout_ms != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(std::min(timeout_ms < 0 ? 1 : timeout_ms, 1)));
+    }
+    return false;
+  }
+  return poll_readable(read_fd_, timeout_ms);
+}
+
+std::size_t Channel::recv_some(std::span<std::uint8_t> out) {
+  if (!faults_) {
+    std::size_t n = read_some_nonblocking(read_fd_, out);
+    if (n > 0 && capture_) capture_->record(CaptureDir::Rx, out.first(n));
+    return n;
+  }
+  const std::size_t cap = faults_->recv_cap();
+  std::size_t n = read_some_nonblocking(read_fd_, out.first(std::min(cap, out.size())));
+  if (n > 0) {
+    faults_->on_received(out.first(n));
+    if (capture_) capture_->record(CaptureDir::Rx, out.first(n));
+  }
+  return n;
 }
 
 namespace {
@@ -57,8 +135,17 @@ ChannelPair make_socketpair_pair() {
 ChannelPair make_tcp_pair() {
   TcpListener listener(0);
   Channel client = tcp_connect(listener.port());
-  Channel server = listener.accept();
+  Channel server = listener.accept(30000);
   return ChannelPair{std::move(server), std::move(client)};
+}
+
+/// Applies the post-connect socket options shared by both TCP paths.
+Channel finish_tcp_socket(Fd sock) {
+  int one = 1;
+  ::setsockopt(sock.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // The socket stays blocking (connect() never returns EINPROGRESS);
+  // set_io_timeout flips it non-blocking when a deadline is installed.
+  return Channel::from_socket(std::move(sock));
 }
 
 }  // namespace
@@ -85,7 +172,8 @@ TcpListener::TcpListener(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    throw RuntimeError(std::string("bind: ") + std::strerror(errno));
+    throw RuntimeError(std::string("bind port ") + std::to_string(port) + ": " +
+                       std::strerror(errno));
   }
   if (::listen(fd, 4) < 0) throw RuntimeError(std::string("listen: ") + std::strerror(errno));
 
@@ -96,18 +184,28 @@ TcpListener::TcpListener(std::uint16_t port) {
   port_ = ntohs(addr.sin_port);
 }
 
-Channel TcpListener::accept() {
+Channel TcpListener::accept(int timeout_ms) {
+  if (!poll_readable(listen_fd_, timeout_ms)) {
+    throw RuntimeError("accept: timed out after " + std::to_string(timeout_ms) +
+                       " ms waiting for a peer on port " + std::to_string(port_));
+  }
   int fd;
   do {
     fd = ::accept(listen_fd_.get(), nullptr, nullptr);
   } while (fd < 0 && errno == EINTR);
   if (fd < 0) throw RuntimeError(std::string("accept: ") + std::strerror(errno));
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Channel::from_socket(Fd(fd));
+  return finish_tcp_socket(Fd(fd));
 }
 
-Channel tcp_connect(std::uint16_t port) {
+Channel TcpListener::try_accept() {
+  if (!poll_readable(listen_fd_, 0)) return Channel();
+  return accept(0);
+}
+
+namespace {
+
+/// One connect attempt; returns an invalid Fd on ECONNREFUSED (retryable).
+Fd tcp_connect_once(std::uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw RuntimeError(std::string("socket: ") + std::strerror(errno));
   Fd sock(fd);
@@ -120,10 +218,36 @@ Channel tcp_connect(std::uint16_t port) {
   do {
     rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   } while (rc < 0 && errno == EINTR);
-  if (rc < 0) throw RuntimeError(std::string("connect: ") + std::strerror(errno));
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Channel::from_socket(std::move(sock));
+  if (rc < 0) {
+    if (errno == ECONNREFUSED) return Fd();
+    throw RuntimeError(std::string("connect port ") + std::to_string(port) + ": " +
+                       std::strerror(errno));
+  }
+  return sock;
+}
+
+}  // namespace
+
+Channel tcp_connect(std::uint16_t port) {
+  Fd sock = tcp_connect_once(port);
+  if (!sock.valid()) {
+    throw RuntimeError("connect port " + std::to_string(port) + ": Connection refused");
+  }
+  return finish_tcp_socket(std::move(sock));
+}
+
+Channel tcp_connect(std::uint16_t port, const RetryPolicy& policy) {
+  Backoff backoff(policy);
+  for (;;) {
+    Fd sock = tcp_connect_once(port);
+    if (sock.valid()) return finish_tcp_socket(std::move(sock));
+    int delay = backoff.next_delay_ms();
+    if (delay < 0) {
+      throw RuntimeError("connect port " + std::to_string(port) + ": Connection refused after " +
+                         std::to_string(backoff.attempts_made()) + " attempt(s)");
+    }
+    backoff_sleep_ms(delay);
+  }
 }
 
 const char* transport_name(Transport transport) noexcept {

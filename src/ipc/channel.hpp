@@ -1,6 +1,15 @@
 // Byte-stream channels: pipes, socketpairs, and TCP — the transports the
 // paper's two co-simulation schemes use (a pipe for GDB-Kernel, sockets on
 // the data port 4444 / interrupt port 4445 for Driver-Kernel).
+//
+// Every channel carries two optional decorations, both null by default so
+// the undecorated hot path costs one pointer check per I/O call:
+//   - a FaultState (ipc/fault.hpp): a seeded fault-injection plan that can
+//     corrupt, truncate, drop, duplicate, delay, or cut transfers;
+//   - a WireCapture (ipc/capture.hpp): a ring buffer of the last N
+//     transfers, dumpable as a `cosim_lint --frames` post-mortem.
+// Blocking sends/receives are bounded by a per-channel I/O timeout; all
+// channel descriptors are O_NONBLOCK so write deadlines are enforceable.
 #pragma once
 
 #include <cstdint>
@@ -8,8 +17,12 @@
 #include <string>
 
 #include "ipc/fd.hpp"
+#include "ipc/retry.hpp"
 
 namespace nisc::ipc {
+
+class FaultState;
+class WireCapture;
 
 /// A bidirectional byte-stream endpoint. Reading and writing may happen from
 /// different threads (one reader, one writer).
@@ -26,11 +39,29 @@ class Channel {
   const Fd& read_fd() const noexcept { return read_fd_; }
   const Fd& write_fd() const noexcept { return write_fd_; }
 
-  void send(std::span<const std::uint8_t> data) { write_all(write_fd_, data); }
+  /// Hard deadline (ms) for each blocking send/recv_exact; < 0 waits
+  /// forever (the raw-channel default: one read/write syscall per
+  /// transfer). A finite deadline switches the descriptors to non-blocking
+  /// so every wait can be bounded by poll — the co-simulation sessions
+  /// install one on every endpoint they create.
+  void set_io_timeout(int timeout_ms);
+  int io_timeout() const noexcept { return io_timeout_ms_; }
+
+  void send(std::span<const std::uint8_t> data);
   void send_str(const std::string& s);
-  void recv_exact(std::span<std::uint8_t> out) { read_exact(read_fd_, out); }
-  bool readable(int timeout_ms = 0) { return poll_readable(read_fd_, timeout_ms); }
-  std::size_t recv_some(std::span<std::uint8_t> out) { return read_some_nonblocking(read_fd_, out); }
+  void recv_exact(std::span<std::uint8_t> out);
+  bool readable(int timeout_ms = 0);
+  std::size_t recv_some(std::span<std::uint8_t> out);
+
+  /// Installs a fault plan state (normally via FaultyChannel::install).
+  void attach_faults(std::shared_ptr<FaultState> faults) noexcept { faults_ = std::move(faults); }
+  const std::shared_ptr<FaultState>& faults() const noexcept { return faults_; }
+
+  /// Installs a wire-capture ring recording every transfer on this channel.
+  void attach_capture(std::shared_ptr<WireCapture> capture) noexcept {
+    capture_ = std::move(capture);
+  }
+  const std::shared_ptr<WireCapture>& capture() const noexcept { return capture_; }
 
   /// Closes both directions.
   void close() noexcept {
@@ -41,6 +72,9 @@ class Channel {
  private:
   Fd read_fd_;
   Fd write_fd_;
+  int io_timeout_ms_ = -1;
+  std::shared_ptr<FaultState> faults_;
+  std::shared_ptr<WireCapture> capture_;
 };
 
 /// Two channel endpoints wired back-to-back.
@@ -67,16 +101,24 @@ class TcpListener {
 
   std::uint16_t port() const noexcept { return port_; }
 
-  /// Blocks until a peer connects; returns the accepted channel.
-  Channel accept();
+  /// Waits up to `timeout_ms` (< 0: forever) for a peer; throws
+  /// RuntimeError("accept: timed out...") on expiry.
+  Channel accept(int timeout_ms = -1);
+
+  /// Non-blocking accept: returns an invalid Channel when nobody is
+  /// waiting.
+  Channel try_accept();
 
  private:
   Fd listen_fd_;
   std::uint16_t port_ = 0;
 };
 
-/// Connects to a loopback TCP listener.
+/// Connects to a loopback TCP listener. The second overload retries refused
+/// connections under `policy` (exponential backoff with seeded jitter) —
+/// the Driver-Kernel guest may boot before the SystemC side is listening.
 Channel tcp_connect(std::uint16_t port);
+Channel tcp_connect(std::uint16_t port, const RetryPolicy& policy);
 
 /// Human-readable transport name (for bench output).
 const char* transport_name(Transport transport) noexcept;

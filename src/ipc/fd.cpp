@@ -7,10 +7,12 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 
 namespace nisc::ipc {
 
+using util::Deadline;
 using util::RuntimeError;
 
 namespace {
@@ -24,6 +26,24 @@ void ignore_sigpipe_once() {
   }();
   (void)installed;
 }
+
+/// Polls for `events`, honoring the deadline across EINTR restarts.
+/// Returns true when an event fired, false on deadline expiry.
+bool poll_deadline(const Fd& fd, short events, const Deadline& deadline, const char* who) {
+  for (;;) {
+    struct pollfd pfd = {fd.get(), events, 0};
+    int rc = ::poll(&pfd, 1, deadline.remaining_ms());
+    if (rc < 0) {
+      if (errno == EINTR) {
+        if (deadline.expired()) return false;
+        continue;  // re-poll with the *remaining* time, not the original
+      }
+      throw RuntimeError(std::string(who) + ": poll: " + std::strerror(errno));
+    }
+    if (rc == 0) return false;
+    return true;
+  }
+}
 }  // namespace
 
 void Fd::reset() noexcept {
@@ -33,17 +53,20 @@ void Fd::reset() noexcept {
   }
 }
 
-void write_all(const Fd& fd, std::span<const std::uint8_t> data) {
+void write_all(const Fd& fd, std::span<const std::uint8_t> data, int timeout_ms) {
   ignore_sigpipe_once();
+  const Deadline deadline = Deadline::after_ms(timeout_ms);
   std::size_t written = 0;
   while (written < data.size()) {
     ssize_t n = ::write(fd.get(), data.data() + written, data.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // Channel is blocking in normal operation; wait for writability.
-        struct pollfd pfd = {fd.get(), POLLOUT, 0};
-        ::poll(&pfd, 1, -1);
+        // Peer not draining: wait for writability, bounded by the deadline.
+        if (!poll_deadline(fd, POLLOUT, deadline, "write_all")) {
+          throw RuntimeError("write_all: timed out with " +
+                             std::to_string(data.size() - written) + " byte(s) unsent");
+        }
         continue;
       }
       throw RuntimeError(std::string("write_all: ") + std::strerror(errno));
@@ -53,15 +76,18 @@ void write_all(const Fd& fd, std::span<const std::uint8_t> data) {
   }
 }
 
-void read_exact(const Fd& fd, std::span<std::uint8_t> out) {
+void read_exact(const Fd& fd, std::span<std::uint8_t> out, int timeout_ms) {
+  const Deadline deadline = Deadline::after_ms(timeout_ms);
   std::size_t got = 0;
   while (got < out.size()) {
     ssize_t n = ::read(fd.get(), out.data() + got, out.size() - got);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        struct pollfd pfd = {fd.get(), POLLIN, 0};
-        ::poll(&pfd, 1, -1);
+        if (!poll_deadline(fd, POLLIN, deadline, "read_exact")) {
+          throw RuntimeError("read_exact: timed out with " +
+                             std::to_string(out.size() - got) + " byte(s) missing");
+        }
         continue;
       }
       throw RuntimeError(std::string("read_exact: ") + std::strerror(errno));
@@ -72,11 +98,17 @@ void read_exact(const Fd& fd, std::span<std::uint8_t> out) {
 }
 
 bool poll_readable(const Fd& fd, int timeout_ms) {
-  struct pollfd pfd = {fd.get(), POLLIN, 0};
+  const Deadline deadline = Deadline::after_ms(timeout_ms);
   for (;;) {
-    int rc = ::poll(&pfd, 1, timeout_ms);
+    struct pollfd pfd = {fd.get(), POLLIN, 0};
+    int rc = ::poll(&pfd, 1, deadline.remaining_ms());
     if (rc < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        // Recompute the remaining time: repeated signals must not restart
+        // the full timeout (they used to, making the wait unbounded).
+        if (deadline.expired()) return false;
+        continue;
+      }
       throw RuntimeError(std::string("poll_readable: ") + std::strerror(errno));
     }
     if (rc == 0) return false;

@@ -3,6 +3,10 @@
 // All inter-simulator traffic in niscosim (GDB remote-serial-protocol
 // streams, Driver-Kernel data/interrupt sockets) flows through real kernel
 // file descriptors, mirroring the paper's pipe/socket IPC.
+//
+// Every potentially-blocking helper takes a timeout so no IPC path can hang
+// the co-simulation forever: timeouts are tracked as monotonic deadlines,
+// so EINTR retries and partial transfers never extend the total wait.
 #pragma once
 
 #include <cstddef>
@@ -47,14 +51,17 @@ class Fd {
 };
 
 /// Writes all of `data`, retrying on EINTR and short writes. Throws
-/// RuntimeError on error or EOF (peer closed).
-void write_all(const Fd& fd, std::span<const std::uint8_t> data);
+/// RuntimeError on error, EOF (peer closed), or when the whole transfer has
+/// not completed within `timeout_ms` (< 0 waits forever).
+void write_all(const Fd& fd, std::span<const std::uint8_t> data, int timeout_ms = -1);
 
-/// Reads exactly `out.size()` bytes. Throws RuntimeError on error/EOF.
-void read_exact(const Fd& fd, std::span<std::uint8_t> out);
+/// Reads exactly `out.size()` bytes. Throws RuntimeError on error/EOF or
+/// when the whole transfer has not completed within `timeout_ms`.
+void read_exact(const Fd& fd, std::span<std::uint8_t> out, int timeout_ms = -1);
 
 /// Returns true when at least one byte is readable without blocking.
-/// `timeout_ms` < 0 blocks indefinitely; 0 polls.
+/// `timeout_ms` < 0 blocks indefinitely; 0 polls. The timeout is a hard
+/// deadline: EINTR retries re-poll only for the remaining time.
 bool poll_readable(const Fd& fd, int timeout_ms);
 
 /// Non-blocking read of up to `out.size()` bytes. Returns the number of

@@ -1,0 +1,24 @@
+#include "ipc/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace nisc::ipc {
+
+int Backoff::next_delay_ms() {
+  ++attempt_;
+  if (attempt_ >= policy_.max_attempts) return -1;
+  double base = std::min(next_ms_, static_cast<double>(policy_.max_backoff_ms));
+  next_ms_ = next_ms_ * policy_.multiplier;
+  double jittered = base * (1.0 + policy_.jitter * rng_.next_double());
+  jittered = std::min(jittered, static_cast<double>(policy_.max_backoff_ms));
+  return std::max(0, static_cast<int>(jittered));
+}
+
+void backoff_sleep_ms(int ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace nisc::ipc

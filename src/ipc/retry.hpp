@@ -1,0 +1,58 @@
+// RetryPolicy: bounded retries with exponential backoff and seeded jitter.
+//
+// Used by the TCP connect/accept paths in channel.cpp (a Driver-Kernel
+// peer may race its listener at startup) and available to any caller that
+// must survive transient IPC failures. Jitter is drawn from util::Rng so a
+// given (policy, seed) pair always produces the same delay sequence —
+// failure-injection runs stay reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace nisc::ipc {
+
+struct RetryPolicy {
+  /// Total attempts (the first try included). 1 disables retrying.
+  int max_attempts = 5;
+  /// Delay before the second attempt.
+  int initial_backoff_ms = 2;
+  /// Each subsequent delay is the previous one times this factor.
+  double multiplier = 2.0;
+  /// Upper bound on any single delay.
+  int max_backoff_ms = 100;
+  /// Fraction of the delay drawn uniformly at random and *added* to it
+  /// (0.25 -> delays land in [d, 1.25 d]): decorrelates peers that fail
+  /// together without ever retrying early.
+  double jitter = 0.25;
+  /// Seed for the jitter stream.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+};
+
+/// Iterates the delay schedule of a RetryPolicy.
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy)
+      : policy_(policy), rng_(policy.seed), next_ms_(policy.initial_backoff_ms) {}
+
+  /// True while another attempt is allowed.
+  bool attempts_left() const noexcept { return attempt_ < policy_.max_attempts; }
+
+  /// Records an attempt; returns the delay (ms) to sleep before the next
+  /// one, or -1 when the attempt budget is exhausted.
+  int next_delay_ms();
+
+  int attempts_made() const noexcept { return attempt_; }
+
+ private:
+  RetryPolicy policy_;
+  util::Rng rng_;
+  int attempt_ = 0;
+  double next_ms_;
+};
+
+/// Sleeps for `ms` milliseconds (EINTR-proof).
+void backoff_sleep_ms(int ms);
+
+}  // namespace nisc::ipc

@@ -47,6 +47,10 @@ Testbench::Testbench(TestbenchConfig config) : config_(config) {
       case Scheme::GdbKernel: {
         cosim::GdbTargetConfig tc;
         tc.transport = config_.transport.value_or(ipc::Transport::Pipe);
+        tc.fault_plan = config_.fault_plan;
+        tc.reply_timeout_ms = config_.reply_timeout_ms;
+        tc.io_timeout_ms = config_.io_timeout_ms;
+        tc.watchdog = config_.watchdog;
         auto target = std::make_unique<cosim::GdbTarget>(
             word_stream_checksum_source(router_->to_cpu_port_name(cpu),
                                         router_->from_cpu_port_name(cpu)),
@@ -65,6 +69,9 @@ Testbench::Testbench(TestbenchConfig config) : config_(config) {
         cosim::GdbTargetConfig tc;
         tc.transport = config_.transport.value_or(ipc::Transport::Pipe);
         tc.throttled = false;  // the wrapper's explicit lock-step paces the ISS
+        tc.fault_plan = config_.fault_plan;
+        tc.reply_timeout_ms = config_.reply_timeout_ms;
+        tc.io_timeout_ms = config_.io_timeout_ms;
         auto target = std::make_unique<cosim::GdbTarget>(
             word_stream_checksum_source(router_->to_cpu_port_name(cpu),
                                         router_->from_cpu_port_name(cpu)),
@@ -84,6 +91,10 @@ Testbench::Testbench(TestbenchConfig config) : config_(config) {
         cosim::DriverTargetConfig dc;
         dc.transport = config_.transport.value_or(ipc::Transport::SocketPair);
         dc.rtos = config_.rtos;
+        dc.fault_plan = config_.fault_plan;
+        dc.io_timeout_ms = config_.io_timeout_ms;
+        dc.pay_timeout_ms = config_.pay_timeout_ms;
+        dc.watchdog = config_.watchdog;
         dc.write_port = router_->from_cpu_port_name(cpu);
         dc.read_port = router_->to_cpu_port_name(cpu);
         auto target = std::make_unique<cosim::DriverTarget>(bulk_checksum_source(), dc);
@@ -134,6 +145,40 @@ void Testbench::run_until_drained(sysc::sc_time max_duration, sysc::sc_time wind
         r.received + r.dropped_input + r.dropped_no_route + r.dropped_output;
     if (producers_done && settled == r.produced) return;
   }
+}
+
+std::optional<cosim::CosimError> Testbench::cosim_error() const {
+  for (const auto& ext : gdb_exts_) {
+    if (ext->error()) return ext->error();
+  }
+  for (const cosim::GdbWrapperModule* wrapper : wrappers_) {
+    if (wrapper->error()) return wrapper->error();
+  }
+  for (const auto& ext : driver_exts_) {
+    if (ext->error()) return ext->error();
+  }
+  return std::nullopt;
+}
+
+bool Testbench::degraded() const {
+  for (const auto& ext : driver_exts_) {
+    if (ext->quiesced()) return true;
+  }
+  for (const auto& target : driver_targets_) {
+    if (target->throttle_lost() || target->driver().degraded()) return true;
+  }
+  return false;
+}
+
+std::uint64_t Testbench::faults_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& target : gdb_targets_) {
+    if (target->fault_state()) total += target->fault_state()->stats().total_injected();
+  }
+  for (const auto& target : driver_targets_) {
+    if (target->fault_state()) total += target->fault_state()->stats().total_injected();
+  }
+  return total;
 }
 
 TestbenchReport Testbench::report() const {

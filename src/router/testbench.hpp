@@ -46,6 +46,17 @@ struct TestbenchConfig {
   /// IPC transport (pipe for GDB schemes, sockets for Driver-Kernel, as in
   /// the paper; override for the transport ablation).
   std::optional<ipc::Transport> transport;
+  /// Fault-injection plan installed on every CPU's target-side transport
+  /// (the stub endpoint for the GDB schemes, the driver data endpoint for
+  /// Driver-Kernel). Empty = healthy wire, zero overhead.
+  ipc::FaultPlan fault_plan;
+  /// Resilience knobs forwarded to each session (see cosim::GdbTargetConfig
+  /// / DriverTargetConfig). Matrix tests shrink these so every fault cell
+  /// settles quickly.
+  int reply_timeout_ms = 10000;
+  int io_timeout_ms = 30000;
+  int pay_timeout_ms = 5000;
+  bool watchdog = false;
 };
 
 struct TestbenchReport {
@@ -91,6 +102,20 @@ class Testbench {
 
   /// Snapshot of all statistics.
   TestbenchReport report() const;
+
+  /// First structured failure across every session (GDB-Kernel extension,
+  /// GDB-Wrapper module, Driver-Kernel extension), if any ended the run or
+  /// quiesced its port. Carries the wire post-mortem.
+  std::optional<cosim::CosimError> cosim_error() const;
+
+  /// True when any session degraded without a hard failure: a Driver-Kernel
+  /// port quiesced, a device driver stopped exchanging data, or a target
+  /// abandoned time correlation.
+  bool degraded() const;
+
+  /// Total transport faults injected across all sessions (0 when
+  /// `fault_plan` is empty).
+  std::uint64_t faults_injected() const;
 
   /// Stops the ISS side; called automatically on destruction.
   void shutdown();

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/hex.hpp"
 #include "util/strings.hpp"
@@ -10,7 +11,8 @@ namespace nisc::rsp {
 
 using util::RuntimeError;
 
-GdbClient::GdbClient(ipc::Channel channel) : channel_(std::move(channel)) {}
+GdbClient::GdbClient(ipc::Channel channel, ClientOptions options)
+    : channel_(std::move(channel)), options_(options) {}
 
 void GdbClient::send_frame(const std::string& payload) {
   last_frame_ = frame_packet(payload);
@@ -27,6 +29,7 @@ void GdbClient::pump(bool blocking, int timeout_ms) {
 }
 
 std::string GdbClient::await_reply() {
+  const util::Deadline deadline = util::Deadline::after_ms(options_.reply_timeout_ms);
   for (;;) {
     while (auto event = reader_.next()) {
       switch (event->kind) {
@@ -42,7 +45,11 @@ std::string GdbClient::await_reply() {
           break;  // not expected on the client side
       }
     }
-    pump(/*blocking=*/true);
+    if (deadline.expired()) {
+      throw RuntimeError("GdbClient: no reply to " + last_frame_ + " within " +
+                         std::to_string(options_.reply_timeout_ms) + " ms");
+    }
+    pump(/*blocking=*/true, deadline.remaining_ms());
   }
 }
 
@@ -186,6 +193,9 @@ std::optional<StopReply> GdbClient::poll_stop() {
 
 std::optional<StopReply> GdbClient::wait_stop(int timeout_ms) {
   util::require(running_, "GdbClient::wait_stop while target halted");
+  // A single deadline bounds the whole wait: re-polling after stray acks or
+  // partial frames must not re-arm the full timeout (it used to).
+  const util::Deadline deadline = util::Deadline::after_ms(timeout_ms);
   for (;;) {
     ++stats_.stop_polls;
     while (auto event = reader_.next()) {
@@ -196,8 +206,8 @@ std::optional<StopReply> GdbClient::wait_stop(int timeout_ms) {
         return parse_stop(event->payload);
       }
     }
-    if (!channel_.readable(timeout_ms)) return std::nullopt;
-    pump(/*blocking=*/false);
+    if (deadline.expired()) return std::nullopt;
+    if (channel_.readable(deadline.remaining_ms())) pump(/*blocking=*/false);
   }
 }
 

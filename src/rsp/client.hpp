@@ -32,9 +32,16 @@ struct ClientStats {
   std::uint64_t stops_received = 0;
 };
 
+struct ClientOptions {
+  /// Hard deadline for each synchronous reply (transact/step/run_quantum);
+  /// < 0 waits forever. On expiry the client throws RuntimeError naming the
+  /// unanswered request — a hung stub can no longer hang the SystemC side.
+  int reply_timeout_ms = 10000;
+};
+
 class GdbClient {
  public:
-  explicit GdbClient(ipc::Channel channel);
+  explicit GdbClient(ipc::Channel channel, ClientOptions options = {});
 
   // -- raw protocol ---------------------------------------------------------
 
@@ -93,6 +100,10 @@ class GdbClient {
 
   const ClientStats& stats() const noexcept { return stats_; }
 
+  /// The underlying transport (e.g. to reach an attached WireCapture).
+  ipc::Channel& channel() noexcept { return channel_; }
+  const ipc::Channel& channel() const noexcept { return channel_; }
+
  private:
   void send_frame(const std::string& payload);
   void pump(bool blocking, int timeout_ms = -1);
@@ -100,6 +111,7 @@ class GdbClient {
   static StopReply parse_stop(const std::string& payload);
 
   ipc::Channel channel_;
+  ClientOptions options_;
   PacketReader reader_;
   bool running_ = false;
   std::string last_frame_;

@@ -27,10 +27,17 @@ GdbStub::GdbStub(iss::Cpu& cpu, ipc::Channel channel, StubOptions options)
 
 void GdbStub::serve() {
   while (!done_) {
+    if (stop_requested_.load(std::memory_order_relaxed)) break;
     if (state_ == State::Halted) {
       pump_transport(/*blocking=*/true);
     } else {
-      bool progressed = run_slice();
+      bool progressed = false;
+      try {
+        progressed = run_slice();
+      } catch (const util::RuntimeError&) {
+        done_ = true;  // stop reply could not be delivered
+        break;
+      }
       if (!progressed && state_ == State::Running) {
         // Throttle granted nothing (e.g. budget closed at teardown): avoid a
         // hard spin while still reacting promptly to packets.
@@ -45,7 +52,11 @@ void GdbStub::serve() {
     while (!done_) {
       auto event = reader_.next();
       if (!event) break;
-      handle_event(*event);
+      try {
+        handle_event(*event);
+      } catch (const util::RuntimeError&) {
+        done_ = true;  // transport died mid-reply (peer gone / fault cut it)
+      }
     }
   }
 }
@@ -67,8 +78,9 @@ void GdbStub::pump_transport(bool blocking) {
   std::uint8_t buf[512];
   try {
     if (blocking) {
-      // Block for the first byte, then drain whatever is available.
-      if (!channel_.readable(-1)) return;
+      // Wait for the first byte in bounded ticks (not forever) so serve()
+      // re-checks done_/stop_requested_ even when the peer goes silent.
+      if (!channel_.readable(100)) return;
     }
     std::size_t n = channel_.recv_some(buf);
     if (n > 0) reader_.feed(std::span<const std::uint8_t>(buf, n));

@@ -17,6 +17,7 @@
 // byte halts the target.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -49,13 +50,18 @@ class GdbStub {
  public:
   GdbStub(iss::Cpu& cpu, ipc::Channel channel, StubOptions options = {});
 
-  /// Serves requests until 'k' (kill), 'D' (detach) or transport EOF.
-  /// Run this on the dedicated target thread.
+  /// Serves requests until 'k' (kill), 'D' (detach), transport EOF/error,
+  /// or request_stop(). Run this on the dedicated target thread. Never
+  /// blocks unboundedly: while halted it wakes every ~100 ms to re-check
+  /// its exit conditions.
   void serve();
 
   /// Processes at most one pending event without blocking; returns false
   /// when nothing was pending. Useful for single-threaded tests.
   bool poll();
+
+  /// Asks serve() (possibly on another thread) to return at its next tick.
+  void request_stop() noexcept { stop_requested_.store(true, std::memory_order_relaxed); }
 
   const StubStats& stats() const noexcept { return stats_; }
 
@@ -84,6 +90,7 @@ class GdbStub {
   PacketReader reader_;
   State state_ = State::Halted;
   bool done_ = false;
+  std::atomic<bool> stop_requested_{false};
   std::string last_frame_;  // for Nak retransmission
   StubStats stats_;
 };

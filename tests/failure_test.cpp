@@ -3,12 +3,15 @@
 // the co-simulation.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
 #include "cosim/driver_kernel.hpp"
 #include "cosim/gdb_kernel.hpp"
 #include "cosim/session.hpp"
+#include "cosim/watchdog.hpp"
+#include "ipc/fault.hpp"
 #include "ipc/message.hpp"
 #include "iss/assembler.hpp"
 #include "rsp/client.hpp"
@@ -24,52 +27,45 @@ using namespace nisc::sysc::time_literals;
 // ---------------------------------------------------------------- RSP layer
 
 TEST(RspFailure, ClientSurvivesCorruptedReplyViaNak) {
-  // A proxy thread corrupts the first stop-reply frame; the client NAKs and
-  // the stub retransmits, so the transaction still completes.
+  // The stub-side endpoint corrupts byte 1 of its first reply *frame* (the
+  // CorruptByte defer rule skips the one-byte "+" ack): the client NAKs,
+  // the stub retransmits, and the transaction still completes.
   iss::Cpu cpu(1 << 16);
   iss::Program prog = iss::assemble("ebreak\n");
   prog.load_into(cpu.mem());
 
-  auto stub_side = ipc::make_channel_pair(ipc::Transport::SocketPair);
-  auto client_side = ipc::make_channel_pair(ipc::Transport::SocketPair);
-  rsp::GdbStub stub(cpu, std::move(stub_side.a));
-  rsp::GdbClient client(std::move(client_side.a));
-
-  std::atomic<bool> stop{false};
-  std::thread proxy([&] {
-    // stub_side.b <-> client_side.b, flipping one byte of the first frame
-    // from the stub.
-    bool corrupted = false;
-    std::uint8_t buf[512];
-    while (!stop.load()) {
-      if (client_side.b.readable(5)) {
-        std::size_t n = client_side.b.recv_some(buf);
-        if (n > 0) stub_side.b.send(std::span<const std::uint8_t>(buf, n));
-      }
-      if (stub_side.b.readable(5)) {
-        std::size_t n = stub_side.b.recv_some(buf);
-        if (n > 0) {
-          if (!corrupted) {
-            for (std::size_t i = 0; i < n; ++i) {
-              if (buf[i] == '$' && i + 1 < n) {
-                buf[i + 1] ^= 0x01;  // corrupt the first payload byte
-                corrupted = true;
-                break;
-              }
-            }
-          }
-          client_side.b.send(std::span<const std::uint8_t>(buf, n));
-        }
-      }
-    }
-  });
+  auto pair = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  auto faults = ipc::FaultyChannel::install(pair.a, ipc::FaultPlan{}.corrupt_send(1, 1));
+  rsp::GdbStub stub(cpu, std::move(pair.a));
+  rsp::GdbClient client(std::move(pair.b));
   std::thread serve([&] { stub.serve(); });
 
   EXPECT_EQ(client.transact("?"), "S05");  // survives the corruption
+  EXPECT_EQ(faults->stats().injected[static_cast<int>(ipc::FaultKind::CorruptByte)], 1u);
   client.kill();
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  stop.store(true);
-  proxy.join();
+  serve.join();
+}
+
+TEST(RspFailure, ClientGivesUpWhenEveryReplyIsDropped) {
+  // All stub frames vanish: await_reply must throw at its deadline instead
+  // of blocking forever.
+  iss::Cpu cpu(1 << 16);
+  auto pair = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  ipc::FaultPlan plan;
+  plan.specs.push_back({ipc::FaultKind::Drop, ipc::FaultDir::Send, /*nth=*/1, /*every=*/1,
+                        /*count=*/1, /*arg=*/0, /*min_size=*/2, /*probability=*/1.0});
+  ipc::FaultyChannel::install(pair.a, plan);
+  rsp::GdbStub stub(cpu, std::move(pair.a));
+  rsp::GdbClient client(std::move(pair.b), rsp::ClientOptions{/*reply_timeout_ms=*/200});
+  std::thread serve([&] { stub.serve(); });
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.transact("?"), util::RuntimeError);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 150);
+  EXPECT_LT(elapsed, 5000);
+  stub.request_stop();
   serve.join();
 }
 
@@ -225,6 +221,86 @@ TEST(GdbSessionFailure, DoubleShutdownIsIdempotent) {
   target.start();
   target.shutdown();
   target.shutdown();
+}
+
+TEST(GdbSessionFailure, MidFrameDisconnectYieldsStructuredError) {
+  // The stub's first sizeable frame (the ebreak stop reply) is cut after
+  // two bytes and the transport closed: the kernel extension must end the
+  // run with a CosimError carrying a wire post-mortem, never crash or hang.
+  sysc::sc_simcontext ctx;
+  sysc::sc_clock clk("clk", 10_ns);
+  cosim::GdbTargetConfig config;
+  config.fault_plan.disconnect_send(1, 2);
+  config.reply_timeout_ms = 500;
+  config.io_timeout_ms = 1000;
+  config.throttled = false;
+  cosim::GdbTarget target("_start:\n  ebreak\n", config);
+  cosim::GdbKernelOptions options;
+  options.instructions_per_us = 1000000;
+  cosim::GdbKernelExtension ext(target.client(), nullptr, {}, options);
+  ctx.register_extension(&ext);
+  target.start();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!ext.error() && !ext.target_finished() &&
+         std::chrono::steady_clock::now() < deadline) {
+    ctx.run(1_us);
+  }
+  ASSERT_TRUE(ext.error().has_value());
+  EXPECT_EQ(ext.error()->scheme, "gdb-kernel");
+  EXPECT_FALSE(ext.error()->message.empty());
+  EXPECT_FALSE(ext.error()->post_mortem.empty());
+  target.shutdown();
+  ctx.unregister_extension(&ext);
+}
+
+// ---------------------------------------------------------------- Watchdog
+
+TEST(WatchdogFailure, TripsAndBlamesTheIssWhenAllowanceGoesUnconsumed) {
+  cosim::TimeBudget budget;
+  budget.deposit(1000);  // allowance present, consumer never moves
+  std::atomic<std::uint64_t> progress{0};
+  cosim::WatchdogConfig config;
+  config.check_interval_ms = 10;
+  config.stall_threshold_ms = 40;
+  cosim::LivenessWatchdog dog("stall-test", progress, &budget, config);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!dog.tripped() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(dog.tripped());
+  EXPECT_NE(dog.report().find("ISS/target side is blocked"), std::string::npos);
+  dog.stop();
+}
+
+TEST(WatchdogFailure, StaysQuietWhileProgressFlows) {
+  cosim::TimeBudget budget;
+  budget.deposit(1000);
+  std::atomic<std::uint64_t> progress{0};
+  cosim::WatchdogConfig config;
+  config.check_interval_ms = 10;
+  config.stall_threshold_ms = 40;
+  cosim::LivenessWatchdog dog("live-test", progress, &budget, config);
+  for (int i = 0; i < 20; ++i) {
+    progress.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(dog.tripped());
+  dog.stop();
+}
+
+TEST(WatchdogFailure, IdleConsumerIsNotAStall) {
+  // Halted at a breakpoint (consumer idle): silence is expected, no trip.
+  cosim::TimeBudget budget;
+  budget.deposit(1000);
+  budget.set_idle(true);
+  std::atomic<std::uint64_t> progress{0};
+  cosim::WatchdogConfig config;
+  config.check_interval_ms = 10;
+  config.stall_threshold_ms = 40;
+  cosim::LivenessWatchdog dog("idle-test", progress, &budget, config);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_FALSE(dog.tripped());
+  dog.stop();
 }
 
 }  // namespace

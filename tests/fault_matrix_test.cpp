@@ -1,0 +1,239 @@
+// Fault matrix: every FaultKind x all three co-simulation schemes x two
+// transports. Each cell boots a full router testbench with a seeded
+// FaultPlan on the target-side transport, runs it to completion under a
+// wall-clock deadline, and classifies the documented outcome:
+//
+//   Recovered        all produced traffic was delivered despite the fault
+//                    (protocol-level recovery: RSP NAK/resend, reassembly)
+//   Degraded         the run completed but lost capability or traffic: a
+//                    Driver-Kernel port quiesced, a driver went dark, time
+//                    correlation was abandoned, or packets were lost while
+//                    the simulation itself stayed healthy
+//   StructuredError  the scheme ended the run with a CosimError carrying a
+//                    non-empty wire post-mortem
+//
+// Crashing and hanging are the only failure modes. The RNG seed is taken
+// from NISC_FAULT_SEED when set (the CI sweep exercises several), so any
+// seed must land every cell in one of the three classes above.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+#include "ipc/fault.hpp"
+#include "router/testbench.hpp"
+#include "sysc/sysc.hpp"
+
+namespace nisc {
+namespace {
+
+using router::Scheme;
+using router::Testbench;
+using router::TestbenchConfig;
+using router::TestbenchReport;
+
+enum class Outcome { Recovered, Degraded, StructuredError };
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::Recovered: return "Recovered";
+    case Outcome::Degraded: return "Degraded";
+    case Outcome::StructuredError: return "StructuredError";
+  }
+  return "?";
+}
+
+std::uint64_t seed_from_env() {
+  const char* env = std::getenv("NISC_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return 0x1CEB00DAULL;
+  return std::strtoull(env, nullptr, 0);
+}
+
+/// One deterministic plan per fault kind, aimed at protocol frames: the
+/// defer rules (arg / min_size) skip one-byte RSP acks so the same plan is
+/// meaningful on every scheme.
+ipc::FaultPlan plan_for(ipc::FaultKind kind) {
+  ipc::FaultPlan plan;
+  plan.seed = seed_from_env();
+  switch (kind) {
+    case ipc::FaultKind::CorruptByte:
+      plan.corrupt_send(1, 4);
+      break;
+    case ipc::FaultKind::Truncate:
+      plan.truncate_send(2, 3);
+      break;
+    case ipc::FaultKind::Drop:
+      plan.drop_send(2);
+      break;
+    case ipc::FaultKind::Duplicate:
+      plan.duplicate_send(2);
+      break;
+    case ipc::FaultKind::Delay:
+      plan.delay_send(1, 2000, 4);
+      plan.specs.back().every = 2;  // every other sizeable send is late
+      break;
+    case ipc::FaultKind::ShortRead:
+      plan.short_reads(1, 1, 50);  // first 50 reads dribble one byte each
+      break;
+    case ipc::FaultKind::EagainStorm:
+      plan.eagain_storm(1, 20);
+      break;
+    case ipc::FaultKind::Disconnect:
+      plan.disconnect_send(3, 2);
+      break;
+  }
+  return plan;
+}
+
+TestbenchConfig cell_config(Scheme scheme, ipc::Transport transport) {
+  TestbenchConfig config;
+  config.scheme = scheme;
+  config.transport = transport;
+  config.packets_per_producer = 3;
+  config.num_producers = 2;
+  config.inter_packet_delay = sysc::sc_time::from_ps(2000000);  // 2 us
+  config.instructions_per_us = 400000;
+  // Shrunk deadlines so every faulted cell settles in seconds, not the
+  // production 10 s / 30 s defaults.
+  config.reply_timeout_ms = 500;
+  config.io_timeout_ms = 1000;
+  config.pay_timeout_ms = 300;
+  if (scheme == Scheme::GdbWrapper) {
+    // The wrapper pays one blocking RSP round trip per clock edge; a slow
+    // clock keeps the cycle count (and the wall clock) bounded when a fault
+    // makes the run last to the drain limit.
+    config.clock_period = sysc::sc_time::from_ps(1000000);  // 1 us
+  }
+  return config;
+}
+
+sysc::sc_time drain_limit(Scheme scheme) {
+  return scheme == Scheme::GdbWrapper ? sysc::sc_time::from_ps(2000000000)   // 2 ms
+                                      : sysc::sc_time::from_ps(5000000000);  // 5 ms
+}
+
+using Cell = std::tuple<Scheme, ipc::Transport, ipc::FaultKind>;
+
+class FaultMatrix : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(FaultMatrix, CellSettlesWithDocumentedOutcome) {
+  const auto [scheme, transport, kind] = GetParam();
+  TestbenchConfig config = cell_config(scheme, transport);
+  config.fault_plan = plan_for(kind);
+
+  const auto start = std::chrono::steady_clock::now();
+  Testbench bench(config);
+  bench.run_until_drained(drain_limit(scheme));
+  TestbenchReport report = bench.report();
+
+  // Classify. A quiesced port / dark driver / lost throttle is degradation
+  // even though it latches a CosimError post-mortem: the simulation itself
+  // kept running. Only a run the scheme had to end counts as a structured
+  // error.
+  Outcome outcome;
+  if (bench.degraded()) {
+    outcome = Outcome::Degraded;
+  } else if (bench.cosim_error()) {
+    outcome = Outcome::StructuredError;
+  } else if (report.produced > 0 && report.received == report.produced) {
+    outcome = Outcome::Recovered;
+  } else {
+    outcome = Outcome::Degraded;  // completed with traffic loss, no crash
+  }
+
+  // Any latched error must carry a usable post-mortem.
+  if (auto error = bench.cosim_error()) {
+    EXPECT_FALSE(error->scheme.empty());
+    EXPECT_FALSE(error->message.empty());
+    EXPECT_FALSE(error->post_mortem.empty());
+  }
+
+  // The plan must have actually bitten (the cell exercised the fault).
+  EXPECT_GT(bench.faults_injected(), 0u)
+      << ipc::fault_kind_name(kind) << " never triggered";
+
+  bench.shutdown();  // must join every target thread promptly
+
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 60) << "cell blew its wall-clock deadline";
+
+  RecordProperty("outcome", outcome_name(outcome));
+  std::printf("[ cell ] %s / %s / %s -> %s (%llu/%llu packets, %llu faults)\n",
+              router::scheme_name(scheme), ipc::transport_name(transport),
+              ipc::fault_kind_name(kind), outcome_name(outcome),
+              static_cast<unsigned long long>(report.received),
+              static_cast<unsigned long long>(report.produced),
+              static_cast<unsigned long long>(bench.faults_injected()));
+}
+
+// A healthy control row: the same cell configuration with no plan installed
+// must deliver everything — otherwise fault-cell outcomes would measure the
+// shrunken config, not the fault.
+class HealthyBaseline
+    : public ::testing::TestWithParam<std::tuple<Scheme, ipc::Transport>> {};
+
+TEST_P(HealthyBaseline, AllTrafficDelivered) {
+  const auto [scheme, transport] = GetParam();
+  Testbench bench(cell_config(scheme, transport));
+  bench.run_until_drained(drain_limit(scheme));
+  TestbenchReport report = bench.report();
+  EXPECT_EQ(report.received, report.produced);
+  EXPECT_FALSE(bench.cosim_error().has_value());
+  EXPECT_FALSE(bench.degraded());
+  EXPECT_EQ(bench.faults_injected(), 0u);
+}
+
+std::string scheme_tag(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::GdbWrapper: return "GdbWrapper";
+    case Scheme::GdbKernel: return "GdbKernel";
+    case Scheme::DriverKernel: return "DriverKernel";
+  }
+  return "unknown";
+}
+
+std::string kind_tag(ipc::FaultKind kind) {
+  switch (kind) {
+    case ipc::FaultKind::CorruptByte: return "CorruptByte";
+    case ipc::FaultKind::Truncate: return "Truncate";
+    case ipc::FaultKind::Drop: return "Drop";
+    case ipc::FaultKind::Duplicate: return "Duplicate";
+    case ipc::FaultKind::Delay: return "Delay";
+    case ipc::FaultKind::ShortRead: return "ShortRead";
+    case ipc::FaultKind::EagainStorm: return "EagainStorm";
+    case ipc::FaultKind::Disconnect: return "Disconnect";
+  }
+  return "unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, FaultMatrix,
+    ::testing::Combine(::testing::Values(Scheme::GdbWrapper, Scheme::GdbKernel,
+                                         Scheme::DriverKernel),
+                       ::testing::Values(ipc::Transport::Pipe, ipc::Transport::SocketPair),
+                       ::testing::Values(ipc::FaultKind::CorruptByte, ipc::FaultKind::Truncate,
+                                         ipc::FaultKind::Drop, ipc::FaultKind::Duplicate,
+                                         ipc::FaultKind::Delay, ipc::FaultKind::ShortRead,
+                                         ipc::FaultKind::EagainStorm,
+                                         ipc::FaultKind::Disconnect)),
+    [](const auto& info) {
+      return scheme_tag(std::get<0>(info.param)) + "_" +
+             ipc::transport_name(std::get<1>(info.param)) + "_" +
+             kind_tag(std::get<2>(info.param));
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Control, HealthyBaseline,
+    ::testing::Combine(::testing::Values(Scheme::GdbWrapper, Scheme::GdbKernel,
+                                         Scheme::DriverKernel),
+                       ::testing::Values(ipc::Transport::Pipe, ipc::Transport::SocketPair)),
+    [](const auto& info) {
+      return scheme_tag(std::get<0>(info.param)) + "_" +
+             ipc::transport_name(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace nisc

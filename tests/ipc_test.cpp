@@ -2,12 +2,21 @@
 // Driver-Kernel message protocol.
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <thread>
 
+#include "ipc/capture.hpp"
 #include "ipc/channel.hpp"
+#include "ipc/fault.hpp"
 #include "ipc/fd.hpp"
 #include "ipc/message.hpp"
+#include "ipc/retry.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/hex.hpp"
 
@@ -232,6 +241,411 @@ TEST(MessageTest, RecvRejectsOversizedFrame) {
   std::uint8_t bogus[4] = {0xFF, 0xFF, 0xFF, 0x7F};  // ~2 GiB body
   pair.a.send(bogus);
   EXPECT_THROW(recv_message(pair.b), RuntimeError);
+}
+
+// ---------------------------------------------------------------- Deadline
+
+TEST(DeadlineTest, NeverIsUnlimited) {
+  util::Deadline d = util::Deadline::never();
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), -1);
+}
+
+TEST(DeadlineTest, NegativeMeansNever) {
+  EXPECT_TRUE(util::Deadline::after_ms(-1).unlimited());
+}
+
+TEST(DeadlineTest, ZeroExpiresImmediately) {
+  util::Deadline d = util::Deadline::after_ms(0);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0);
+}
+
+TEST(DeadlineTest, RemainingClampsToZeroAfterExpiry) {
+  util::Deadline d = util::Deadline::after_ms(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0);
+}
+
+// ---------------------------------------------------------------- EINTR
+
+// Regression test: poll_readable used to restart the *full* timeout after
+// every EINTR, so a steady signal stream made the wait unbounded. With the
+// deadline fix it returns once the original timeout elapses no matter how
+// often it is interrupted.
+TEST(FdTest, PollReadableHonorsDeadlineAcrossEintr) {
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: poll(2) must see EINTR
+  struct sigaction old = {};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  ChannelPair pair = make_channel_pair(Transport::Pipe);
+  pthread_t poller = pthread_self();
+  std::atomic<bool> stop{false};
+  std::thread pest([&] {
+    while (!stop.load()) {
+      pthread_kill(poller, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  auto start = std::chrono::steady_clock::now();
+  bool ready = poll_readable(pair.b.read_fd(), 150);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  stop.store(true);
+  pest.join();
+  sigaction(SIGUSR1, &old, nullptr);
+
+  EXPECT_FALSE(ready);
+  EXPECT_GE(elapsed, 100);   // did wait roughly the requested timeout
+  EXPECT_LT(elapsed, 2000);  // and the signals did not keep re-arming it
+}
+
+// ---------------------------------------------------------------- timeouts
+
+TEST(ChannelTimeoutTest, RecvExactTimesOutInsteadOfHanging) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  pair.b.set_io_timeout(50);
+  std::uint8_t buf[4];
+  try {
+    pair.b.recv_exact(buf);
+    FAIL() << "recv_exact returned without data";
+  } catch (const RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ChannelTimeoutTest, AcceptTimesOutWithoutPeer) {
+  TcpListener listener(0);
+  try {
+    (void)listener.accept(50);
+    FAIL() << "accept returned without a peer";
+  } catch (const RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos) << e.what();
+  }
+}
+
+// ---------------------------------------------------------------- TCP edges
+
+namespace {
+/// Grabs an ephemeral port and releases it so the test can race on it.
+std::uint16_t probe_free_port() {
+  TcpListener probe(0);
+  return probe.port();
+}
+}  // namespace
+
+TEST(TcpEdgeTest, ConnectBeforeListenRecoveredByRetry) {
+  std::uint16_t port = probe_free_port();
+  std::thread late_listener([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    TcpListener listener(port);
+    Channel server = listener.accept(2000);
+    std::uint8_t buf[2];
+    server.recv_exact(buf);
+    server.send(std::span<const std::uint8_t>(buf, 2));  // echo
+  });
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  policy.initial_backoff_ms = 10;
+  policy.max_backoff_ms = 50;
+  Channel client = tcp_connect(port, policy);  // first attempts are refused
+  client.send_str("ok");
+  std::uint8_t buf[2];
+  client.recv_exact(buf);
+  EXPECT_EQ(buf[0], 'o');
+  late_listener.join();
+}
+
+TEST(TcpEdgeTest, ConnectExhaustsRetriesAndThrows) {
+  std::uint16_t port = probe_free_port();  // nobody listens on it
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 5;
+  try {
+    (void)tcp_connect(port, policy);
+    FAIL() << "connect to a dead port succeeded";
+  } catch (const RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("attempt"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TcpEdgeTest, ListenOnPortInUseThrows) {
+  TcpListener first(0);
+  EXPECT_THROW(TcpListener second(first.port()), RuntimeError);
+}
+
+TEST(TcpEdgeTest, PeerCloseMidFrameRaisesPromptly) {
+  TcpListener listener(0);
+  Channel client = tcp_connect(listener.port());
+  Channel server = listener.accept();
+  client.send_str("he");  // 2 of the 5 bytes the peer expects
+  client.close();         // then vanish mid-frame
+  std::uint8_t buf[5];
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(server.recv_exact(buf), RuntimeError);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_LT(elapsed, 5000);  // EOF, not a timeout crawl
+}
+
+// ---------------------------------------------------------------- Backoff
+
+TEST(RetryTest, BackoffIsDeterministicForASeed) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  Backoff a(policy);
+  Backoff b(policy);
+  for (int i = 0; i < policy.max_attempts; ++i) {
+    EXPECT_EQ(a.next_delay_ms(), b.next_delay_ms()) << "attempt " << i;
+  }
+}
+
+TEST(RetryTest, BackoffGrowsWithinJitterBoundsAndExhausts) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 8;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 40;
+  policy.jitter = 0.25;
+  Backoff backoff(policy);
+  double base = policy.initial_backoff_ms;
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    int delay = backoff.next_delay_ms();
+    double capped = std::min(base, static_cast<double>(policy.max_backoff_ms));
+    EXPECT_GE(delay, static_cast<int>(capped)) << "attempt " << attempt;
+    EXPECT_LE(delay, policy.max_backoff_ms) << "attempt " << attempt;
+    base *= policy.multiplier;
+  }
+  EXPECT_EQ(backoff.next_delay_ms(), -1);  // budget exhausted
+  EXPECT_FALSE(backoff.attempts_left());
+}
+
+TEST(RetryTest, SingleAttemptNeverRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  Backoff backoff(policy);
+  EXPECT_TRUE(backoff.attempts_left());
+  EXPECT_EQ(backoff.next_delay_ms(), -1);
+}
+
+// ---------------------------------------------------------------- faults
+
+TEST(FaultTest, CorruptSendFlipsExactlyOneBit) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  auto state = FaultyChannel::install(pair.a, FaultPlan{}.corrupt_send(1, 2));
+  pair.a.send_str("hello");
+  std::uint8_t buf[5];
+  pair.b.recv_exact(buf);
+  EXPECT_EQ(buf[0], 'h');
+  EXPECT_EQ(buf[2], 'l' ^ 0x01);
+  EXPECT_EQ(buf[4], 'o');
+  EXPECT_EQ(state->stats().injected[static_cast<int>(FaultKind::CorruptByte)], 1u);
+}
+
+TEST(FaultTest, DropSendSwallowsTheTransfer) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  auto state = FaultyChannel::install(pair.a, FaultPlan{}.drop_send(1));
+  pair.a.send_str("gone");
+  EXPECT_FALSE(pair.b.readable(50));
+  pair.a.send_str("here");  // op 2: unaffected
+  std::uint8_t buf[4];
+  pair.b.recv_exact(buf);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 4), "here");
+  EXPECT_EQ(state->stats().injected[static_cast<int>(FaultKind::Drop)], 1u);
+}
+
+TEST(FaultTest, DuplicateSendDeliversTwice) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  FaultyChannel::install(pair.a, FaultPlan{}.duplicate_send(1));
+  pair.a.send_str("ab");
+  std::uint8_t buf[4];
+  pair.b.recv_exact(buf);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 4), "abab");
+}
+
+TEST(FaultTest, TruncateSendKeepsOnlyThePrefix) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  FaultyChannel::install(pair.a, FaultPlan{}.truncate_send(1, 3));
+  pair.a.send_str("hello");
+  ASSERT_TRUE(pair.b.readable(1000));
+  std::uint8_t buf[16];
+  EXPECT_EQ(pair.b.recv_some(buf), 3u);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 3), "hel");
+  EXPECT_FALSE(pair.b.readable(50));  // the tail never arrives
+}
+
+TEST(FaultTest, DisconnectSendClosesMidFrame) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  FaultyChannel::install(pair.a, FaultPlan{}.disconnect_send(1, 2));
+  pair.a.send_str("hello");
+  std::uint8_t buf[16];
+  ASSERT_TRUE(pair.b.readable(1000));
+  EXPECT_EQ(pair.b.recv_some(buf), 2u);       // the cut frame prefix
+  EXPECT_THROW(pair.b.recv_exact(buf), RuntimeError);  // then EOF
+  EXPECT_THROW(pair.a.send_str("x"), RuntimeError);    // endpoint is dead
+}
+
+TEST(FaultTest, ShortReadCapsRecvSome) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  FaultyChannel::install(pair.a, FaultPlan{}.short_reads(1, 2, 2));
+  pair.b.send_str("abcdef");
+  ASSERT_TRUE(pair.a.readable(1000));
+  std::uint8_t buf[16];
+  EXPECT_EQ(pair.a.recv_some(buf), 2u);  // op 1 capped
+  EXPECT_EQ(pair.a.recv_some(buf), 2u);  // op 2 capped
+  EXPECT_EQ(pair.a.recv_some(buf), 2u);  // op 3 uncapped, 2 bytes remain
+}
+
+TEST(FaultTest, EagainStormSuppressesReadability) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  auto state = FaultyChannel::install(pair.a, FaultPlan{}.eagain_storm(1, 3));
+  pair.b.send_str("x");
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pair.a.readable(0));  // polls 1..3 suppressed
+  EXPECT_FALSE(pair.a.readable(0));
+  EXPECT_FALSE(pair.a.readable(0));
+  EXPECT_TRUE(pair.a.readable(1000));  // poll 4 sees the data
+  EXPECT_EQ(state->stats().injected[static_cast<int>(FaultKind::EagainStorm)], 3u);
+}
+
+TEST(FaultTest, MinSizeDefersDropPastAcks) {
+  // An RSP "+" ack is one byte; drop_send's default min_size skips it and
+  // the armed fault hits the next real frame instead.
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  auto state = FaultyChannel::install(pair.a, FaultPlan{}.drop_send(1));
+  pair.a.send_str("+");
+  std::uint8_t ack[1];
+  pair.b.recv_exact(ack);
+  EXPECT_EQ(ack[0], '+');  // the ack went through
+  pair.a.send_str("$S05#b8");
+  EXPECT_FALSE(pair.b.readable(50));  // the deferred drop ate the frame
+  EXPECT_EQ(state->stats().injected[static_cast<int>(FaultKind::Drop)], 1u);
+}
+
+TEST(FaultTest, RepeatingWindowFiresPeriodically) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  FaultPlan plan;
+  plan.specs.push_back({FaultKind::Drop, FaultDir::Send, /*nth=*/2, /*every=*/3,
+                        /*count=*/1, /*arg=*/0, /*min_size=*/0, /*probability=*/1.0});
+  auto state = FaultyChannel::install(pair.a, plan);
+  for (int i = 0; i < 9; ++i) pair.a.send_str("ab");  // ops 2, 5, 8 dropped
+  EXPECT_EQ(state->stats().injected[static_cast<int>(FaultKind::Drop)], 3u);
+  std::uint8_t buf[12];
+  pair.b.recv_exact(buf);  // 6 surviving transfers x 2 bytes
+  EXPECT_FALSE(pair.b.readable(50));
+}
+
+TEST(FaultTest, SeededProbabilityIsReproducible) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.specs.push_back({FaultKind::Drop, FaultDir::Send, /*nth=*/1, /*every=*/1,
+                        /*count=*/1, /*arg=*/0, /*min_size=*/0, /*probability=*/0.5});
+  auto run = [&plan] {
+    ChannelPair pair = make_channel_pair(Transport::SocketPair);
+    auto state = FaultyChannel::install(pair.a, plan);
+    for (int i = 0; i < 32; ++i) pair.a.send_str("x");
+    return state->stats().injected[static_cast<int>(FaultKind::Drop)];
+  };
+  std::uint64_t first = run();
+  EXPECT_GT(first, 0u);
+  EXPECT_LT(first, 32u);
+  EXPECT_EQ(run(), first);  // same plan, same seed, same faults
+}
+
+TEST(FaultTest, StatsCountOperations) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  auto state = FaultyChannel::install(pair.a, FaultPlan{});  // no specs
+  pair.a.send_str("abc");
+  std::uint8_t buf[3];
+  pair.b.send_str("xyz");
+  pair.a.recv_exact(buf);
+  (void)pair.a.readable(0);
+  FaultStats stats = state->stats();
+  EXPECT_EQ(stats.send_ops, 1u);
+  EXPECT_EQ(stats.recv_ops, 1u);
+  EXPECT_GE(stats.polls, 1u);
+  EXPECT_EQ(stats.total_injected(), 0u);
+}
+
+TEST(FaultTest, WrapReturnsDecoratedChannel) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  Channel wrapped = FaultyChannel::wrap(std::move(pair.a), FaultPlan{}.drop_send(1));
+  ASSERT_NE(wrapped.faults(), nullptr);
+  wrapped.send_str("zz");
+  EXPECT_FALSE(pair.b.readable(50));
+}
+
+TEST(FaultTest, KindNamesAreStable) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::CorruptByte), "corrupt-byte");
+  EXPECT_STREQ(fault_kind_name(FaultKind::Disconnect), "disconnect");
+}
+
+// ---------------------------------------------------------------- capture
+
+TEST(CaptureTest, RingKeepsMostRecentTransfers) {
+  WireCapture capture("test", 2);
+  std::uint8_t byte = 0;
+  for (int i = 0; i < 5; ++i) {
+    byte = static_cast<std::uint8_t>('a' + i);
+    capture.record(CaptureDir::Tx, std::span<const std::uint8_t>(&byte, 1));
+  }
+  EXPECT_EQ(capture.size(), 2u);
+  EXPECT_EQ(capture.total_recorded(), 5u);
+}
+
+TEST(CaptureTest, DumpDecodesAsDriverFrames) {
+  WireCapture capture("gdb", 8);
+  const std::uint8_t tx[] = {'$', '?', '#', '3', 'f'};
+  const std::uint8_t rx[] = {'+'};
+  capture.record(CaptureDir::Tx, tx);
+  capture.record(CaptureDir::Rx, rx);
+  std::vector<std::uint8_t> dump = capture.dump();
+  std::span<const std::uint8_t> rest(dump);
+  std::vector<std::string> ports;
+  while (rest.size() >= 4) {
+    std::uint32_t size = static_cast<std::uint32_t>(util::read_le(rest, 4));
+    rest = rest.subspan(4);
+    ASSERT_GE(rest.size(), size);
+    auto decoded = decode_message_body(rest.subspan(0, size));
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().items.size(), 1u);
+    ports.push_back(decoded.value().items[0].port);
+    rest = rest.subspan(size);
+  }
+  EXPECT_TRUE(rest.empty());
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0], "gdb.tx#0");
+  EXPECT_EQ(ports[1], "gdb.rx#1");
+}
+
+TEST(CaptureTest, RenderTextShowsDirectionAndSize) {
+  WireCapture capture("drv", 8);
+  const std::uint8_t tx[] = {0xDE, 0xAD};
+  capture.record(CaptureDir::Tx, tx);
+  std::string text = capture.render_text();
+  EXPECT_NE(text.find("tx"), std::string::npos);
+  EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+TEST(CaptureTest, ChannelRecordsBothDirections) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  auto capture = std::make_shared<WireCapture>("chan", 8);
+  pair.a.attach_capture(capture);
+  pair.a.send_str("out");
+  pair.b.send_str("in!");
+  std::uint8_t buf[3];
+  pair.a.recv_exact(buf);
+  pair.b.recv_exact(buf);
+  EXPECT_EQ(capture->size(), 2u);  // one Tx + one Rx on endpoint a
 }
 
 }  // namespace
