@@ -1,0 +1,12 @@
+# NL301 fixture: the iss_out breakpoint is unreachable. The jump at _start
+# skips straight over the annotated load and nothing in the program ever
+# branches back to it, so the ISS can never stop on the breakpoint.
+_start:
+    j spin
+    la t1, pkt
+    #pragma iss_out("router.to_cpu", pkt)
+    lw t0, 0(t1)
+spin:
+    ebreak
+
+pkt: .word 0

@@ -1,0 +1,9 @@
+# NL302 fixture: t0 and t2 are read by the add before anything ever writes
+# them — on every path from the entry, since there is only one.
+_start:
+    add t1, t0, t2
+    la t3, out
+    sw t1, 0(t3)
+    ebreak
+
+out: .word 0

@@ -1,0 +1,6 @@
+# NL303 fixture: the load targets address 0x200000, provably outside the
+# default 1 MiB guest memory map — the ISS would halt with a memory fault.
+_start:
+    li t0, 0x200000
+    lw t1, 0(t0)
+    ebreak

@@ -1,0 +1,13 @@
+# NL304 fixture: leaf allocates a 16-byte frame but only releases 8 bytes
+# before returning, so every call leaks 8 bytes of stack.
+_start:
+    li sp, 0x10000
+    call leaf
+    ebreak
+
+leaf:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    lw ra, 12(sp)
+    addi sp, sp, 8
+    ret

@@ -1,0 +1,17 @@
+# NL305 fixture: `result` is bound to an iss_in port, but the store that
+# writes it sits behind the flag test — when flag is zero the breakpoint is
+# reached with the variable never written and the port samples a stale value.
+_start:
+    la t0, flag
+    lw t1, 0(t0)
+    beqz t1, skip
+    la t2, result
+    li t3, 42
+    #pragma iss_in("router.from_cpu", result)
+    sw t3, 0(t2)
+skip:
+    nop
+    ebreak
+
+flag:   .word 0
+result: .word 0

@@ -1,0 +1,126 @@
+// Abstract domains for the flow analyzer: a value-range interval domain, an
+// initialization (taint) lattice, and the must-write lattice the
+// binding-liveness rule uses — all packed into one register-file state so a
+// single forward pass serves every NL3xx rule.
+//
+// Register values are tracked as intervals, optionally relative to the
+// symbolic initial stack pointer (sp0): `value = (base == Sp ? sp0 : 0) +
+// range`. That keeps push/pop arithmetic exact without knowing where the
+// environment put the stack, which is what the stack-balance rule needs; it
+// also lets sp-relative accesses opt out of the out-of-bounds check instead
+// of drowning it in false positives. The initialization lattice
+// (Init < Mixed > Uninit) records assignment, not data validity: any write
+// initializes, so one uninitialized read does not cascade. `written` is a
+// must-lattice (bitwise AND on join) over the tracked variable addresses of
+// iss_in pragma bindings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "iss/isa.hpp"
+
+namespace nisc::analysis {
+
+/// A closed interval of 32-bit values, kept in int64 so sp-relative offsets
+/// stay signed and address arithmetic cannot overflow.
+struct Interval {
+  static constexpr std::int64_t kMin = -(std::int64_t(1) << 31);
+  static constexpr std::int64_t kMax = (std::int64_t(1) << 32) - 1;
+
+  std::int64_t lo = kMin;
+  std::int64_t hi = kMax;
+
+  static Interval top() noexcept { return {kMin, kMax}; }
+  static Interval exact(std::int64_t v) noexcept { return {v, v}; }
+  static Interval bounded(std::int64_t lo, std::int64_t hi) noexcept {
+    if (lo < kMin || hi > kMax || lo > hi) return top();
+    return {lo, hi};
+  }
+
+  bool is_top() const noexcept { return lo <= kMin && hi >= kMax; }
+  bool is_exact() const noexcept { return lo == hi; }
+  bool contains(std::int64_t v) const noexcept { return lo <= v && v <= hi; }
+
+  Interval plus(const Interval& o) const noexcept {
+    if (is_top() || o.is_top()) return top();
+    return bounded(lo + o.lo, hi + o.hi);
+  }
+  Interval minus(const Interval& o) const noexcept {
+    if (is_top() || o.is_top()) return top();
+    return bounded(lo - o.hi, hi - o.lo);
+  }
+
+  /// Least upper bound; returns true when `*this` grew.
+  bool join(const Interval& o) noexcept;
+  /// Widening: bounds that grew jump straight to the lattice extremes.
+  bool widen(const Interval& o) noexcept;
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// Abstract value of one register.
+struct AbsValue {
+  enum class Base : std::uint8_t { None, Sp };
+  enum class Init : std::uint8_t { Init, Uninit, Mixed };
+
+  Interval range = Interval::top();
+  Base base = Base::None;
+  Init init = Init::Uninit;
+
+  static AbsValue uninit() noexcept { return {Interval::top(), Base::None, Init::Uninit}; }
+  static AbsValue top_init() noexcept { return {Interval::top(), Base::None, Init::Init}; }
+  static AbsValue exact(std::uint32_t v) noexcept {
+    return {Interval::exact(v), Base::None, Init::Init};
+  }
+  /// The environment-provided stack pointer: sp0 + 0.
+  static AbsValue sp_entry() noexcept { return {Interval::exact(0), Base::Sp, Init::Init}; }
+
+  bool maybe_uninit() const noexcept { return init != Init::Init; }
+  bool is_exact_addr() const noexcept { return base == Base::None && range.is_exact(); }
+
+  bool join(const AbsValue& o) noexcept;
+  bool widen(const AbsValue& o) noexcept;
+
+  bool operator==(const AbsValue&) const = default;
+};
+
+/// The dataflow state: one AbsValue per architectural register plus the
+/// must-written bitset over tracked variable addresses.
+struct RegState {
+  std::array<AbsValue, 32> regs;
+  std::uint64_t written = ~std::uint64_t(0);  ///< must-lattice top: AND-joined
+
+  bool operator==(const RegState&) const = default;
+};
+
+/// Dataflow domain over RegState; plugs into run_forward().
+class RegDomain {
+ public:
+  /// `tracked` lists variable addresses whose must-written bits the state
+  /// carries (at most 64; extras are ignored).
+  explicit RegDomain(std::vector<std::uint32_t> tracked = {});
+
+  using State = RegState;
+  State boundary() const;
+  bool join(State& into, const State& from) const;
+  bool widen(State& into, const State& from) const;
+  void transfer(const CfgInstr& instr, State& state) const;
+
+  /// Index of `addr` in the tracked list, -1 when untracked.
+  int tracked_index(std::uint32_t addr) const noexcept;
+  std::size_t tracked_count() const noexcept { return tracked_.size(); }
+
+  /// Architectural source registers `instr` reads (ecall reads a7).
+  static std::vector<std::uint8_t> regs_read(const iss::Instr& instr);
+
+  /// Abstract effective address rs1 + imm of a load or store.
+  static AbsValue effective_address(const State& state, const iss::Instr& instr);
+
+ private:
+  std::vector<std::uint32_t> tracked_;
+};
+
+}  // namespace nisc::analysis

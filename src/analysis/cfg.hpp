@@ -1,0 +1,107 @@
+// Basic-block control-flow graph construction over assembled guest programs.
+//
+// Built from the assembler's code table (iss::Program::code), so only bytes
+// that were emitted as instructions become CFG nodes — data words never
+// decode into phantom blocks. Direct branches and jumps produce exact edges;
+// indirect jumps (jr / jalr through a register) produce conservative edges
+// to every address-taken code label (jump tables materialize their targets
+// with la/.word, which the assembler records), falling back to every code
+// symbol when no address was taken. Calls (jal/jalr with a link register)
+// carry two complementary edge kinds so analyses can pick their view:
+//   * Call / Return  — interprocedural paths through the callee body
+//   * CallFall       — the summary edge straight to the return site,
+//                      treating the callee as a balanced no-op
+// Return edges are context-insensitive: a `ret` targets every recorded
+// return site.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "iss/isa.hpp"
+#include "iss/program.hpp"
+
+namespace nisc::analysis {
+
+/// Why an edge exists between two basic blocks.
+enum class EdgeKind : std::uint8_t {
+  FallThrough,  ///< sequential successor
+  Branch,       ///< taken conditional branch
+  Jump,         ///< unconditional direct jump (jal rd=x0)
+  Call,         ///< jal/jalr with a link register: edge to the callee entry
+  CallFall,     ///< call summary edge to the return site (intra-procedural view)
+  Return,       ///< ret: edge to a recorded return site
+  Indirect,     ///< jr/jalr through a register: conservative target edge
+};
+
+/// Bitmask over EdgeKind, selecting which edges an analysis follows.
+using EdgeMask = unsigned;
+
+constexpr EdgeMask edge_bit(EdgeKind kind) noexcept {
+  return 1u << static_cast<unsigned>(kind);
+}
+
+/// Interprocedural view: real paths only (through callee bodies, not over
+/// the call summary shortcut).
+constexpr EdgeMask kInterprocEdges =
+    edge_bit(EdgeKind::FallThrough) | edge_bit(EdgeKind::Branch) | edge_bit(EdgeKind::Jump) |
+    edge_bit(EdgeKind::Call) | edge_bit(EdgeKind::Return) | edge_bit(EdgeKind::Indirect);
+
+/// Intra-procedural view: stay in one function, stepping over calls via the
+/// summary edge (callees are assumed balanced; they are checked separately).
+constexpr EdgeMask kIntraprocEdges =
+    edge_bit(EdgeKind::FallThrough) | edge_bit(EdgeKind::Branch) | edge_bit(EdgeKind::Jump) |
+    edge_bit(EdgeKind::CallFall) | edge_bit(EdgeKind::Indirect);
+
+struct CfgEdge {
+  std::size_t block = 0;  ///< index of the other endpoint
+  EdgeKind kind = EdgeKind::FallThrough;
+};
+
+/// One decoded instruction of the program under analysis.
+struct CfgInstr {
+  std::uint32_t addr = 0;
+  iss::Instr instr;
+  int line = 0;  ///< 1-based source line, 0 when unknown
+};
+
+struct BasicBlock {
+  std::uint32_t start = 0;  ///< address of the first instruction
+  std::vector<CfgInstr> instrs;
+  std::vector<CfgEdge> succs;
+  std::vector<CfgEdge> preds;
+};
+
+class Cfg {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Builds the CFG of `program` from its code table.
+  static Cfg build(const iss::Program& program);
+
+  const std::vector<BasicBlock>& blocks() const noexcept { return blocks_; }
+  bool empty() const noexcept { return blocks_.empty(); }
+
+  /// Index of the entry block (the block holding Program::entry); npos when
+  /// the entry point is not an instruction.
+  std::size_t entry() const noexcept { return entry_; }
+
+  /// Index of the block whose instruction range contains `addr`; npos when
+  /// `addr` is not an instruction address.
+  std::size_t block_at(std::uint32_t addr) const noexcept;
+
+  /// The instruction record at exactly `addr`; nullptr when none.
+  const CfgInstr* instr_at(std::uint32_t addr) const noexcept;
+
+  /// Entry addresses of every directly-called function (jal call targets).
+  const std::vector<std::uint32_t>& call_targets() const noexcept { return call_targets_; }
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::size_t entry_ = npos;
+  std::map<std::uint32_t, std::size_t> block_of_instr_;  // instr addr -> block index
+  std::vector<std::uint32_t> call_targets_;
+};
+
+}  // namespace nisc::analysis

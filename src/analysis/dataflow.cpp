@@ -1,0 +1,57 @@
+#include "analysis/dataflow.hpp"
+
+#include <algorithm>
+
+namespace nisc::analysis {
+
+std::vector<bool> reachable_blocks(const Cfg& cfg, std::size_t from, EdgeMask mask) {
+  std::vector<bool> seen(cfg.blocks().size(), false);
+  if (from == Cfg::npos || from >= cfg.blocks().size()) return seen;
+  std::vector<std::size_t> stack{from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    std::size_t b = stack.back();
+    stack.pop_back();
+    for (const CfgEdge& edge : cfg.blocks()[b].succs) {
+      if ((edge_bit(edge.kind) & mask) == 0) continue;
+      if (!seen[edge.block]) {
+        seen[edge.block] = true;
+        stack.push_back(edge.block);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<std::size_t> reverse_post_order(const Cfg& cfg, std::size_t from, EdgeMask mask) {
+  std::vector<std::size_t> post;
+  if (from == Cfg::npos || from >= cfg.blocks().size()) return post;
+  // Iterative DFS with an explicit successor cursor per frame.
+  std::vector<bool> seen(cfg.blocks().size(), false);
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (block, next succ index)
+  stack.emplace_back(from, 0);
+  seen[from] = true;
+  while (!stack.empty()) {
+    auto& [b, cursor] = stack.back();
+    const std::vector<CfgEdge>& succs = cfg.blocks()[b].succs;
+    bool descended = false;
+    while (cursor < succs.size()) {
+      const CfgEdge& edge = succs[cursor++];
+      if ((edge_bit(edge.kind) & mask) == 0) continue;
+      if (!seen[edge.block]) {
+        seen[edge.block] = true;
+        stack.emplace_back(edge.block, 0);
+        descended = true;
+        break;
+      }
+    }
+    if (!descended && cursor >= succs.size()) {
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+}  // namespace nisc::analysis

@@ -1,0 +1,99 @@
+// Generic forward worklist dataflow over a Cfg.
+//
+// A Domain supplies the lattice and the transfer function:
+//
+//   struct Domain {
+//     using State = ...;                              // one lattice element
+//     State boundary() const;                         // state at the entry
+//     bool join(State& into, const State& from) const;   // true when changed
+//     bool widen(State& into, const State& from) const;  // accelerated join
+//     void transfer(const CfgInstr& instr, State& state) const;
+//   };
+//
+// run_forward() iterates block transfer functions in reverse post-order
+// until the fixpoint, switching join to widen once a block has been
+// re-joined `widen_after` times (interval lattices have infinite ascending
+// chains; finite lattices can alias widen to join). Only edges selected by
+// `mask` propagate state, so one Cfg serves both the interprocedural view
+// (kInterprocEdges) and the per-function view (kIntraprocEdges).
+//
+// Unreachable blocks keep std::nullopt states — analyses must not report
+// from them.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace nisc::analysis {
+
+/// Blocks reachable from `from` following edges in `mask`.
+std::vector<bool> reachable_blocks(const Cfg& cfg, std::size_t from, EdgeMask mask);
+
+/// Reverse post-order of the blocks reachable from `from` under `mask` —
+/// the iteration order that converges fastest for forward problems.
+std::vector<std::size_t> reverse_post_order(const Cfg& cfg, std::size_t from, EdgeMask mask);
+
+template <class Domain>
+struct DataflowResult {
+  /// Per-block states; nullopt marks blocks the analysis never reached.
+  std::vector<std::optional<typename Domain::State>> in;
+  std::vector<std::optional<typename Domain::State>> out;
+};
+
+template <class Domain>
+DataflowResult<Domain> run_forward(const Cfg& cfg, const Domain& domain, EdgeMask mask,
+                                   std::size_t entry, int widen_after = 8) {
+  DataflowResult<Domain> result;
+  result.in.resize(cfg.blocks().size());
+  result.out.resize(cfg.blocks().size());
+  if (entry == Cfg::npos || entry >= cfg.blocks().size()) return result;
+
+  const std::vector<std::size_t> order = reverse_post_order(cfg, entry, mask);
+  std::vector<int> joins(cfg.blocks().size(), 0);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b : order) {
+      // In-state: boundary at the entry, join of predecessor out-states.
+      std::optional<typename Domain::State> in;
+      if (b == entry) in = domain.boundary();
+      for (const CfgEdge& pred : cfg.blocks()[b].preds) {
+        if ((edge_bit(pred.kind) & mask) == 0) continue;
+        const auto& pred_out = result.out[pred.block];
+        if (!pred_out) continue;
+        if (!in) {
+          in = *pred_out;
+        } else if (joins[b] > widen_after) {
+          domain.widen(*in, *pred_out);
+        } else {
+          domain.join(*in, *pred_out);
+        }
+      }
+      if (!in) continue;  // not yet reached
+
+      typename Domain::State out = *in;
+      for (const CfgInstr& instr : cfg.blocks()[b].instrs) domain.transfer(instr, out);
+
+      result.in[b] = std::move(in);
+      bool out_changed;
+      if (!result.out[b]) {
+        result.out[b] = std::move(out);
+        out_changed = true;
+      } else if (joins[b] > widen_after) {
+        out_changed = domain.widen(*result.out[b], out);
+      } else {
+        out_changed = domain.join(*result.out[b], out);
+      }
+      if (out_changed) {
+        ++joins[b];
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace nisc::analysis

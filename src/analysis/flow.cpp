@@ -1,0 +1,218 @@
+#include "analysis/flow.hpp"
+
+#include <map>
+#include <set>
+
+#include "analysis/absint.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+
+namespace nisc::analysis {
+namespace {
+
+using iss::Op;
+
+bool is_load(Op op) {
+  return op == Op::Lb || op == Op::Lh || op == Op::Lw || op == Op::Lbu || op == Op::Lhu;
+}
+bool is_store(Op op) { return op == Op::Sb || op == Op::Sh || op == Op::Sw; }
+
+std::uint32_t access_size(Op op) {
+  switch (op) {
+    case Op::Lb: case Op::Lbu: case Op::Sb: return 1;
+    case Op::Lh: case Op::Lhu: case Op::Sh: return 2;
+    default: return 4;
+  }
+}
+
+bool is_ret(const iss::Instr& in) {
+  return in.op == Op::Jalr && in.rd == 0 && in.rs1 == 1 && in.imm == 0;
+}
+
+const char* reg_name(std::uint8_t r) {
+  static const char* names[32] = {"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+                                  "s0",   "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+                                  "a6",   "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+                                  "s8",   "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  return names[r & 31];
+}
+
+/// State at `addr` inside its block: the block in-state transferred through
+/// every preceding instruction. Returns false when the block is unreachable.
+bool state_before(const Cfg& cfg, const DataflowResult<RegDomain>& flow, const RegDomain& domain,
+                  std::uint32_t addr, RegState& out) {
+  std::size_t b = cfg.block_at(addr);
+  if (b == Cfg::npos || !flow.in[b]) return false;
+  out = *flow.in[b];
+  for (const CfgInstr& ci : cfg.blocks()[b].instrs) {
+    if (ci.addr == addr) return true;
+    domain.transfer(ci, out);
+  }
+  return false;
+}
+
+/// NL301: every pragma breakpoint must be reachable from the entry.
+void check_reachability(const Cfg& cfg, const iss::Program& program,
+                        const std::vector<cosim::PragmaBinding>& bindings,
+                        const std::vector<bool>& reachable, const FlowReport& report) {
+  for (const cosim::PragmaBinding& b : bindings) {
+    if (!program.has_symbol(b.label)) continue;  // lint.asm already fired
+    std::size_t block = cfg.block_at(program.symbols.at(b.label));
+    if (block == Cfg::npos) continue;  // label points into data, not code
+    if (!reachable[block]) {
+      report(Severity::Warning, "NL301",
+             "breakpoint for port '" + b.port + "' on line " + std::to_string(b.breakpoint_line) +
+                 " is unreachable from the program entry; the ISS can never stop there",
+             b.breakpoint_line);
+    }
+  }
+}
+
+/// NL302 + NL303: replay each reachable block from its fixpoint in-state,
+/// flagging definite uninitialized reads and definite out-of-map accesses.
+void check_values(const Cfg& cfg, const DataflowResult<RegDomain>& flow, const RegDomain& domain,
+                  const FlowOptions& options, const FlowReport& report) {
+  std::set<std::pair<std::uint32_t, std::uint8_t>> reported_uninit;
+  std::set<std::uint32_t> reported_oob;
+  for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+    if (!flow.in[b]) continue;
+    RegState state = *flow.in[b];
+    for (const CfgInstr& ci : cfg.blocks()[b].instrs) {
+      for (std::uint8_t r : RegDomain::regs_read(ci.instr)) {
+        if (r == 0) continue;
+        if (state.regs[r].init == AbsValue::Init::Uninit &&
+            reported_uninit.emplace(ci.addr, r).second) {
+          // Messages in this pass are built with += : chained operator+
+          // trips a spurious GCC 12 -Wrestrict at -O2.
+          std::string message = "'";
+          message += iss::disassemble(ci.instr);
+          message += "' reads register ";
+          message += reg_name(r);
+          message += " which is never written on any path from the entry";
+          report(Severity::Warning, "NL302", std::move(message), ci.line);
+        }
+      }
+      if (is_load(ci.instr.op) || is_store(ci.instr.op)) {
+        AbsValue addr = RegDomain::effective_address(state, ci.instr);
+        // Only base-less bounded intervals can prove an access out of map;
+        // sp-relative and unbounded addresses stay silent.
+        if (addr.base == AbsValue::Base::None && !addr.range.is_top()) {
+          std::int64_t limit = static_cast<std::int64_t>(options.mem_size) - access_size(ci.instr.op);
+          if ((addr.range.lo > limit || addr.range.hi < 0) && reported_oob.insert(ci.addr).second) {
+            std::string message = "'";
+            message += iss::disassemble(ci.instr);
+            message += "' accesses address ";
+            if (addr.range.is_exact()) {
+              message += std::to_string(addr.range.lo);
+            } else {
+              message += "[";
+              message += std::to_string(addr.range.lo);
+              message += ", ";
+              message += std::to_string(addr.range.hi);
+              message += "]";
+            }
+            message += " which is outside the ";
+            message += std::to_string(options.mem_size);
+            message += "-byte memory map on every path";
+            report(Severity::Error, "NL303", std::move(message), ci.line);
+          }
+        }
+      }
+      domain.transfer(ci, state);
+    }
+  }
+}
+
+/// NL304: per-function stack balance. Each function (the entry plus every
+/// call target) is analyzed over intraprocedural edges with callees
+/// summarized as balanced; at every reachable `ret` the stack pointer must
+/// be provably back at its entry value.
+void check_stack_balance(const Cfg& cfg, const iss::Program& program, const FlowReport& report) {
+  std::vector<std::uint32_t> roots = cfg.call_targets();
+  roots.push_back(program.entry);
+  std::set<std::size_t> seen_roots;
+  std::set<std::uint32_t> reported;
+  RegDomain domain;
+  for (std::uint32_t root : roots) {
+    std::size_t entry = cfg.block_at(root);
+    if (entry == Cfg::npos || !seen_roots.insert(entry).second) continue;
+    DataflowResult<RegDomain> flow = run_forward(cfg, domain, kIntraprocEdges, entry);
+    for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+      if (!flow.in[b]) continue;
+      const CfgInstr& last = cfg.blocks()[b].instrs.back();
+      if (!is_ret(last.instr)) continue;
+      RegState state;
+      if (!state_before(cfg, flow, domain, last.addr, state)) continue;
+      const AbsValue& sp = state.regs[2];
+      // Only a provable imbalance fires: sp must still be sp0-relative with
+      // an exact non-zero offset. A repointed or unbounded sp stays silent.
+      if (sp.base == AbsValue::Base::Sp && sp.range.is_exact() && sp.range.lo != 0 &&
+          reported.insert(last.addr).second) {
+        report(Severity::Warning, "NL304",
+               "function entered at address " + std::to_string(root) + " returns with sp " +
+                   std::to_string(sp.range.lo) + " bytes away from its entry value",
+               last.line);
+      }
+    }
+  }
+}
+
+/// NL305: binding liveness. A bound variable must live inside the memory
+/// map, and an iss_in-bound variable must be written on every path from the
+/// entry to its breakpoint.
+void check_binding_liveness(const Cfg& cfg, const DataflowResult<RegDomain>& flow,
+                            const RegDomain& domain, const iss::Program& program,
+                            const std::vector<cosim::PragmaBinding>& bindings,
+                            const FlowOptions& options, const FlowReport& report) {
+  for (const cosim::PragmaBinding& b : bindings) {
+    if (!program.has_symbol(b.variable)) continue;  // lint.variable-undefined already fired
+    std::uint32_t var_addr = program.symbols.at(b.variable);
+    if (static_cast<std::uint64_t>(var_addr) + 4 > options.mem_size) {
+      report(Severity::Error, "NL305",
+             "variable '" + b.variable + "' bound to port '" + b.port + "' lives at address " +
+                 std::to_string(var_addr) + ", outside the " + std::to_string(options.mem_size) +
+                 "-byte memory map; the binding can never carry data",
+             b.pragma_line);
+      continue;
+    }
+    if (b.direction != cosim::BindDirection::IssToSc) continue;
+    if (!program.has_symbol(b.label)) continue;
+    int tracked = domain.tracked_index(var_addr);
+    if (tracked < 0) continue;  // more bindings than tracked slots: stay silent
+    RegState state;
+    if (!state_before(cfg, flow, domain, program.symbols.at(b.label), state)) continue;
+    if ((state.written & (std::uint64_t(1) << tracked)) == 0) {
+      report(Severity::Warning, "NL305",
+             "variable '" + b.variable + "' bound to iss_in port '" + b.port +
+                 "' may reach its breakpoint on line " + std::to_string(b.breakpoint_line) +
+                 " without being written; the port would sample a stale value",
+             b.pragma_line);
+    }
+  }
+}
+
+}  // namespace
+
+void check_flow(const iss::Program& program, const std::vector<cosim::PragmaBinding>& bindings,
+                const FlowOptions& options, const FlowReport& report) {
+  Cfg cfg = Cfg::build(program);
+  if (cfg.blocks().empty() || cfg.entry() == Cfg::npos) return;
+
+  std::vector<std::uint32_t> tracked;
+  for (const cosim::PragmaBinding& b : bindings) {
+    if (b.direction == cosim::BindDirection::IssToSc && program.has_symbol(b.variable)) {
+      tracked.push_back(program.symbols.at(b.variable));
+    }
+  }
+  RegDomain domain(std::move(tracked));
+
+  std::vector<bool> reachable = reachable_blocks(cfg, cfg.entry(), kInterprocEdges);
+  DataflowResult<RegDomain> flow = run_forward(cfg, domain, kInterprocEdges, cfg.entry());
+
+  check_reachability(cfg, program, bindings, reachable, report);
+  check_values(cfg, flow, domain, options, report);
+  check_stack_balance(cfg, program, report);
+  check_binding_liveness(cfg, flow, domain, program, bindings, options, report);
+}
+
+}  // namespace nisc::analysis

@@ -1,0 +1,51 @@
+// Flow-sensitive NL3xx rules: the analyses cosim-lint runs once a guest
+// program assembles. Each rule is a pass over the basic-block CFG
+// (analysis/cfg.hpp) using the worklist dataflow engine
+// (analysis/dataflow.hpp) with the interval/taint register domain
+// (analysis/absint.hpp).
+//
+//  * NL301 (warning): a pragma breakpoint address is not reachable from the
+//    program entry along any CFG path — the ISS can never stop there.
+//  * NL302 (warning): an instruction reads a register that is uninitialized
+//    on EVERY path from the entry (x0 and sp are environment-provided).
+//  * NL303 (error): a load/store whose effective address is provably outside
+//    the memory map [0, mem_size) on every path. Stack-relative and
+//    unbounded addresses are never flagged — only definite faults.
+//  * NL304 (warning): a function returns with the stack pointer provably
+//    off its entry value (per-function analysis over intraprocedural edges;
+//    callees are summarized as balanced and checked separately).
+//  * NL305: binding liveness. Error when a bound variable's address is
+//    provably outside the memory map (the co-simulation side could never
+//    read or inject it); warning when an iss_in-bound variable might not be
+//    written on some path from the entry to its breakpoint.
+//
+// All rules are definite-evidence only: an inconclusive analysis stays
+// silent, so a clean guest produces zero NL3xx findings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.hpp"
+#include "cosim/pragma.hpp"
+#include "iss/program.hpp"
+
+namespace nisc::analysis {
+
+struct FlowOptions {
+  /// Size of the guest memory map the loads/stores must stay inside.
+  std::uint64_t mem_size = std::uint64_t(1) << 20;
+};
+
+/// Sink for flow findings; the caller applies nolint/suppression and file
+/// attribution. `line` is the original source line (0 when unknown).
+using FlowReport =
+    std::function<void(Severity severity, std::string rule, std::string message, int line)>;
+
+/// Runs every NL3xx rule over an assembled program and its pragma bindings.
+void check_flow(const iss::Program& program, const std::vector<cosim::PragmaBinding>& bindings,
+                const FlowOptions& options, const FlowReport& report);
+
+}  // namespace nisc::analysis

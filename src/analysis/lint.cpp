@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "analysis/flow.hpp"
 #include "iss/assembler.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -73,37 +74,10 @@ std::string_view strip_labels(std::string_view text) {
 
 bool is_pragma_line(std::string_view line) { return starts_with(trim(line), "#pragma"); }
 
-/// True when the line holds an instruction a breakpoint can land on.
-bool is_instruction_line(std::string_view line) {
-  if (is_pragma_line(line)) return false;
-  std::string_view t = strip_labels(code_part(line));
-  if (t.empty()) return false;
-  if (t[0] == '.') return false;  // directive
-  return true;
-}
-
-/// True when the line carries at least one "name:" label of its own.
-bool has_own_label(std::string_view line) {
-  if (is_pragma_line(line)) return false;
-  std::string_view t = trim(code_part(line));
-  std::size_t colon = t.find(':');
-  if (colon == std::string_view::npos) return false;
-  std::string_view head = trim(t.substr(0, colon));
-  if (head.empty()) return false;
-  for (char c : head) {
-    if (!is_identifier_char(c)) return false;
-  }
-  return true;
-}
-
 std::string mnemonic_of(std::string_view line) {
   std::string_view t = strip_labels(code_part(line));
   std::size_t ws = t.find_first_of(" \t");
   return to_lower(ws == std::string_view::npos ? t : t.substr(0, ws));
-}
-
-bool is_unconditional_transfer(const std::string& mnemonic) {
-  return mnemonic == "j" || mnemonic == "jr" || mnemonic == "ret" || mnemonic == "tail";
 }
 
 /// Whole-word occurrence of `ident` in `text`.
@@ -240,12 +214,14 @@ LintResult lint_guest_source(std::string_view source, const std::string& file,
       preserving += '\n';
     }
   }
-  try {
-    result.program = iss::assemble(preserving, options.base);
-    result.assembled = true;
-  } catch (const util::RuntimeError& e) {
-    auto [line, message] = split_line_prefix(e.what());
-    report(Severity::Error, "lint.asm", message, line);
+  {
+    iss::AssembleResult assembled = iss::assemble_all(preserving, options.base);
+    for (const iss::AsmError& e : assembled.errors) {
+      report(Severity::Error, e.label_redefined ? "lint.label-redefined" : "lint.asm", e.message,
+             e.line);
+    }
+    result.program = std::move(assembled.program);
+    result.assembled = assembled.errors.empty();
   }
 
   // 4. Per-binding data-flow checks.
@@ -291,38 +267,12 @@ LintResult lint_guest_source(std::string_view source, const std::string& file,
     }
   }
 
-  // 5. Breakpoint reachability: a breakpoint line entered only by falling
-  //    through an unconditional jump, with no label of its own, can never be
-  //    hit.
-  if (!result.bindings.empty()) {
-    // reachable[i] for instruction lines, by simple fall-through + label
-    // analysis over the original line order.
-    std::map<int, bool> reachable;  // 1-based line -> reachable
-    bool falls_through = true;      // from the notional entry point
-    bool pending_label = false;     // label-only line(s) since last instruction
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      const std::string& line = lines[i];
-      if (!is_instruction_line(line)) {
-        if (has_own_label(line)) pending_label = true;
-        continue;
-      }
-      bool labelled = has_own_label(line) || pending_label;
-      pending_label = false;
-      bool here = falls_through || labelled;
-      reachable[static_cast<int>(i) + 1] = here;
-      falls_through = here && !is_unconditional_transfer(mnemonic_of(line));
-    }
-    for (const cosim::PragmaBinding& b : result.bindings) {
-      auto it = reachable.find(b.breakpoint_line);
-      if (it != reachable.end() && !it->second) {
-        report(Severity::Warning, "lint.unreachable-breakpoint",
-               "breakpoint for port '" + b.port + "' lands on line " +
-                   std::to_string(b.breakpoint_line) +
-                   " which follows an unconditional jump and has no label; the ISS can "
-                   "never stop there",
-               b.breakpoint_line);
-      }
-    }
+  // 5. Flow-sensitive NL3xx rules over the assembled program's CFG.
+  if (result.assembled && options.flow) {
+    check_flow(result.program, result.bindings, FlowOptions{options.mem_size},
+               [&](Severity severity, std::string rule, std::string message, int line) {
+                 report(severity, std::move(rule), std::move(message), line);
+               });
   }
 
   return result;

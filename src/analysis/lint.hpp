@@ -7,7 +7,10 @@
 //    line).
 //  * lint.asm (error): the program does not assemble — undefined labels,
 //    unknown mnemonics, bad operands (assembler messages, re-homed to the
-//    original line numbers).
+//    original line numbers). All errors in the file are reported in one
+//    pass, not just the first.
+//  * lint.label-redefined (error): a label is defined twice; the first
+//    definition wins for the rest of the analysis.
 //  * lint.duplicate-binding (error): the same iss port bound by two pragmas
 //    of the same direction.
 //  * lint.conflicting-binding (error): the same iss port bound as both
@@ -21,9 +24,11 @@
 //  * lint.bind-direction (warning): an iss_in pragma annotates a statement
 //    that is not a store (the guest must write the variable before the
 //    breakpoint), or an iss_out pragma annotates one that is not a load.
-//  * lint.unreachable-breakpoint (warning): the breakpoint line can only be
-//    entered by falling through an unconditional jump (j/jr/ret/tail) and
-//    carries no label — the ISS can never stop there.
+//  * NL301..NL305 (see analysis/flow.hpp): flow-sensitive rules over the
+//    assembled program's CFG — breakpoint reachability, uninitialized
+//    register reads, provably out-of-map accesses, stack balance, and
+//    binding liveness. They run only when the program assembled cleanly and
+//    can be disabled wholesale with LintOptions::flow = false.
 //
 // Inline suppression: a `nolint` token in a comment on the offending line
 // silences all rules for that line; `nolint(rule-a,rule-b)` silences only
@@ -45,6 +50,10 @@ struct LintOptions {
   std::vector<std::string> known_ports;
   /// Load address passed to the assembler.
   std::uint32_t base = 0;
+  /// Run the flow-sensitive NL3xx rules (CFG + abstract interpretation).
+  bool flow = true;
+  /// Guest memory map size the NL303/NL305 in-map checks use.
+  std::uint64_t mem_size = std::uint64_t(1) << 20;
 };
 
 struct LintResult {

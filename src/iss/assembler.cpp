@@ -25,11 +25,17 @@ struct Statement {
   std::vector<std::string> operands;  // comma-separated, trimmed
   std::uint32_t addr = 0;
   std::uint32_t size = 0;
+  bool errored = false;  // failed in layout; skipped by the emit pass
 };
 
-[[noreturn]] void fail(int line, const std::string& message) {
-  throw RuntimeError("line " + std::to_string(line) + ": " + message);
-}
+/// Internal error signal; the per-statement recovery loops catch it so one
+/// pass can report every error (AsmError carries it out of the assembler).
+struct AsmFail {
+  int line;
+  std::string message;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) { throw AsmFail{line, message}; }
 
 /// Strips "#", ";" and "//" comments (not inside string literals).
 std::string strip_comment(std::string_view line) {
@@ -71,13 +77,15 @@ class Assembler {
  public:
   explicit Assembler(std::uint32_t base) : base_(base) {}
 
-  Program run(std::string_view source) {
+  AssembleResult run(std::string_view source) {
     parse(source);
     layout();
     emit();
     program_.base = base_;
     program_.entry = program_.has_symbol("_start") ? program_.symbol("_start") : base_;
-    return std::move(program_);
+    std::stable_sort(errors_.begin(), errors_.end(),
+                     [](const AsmError& a, const AsmError& b) { return a.line < b.line; });
+    return {std::move(program_), std::move(errors_)};
   }
 
  private:
@@ -140,7 +148,13 @@ class Assembler {
       }
       Statement& stmt = statements_[i];
       stmt.addr = lc;
-      stmt.size = statement_size(stmt, lc);
+      try {
+        stmt.size = statement_size(stmt, lc);
+      } catch (const AsmFail& e) {
+        errors_.push_back({e.line, e.message, false});
+        stmt.errored = true;
+        stmt.size = stmt.mnemonic[0] == '.' ? 0 : 4;  // keep later addresses plausible
+      }
       lc += stmt.size;
     }
     while (label_index < labels_.size()) {
@@ -151,7 +165,14 @@ class Assembler {
   }
 
   void define_symbol(int line, const std::string& name, std::uint32_t value) {
-    if (program_.symbols.count(name) > 0) fail(line, "duplicate symbol: " + name);
+    auto [it, inserted] = first_definition_.try_emplace(name, line);
+    if (!inserted) {
+      errors_.push_back({line,
+                         "label '" + name + "' redefined (first defined on line " +
+                             std::to_string(it->second) + ")",
+                         true});
+      return;  // the first definition wins
+    }
     program_.symbols[name] = value;
   }
 
@@ -241,11 +262,20 @@ class Assembler {
 
   void emit() {
     program_.bytes.assign(image_size_, 0);
-    for (const Statement& stmt : statements_) {
-      if (stmt.mnemonic[0] == '.') {
-        emit_directive(stmt);
-      } else {
-        emit_instruction(stmt);
+    for (Statement& stmt : statements_) {
+      if (stmt.errored) continue;  // already reported in layout
+      try {
+        if (stmt.mnemonic[0] == '.') {
+          emit_directive(stmt);
+        } else {
+          emit_instruction(stmt);
+          for (std::uint32_t off = 0; off < stmt.size; off += 4) {
+            program_.code.push_back({stmt.addr + off, stmt.line});
+          }
+        }
+      } catch (const AsmFail& e) {
+        errors_.push_back({e.line, e.message, false});
+        stmt.errored = true;
       }
     }
   }
@@ -265,12 +295,16 @@ class Assembler {
     std::uint32_t addr = stmt.addr;
     if (m == ".word") {
       for (const std::string& op : stmt.operands) {
-        put32(addr, static_cast<std::uint32_t>(resolve_value(stmt.line, op)));
+        put32(addr, static_cast<std::uint32_t>(
+                        resolve_value(stmt.line, op, /*allow_undefined=*/false,
+                                      /*record_taken=*/true)));
         addr += 4;
       }
     } else if (m == ".half") {
       for (const std::string& op : stmt.operands) {
-        put16(addr, static_cast<std::uint16_t>(resolve_value(stmt.line, op)));
+        put16(addr, static_cast<std::uint16_t>(
+                        resolve_value(stmt.line, op, /*allow_undefined=*/false,
+                                      /*record_taken=*/true)));
         addr += 2;
       }
     } else if (m == ".byte") {
@@ -287,7 +321,10 @@ class Assembler {
   }
 
   /// Resolves an integer, `symbol`, `symbol+k` or `symbol-k` expression.
-  std::int64_t resolve_value(int line, std::string_view text, bool allow_undefined = false) {
+  /// `record_taken` marks symbol-based results as address-taken (la/li/.word
+  /// operands — the conservative indirect-jump target set).
+  std::int64_t resolve_value(int line, std::string_view text, bool allow_undefined = false,
+                             bool record_taken = false) {
     text = trim(text);
     if (auto v = parse_int(text)) return *v;
     // symbol with optional +/- constant offset
@@ -304,7 +341,9 @@ class Assembler {
       if (allow_undefined) return 0;
       fail(line, "undefined symbol: " + std::string(sym));
     }
-    return static_cast<std::int64_t>(it->second) + offset;
+    std::int64_t value = static_cast<std::int64_t>(it->second) + offset;
+    if (record_taken) program_.address_taken.insert(static_cast<std::uint32_t>(value));
+    return value;
   }
 
   std::uint8_t reg_operand(const Statement& stmt, std::size_t index) {
@@ -543,14 +582,11 @@ class Assembler {
       put_instr(stmt.addr, {Op::Sltu, reg_operand(stmt, 0), 0, reg_operand(stmt, 1), 0});
       return;
     }
-    if (m == "li") {
+    if (m == "li" || m == "la") {
       need(2);
-      emit_li(stmt, reg_operand(stmt, 0), resolve_value(line, op_at(stmt, 1)));
-      return;
-    }
-    if (m == "la") {
-      need(2);
-      emit_li(stmt, reg_operand(stmt, 0), resolve_value(line, op_at(stmt, 1)));
+      emit_li(stmt, reg_operand(stmt, 0),
+              resolve_value(line, op_at(stmt, 1), /*allow_undefined=*/false,
+                            /*record_taken=*/true));
       return;
     }
     if (m == "ecall") {
@@ -581,12 +617,23 @@ class Assembler {
   std::uint32_t image_size_ = 0;
   std::vector<Statement> statements_;
   std::vector<Label> labels_;
+  std::map<std::string, int> first_definition_;  // symbol -> defining line
+  std::vector<AsmError> errors_;
   Program program_;
 };
 
 }  // namespace
 
 Program assemble(std::string_view source, std::uint32_t base) {
+  AssembleResult result = Assembler(base).run(source);
+  if (!result.ok()) {
+    const AsmError& e = result.errors.front();
+    throw RuntimeError("line " + std::to_string(e.line) + ": " + e.message);
+  }
+  return std::move(result.program);
+}
+
+AssembleResult assemble_all(std::string_view source, std::uint32_t base) {
   return Assembler(base).run(source);
 }
 

@@ -14,17 +14,43 @@
 //   .org .word .half .byte .ascii .asciz .space .align .equ .globl
 //   # ; //                         comments
 //
-// Errors throw util::RuntimeError with "line N: ..." messages.
+// Errors throw util::RuntimeError with "line N: ..." messages; assemble_all
+// collects every error in one pass instead.
 #pragma once
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "iss/program.hpp"
 
 namespace nisc::iss {
 
+/// One assembly error, located at its 1-based source line.
+struct AsmError {
+  int line = 0;
+  std::string message;
+  /// True for duplicate label / .equ definitions (the first definition wins).
+  bool label_redefined = false;
+};
+
+/// Best-effort program plus every error found in one pass. When `errors` is
+/// non-empty the program image is incomplete: statements that failed emit
+/// nothing and later addresses may have shifted.
+struct AssembleResult {
+  Program program;
+  std::vector<AsmError> errors;
+
+  bool ok() const noexcept { return errors.empty(); }
+};
+
 /// Assembles `source` into a loadable program. `base` is the load address
 /// of the first byte. Entry is the `_start` symbol when present, else base.
+/// Throws RuntimeError with the first error ("line N: ..." message).
 Program assemble(std::string_view source, std::uint32_t base = 0);
+
+/// Like assemble(), but keeps going after an error and reports all of them,
+/// sorted by line, instead of throwing.
+AssembleResult assemble_all(std::string_view source, std::uint32_t base = 0);
 
 }  // namespace nisc::iss

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,16 @@
 #include "util/error.hpp"
 
 namespace nisc::iss {
+
+/// Where one assembled instruction word landed: its address and the 1-based
+/// source line it came from. Pseudo-instructions that expand to two words
+/// (li/la) contribute two entries sharing one line.
+struct CodeLoc {
+  std::uint32_t addr = 0;
+  int line = 0;
+
+  bool operator==(const CodeLoc&) const = default;
+};
 
 /// Output of the assembler; loadable into the ISS memory. Symbols map guest
 /// labels (the paper's "variables of the application") to addresses, which
@@ -19,6 +30,15 @@ struct Program {
   std::vector<std::uint8_t> bytes;
   std::map<std::string, std::uint32_t> symbols;
   std::uint32_t entry = 0;
+
+  /// Every emitted instruction word in ascending address order — the code /
+  /// data discrimination and line table the flow analyzer builds its CFG on.
+  std::vector<CodeLoc> code;
+
+  /// Addresses of symbols whose value was materialized into a register or a
+  /// data word (la/li/.word/...): the conservative target set for indirect
+  /// jumps (jr through a jump table).
+  std::set<std::uint32_t> address_taken;
 
   bool has_symbol(const std::string& name) const { return symbols.count(name) > 0; }
 

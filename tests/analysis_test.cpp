@@ -4,14 +4,25 @@
 // shipped router example must stay clean (no false positives).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 
+#include "analysis/absint.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
 #include "analysis/diag.hpp"
 #include "analysis/elab.hpp"
+#include "analysis/flow.hpp"
 #include "analysis/frame.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/race.hpp"
 #include "ipc/message.hpp"
+#include "iss/assembler.hpp"
+#include "iss/cpu.hpp"
+#include "iss/tracer.hpp"
 #include "router/testbench.hpp"
 #include "rtos/rtos.hpp"
 #include "sysc/sysc.hpp"
@@ -284,7 +295,31 @@ TEST(LintTest, UnreachableBreakpointFlagged) {
       "    lw t1, 0(t0)\n"
       "v: .word 0\n",
       "seed.s", diags);
-  EXPECT_TRUE(diags.has_rule("lint.unreachable-breakpoint"));
+  EXPECT_TRUE(diags.has_rule("NL301"));
+}
+
+TEST(LintTest, AllAssemblyErrorsReportedInOnePass) {
+  DiagEngine diags;
+  LintResult result = lint_guest_source(
+      "_start:\n"
+      "    frobnicate a0\n"
+      "x:  nop\n"
+      "x:  nop\n"
+      "    j nowhere\n",
+      "seed.s", diags);
+  EXPECT_FALSE(result.assembled);
+  std::size_t asm_errors = 0;
+  std::size_t redefined = 0;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.rule == "lint.asm") ++asm_errors;
+    if (d.rule == "lint.label-redefined") ++redefined;
+  }
+  EXPECT_EQ(asm_errors, 2u);  // frobnicate + nowhere
+  EXPECT_EQ(redefined, 1u);
+  // Errors arrive sorted by original source line.
+  EXPECT_EQ(diags.diagnostics()[0].loc.line, 2);
+  EXPECT_EQ(diags.diagnostics()[1].loc.line, 4);
+  EXPECT_EQ(diags.diagnostics()[2].loc.line, 5);
 }
 
 TEST(LintTest, UnknownPortFlaggedAgainstDeclaredList) {
@@ -333,6 +368,395 @@ TEST(LintTest, LineNumbersSurviveThePragmaFilter) {
       "seed.s", diags);
   ASSERT_TRUE(diags.has_rule("lint.asm"));
   EXPECT_EQ(diags.diagnostics()[0].loc.line, 9);
+}
+
+// ---------------------------------------------------------------- cfg
+
+TEST(CfgTest, LinearAndBranchEdges) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    li t0, 3\n"
+      "loop:\n"
+      "    addi t0, t0, -1\n"
+      "    bnez t0, loop\n"
+      "    ebreak\n");
+  Cfg cfg = Cfg::build(prog);
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  EXPECT_EQ(cfg.entry(), cfg.block_at(prog.entry));
+
+  std::size_t head = cfg.block_at(prog.symbol("_start"));
+  std::size_t loop = cfg.block_at(prog.symbol("loop"));
+  ASSERT_NE(head, Cfg::npos);
+  ASSERT_NE(loop, Cfg::npos);
+  ASSERT_EQ(cfg.blocks()[head].succs.size(), 1u);
+  EXPECT_EQ(cfg.blocks()[head].succs[0].block, loop);
+  EXPECT_EQ(cfg.blocks()[head].succs[0].kind, EdgeKind::FallThrough);
+
+  // The loop block ends in bnez: a Branch back-edge plus a FallThrough.
+  std::set<std::pair<std::size_t, EdgeKind>> loop_succs;
+  for (const CfgEdge& e : cfg.blocks()[loop].succs) loop_succs.insert({e.block, e.kind});
+  EXPECT_TRUE(loop_succs.count({loop, EdgeKind::Branch}) > 0);
+  EXPECT_EQ(loop_succs.size(), 2u);
+}
+
+TEST(CfgTest, CallReturnAndSummaryEdges) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    call leaf\n"
+      "    ebreak\n"
+      "leaf:\n"
+      "    ret\n");
+  Cfg cfg = Cfg::build(prog);
+  std::size_t caller = cfg.block_at(prog.symbol("_start"));
+  std::size_t after = cfg.block_at(prog.symbol("_start") + 4);
+  std::size_t leaf = cfg.block_at(prog.symbol("leaf"));
+  ASSERT_NE(after, Cfg::npos);
+
+  std::set<std::pair<std::size_t, EdgeKind>> succs;
+  for (const CfgEdge& e : cfg.blocks()[caller].succs) succs.insert({e.block, e.kind});
+  EXPECT_TRUE(succs.count({leaf, EdgeKind::Call}) > 0);
+  EXPECT_TRUE(succs.count({after, EdgeKind::CallFall}) > 0);
+
+  std::set<std::pair<std::size_t, EdgeKind>> ret_succs;
+  for (const CfgEdge& e : cfg.blocks()[leaf].succs) ret_succs.insert({e.block, e.kind});
+  EXPECT_TRUE(ret_succs.count({after, EdgeKind::Return}) > 0);
+
+  ASSERT_EQ(cfg.call_targets().size(), 1u);
+  EXPECT_EQ(cfg.call_targets()[0], prog.symbol("leaf"));
+}
+
+TEST(CfgTest, IndirectJumpTargetsOnlyAddressTakenLabels) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    la t0, handler\n"
+      "    jr t0\n"
+      "other:\n"
+      "    ebreak\n"
+      "handler:\n"
+      "    ebreak\n");
+  Cfg cfg = Cfg::build(prog);
+  std::size_t jr_block = cfg.block_at(prog.symbol("_start"));
+  std::size_t handler = cfg.block_at(prog.symbol("handler"));
+  std::size_t other = cfg.block_at(prog.symbol("other"));
+  ASSERT_EQ(cfg.blocks()[jr_block].succs.size(), 1u);
+  EXPECT_EQ(cfg.blocks()[jr_block].succs[0].block, handler);
+  EXPECT_EQ(cfg.blocks()[jr_block].succs[0].kind, EdgeKind::Indirect);
+  // `other` is dead: only the address-taken label is an indirect target.
+  EXPECT_TRUE(cfg.blocks()[other].preds.empty());
+}
+
+// ---------------------------------------------------------------- dataflow
+
+TEST(DataflowTest, ReversePostOrderAndReachabilityOnDiamond) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    beqz t0, right\n"
+      "    nop\n"
+      "    j merge\n"
+      "right:\n"
+      "    nop\n"
+      "merge:\n"
+      "    ebreak\n"
+      "dead:\n"
+      "    nop\n");
+  Cfg cfg = Cfg::build(prog);
+  std::vector<std::size_t> rpo = reverse_post_order(cfg, cfg.entry(), kInterprocEdges);
+  ASSERT_EQ(rpo.size(), 4u);  // dead block excluded
+  EXPECT_EQ(rpo.front(), cfg.entry());
+  EXPECT_EQ(rpo.back(), cfg.block_at(prog.symbol("merge")));
+
+  std::vector<bool> reach = reachable_blocks(cfg, cfg.entry(), kInterprocEdges);
+  EXPECT_TRUE(reach[cfg.block_at(prog.symbol("merge"))]);
+  EXPECT_FALSE(reach[cfg.block_at(prog.symbol("dead"))]);
+}
+
+// ---------------------------------------------------------------- absint
+
+TEST(IntervalTest, JoinWidenAndArithmetic) {
+  Interval a = Interval::exact(4);
+  EXPECT_TRUE(a.join(Interval::exact(10)));
+  EXPECT_EQ(a, Interval::bounded(4, 10));
+  EXPECT_FALSE(a.join(Interval::exact(7)));  // already inside
+
+  Interval w = Interval::bounded(0, 10);
+  EXPECT_TRUE(w.widen(Interval::bounded(0, 11)));
+  EXPECT_EQ(w.hi, Interval::kMax);  // growing bound jumps to the extreme
+  EXPECT_EQ(w.lo, 0);               // stable bound survives widening
+
+  EXPECT_EQ(Interval::exact(6).plus(Interval::exact(7)), Interval::exact(13));
+  EXPECT_EQ(Interval::bounded(2, 4).minus(Interval::bounded(1, 1)), Interval::bounded(1, 3));
+  EXPECT_TRUE(Interval::top().plus(Interval::exact(1)).is_top());
+}
+
+TEST(AbsValueTest, JoinTracksInitAndBaseLattices) {
+  AbsValue v = AbsValue::exact(5);
+  EXPECT_TRUE(v.join(AbsValue::uninit()));
+  EXPECT_EQ(v.init, AbsValue::Init::Mixed);
+
+  AbsValue sp = AbsValue::sp_entry();
+  EXPECT_TRUE(sp.join(AbsValue::exact(16)));  // sp-relative vs absolute
+  EXPECT_EQ(sp.base, AbsValue::Base::None);
+  EXPECT_TRUE(sp.range.is_top());
+}
+
+TEST(AbsintTest, ConstantsPropagateExactly) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    li t0, 40\n"
+      "    addi t0, t0, 2\n"
+      "    slli t1, t0, 1\n"
+      "    ebreak\n");
+  Cfg cfg = Cfg::build(prog);
+  RegDomain domain;
+  DataflowResult<RegDomain> flow = run_forward(cfg, domain, kInterprocEdges, cfg.entry());
+  ASSERT_TRUE(flow.out[cfg.entry()].has_value());
+  const RegState& out = *flow.out[cfg.entry()];
+  EXPECT_EQ(out.regs[5].range, Interval::exact(42));  // t0
+  EXPECT_EQ(out.regs[6].range, Interval::exact(84));  // t1
+  EXPECT_EQ(out.regs[7].init, AbsValue::Init::Uninit);  // t2 untouched
+}
+
+TEST(AbsintTest, StackPointerStaysSymbolic) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    addi sp, sp, -16\n"
+      "    addi sp, sp, 16\n"
+      "    ebreak\n");
+  Cfg cfg = Cfg::build(prog);
+  RegDomain domain;
+  DataflowResult<RegDomain> flow = run_forward(cfg, domain, kInterprocEdges, cfg.entry());
+  ASSERT_TRUE(flow.out[cfg.entry()].has_value());
+  const AbsValue& sp = flow.out[cfg.entry()]->regs[2];
+  EXPECT_EQ(sp.base, AbsValue::Base::Sp);
+  EXPECT_EQ(sp.range, Interval::exact(0));  // balanced again
+}
+
+TEST(AbsintTest, WideningTerminatesOnInfiniteLoop) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    li t0, 0\n"
+      "loop:\n"
+      "    addi t0, t0, 1\n"
+      "    j loop\n");
+  Cfg cfg = Cfg::build(prog);
+  RegDomain domain;
+  DataflowResult<RegDomain> flow = run_forward(cfg, domain, kInterprocEdges, cfg.entry());
+  std::size_t loop = cfg.block_at(prog.symbol("loop"));
+  ASSERT_TRUE(flow.in[loop].has_value());  // converged despite the cycle
+  EXPECT_EQ(flow.in[loop]->regs[5].init, AbsValue::Init::Init);
+}
+
+// ---------------------------------------------------------------- flow rules
+
+std::string fixture_path(const std::string& name) {
+  return std::string(NISC_SOURCE_DIR "/examples/guests/bad/") + name;
+}
+
+std::string read_file_or_die(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Source line of the instruction at `addr`, via the program's code table.
+int line_of(const iss::Program& prog, std::uint32_t addr) {
+  for (const iss::CodeLoc& loc : prog.code) {
+    if (loc.addr == addr) return loc.line;
+  }
+  return 0;
+}
+
+TEST(FlowRuleTest, EveryBadFixtureFlagsItsRule) {
+  const struct {
+    const char* file;
+    const char* rule;
+  } cases[] = {
+      {"nl301_unreachable_bp.s", "NL301"},   {"nl302_uninit_read.s", "NL302"},
+      {"nl303_oob_access.s", "NL303"},       {"nl304_stack_imbalance.s", "NL304"},
+      {"nl305_unwritten_binding.s", "NL305"},
+  };
+  for (const auto& c : cases) {
+    DiagEngine diags;
+    LintResult result =
+        lint_guest_source(read_file_or_die(fixture_path(c.file)), c.file, diags);
+    EXPECT_TRUE(result.assembled) << c.file;
+    EXPECT_TRUE(diags.has_rule(c.rule)) << c.file << "\n" << render_text(diags);
+    // The seeded defect is the only finding class in each fixture.
+    for (const Diagnostic& d : diags.diagnostics()) EXPECT_EQ(d.rule, c.rule) << c.file;
+  }
+}
+
+// NL301 oracle: with a breakpoint armed on the binding label, a bounded run
+// halts at the final ebreak and the trace never visits the breakpoint.
+TEST(FlowRuleTest, Nl301VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r = lint_guest_source(read_file_or_die(fixture_path("nl301_unreachable_bp.s")),
+                                   "nl301", diags);
+  ASSERT_TRUE(r.assembled);
+  ASSERT_TRUE(diags.has_rule("NL301"));
+  ASSERT_EQ(r.bindings.size(), 1u);
+  std::uint32_t bp = r.program.symbol(r.bindings[0].label);
+
+  iss::Cpu cpu;
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  cpu.add_breakpoint(bp);
+  iss::ExecutionTracer tracer(cpu, 256);
+  EXPECT_EQ(cpu.run(1000), iss::Halt::Ebreak);  // never the breakpoint
+  for (const iss::TraceEntry& e : tracer.entries()) EXPECT_NE(e.pc, bp);
+}
+
+// NL302 oracle: replaying the run with a written-register scoreboard finds
+// dynamic read-before-write at exactly the statically flagged lines.
+TEST(FlowRuleTest, Nl302VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r =
+      lint_guest_source(read_file_or_die(fixture_path("nl302_uninit_read.s")), "nl302", diags);
+  ASSERT_TRUE(r.assembled);
+  std::set<int> flagged_lines;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    ASSERT_EQ(d.rule, "NL302");
+    flagged_lines.insert(d.loc.line);
+  }
+  ASSERT_FALSE(flagged_lines.empty());
+
+  iss::Cpu cpu;
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  std::set<unsigned> written = {0, 2};  // x0 and sp are environment-provided
+  std::set<int> dynamic_lines;
+  cpu.set_trace_hook([&](std::uint32_t pc, std::uint32_t word) {
+    iss::Instr in = iss::decode(word);
+    for (std::uint8_t rr : RegDomain::regs_read(in)) {
+      if (written.count(rr) == 0) dynamic_lines.insert(line_of(r.program, pc));
+    }
+    if (in.rd != 0) written.insert(in.rd);
+  });
+  EXPECT_EQ(cpu.run(1000), iss::Halt::Ebreak);
+  EXPECT_EQ(dynamic_lines, flagged_lines);
+}
+
+// NL303 oracle: the run must die with a memory fault at the flagged line.
+TEST(FlowRuleTest, Nl303VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r =
+      lint_guest_source(read_file_or_die(fixture_path("nl303_oob_access.s")), "nl303", diags);
+  ASSERT_TRUE(r.assembled);
+  ASSERT_TRUE(diags.has_rule("NL303"));
+  int flagged_line = diags.diagnostics()[0].loc.line;
+
+  iss::Cpu cpu;  // default 1 MiB map, matching LintOptions::mem_size
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  iss::ExecutionTracer tracer(cpu, 16);
+  EXPECT_EQ(cpu.run(1000), iss::Halt::MemoryFault);
+  ASSERT_FALSE(tracer.entries().empty());
+  EXPECT_EQ(line_of(r.program, tracer.entries().back().pc), flagged_line);
+}
+
+// NL304 oracle: after the run the stack pointer is off by exactly the
+// imbalance the analysis proved (-8 bytes from the 0x10000 it set up).
+TEST(FlowRuleTest, Nl304VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r = lint_guest_source(read_file_or_die(fixture_path("nl304_stack_imbalance.s")),
+                                   "nl304", diags);
+  ASSERT_TRUE(r.assembled);
+  ASSERT_TRUE(diags.has_rule("NL304"));
+  EXPECT_NE(diags.diagnostics()[0].message.find("-8 bytes"), std::string::npos);
+
+  iss::Cpu cpu;
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  EXPECT_EQ(cpu.run(1000), iss::Halt::Ebreak);
+  EXPECT_EQ(cpu.reg(2), 0x10000u - 8u);  // the leak the warning promised
+}
+
+// NL305 oracle: with flag == 0 the breakpoint is reached while the bound
+// variable's store never executed — the port would sample the stale zero.
+TEST(FlowRuleTest, Nl305VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r = lint_guest_source(read_file_or_die(fixture_path("nl305_unwritten_binding.s")),
+                                   "nl305", diags);
+  ASSERT_TRUE(r.assembled);
+  ASSERT_TRUE(diags.has_rule("NL305"));
+  ASSERT_EQ(r.bindings.size(), 1u);
+  std::uint32_t bp = r.program.symbol(r.bindings[0].label);
+  std::uint32_t store_addr = 0;
+  for (const iss::CodeLoc& loc : r.program.code) {
+    if (loc.line == r.bindings[0].statement_line) store_addr = loc.addr;
+  }
+  ASSERT_NE(store_addr, 0u);
+
+  iss::Cpu cpu;
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  cpu.add_breakpoint(bp);
+  iss::ExecutionTracer tracer(cpu, 256);
+  EXPECT_EQ(cpu.run(1000), iss::Halt::Breakpoint);
+  for (const iss::TraceEntry& e : tracer.entries()) EXPECT_NE(e.pc, store_addr);
+  EXPECT_EQ(cpu.mem().read32(r.program.symbol(r.bindings[0].variable)), 0u);  // stale
+}
+
+TEST(FlowRuleTest, NolintSuppressesFlowRule) {
+  DiagEngine diags;
+  lint_guest_source(
+      "_start:\n"
+      "    li t0, 0x200000\n"
+      "    lw t1, 0(t0)  # nolint(NL303)\n"
+      "    ebreak\n",
+      "seed.s", diags);
+  EXPECT_TRUE(diags.empty()) << render_text(diags);
+}
+
+TEST(FlowRuleTest, FlowOptOutSkipsNlRules) {
+  DiagEngine diags;
+  LintOptions options;
+  options.flow = false;
+  lint_guest_source(
+      "_start:\n"
+      "    li t0, 0x200000\n"
+      "    lw t1, 0(t0)\n"
+      "    ebreak\n",
+      "seed.s", diags, options);
+  EXPECT_TRUE(diags.empty()) << render_text(diags);
+}
+
+TEST(FlowRuleTest, MemSizeOptionMovesTheMapBoundary) {
+  const char* src =
+      "_start:\n"
+      "    li t0, 0x1000\n"
+      "    lw t1, 0(t0)\n"
+      "    ebreak\n";
+  DiagEngine small;
+  LintOptions options;
+  options.mem_size = 0x800;
+  lint_guest_source(src, "seed.s", small, options);
+  EXPECT_TRUE(small.has_rule("NL303"));
+
+  DiagEngine large;
+  lint_guest_source(src, "seed.s", large);  // default 1 MiB: in map
+  EXPECT_TRUE(large.empty()) << render_text(large);
+}
+
+// Zero false positives: every guest program committed under examples/guests/
+// must come through the full rule set (flow rules included) clean.
+TEST(FlowCleanTest, CommittedGuestsHaveNoFindings) {
+  namespace fs = std::filesystem;
+  int checked = 0;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(NISC_SOURCE_DIR "/examples/guests")) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".s") continue;
+    DiagEngine diags;
+    LintResult result =
+        lint_guest_source(rtos::guest_abi_prelude() + read_file_or_die(entry.path().string()),
+                          entry.path().filename().string(), diags);
+    EXPECT_TRUE(result.assembled) << entry.path();
+    EXPECT_TRUE(diags.empty()) << entry.path() << "\n" << render_text(diags);
+    ++checked;
+  }
+  EXPECT_GE(checked, 2);  // the committed guest corpus
 }
 
 // ---------------------------------------------------------------- frames

@@ -702,6 +702,69 @@ TEST(AsmTest, RejectsDuplicateLabel) {
   EXPECT_THROW(assemble("x: nop\nx: nop\n"), RuntimeError);
 }
 
+TEST(AsmTest, AssembleAllReportsEveryError) {
+  // Three independent defects on three lines: all of them must surface in
+  // one pass, in line order, not just the first.
+  AssembleResult result = assemble_all(
+      "nop\n"
+      "frobnicate a0\n"
+      "addi a0, a0, 5000\n"
+      "j nowhere\n");
+  ASSERT_EQ(result.errors.size(), 3u);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.errors[0].line, 2);
+  EXPECT_EQ(result.errors[1].line, 3);
+  EXPECT_EQ(result.errors[2].line, 4);
+  EXPECT_NE(result.errors[0].message.find("frobnicate"), std::string::npos);
+  EXPECT_NE(result.errors[2].message.find("nowhere"), std::string::npos);
+}
+
+TEST(AsmTest, AssembleAllLabelRedefinedFirstDefinitionWins) {
+  AssembleResult result = assemble_all(
+      "x: .word 1\n"
+      "y: .word 2\n"
+      "x: .word 3\n");
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_TRUE(result.errors[0].label_redefined);
+  EXPECT_EQ(result.errors[0].line, 3);
+  EXPECT_NE(result.errors[0].message.find("first defined on line 1"), std::string::npos);
+  EXPECT_EQ(result.program.symbol("x"), 0u);  // first definition wins
+}
+
+TEST(AsmTest, AssembleAllCleanSourceHasNoErrors) {
+  AssembleResult result = assemble_all("start: nop\nebreak\n");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.program.bytes.size(), 8u);
+}
+
+TEST(AsmTest, CodeTableCoversEveryInstructionWord) {
+  // li with a large immediate expands to two words sharing one source line;
+  // data words never enter the code table.
+  Program prog = assemble(
+      "start: li t0, 0x12345\n"
+      "ebreak\n"
+      "buf: .word 1, 2\n");
+  ASSERT_EQ(prog.code.size(), 3u);
+  EXPECT_EQ(prog.code[0].addr, 0u);
+  EXPECT_EQ(prog.code[0].line, 1);
+  EXPECT_EQ(prog.code[1].addr, 4u);
+  EXPECT_EQ(prog.code[1].line, 1);
+  EXPECT_EQ(prog.code[2].addr, 8u);
+  EXPECT_EQ(prog.code[2].line, 2);
+}
+
+TEST(AsmTest, AddressTakenRecordsMaterializedSymbols) {
+  Program prog = assemble(
+      "start: la t0, buf\n"
+      "j start\n"
+      "buf: .word 0\n"
+      "table: .word start\n");
+  EXPECT_TRUE(prog.address_taken.count(prog.symbol("buf")) > 0);   // la
+  EXPECT_TRUE(prog.address_taken.count(prog.symbol("start")) > 0); // .word
+  // A plain jump target is not address-taken.
+  EXPECT_EQ(prog.address_taken.size(), 2u);
+}
+
 TEST(AsmTest, RejectsUnknownInstruction) {
   EXPECT_THROW(assemble("frobnicate a0\n"), RuntimeError);
 }

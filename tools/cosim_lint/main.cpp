@@ -5,10 +5,14 @@
 //
 // Usage:
 //   cosim_lint [options] [file.s ...]
-//     --json               emit a JSON report instead of text
+//     --json [FILE]        emit a JSON report instead of text; with FILE,
+//                          write it there (text still goes to stdout)
 //     --suppress RULE      drop diagnostics of RULE (repeatable)
 //     --ports p1,p2,...    declared iss port list; pragmas must stay inside it
 //     --base ADDR          guest load address (default 0)
+//     --mem-size N         guest memory map size for NL303/NL305 (default 1 MiB)
+//     --no-flow            skip the flow-sensitive NL3xx rules
+//     --max-warnings N     tolerate up to N warnings before exiting 1 (default 0)
 //     --frames FILE        validate FILE as concatenated driver-kernel frames
 //     --builtin            lint the built-in router guest programs
 //     --rtos-prelude       prepend the RTOS guest-ABI prelude (SYS_* equates)
@@ -16,7 +20,8 @@
 //                          session does before assembling
 //     -                    read a guest program from stdin
 //
-// Exit status: 0 clean, 1 findings (any warning or error), 2 usage/IO error.
+// Exit status: 0 clean (no errors, warnings within --max-warnings),
+// 1 findings, 2 usage or IO error.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -36,9 +41,11 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json] [--suppress RULE]... [--ports p1,p2] [--base ADDR]\n"
-               "       %*s [--rtos-prelude] [--frames FILE] [--builtin] [file.s ... | -]\n",
-               argv0, static_cast<int>(std::string(argv0).size()), "");
+               "usage: %s [--json[=FILE]] [--suppress RULE]... [--ports p1,p2] [--base ADDR]\n"
+               "       %*s [--mem-size N] [--no-flow] [--max-warnings N] [--rtos-prelude]\n"
+               "       %*s [--frames FILE] [--builtin] [file.s ... | -]\n",
+               argv0, static_cast<int>(std::string(argv0).size()), "",
+               static_cast<int>(std::string(argv0).size()), "");
   return 2;
 }
 
@@ -57,8 +64,10 @@ int main(int argc, char** argv) {
   analysis::DiagEngine diags;
   analysis::LintOptions options;
   bool json = false;
+  std::string json_path;
   bool builtin = false;
   bool rtos_prelude = false;
+  long max_warnings = 0;
   std::vector<std::string> sources;
   std::vector<std::string> frame_files;
 
@@ -73,6 +82,32 @@ int main(int argc, char** argv) {
     };
     if (arg == "--json") {
       json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      if (json_path.empty()) {
+        std::fprintf(stderr, "--json=FILE needs a path\n");
+        return 2;
+      }
+    } else if (arg == "--no-flow") {
+      options.flow = false;
+    } else if (arg == "--mem-size") {
+      const char* text = next();
+      if (text == nullptr) return usage(argv[0]);
+      auto value = util::parse_int(text);
+      if (!value || *value <= 0) {
+        std::fprintf(stderr, "--mem-size: bad size '%s'\n", text);
+        return 2;
+      }
+      options.mem_size = static_cast<std::uint64_t>(*value);
+    } else if (arg == "--max-warnings") {
+      const char* text = next();
+      if (text == nullptr) return usage(argv[0]);
+      auto value = util::parse_int(text);
+      if (!value || *value < 0) {
+        std::fprintf(stderr, "--max-warnings: bad count '%s'\n", text);
+        return 2;
+      }
+      max_warnings = static_cast<long>(*value);
     } else if (arg == "--builtin") {
       builtin = true;
     } else if (arg == "--rtos-prelude") {
@@ -146,11 +181,23 @@ int main(int argc, char** argv) {
         path);
   }
 
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    out << analysis::render_json(diags) << '\n';
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+  }
   if (json) {
     std::fputs(analysis::render_json(diags).c_str(), stdout);
     std::fputc('\n', stdout);
   } else {
     std::fputs(analysis::render_text(diags).c_str(), stdout);
   }
-  return diags.empty() ? 0 : 1;
+  // Notes never gate the exit status; warnings do once they exceed the
+  // --max-warnings budget.
+  bool findings = diags.errors() > 0 ||
+                  diags.warnings() > static_cast<std::size_t>(max_warnings);
+  return findings ? 1 : 0;
 }
