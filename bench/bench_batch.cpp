@@ -10,8 +10,10 @@
 //   $ ./bench_batch
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 
+#include "bench_json.hpp"
 #include "ipc/message.hpp"
 
 using namespace nisc::ipc;
@@ -68,16 +70,22 @@ Sample run_batch(std::size_t total_words, std::size_t batch, Transport transport
 }  // namespace
 
 int main() {
-  constexpr std::size_t kTotalWords = 60000;
+  const std::size_t total_words = nisc::bench::quick_mode() ? 12000 : 60000;
+  const int reps = nisc::bench::quick_mode() ? 1 : nisc::bench::repetitions();
+  nisc::bench::Recorder recorder("batch");
   std::printf("A5 — words per message vs boundary-crossing cost (%zu words total)\n\n",
-              kTotalWords);
+              total_words);
   std::printf("%8s %12s %14s %14s\n", "batch", "messages", "wall ms", "words/s");
 
   double word_at_1 = 0;
   double word_at_6 = 0;
   for (std::size_t batch : {1UL, 2UL, 6UL, 24UL, 96UL}) {
-    Sample s = run_batch(kTotalWords, batch, Transport::SocketPair);
-    double words_per_s = kTotalWords / s.seconds;
+    Sample s{};
+    for (int r = 0; r < reps; ++r) {
+      s = run_batch(total_words, batch, Transport::SocketPair);
+      recorder.record("batch_" + std::to_string(batch), s.seconds);
+    }
+    double words_per_s = total_words / s.seconds;
     if (batch == 1) word_at_1 = words_per_s;
     if (batch == 6) word_at_6 = words_per_s;
     std::printf("%8zu %12llu %14.1f %14.0f\n", batch,
@@ -85,5 +93,6 @@ int main() {
   }
   std::printf("\npacket-sized batches (6 words) move data %.1fx faster than per-word\n",
               word_at_1 > 0 ? word_at_6 / word_at_1 : 0.0);
+  recorder.write();
   return 0;
 }

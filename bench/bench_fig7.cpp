@@ -9,7 +9,9 @@
 //
 //   $ ./bench_fig7
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "router/testbench.hpp"
 
 using namespace nisc;
@@ -42,7 +44,11 @@ double forwarded_pct(router::Scheme scheme, sysc::sc_time delay) {
 }  // namespace
 
 int main() {
-  const std::uint64_t delays_us[] = {2, 5, 10, 20, 40, 80, 160};
+  const std::uint64_t all_delays_us[] = {2, 5, 10, 20, 40, 80, 160};
+  const std::uint64_t quick_delays_us[] = {2, 20, 160};
+  const std::uint64_t* delays_us = nisc::bench::quick_mode() ? quick_delays_us : all_delays_us;
+  const std::size_t num_delays = nisc::bench::quick_mode() ? 3 : 7;
+  nisc::bench::Recorder recorder("fig7");
 
   std::printf("Figure 7 — %% packets forwarded vs inter-packet delay\n");
   std::printf("(Driver-Kernel below GDB-Kernel: the OS overhead slows the app)\n\n");
@@ -50,10 +56,13 @@ int main() {
               "delta");
 
   bool shape_ok = true;
-  for (std::uint64_t d : delays_us) {
+  for (std::size_t i = 0; i < num_delays; ++i) {
+    const std::uint64_t d = delays_us[i];
     sysc::sc_time delay = sysc::sc_time::from_ps(d * 1000000ULL);
     double gdb = forwarded_pct(router::Scheme::GdbKernel, delay);
     double drv = forwarded_pct(router::Scheme::DriverKernel, delay);
+    recorder.record("gdb_kernel/" + std::to_string(d) + "us", gdb, "%");
+    recorder.record("driver_kernel/" + std::to_string(d) + "us", drv, "%");
     std::printf("%18llu us %13.1f%% %13.1f%% %9.1f%%\n",
                 static_cast<unsigned long long>(d), gdb, drv, gdb - drv);
     std::fflush(stdout);
@@ -61,5 +70,6 @@ int main() {
   }
   std::printf("\nshape %s: both curves rise with delay; Driver-Kernel trails GDB-Kernel\n",
               shape_ok ? "HOLDS" : "VIOLATED");
+  recorder.write();
   return shape_ok ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 // normalized against transport cost.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <atomic>
 #include <thread>
 
@@ -109,4 +111,6 @@ BENCHMARK(BM_DriverMessageCodec)->Arg(1)->Arg(6)->Arg(24);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nisc::bench::run_gbench_main("ipc", argc, argv);
+}

@@ -6,6 +6,8 @@
 // layer turns.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "iss/assembler.hpp"
 #include "iss/cpu.hpp"
 
@@ -105,4 +107,6 @@ BENCHMARK(BM_Assembler);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nisc::bench::run_gbench_main("iss", argc, argv);
+}

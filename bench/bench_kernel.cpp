@@ -3,6 +3,8 @@
 // add to the scheduler.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "sysc/sysc.hpp"
 
 namespace {
@@ -146,4 +148,6 @@ BENCHMARK(BM_ClockedDesign);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nisc::bench::run_gbench_main("kernel", argc, argv);
+}

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.hpp"
 #include "router/guest_programs.hpp"
 #include "util/loc.hpp"
 
@@ -66,5 +67,12 @@ int main() {
   std::printf("%-28s %12d %12d %8.2fx   (paper: ~9x)\n", "software side (guest+driver)",
               gdb_sw, drv_sw, gdb_sw > 0 ? static_cast<double>(drv_sw) / gdb_sw : 0.0);
   std::printf("\nguest programs alone: GDB %d LoC, Driver %d LoC\n", gdb_sw, drv_guest);
+
+  nisc::bench::Recorder recorder("loc");
+  recorder.record("systemc/gdb_kernel", gdb_sc, "loc");
+  recorder.record("systemc/driver_kernel", drv_sc, "loc");
+  recorder.record("software/gdb_kernel", gdb_sw, "loc");
+  recorder.record("software/driver_kernel", drv_sw, "loc");
+  recorder.write();
   return 0;
 }

@@ -7,7 +7,9 @@
 //
 //   $ ./bench_mpsoc
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "router/testbench.hpp"
 
 using namespace nisc;
@@ -45,10 +47,15 @@ int main() {
   std::printf("(checksum-bound router, 160 packets at 4 us inter-packet delay)\n\n");
   std::printf("%6s %14s %12s  %s\n", "CPUs", "forwarded", "wall ms", "per-CPU packets");
 
+  nisc::bench::Recorder recorder("mpsoc");
+  const std::vector<int> cpu_counts = nisc::bench::quick_mode() ? std::vector<int>{1, 2}
+                                                                : std::vector<int>{1, 2, 4};
   double prev = 0.0;
   bool monotone = true;
-  for (int cpus : {1, 2, 4}) {
+  for (int cpus : cpu_counts) {
     Sample s = run_with_cpus(cpus);
+    recorder.record("cpus_" + std::to_string(cpus) + "/forwarded", s.forwarded_pct, "%");
+    recorder.record("cpus_" + std::to_string(cpus) + "/wall", s.wall_ms / 1000.0);
     std::printf("%6d %13.1f%% %12.1f  ", cpus, s.forwarded_pct, s.wall_ms);
     for (std::uint64_t n : s.per_engine) std::printf("%llu ", static_cast<unsigned long long>(n));
     std::printf("\n");
@@ -58,5 +65,6 @@ int main() {
   }
   std::printf("\nshape %s: more CPUs sustain a higher forwarding rate\n",
               monotone ? "HOLDS" : "VIOLATED");
+  recorder.write();
   return monotone ? 0 : 1;
 }

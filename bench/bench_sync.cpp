@@ -7,7 +7,9 @@
 //
 //   $ ./bench_sync
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "cosim/gdb_wrapper.hpp"
 #include "router/testbench.hpp"
 
@@ -109,11 +111,14 @@ out_var: .word 0
 }  // namespace
 
 int main() {
+  nisc::bench::Recorder recorder("sync");
   std::printf("A4 — synchronization granularity\n\n");
 
   std::printf("Lock-step mode micro-comparison (200 echo round trips):\n");
   Sample quantum = run_mode_micro(cosim::LockstepMode::Quantum);
   Sample single = run_mode_micro(cosim::LockstepMode::SingleStep);
+  recorder.record("micro/quantum", quantum.wall_ms / 1000.0);
+  recorder.record("micro/single_step", single.wall_ms / 1000.0);
   std::printf("  %-12s %10.1f ms  %8llu round trips\n", "quantum", quantum.wall_ms,
               static_cast<unsigned long long>(quantum.round_trips));
   std::printf("  %-12s %10.1f ms  %8llu round trips\n", "single-step", single.wall_ms,
@@ -123,14 +128,21 @@ int main() {
                   ? static_cast<double>(single.round_trips) / quantum.round_trips
                   : 0.0);
 
+  if (nisc::bench::quick_mode()) {
+    std::printf("(quick mode: clock-period sweep skipped)\n");
+    recorder.write();
+    return 0;
+  }
   std::printf("Clock period sweep (sync once per cycle; finer clock = more syncs):\n");
   for (std::uint64_t period_ns : {10ULL, 40ULL, 160ULL}) {
     Sample s = run_wrapper(cosim::LockstepMode::Quantum,
                            sysc::sc_time::from_ps(period_ns * 1000));
+    recorder.record("sweep/clock_" + std::to_string(period_ns) + "ns", s.wall_ms / 1000.0);
     std::printf("  clock %4llu ns: %8.1f ms wall, %8llu round trips, %llu/20 packets\n",
                 static_cast<unsigned long long>(period_ns), s.wall_ms,
                 static_cast<unsigned long long>(s.round_trips),
                 static_cast<unsigned long long>(s.received));
   }
+  recorder.write();
   return 0;
 }

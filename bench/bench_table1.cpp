@@ -7,8 +7,11 @@
 // Absolute numbers depend on the host — the ratios are the result.
 //
 //   $ ./bench_table1
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "router/testbench.hpp"
 
 using namespace nisc;
@@ -37,6 +40,10 @@ int main() {
   const char* labels[] = {"100us", "1ms", "10ms"};
   const router::Scheme schemes[] = {router::Scheme::GdbWrapper, router::Scheme::GdbKernel,
                                     router::Scheme::DriverKernel};
+  // Quick mode keeps CI cheap: shortest column only, single rep.
+  const int num_durations = nisc::bench::quick_mode() ? 1 : 3;
+  const int reps = nisc::bench::quick_mode() ? 1 : nisc::bench::repetitions();
+  nisc::bench::Recorder recorder("table1");
 
   std::printf("Table 1 — Simulation performance [wall-clock ms] vs simulated time\n");
   std::printf("(paper columns 1000/10000/100000 map to the 1:10:100 ratio below)\n\n");
@@ -45,8 +52,12 @@ int main() {
   double wall[3][3] = {};
   for (int s = 0; s < 3; ++s) {
     std::printf("%-14s", router::scheme_name(schemes[s]));
-    for (int d = 0; d < 3; ++d) {
-      wall[s][d] = run_scheme(schemes[s], durations[d]);
+    for (int d = 0; d < num_durations; ++d) {
+      for (int r = 0; r < reps; ++r) {
+        const double seconds = run_scheme(schemes[s], durations[d]);
+        wall[s][d] = r == 0 ? seconds : std::min(wall[s][d], seconds);
+        recorder.record(std::string(router::scheme_name(schemes[s])) + "/" + labels[d], seconds);
+      }
       std::printf(" %11.1f ", wall[s][d] * 1000.0);
       std::fflush(stdout);
     }
@@ -56,10 +67,11 @@ int main() {
   std::printf("\nSpeedup over GDB-Wrapper (paper: GDB-Kernel ~1.3x, Driver-Kernel ~3x)\n");
   for (int s = 1; s < 3; ++s) {
     std::printf("%-14s", router::scheme_name(schemes[s]));
-    for (int d = 0; d < 3; ++d) {
+    for (int d = 0; d < num_durations; ++d) {
       std::printf(" %10.2fx ", wall[0][d] / wall[s][d]);
     }
     std::printf("\n");
   }
+  recorder.write();
   return 0;
 }

@@ -6,15 +6,17 @@
 // integrated through its own kernel-level binding set; the router's two
 // forwarding processes load-balance packets across whichever CPU is free.
 //
-//   $ ./mpsoc_router
+//   $ ./mpsoc_router [--trace-out=FILE] [--stats-out=FILE]
 #include <cstdio>
 
+#include "obs_cli.hpp"
 #include "router/testbench.hpp"
 
 using namespace nisc;
 using namespace nisc::sysc::time_literals;
 
-int main() {
+int main(int argc, char** argv) {
+  examples::ObsCli obs_cli = examples::ObsCli::parse(argc, argv);
   router::TestbenchConfig config;
   config.scheme = router::Scheme::GdbKernel;
   config.num_cpus = 2;
@@ -43,5 +45,6 @@ int main() {
   bool balanced = rs.per_engine[0] > 0 && rs.per_engine[1] > 0;
   std::printf("load balanced     : %s\n", balanced ? "yes" : "NO");
   bench.shutdown();
+  obs_cli.finish();
   return (r.received == r.produced && r.checksum_bad == 0 && balanced) ? 0 : 1;
 }

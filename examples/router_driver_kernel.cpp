@@ -6,15 +6,17 @@
 // (paper: port 4444); device interrupts would arrive over the interrupt
 // socket (port 4445) — see the interrupt_latency example for that path.
 //
-//   $ ./router_driver_kernel
+//   $ ./router_driver_kernel [--trace-out=FILE] [--stats-out=FILE]
 #include <cstdio>
 
+#include "obs_cli.hpp"
 #include "router/testbench.hpp"
 
 using namespace nisc;
 using namespace nisc::sysc::time_literals;
 
-int main() {
+int main(int argc, char** argv) {
+  examples::ObsCli obs_cli = examples::ObsCli::parse(argc, argv);
   router::TestbenchConfig config;
   config.scheme = router::Scheme::DriverKernel;
   config.packets_per_producer = 25;
@@ -42,5 +44,6 @@ int main() {
   std::printf("driver messages   : %llu\n",
               static_cast<unsigned long long>(r.driver_messages));
   bench.shutdown();
+  obs_cli.finish();
   return (r.received == r.produced && r.checksum_bad == 0) ? 0 : 1;
 }

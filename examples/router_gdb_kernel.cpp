@@ -6,15 +6,17 @@
 // iss_in/iss_out ports via #pragma annotations, breakpoints drive the data
 // exchange, and the modified scheduler polls the GDB pipe at every cycle.
 //
-//   $ ./router_gdb_kernel
+//   $ ./router_gdb_kernel [--trace-out=FILE] [--stats-out=FILE]
 #include <cstdio>
 
+#include "obs_cli.hpp"
 #include "router/testbench.hpp"
 
 using namespace nisc;
 using namespace nisc::sysc::time_literals;
 
-int main() {
+int main(int argc, char** argv) {
+  examples::ObsCli obs_cli = examples::ObsCli::parse(argc, argv);
   router::TestbenchConfig config;
   config.scheme = router::Scheme::GdbKernel;
   config.packets_per_producer = 25;
@@ -45,5 +47,6 @@ int main() {
               static_cast<unsigned long long>(r.breakpoint_events),
               static_cast<unsigned long long>(r.rsp_transactions));
   bench.shutdown();
+  obs_cli.finish();
   return (r.received == r.produced && r.checksum_bad == 0) ? 0 : 1;
 }

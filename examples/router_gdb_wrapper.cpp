@@ -6,15 +6,17 @@
 // Compare the wall-clock time against router_gdb_kernel: this is the
 // overhead the paper's Table 1 measures.
 //
-//   $ ./router_gdb_wrapper
+//   $ ./router_gdb_wrapper [--trace-out=FILE] [--stats-out=FILE]
 #include <cstdio>
 
+#include "obs_cli.hpp"
 #include "router/testbench.hpp"
 
 using namespace nisc;
 using namespace nisc::sysc::time_literals;
 
-int main() {
+int main(int argc, char** argv) {
+  examples::ObsCli obs_cli = examples::ObsCli::parse(argc, argv);
   router::TestbenchConfig config;
   config.scheme = router::Scheme::GdbWrapper;
   config.packets_per_producer = 25;
@@ -40,5 +42,6 @@ int main() {
   std::printf("lock-step round trips: %llu (one per active clock cycle)\n",
               static_cast<unsigned long long>(r.lockstep_steps));
   bench.shutdown();
+  obs_cli.finish();
   return (r.received == r.produced && r.checksum_bad == 0) ? 0 : 1;
 }

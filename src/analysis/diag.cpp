@@ -111,7 +111,7 @@ std::string json_escape(std::string_view s) {
 
 std::string render_json(const DiagEngine& engine) {
   std::ostringstream out;
-  out << "{\"diagnostics\":[";
+  out << "{\"schema\":1,\"diagnostics\":[";
   bool first = true;
   for (const Diagnostic& d : engine.diagnostics()) {
     if (!first) out << ',';

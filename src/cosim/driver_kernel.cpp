@@ -1,5 +1,7 @@
 #include "cosim/driver_kernel.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace nisc::cosim {
@@ -24,6 +26,8 @@ bool DriverKernelExtension::delivery_safe(sysc::sc_simcontext& ctx,
 void DriverKernelExtension::quiesce(const std::string& reason) {
   if (quiesced_) return;
   quiesced_ = true;
+  obs::counter("cosim.drvk.quiesces").add(1);
+  obs::instant("cosim.quiesce", "cosim");
   error_ = make_cosim_error("driver-kernel", reason, data_.capture());
   NISC_WARN("driver-kernel") << "offload port quiesced (simulation continues): " << reason;
   data_.close();
@@ -73,6 +77,8 @@ void DriverKernelExtension::on_cycle_begin(sysc::sc_simcontext& ctx) {
 
 void DriverKernelExtension::handle_message(sysc::sc_simcontext& ctx,
                                            const ipc::DriverMessage& msg) {
+  obs::ScopedSpan span("cosim.drvk.message", "cosim", "type",
+                       static_cast<std::uint64_t>(msg.type));
   switch (msg.type) {
     case ipc::MsgType::Write:
       // Store each data item in the iss_in port named by SCPort_i and start
@@ -194,6 +200,16 @@ bool DriverKernelExtension::on_starvation(sysc::sc_simcontext& ctx) {
 
 void DriverKernelExtension::on_run_end(sysc::sc_simcontext&) {
   if (budget_ != nullptr) budget_->deposit(options_.instructions_per_us);
+  // Batched publication, mirroring GdbKernelExtension::on_run_end.
+  static obs::Counter& c_in = obs::counter("cosim.drvk.messages_in");
+  static obs::Counter& c_out = obs::counter("cosim.drvk.messages_out");
+  static obs::Counter& c_irqs = obs::counter("cosim.drvk.interrupts_sent");
+  static obs::Counter& c_words = obs::counter("cosim.drvk.words_delivered");
+  c_in.add(stats_.messages_in - published_.messages_in);
+  c_out.add(stats_.messages_out - published_.messages_out);
+  c_irqs.add(stats_.interrupts_sent - published_.interrupts_sent);
+  c_words.add(stats_.words_delivered - published_.words_delivered);
+  published_ = stats_;
 }
 
 // ---------------------------------------------------------------------------

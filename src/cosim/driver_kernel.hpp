@@ -106,6 +106,9 @@ class DriverKernelExtension : public sysc::kernel_extension {
   bool quiesced_ = false;
   std::optional<CosimError> error_;
   DriverKernelStats stats_;
+  /// stats_ values already pushed into the metrics registry (the delta is
+  /// published once per run() from on_run_end).
+  DriverKernelStats published_;
 };
 
 /// The device driver registered inside the RTOS: forwards guest dev_write

@@ -1,5 +1,9 @@
 #include "cosim/gdb_kernel.hpp"
 
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace nisc::cosim {
@@ -123,6 +127,11 @@ bool GdbKernelExtension::on_starvation(sysc::sc_simcontext& ctx) {
 }
 
 bool GdbKernelExtension::service_stop(sysc::sc_simcontext& ctx, const rsp::StopReply& stop) {
+  // One RDI round trip: stop reply in hand -> transfer serviced -> continue.
+  // The span covers the whole servicing (including deferred early-outs); the
+  // histogram only records completed round trips (those that reach cont()).
+  obs::ScopedSpan span("cosim.rdi_roundtrip", "cosim");
+  const auto roundtrip_begin = std::chrono::steady_clock::now();
   const std::uint32_t pc = stop.pc ? *stop.pc : client_.read_pc();
   auto it = by_addr_.find(pc);
   if (it == by_addr_.end() || stop.signal != 5) {
@@ -153,8 +162,29 @@ bool GdbKernelExtension::service_stop(sysc::sc_simcontext& ctx, const rsp::StopR
     ++stats_.values_from_sc;
   }
   ++stats_.breakpoint_events;
+  obs::instant("cosim.breakpoint", "cosim", "pc", pc);
   client_.cont();
+  static obs::Histogram& h_roundtrip =
+      obs::histogram("cosim.gdbk.roundtrip_us", obs::default_us_bounds());
+  h_roundtrip.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            roundtrip_begin)
+          .count()));
   return true;
+}
+
+void GdbKernelExtension::on_run_end(sysc::sc_simcontext&) {
+  // Batched publication: the per-cycle poll path touches only stats_ (plain
+  // uint64 increments); the registry sees one delta per run() call.
+  static obs::Counter& c_polls = obs::counter("cosim.gdbk.polls");
+  static obs::Counter& c_breakpoints = obs::counter("cosim.gdbk.breakpoints");
+  static obs::Counter& c_to_sc = obs::counter("cosim.gdbk.values_to_sc");
+  static obs::Counter& c_from_sc = obs::counter("cosim.gdbk.values_from_sc");
+  c_polls.add(stats_.polls - published_.polls);
+  c_breakpoints.add(stats_.breakpoint_events - published_.breakpoint_events);
+  c_to_sc.add(stats_.values_to_sc - published_.values_to_sc);
+  c_from_sc.add(stats_.values_from_sc - published_.values_from_sc);
+  published_ = stats_;
 }
 
 }  // namespace nisc::cosim

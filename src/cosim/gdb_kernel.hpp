@@ -67,6 +67,7 @@ class GdbKernelExtension : public sysc::kernel_extension {
   void on_cycle_end(sysc::sc_simcontext& ctx) override;
   void on_time_advance(sysc::sc_simcontext& ctx, const sysc::sc_time& now) override;
   bool on_starvation(sysc::sc_simcontext& ctx) override;
+  void on_run_end(sysc::sc_simcontext& ctx) override;
 
   /// True once the guest program hit its final ebreak (or faulted).
   bool target_finished() const noexcept { return finished_; }
@@ -103,6 +104,9 @@ class GdbKernelExtension : public sysc::kernel_extension {
   std::optional<rsp::StopReply> deferred_stop_;
   std::map<const sysc::iss_port_base*, std::uint64_t> last_delivery_delta_;
   GdbKernelStats stats_;
+  /// stats_ values already pushed into the metrics registry (on_run_end
+  /// publishes the delta, so the per-cycle poll path stays counter-free).
+  GdbKernelStats published_;
 };
 
 }  // namespace nisc::cosim

@@ -1,5 +1,7 @@
 #include "cosim/gdb_wrapper.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace nisc::cosim {
@@ -38,6 +40,12 @@ void GdbWrapperModule::fail(const std::string& what) {
 void GdbWrapperModule::cycle() {
   if (finished_) return;
   ++stats_.cycles;
+  // Every lock-step cycle already pays at least one blocking RSP round
+  // trip, so direct counter adds are noise here (unlike the kernel-embedded
+  // schemes, which batch).
+  static obs::Counter& c_cycles = obs::counter("cosim.gdbw.cycles");
+  c_cycles.add(1);
+  obs::ScopedSpan span("cosim.lockstep_cycle", "cosim", "cycle", stats_.cycles);
   try {
     // A binding that could not be serviced yet (the hardware has not
     // produced a fresh value): the ISS holds at its breakpoint line until it
@@ -49,6 +57,7 @@ void GdbWrapperModule::cycle() {
       if (!service_breakpoint(*pending_binding_)) {
         (void)client_.read_pc();  // blocking sync round trip, result unused
         ++stats_.steps;
+        obs::counter("cosim.gdbw.steps").add(1);
         return;
       }
       pending_binding_ = nullptr;
@@ -67,6 +76,7 @@ void GdbWrapperModule::cycle_quantum() {
   // One blocking round trip: the per-cycle lock-step synchronization.
   rsp::StopReply stop = client_.run_quantum(options_.instructions_per_cycle);
   ++stats_.steps;
+  obs::counter("cosim.gdbw.steps").add(1);
   if (stop.signal == 0) return;  // quantum exhausted, still running
   const std::uint32_t pc = stop.pc ? *stop.pc : client_.read_pc();
   handle_stop(pc, stop.signal);
@@ -78,6 +88,7 @@ void GdbWrapperModule::cycle_single_step() {
     // One blocking RSP round trip per instruction.
     rsp::StopReply stop = client_.step();
     ++stats_.steps;
+    obs::counter("cosim.gdbw.steps").add(1);
     const std::uint32_t pc = stop.pc ? *stop.pc : client_.read_pc();
     if (pc == prev_pc) {
       // No forward progress: the guest sits on its final ebreak.
@@ -129,6 +140,9 @@ bool GdbWrapperModule::service_breakpoint(const BreakpointBinding& binding) {
     ++stats_.values_from_sc;
   }
   ++stats_.breakpoint_events;
+  static obs::Counter& c_breakpoints = obs::counter("cosim.gdbw.breakpoints");
+  c_breakpoints.add(1);
+  obs::instant("cosim.breakpoint", "cosim", "pc", binding.breakpoint_addr);
   return true;
 }
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace nisc::cosim {
@@ -66,6 +68,9 @@ void LivenessWatchdog::run() {
                                " ms: " + diagnosis;
     report_ = report;
     tripped_.store(true, std::memory_order_release);
+    obs::counter("cosim.watchdog.trips").add(1);
+    obs::instant("cosim.watchdog_trip", "cosim", "stalled_ms",
+                 static_cast<std::uint64_t>(stalled_ms));
     lock.unlock();
     NISC_WARN("watchdog") << report;
     lock.lock();

@@ -13,11 +13,31 @@
 
 #include "ipc/capture.hpp"
 #include "ipc/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace nisc::ipc {
 
 using util::RuntimeError;
+
+namespace {
+
+/// Registered once, then relaxed-atomic adds only (DESIGN.md §10 overhead
+/// budget: the undecorated hot path gains two adds per transfer).
+struct IoMetrics {
+  obs::Counter& sends = obs::counter("ipc.sends");
+  obs::Counter& bytes_sent = obs::counter("ipc.bytes_sent");
+  obs::Counter& recvs = obs::counter("ipc.recvs");
+  obs::Counter& bytes_received = obs::counter("ipc.bytes_received");
+};
+
+IoMetrics& io_metrics() {
+  static IoMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 Channel Channel::from_socket(Fd socket_fd) {
   // Duplicate so read and write sides can be closed independently.
@@ -38,6 +58,10 @@ void Channel::set_io_timeout(int timeout_ms) {
 }
 
 void Channel::send(std::span<const std::uint8_t> data) {
+  obs::ScopedSpan span("ipc.send", "ipc", "bytes", data.size());
+  IoMetrics& metrics = io_metrics();
+  metrics.sends.add(1);
+  metrics.bytes_sent.add(data.size());
   if (!faults_) {
     write_all(write_fd_, data, io_timeout_ms_);
     if (capture_) capture_->record(CaptureDir::Tx, data);
@@ -59,6 +83,10 @@ void Channel::send_str(const std::string& s) {
 }
 
 void Channel::recv_exact(std::span<std::uint8_t> out) {
+  obs::ScopedSpan span("ipc.recv", "ipc", "bytes", out.size());
+  IoMetrics& metrics = io_metrics();
+  metrics.recvs.add(1);
+  metrics.bytes_received.add(out.size());
   if (!faults_) {
     read_exact(read_fd_, out, io_timeout_ms_);
     if (capture_) capture_->record(CaptureDir::Rx, out);
@@ -93,6 +121,11 @@ std::size_t Channel::recv_some(std::span<std::uint8_t> out) {
   if (!faults_) {
     std::size_t n = read_some_nonblocking(read_fd_, out);
     if (n > 0 && capture_) capture_->record(CaptureDir::Rx, out.first(n));
+    if (n > 0) {
+      IoMetrics& metrics = io_metrics();
+      metrics.recvs.add(1);
+      metrics.bytes_received.add(n);
+    }
     return n;
   }
   const std::size_t cap = faults_->recv_cap();
@@ -100,6 +133,9 @@ std::size_t Channel::recv_some(std::span<std::uint8_t> out) {
   if (n > 0) {
     faults_->on_received(out.first(n));
     if (capture_) capture_->record(CaptureDir::Rx, out.first(n));
+    IoMetrics& metrics = io_metrics();
+    metrics.recvs.add(1);
+    metrics.bytes_received.add(n);
   }
   return n;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace nisc::ipc {
 
 const char* fault_kind_name(FaultKind kind) noexcept {
@@ -31,6 +34,14 @@ FaultSpec make_spec(FaultKind kind, FaultDir dir, std::uint64_t nth, std::uint64
   spec.count = count;
   spec.min_size = min_size;
   return spec;
+}
+
+/// Every injection, regardless of kind, is one tick of "ipc.faults_injected"
+/// plus an instant named after the fault so traces show *which* fault fired.
+void note_injected(FaultKind kind) {
+  static obs::Counter& c_injected = obs::counter("ipc.faults_injected");
+  c_injected.add(1);
+  obs::instant(fault_kind_name(kind), "ipc.fault");
 }
 
 }  // namespace
@@ -151,6 +162,7 @@ SendVerdict FaultState::on_send(std::span<const std::uint8_t> data) {
     }
     if (injected) {
       stats_.injected[static_cast<std::size_t>(st.spec.kind)]++;
+      note_injected(st.spec.kind);
     } else {
       // Defer: this transfer was too small to carry the fault (a 1-byte RSP
       // ack, say) — keep the whole window armed for the next operation.
@@ -167,6 +179,7 @@ bool FaultState::suppress_poll() {
     if (st.spec.kind != FaultKind::EagainStorm) continue;
     if (matches(st, op)) {
       stats_.injected[static_cast<std::size_t>(FaultKind::EagainStorm)]++;
+      note_injected(FaultKind::EagainStorm);
       return true;
     }
   }
@@ -181,6 +194,7 @@ std::size_t FaultState::recv_cap() {
     if (st.spec.kind != FaultKind::ShortRead) continue;
     if (matches(st, last_recv_op_)) {
       stats_.injected[static_cast<std::size_t>(FaultKind::ShortRead)]++;
+      note_injected(FaultKind::ShortRead);
       cap = std::min(cap, static_cast<std::size_t>(std::max<std::uint64_t>(1, st.spec.arg)));
     }
   }
@@ -195,6 +209,7 @@ void FaultState::on_received(std::span<std::uint8_t> data) {
     if (st.spec.arg < data.size()) {
       data[st.spec.arg] ^= 0x01;
       stats_.injected[static_cast<std::size_t>(FaultKind::CorruptByte)]++;
+      note_injected(FaultKind::CorruptByte);
     } else {
       st.nth = last_recv_op_ + 1;
     }

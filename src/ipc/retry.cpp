@@ -4,16 +4,26 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace nisc::ipc {
 
 int Backoff::next_delay_ms() {
   ++attempt_;
-  if (attempt_ >= policy_.max_attempts) return -1;
+  if (attempt_ >= policy_.max_attempts) {
+    obs::instant("ipc.retry_exhausted", "ipc", "attempts", static_cast<std::uint64_t>(attempt_));
+    return -1;
+  }
+  static obs::Counter& c_retries = obs::counter("ipc.retry.attempts");
+  c_retries.add(1);
   double base = std::min(next_ms_, static_cast<double>(policy_.max_backoff_ms));
   next_ms_ = next_ms_ * policy_.multiplier;
   double jittered = base * (1.0 + policy_.jitter * rng_.next_double());
   jittered = std::min(jittered, static_cast<double>(policy_.max_backoff_ms));
-  return std::max(0, static_cast<int>(jittered));
+  const int delay = std::max(0, static_cast<int>(jittered));
+  obs::instant("ipc.retry_backoff", "ipc", "delay_ms", static_cast<std::uint64_t>(delay));
+  return delay;
 }
 
 void backoff_sleep_ms(int ms) {

@@ -1,5 +1,7 @@
 #include "iss/cpu.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace nisc::iss {
 
 const char* halt_name(Halt halt) noexcept {
@@ -245,18 +247,35 @@ Halt Cpu::run(std::uint64_t max_instructions) {
     stop_requested_ = false;
     return last_halt_ = Halt::Stopped;
   }
+  const std::uint64_t instret_begin = instret_;
+  std::uint64_t breakpoint_checks = 0;
+  Halt halt = Halt::Quantum;
   for (std::uint64_t executed = 0; executed < max_instructions; ++executed) {
-    Halt halt = step();
-    if (halt != Halt::None) return last_halt_ = halt;
-    if (!breakpoints_.empty() && breakpoints_.count(pc_) > 0) {
-      return last_halt_ = Halt::Breakpoint;
+    Halt step_halt = step();
+    if (step_halt != Halt::None) {
+      halt = step_halt;
+      break;
+    }
+    if (!breakpoints_.empty()) {
+      ++breakpoint_checks;
+      if (breakpoints_.count(pc_) > 0) {
+        halt = Halt::Breakpoint;
+        break;
+      }
     }
     if (stop_requested_) {
       stop_requested_ = false;
-      return last_halt_ = Halt::Stopped;
+      halt = Halt::Stopped;
+      break;
     }
   }
-  return last_halt_ = Halt::Quantum;
+  // Batched publication: the per-instruction loop stays registry-free; each
+  // run slice costs two relaxed adds, however many instructions it retired.
+  static obs::Counter& c_instret = obs::counter("iss.instructions");
+  static obs::Counter& c_bp_checks = obs::counter("iss.breakpoint_checks");
+  c_instret.add(instret_ - instret_begin);
+  c_bp_checks.add(breakpoint_checks);
+  return last_halt_ = halt;
 }
 
 }  // namespace nisc::iss

@@ -23,6 +23,12 @@ void ExecutionTracer::record(std::uint32_t pc, std::uint32_t word) {
 std::string ExecutionTracer::dump() const {
   std::string out;
   char line[96];
+  out += "   instret        pc  disassembly\n";
+  if (total_ > entries_.size()) {
+    std::snprintf(line, sizeof(line), "  ... %llu earlier instruction(s) evicted ...\n",
+                  static_cast<unsigned long long>(total_ - entries_.size()));
+    out += line;
+  }
   for (const TraceEntry& e : entries_) {
     std::snprintf(line, sizeof(line), "  %8llu  %08x: %s\n",
                   static_cast<unsigned long long>(e.instret), e.pc,

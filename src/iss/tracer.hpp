@@ -32,7 +32,10 @@ class ExecutionTracer {
   std::uint64_t total_recorded() const noexcept { return total_; }
   const std::deque<TraceEntry>& entries() const noexcept { return entries_; }
 
-  /// Formats the buffered tail as "  <instret>  <pc>: <disassembly>" lines.
+  /// Formats the buffered tail as a table with an "instret  pc  disassembly"
+  /// header. When more instructions were retired than the ring holds, the
+  /// header is followed by a "... N earlier instruction(s) evicted ..."
+  /// marker so a truncated dump cannot be mistaken for the full history.
   std::string dump() const;
 
   /// Clears the buffer (counters keep running).

@@ -1,0 +1,170 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms, cheap enough to stay compiled into release builds.
+//
+// Design contract (DESIGN.md §10):
+//   * the hot path of an already-registered metric is a single relaxed
+//     atomic add — no locks, no allocation, no branches beyond the caller's
+//     function-local-static guard;
+//   * the subsystem is fully inert until the first registry touch: linking
+//     nisc_obs allocates nothing and starts nothing until some code calls
+//     registry() / counter() / gauge() / histogram() for the first time
+//     (MetricsRegistry::exists() lets tests assert this);
+//   * registration is thread-safe and idempotent: the same name always
+//     returns the same object, with a stable address for the process
+//     lifetime.
+//
+// Naming scheme: dot-separated "<layer>.<thing>[_<unit>]", e.g.
+// "kernel.delta_cycles", "ipc.bytes_sent", "cosim.gdbk.roundtrip_us".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nisc::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, outstanding budget, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket semantics are upper-bound-inclusive: a
+/// sample lands in the first bucket whose bound is >= the sample; samples
+/// above the last bound land in the implicit overflow bucket. Bounds are
+/// fixed at registration; observe() is a linear scan over a handful of
+/// bounds plus three relaxed adds (bucket, count, sum).
+class Histogram {
+ public:
+  void observe(std::uint64_t sample) noexcept {
+    std::size_t i = 0;
+    while (i < bounds_.size() && sample > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// Bucket i counts samples in (bounds[i-1], bounds[i]]; bucket
+  /// bounds.size() is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::size_t bucket_slots() const noexcept { return bounds_.size() + 1; }
+
+  /// Linear-interpolated quantile estimate in [0,1] (0.5 = median). Returns
+  /// the bucket upper bound containing the quantile (last bound for the
+  /// overflow bucket); 0 when empty.
+  std::uint64_t quantile(double q) const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<std::uint64_t> bounds)
+      : name_(std::move(name)), bounds_(std::move(bounds)),
+        buckets_(bounds_.size() + 1) {}
+  std::string name_;
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of every registered metric (safe to use after more
+/// metrics register; values are relaxed-read, so concurrent updates may be
+/// torn *across* metrics but never within one).
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::string name;
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size()+1 entries
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// Latency bucket presets (microseconds / nanoseconds).
+std::vector<std::uint64_t> default_us_bounds();
+std::vector<std::uint64_t> default_bytes_bounds();
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry; constructed on first call.
+  static MetricsRegistry& instance();
+
+  /// True once instance() has ever been called — the "fully inert until
+  /// first touch" guarantee, assertable by the overhead guard test.
+  static bool exists() noexcept;
+
+  /// Finds or creates. The returned reference is stable for the process
+  /// lifetime; cache it in a function-local static on hot paths.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` must be non-empty and strictly increasing; ignored (with the
+  /// original bounds kept) when the histogram already exists.
+  Histogram& histogram(std::string_view name, std::vector<std::uint64_t> bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Snapshot rendered as a stable JSON object: {"schema":1,"counters":{..},
+  /// "gauges":{..},"histograms":{..}}.
+  std::string render_json() const;
+
+  /// Zeroes every value (registrations survive). For benchmarks/tests.
+  void reset() noexcept;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;  // guards the maps, not the values
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Convenience accessors (all touch the registry).
+inline Counter& counter(std::string_view name) { return MetricsRegistry::instance().counter(name); }
+inline Gauge& gauge(std::string_view name) { return MetricsRegistry::instance().gauge(name); }
+inline Histogram& histogram(std::string_view name, std::vector<std::uint64_t> bounds) {
+  return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+
+/// Renders a MetricsSnapshot as the same JSON render_json() emits.
+std::string render_snapshot_json(const MetricsSnapshot& snapshot);
+
+}  // namespace nisc::obs

@@ -1,0 +1,268 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace nisc::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  const char* arg_name = nullptr;
+  std::uint64_t arg_value = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t sim_ps = kNoSimTime;
+  char phase = 'i';
+};
+
+/// One thread's bounded event ring. Owned jointly by the thread (so the hot
+/// path is lock-free) and the global registry (so export can read rings of
+/// exited threads).
+struct ThreadRing {
+  explicit ThreadRing(std::size_t capacity, std::uint32_t tid)
+      : events(capacity), tid(tid) {}
+
+  std::vector<TraceEvent> events;
+  std::size_t next = 0;       ///< write cursor
+  std::uint64_t recorded = 0; ///< total events ever recorded
+  std::uint32_t tid = 0;
+
+  void push(const TraceEvent& e) noexcept {
+    events[next] = e;
+    next = (next + 1) % events.size();
+    ++recorded;
+  }
+
+  /// Events in chronological order (unwraps the ring).
+  std::vector<TraceEvent> ordered() const {
+    std::vector<TraceEvent> out;
+    const std::size_t n = recorded < events.size() ? static_cast<std::size_t>(recorded)
+                                                   : events.size();
+    out.reserve(n);
+    const std::size_t start = recorded < events.size() ? 0 : next;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(events[(start + i) % events.size()]);
+    return out;
+  }
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::size_t ring_capacity;
+  std::uint32_t next_tid = 1;
+  std::set<std::string, std::less<>> interned;
+
+  TraceState() {
+    ring_capacity = 65536;
+    if (const char* env = std::getenv("NISC_TRACE_BUF")) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && v >= 16) ring_capacity = static_cast<std::size_t>(v);
+    }
+  }
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // never destroyed: rings may outlive main
+  return *s;
+}
+
+thread_local std::shared_ptr<ThreadRing> t_ring;
+thread_local std::uint64_t t_sim_ps = kNoSimTime;
+
+ThreadRing& thread_ring() {
+  if (!t_ring) {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    t_ring = std::make_shared<ThreadRing>(s.ring_capacity, s.next_tid++);
+    s.rings.push_back(t_ring);
+  }
+  return *t_ring;
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_escaped(std::ostream& out, const char* s) {
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') out << '\\';
+    out << *s;
+  }
+}
+
+void append_event_json(std::ostream& out, const TraceEvent& e, std::uint32_t tid, bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  // Chrome trace ts unit is microseconds; keep ns resolution as a fraction.
+  const std::uint64_t us = e.ts_ns / 1000;
+  const std::uint64_t frac = e.ts_ns % 1000;
+  out << "{\"name\":\"";
+  append_escaped(out, e.name);
+  out << "\",\"cat\":\"";
+  append_escaped(out, e.cat);
+  out << "\",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << us << '.';
+  out << static_cast<char>('0' + frac / 100) << static_cast<char>('0' + (frac / 10) % 10)
+      << static_cast<char>('0' + frac % 10);
+  if (e.phase == 'i') out << ",\"s\":\"t\"";
+  const bool has_sim = e.sim_ps != kNoSimTime;
+  const bool has_arg = e.arg_name != nullptr;
+  if (has_sim || has_arg) {
+    out << ",\"args\":{";
+    if (has_sim) out << "\"sim_ps\":" << e.sim_ps;
+    if (has_arg) {
+      if (has_sim) out << ',';
+      out << '"';
+      append_escaped(out, e.arg_name);
+      out << "\":" << e.arg_value;
+    }
+    out << '}';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void enable_tracing(std::size_t ring_capacity) {
+  TraceState& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (ring_capacity >= 16) s.ring_capacity = ring_capacity;
+  }
+  detail::g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable_tracing() noexcept {
+  detail::g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+void clear_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  // Rings of exited threads (registry holds the only reference) are
+  // dropped; the caller's own ring is emptied in place. Rings other live
+  // threads are still writing cannot be reset safely and are left alone.
+  std::erase_if(s.rings, [](const std::shared_ptr<ThreadRing>& r) { return r.use_count() == 1; });
+  if (t_ring) {
+    t_ring->next = 0;
+    t_ring->recorded = 0;
+  }
+}
+
+void set_thread_sim_time_ps(std::uint64_t ps) noexcept { t_sim_ps = ps; }
+
+std::uint64_t thread_sim_time_ps() noexcept { return t_sim_ps; }
+
+const char* intern(std::string_view s) {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = st.interned.find(s);
+  if (it == st.interned.end()) it = st.interned.emplace(s).first;
+  return it->c_str();
+}
+
+void emit(char phase, const char* name, const char* category,
+          const char* arg_name, std::uint64_t arg_value) noexcept {
+  TraceEvent e;
+  e.name = name;
+  e.cat = category;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  e.ts_ns = now_ns();
+  e.sim_ps = t_sim_ps;
+  e.phase = phase;
+  thread_ring().push(e);
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::size_t n = 0;
+  for (const auto& ring : s.rings) {
+    n += ring->recorded < ring->events.size() ? static_cast<std::size_t>(ring->recorded)
+                                              : ring->events.size();
+  }
+  return n;
+}
+
+std::uint64_t trace_dropped_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t n = 0;
+  for (const auto& ring : s.rings) {
+    if (ring->recorded > ring->events.size()) n += ring->recorded - ring->events.size();
+  }
+  return n;
+}
+
+std::string chrome_trace_json() {
+  // Snapshot the ring list; rings themselves are read without a lock (the
+  // caller is expected to export after disable_tracing(), or to tolerate a
+  // torn tail — each event slot is written before `next` advances).
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    rings = s.rings;
+  }
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& ring : rings) {
+    std::vector<TraceEvent> events = ring->ordered();
+    // Repair pairs broken by ring eviction: drop 'E' events whose 'B' was
+    // evicted; close dangling 'B' events at the last seen timestamp.
+    std::vector<std::size_t> stack;
+    std::vector<bool> keep(events.size(), true);
+    std::uint64_t last_ts = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      last_ts = std::max(last_ts, events[i].ts_ns);
+      if (events[i].phase == 'B') {
+        stack.push_back(i);
+      } else if (events[i].phase == 'E') {
+        if (stack.empty()) {
+          keep[i] = false;  // begin evicted
+        } else {
+          stack.pop_back();
+        }
+      }
+    }
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (keep[i]) append_event_json(out, events[i], ring->tid, first);
+    }
+    // Dangling begins: synthesize ends, innermost first.
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      TraceEvent closer = events[*it];
+      closer.phase = 'E';
+      closer.ts_ns = last_ts;
+      closer.arg_name = nullptr;
+      append_event_json(out, closer, ring->tid, first);
+    }
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace nisc::obs

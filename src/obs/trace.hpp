@@ -1,0 +1,110 @@
+// Cross-layer span/event tracer with Chrome trace_event JSON export.
+//
+// Every thread that emits records into its own bounded ring (oldest events
+// overwritten), so tracing never allocates on the hot path after a thread's
+// first event and never blocks other threads. Export merges the rings into
+// the Chrome trace_event format (the JSON array Perfetto and
+// chrome://tracing load), balancing begin/end pairs that lost a partner to
+// ring eviction, so the output always parses with matched B/E events.
+//
+// The hot-path contract mirrors the metrics registry:
+//   * tracing disabled (the default): one relaxed atomic load per
+//     potential event — span helpers check tracing_enabled() first;
+//   * tracing enabled: one steady-clock read plus a handful of stores into
+//     the per-thread ring; no locks, no allocation after ring creation.
+//
+// Span names/categories must be string literals (or strings interned via
+// obs::intern) — events store the pointer, not a copy.
+//
+// Simulated time: the SystemC kernel publishes the current sim time for its
+// thread via set_thread_sim_time_ps(); every event emitted on that thread
+// while a simulation runs carries it as a "sim_ps" arg, so the Perfetto
+// wall-time view can be correlated with simulated time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nisc::obs {
+
+inline constexpr std::uint64_t kNoSimTime = ~0ULL;
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+/// True while a trace is being recorded. Single relaxed load.
+inline bool tracing_enabled() noexcept {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Starts recording. `ring_capacity` is the per-thread event capacity used
+/// for rings created after this call (existing rings keep theirs); 0 keeps
+/// the current default (65536, or $NISC_TRACE_BUF).
+void enable_tracing(std::size_t ring_capacity = 0);
+
+/// Stops recording (rings keep their contents for export).
+void disable_tracing() noexcept;
+
+/// Drops every recorded event and forgets rings of exited threads.
+void clear_trace();
+
+/// Publishes the simulated time for events emitted on the calling thread;
+/// kNoSimTime clears it. Called by the kernel on every time advance.
+void set_thread_sim_time_ps(std::uint64_t ps) noexcept;
+std::uint64_t thread_sim_time_ps() noexcept;
+
+/// Copies `s` into process-lifetime storage and returns a stable pointer,
+/// deduplicated — for span names built at runtime.
+const char* intern(std::string_view s);
+
+/// Raw emit. `phase` is a Chrome trace phase: 'B' (span begin), 'E' (span
+/// end), 'i' (instant). `arg_name`/`arg_value` attach one numeric argument.
+/// Callers must check tracing_enabled() first (the span helpers do).
+void emit(char phase, const char* name, const char* category,
+          const char* arg_name = nullptr, std::uint64_t arg_value = 0) noexcept;
+
+/// Instant event helper (no-op while disabled).
+inline void instant(const char* name, const char* category,
+                    const char* arg_name = nullptr, std::uint64_t arg_value = 0) noexcept {
+  if (tracing_enabled()) emit('i', name, category, arg_name, arg_value);
+}
+
+/// RAII begin/end span. Costs one relaxed load when tracing is off.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category,
+             const char* arg_name = nullptr, std::uint64_t arg_value = 0) noexcept
+      : name_(name), category_(category), active_(tracing_enabled()) {
+    if (active_) emit('B', name_, category_, arg_name, arg_value);
+  }
+  ~ScopedSpan() {
+    if (active_) emit('E', name_, category_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  bool active_;
+};
+
+/// Number of events currently buffered across all rings (approximate while
+/// threads are recording) and the number evicted by ring wrap-around.
+std::size_t trace_event_count();
+std::uint64_t trace_dropped_count();
+
+/// Renders every buffered event as Chrome trace_event JSON:
+/// {"traceEvents":[...],"displayTimeUnit":"ns"}. Unbalanced spans are
+/// repaired (orphan ends dropped, dangling begins closed at the last
+/// timestamp) so the result always loads in Perfetto / chrome://tracing.
+std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace nisc::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sysc/iss_port.hpp"
 #include "util/log.hpp"
 
@@ -11,6 +13,28 @@ namespace nisc::sysc {
 namespace {
 thread_local sc_simcontext* g_current_context = nullptr;
 thread_local sc_process* g_current_process = nullptr;
+
+/// Log sim-time hook (util cannot depend on sysc, so the kernel injects the
+/// provider): reports the innermost live context's time on this thread.
+bool log_sim_time_provider(std::uint64_t* sim_ps) {
+  if (g_current_context == nullptr) return false;
+  *sim_ps = g_current_context->time_stamp().ps();
+  return true;
+}
+
+/// Publishes `now` as the calling thread's simulated time for trace spans
+/// and restores the previous value on scope exit (nested contexts).
+class SimTimeScope {
+ public:
+  explicit SimTimeScope(std::uint64_t ps) : previous_(obs::thread_sim_time_ps()) {
+    obs::set_thread_sim_time_ps(ps);
+  }
+  ~SimTimeScope() { obs::set_thread_sim_time_ps(previous_); }
+
+ private:
+  std::uint64_t previous_;
+};
+
 }  // namespace
 
 sc_simcontext& current_context() {
@@ -81,6 +105,11 @@ sc_process::sc_process(std::string name, process_kind kind, std::function<void()
 sc_process::~sc_process() { kill(); }
 
 void sc_process::make_sensitive(sc_event& event) { event.add_static(this); }
+
+const char* sc_process::trace_name() const {
+  if (trace_name_ == nullptr) trace_name_ = obs::intern(name());
+  return trace_name_;
+}
 
 bool sc_process::triggerable_by(const sc_event* event) const noexcept {
   (void)event;
@@ -209,6 +238,7 @@ void sc_prim_channel::request_update() {
 
 sc_simcontext::sc_simcontext() : previous_current_(g_current_context) {
   g_current_context = this;
+  util::set_log_sim_time_provider(&log_sim_time_provider);
 }
 
 sc_simcontext::~sc_simcontext() {
@@ -281,6 +311,12 @@ void sc_simcontext::initialize_processes() {
 
 void sc_simcontext::run_one_delta() {
   const std::uint64_t delta_id = stats_.delta_cycles;
+  // One enabled check per delta, reused for every emit in this function: a
+  // delta here can be tens of nanoseconds, so the disabled path must stay a
+  // single relaxed load. Raw B/E instead of ScopedSpan keeps the off case
+  // branch-only; if a process throws, export-time repair closes the span.
+  const bool tracing = obs::tracing_enabled();
+  if (tracing) obs::emit('B', "kernel.delta", "kernel", "delta", delta_id);
   for (kernel_extension* ext : extensions_) {
     ext->on_cycle_begin(*this);
     ++stats_.extension_checks;
@@ -290,7 +326,14 @@ void sc_simcontext::run_one_delta() {
   while (i < runnable_.size()) {
     sc_process* p = runnable_[i++];
     p->runnable_flag = false;
-    p->execute();
+    if (tracing && p->kind() == process_kind::IssMethod) {
+      // The paper's iss_process: dispatched only when data crosses the ISS
+      // boundary, so each activation is worth a span of its own.
+      obs::ScopedSpan span(p->trace_name(), "kernel.iss_process");
+      p->execute();
+    } else {
+      p->execute();
+    }
     ++stats_.process_dispatches;
   }
   runnable_.clear();
@@ -310,6 +353,7 @@ void sc_simcontext::run_one_delta() {
   }
   for (kernel_extension* ext : extensions_) ext->on_cycle_end(*this);
   if (monitor_ != nullptr) monitor_->on_delta_end(*this, delta_id);
+  if (tracing) obs::emit('E', "kernel.delta", "kernel");
 }
 
 bool sc_simcontext::advance_time(const sc_time& limit) {
@@ -321,6 +365,13 @@ bool sc_simcontext::advance_time(const sc_time& limit) {
   }
   now_ = next;
   ++stats_.timed_advances;
+  if (obs::tracing_enabled()) {
+    // Publishing the simulated time only matters while events are being
+    // recorded; skipping the thread-local store keeps the disabled
+    // advance path free of observability work.
+    obs::set_thread_sim_time_ps(now_.ps());
+    obs::instant("kernel.time_advance", "kernel", "sim_ps", now_.ps());
+  }
   while (!timed_queue_.empty() && timed_queue_.begin()->first.first == next.ps()) {
     TimedEntry entry = timed_queue_.begin()->second;
     timed_queue_.erase(timed_queue_.begin());
@@ -346,6 +397,9 @@ sc_time sc_simcontext::run_to_starvation() { return run_until(sc_time::max()); }
 
 sc_time sc_simcontext::run_until(sc_time end) {
   ContextGuard guard(*this);
+  SimTimeScope sim_time(now_.ps());
+  obs::ScopedSpan run_span("kernel.run", "kernel");
+  const kernel_stats entry_stats = stats_;
   elaborate();
   if (!initialized_) {
     initialized_ = true;
@@ -361,11 +415,24 @@ sc_time sc_simcontext::run_until(sc_time end) {
     if (now_ >= end) break;  // clamped to the window end, nothing to fire
     // Starvation before the window end: give co-simulation extensions a
     // chance to wait for external (ISS) activity.
+    obs::instant("kernel.starvation", "kernel");
     bool resumed = false;
     for (kernel_extension* ext : extensions_) resumed = ext->on_starvation(*this) || resumed;
     if (!resumed) break;
   }
   for (kernel_extension* ext : extensions_) ext->on_run_end(*this);
+  // Scheduler counters are pushed once per run() — per-delta paths stay a
+  // plain struct increment, so tracing/metrics cannot slow the hot loop.
+  static obs::Counter& c_deltas = obs::counter("kernel.delta_cycles");
+  static obs::Counter& c_dispatches = obs::counter("kernel.process_dispatches");
+  static obs::Counter& c_updates = obs::counter("kernel.channel_updates");
+  static obs::Counter& c_advances = obs::counter("kernel.timed_advances");
+  static obs::Counter& c_runs = obs::counter("kernel.runs");
+  c_deltas.add(stats_.delta_cycles - entry_stats.delta_cycles);
+  c_dispatches.add(stats_.process_dispatches - entry_stats.process_dispatches);
+  c_updates.add(stats_.channel_updates - entry_stats.channel_updates);
+  c_advances.add(stats_.timed_advances - entry_stats.timed_advances);
+  c_runs.add(1);
   return now_;
 }
 

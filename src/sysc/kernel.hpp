@@ -152,6 +152,10 @@ class sc_process : public sc_object {
   /// Terminates a thread process by unwinding it with a kill exception.
   void kill();
 
+  /// Process name as a stable interned C string, for trace-event emission
+  /// (span records store the pointer, not a copy). Interns lazily.
+  const char* trace_name() const;
+
   // -- thread-side interface (valid only inside this process's body) ------
 
   void wait_static();
@@ -178,6 +182,7 @@ class sc_process : public sc_object {
 
   WaitMode wait_mode_ = WaitMode::Static;
   sc_event* dynamic_event_ = nullptr;
+  mutable const char* trace_name_ = nullptr;
 
   // thread machinery
   std::thread host_;

@@ -1,10 +1,12 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <vector>
 
 namespace nisc::util {
 namespace {
@@ -35,17 +37,81 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// Parsed $NISC_LOG_COMPONENTS (empty = no filtering).
+const std::vector<std::string>& component_filter() {
+  static const std::vector<std::string> filter = [] {
+    std::vector<std::string> out;
+    const char* env = std::getenv("NISC_LOG_COMPONENTS");
+    if (env == nullptr) return out;
+    std::string current;
+    for (const char* p = env;; ++p) {
+      if (*p == ',' || *p == '\0') {
+        if (!current.empty()) out.push_back(current);
+        current.clear();
+        if (*p == '\0') break;
+      } else if (*p != ' ') {
+        current += *p;
+      }
+    }
+    return out;
+  }();
+  return filter;
+}
+
+std::atomic<LogSimTimeProvider> g_sim_time_provider{nullptr};
+
+/// Monotonic seconds since the first log line.
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+/// "sim=1.250us " when a simulation is active on this thread, "" otherwise.
+std::string sim_time_prefix() {
+  LogSimTimeProvider provider = g_sim_time_provider.load(std::memory_order_acquire);
+  if (provider == nullptr) return {};
+  std::uint64_t ps = 0;
+  if (!provider(&ps)) return {};
+  char buf[48];
+  if (ps >= 1000000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "sim=%.6fs ", static_cast<double>(ps) / 1e12);
+  } else if (ps >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "sim=%.3fus ", static_cast<double>(ps) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "sim=%llups ", static_cast<unsigned long long>(ps));
+  }
+  return buf;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { level_storage().store(level); }
 
 LogLevel log_level() noexcept { return level_storage().load(); }
 
+void set_log_sim_time_provider(LogSimTimeProvider provider) noexcept {
+  g_sim_time_provider.store(provider, std::memory_order_release);
+}
+
+bool log_component_enabled(const std::string& component) {
+  const std::vector<std::string>& filter = component_filter();
+  if (filter.empty()) return true;
+  for (const std::string& allowed : filter) {
+    if (allowed == component) return true;
+  }
+  return false;
+}
+
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
   if (level < log_level()) return;
+  if (!log_component_enabled(component)) return;
+  const double t = monotonic_seconds();
+  const std::string sim = sim_time_prefix();
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(), message.c_str());
+  std::fprintf(stderr, "[%s] %.3fs %s%s: %s\n", level_name(level), t, sim.c_str(),
+               component.c_str(), message.c_str());
 }
 
 }  // namespace nisc::util

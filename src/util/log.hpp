@@ -3,8 +3,18 @@
 // Logging is off by default (level Off) so benchmarks and tests stay quiet;
 // set NISC_LOG=debug|info|warn|error in the environment or call
 // set_level() to enable.
+//
+// Each line carries a monotonic wall-clock timestamp (seconds since the
+// first log call) and, when a simulation context is active on the logging
+// thread, the current simulated time:
+//
+//   [INFO] 1.042s sim=2.500us gdb-kernel: target finished ...
+//
+// NISC_LOG_COMPONENTS=a,b restricts output to the named components
+// (exact-match, comma-separated); unset or empty logs everything.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -18,8 +28,20 @@ void set_log_level(LogLevel level) noexcept;
 /// Current global log threshold (initialized from $NISC_LOG on first use).
 LogLevel log_level() noexcept;
 
-/// Emits one line to stderr if `level` passes the threshold. Thread-safe.
+/// Emits one line to stderr if `level` passes the threshold and `component`
+/// passes the $NISC_LOG_COMPONENTS filter. Thread-safe.
 void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+/// True when `component` passes the $NISC_LOG_COMPONENTS filter.
+bool log_component_enabled(const std::string& component);
+
+/// Simulated-time hook: the SystemC kernel installs a provider that writes
+/// the current sim time (picoseconds) for the calling thread and returns
+/// true, or returns false when no simulation is active there. util cannot
+/// depend on sysc, so the kernel injects the function pointer at
+/// construction. Passing nullptr uninstalls.
+using LogSimTimeProvider = bool (*)(std::uint64_t* sim_ps);
+void set_log_sim_time_provider(LogSimTimeProvider provider) noexcept;
 
 namespace detail {
 class LogStream {

@@ -1,0 +1,218 @@
+// Observability-layer tests: metrics registry semantics (histogram bucket
+// edges in particular) and the Chrome-trace exporter round trip, parsed
+// back with the in-repo JSON parser.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+using namespace nisc;
+
+namespace {
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  obs::Counter& c = obs::counter("test.counter");
+  const std::uint64_t before = c.value();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), before + 42);
+  // Same name -> same object, stable address.
+  EXPECT_EQ(&c, &obs::counter("test.counter"));
+
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.set(-7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaryEdges) {
+  obs::Histogram& h = obs::histogram("test.hist_edges", {10, 100});
+  ASSERT_EQ(h.bucket_slots(), 3u);  // two bounds + overflow
+
+  h.observe(0);    // lowest representable sample -> first bucket
+  h.observe(10);   // exactly on a bound -> that bucket (inclusive)
+  h.observe(11);   // one past the bound -> next bucket
+  h.observe(100);  // exactly on the last bound -> last real bucket
+  h.observe(101);  // one past the last bound -> overflow bucket
+
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 100 + 101);
+}
+
+TEST(MetricsTest, HistogramQuantiles) {
+  obs::Histogram& h = obs::histogram("test.hist_quantile", {1, 2, 4, 8});
+  EXPECT_EQ(h.quantile(0.5), 0u);  // empty
+  for (int i = 0; i < 90; ++i) h.observe(1);
+  for (int i = 0; i < 10; ++i) h.observe(8);
+  EXPECT_EQ(h.quantile(0.5), 1u);
+  EXPECT_LE(h.quantile(0.95), 8u);
+  EXPECT_GT(h.quantile(0.95), 1u);
+}
+
+TEST(MetricsTest, HistogramKeepsOriginalBounds) {
+  obs::Histogram& h = obs::histogram("test.hist_bounds", {5, 50});
+  obs::Histogram& again = obs::histogram("test.hist_bounds", {1, 2, 3});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds(), (std::vector<std::uint64_t>{5, 50}));
+}
+
+TEST(MetricsTest, RenderJsonParsesAndCarriesSchema) {
+  obs::counter("test.render_counter").add(3);
+  obs::gauge("test.render_gauge").set(-5);
+  obs::histogram("test.render_hist", {10}).observe(7);
+
+  const std::string json = obs::MetricsRegistry::instance().render_json();
+  const util::JsonValue doc = util::parse_json(json);
+  EXPECT_EQ(doc.at("schema").as_int(), 1);
+  EXPECT_GE(doc.at("counters").at("test.render_counter").as_uint(), 3u);
+  EXPECT_EQ(doc.at("gauges").at("test.render_gauge").as_int(), -5);
+  const util::JsonValue& hist = doc.at("histograms").at("test.render_hist");
+  EXPECT_GE(hist.at("count").as_uint(), 1u);
+  EXPECT_EQ(hist.at("bounds").as_array().size(), 1u);
+  EXPECT_EQ(hist.at("buckets").as_array().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace exporter round trip
+
+class ChromeTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::clear_trace(); }
+  void TearDown() override {
+    obs::disable_tracing();
+    obs::clear_trace();
+  }
+};
+
+TEST_F(ChromeTraceTest, ExportRoundTrip) {
+  obs::enable_tracing();
+  {
+    obs::ScopedSpan outer("outer", "test", "arg", 42);
+    obs::instant("tick", "test", "n", 7);
+    obs::ScopedSpan inner("inner", "test");
+  }
+  std::thread worker([] {
+    obs::set_thread_sim_time_ps(123456);
+    {
+      obs::ScopedSpan span("worker", "test");
+      obs::instant("worker.tick", "test");
+    }
+    obs::set_thread_sim_time_ps(obs::kNoSimTime);
+  });
+  worker.join();
+  obs::disable_tracing();
+
+  // Valid JSON with the Chrome trace_event top-level shape.
+  const util::JsonValue doc = util::parse_json(obs::chrome_trace_json());
+  const util::JsonArray& events = doc.at("traceEvents").as_array();
+  ASSERT_GE(events.size(), 8u);  // 3 B + 3 E + 2 i
+
+  std::map<std::uint64_t, int> depth;           // per-tid open-span depth
+  std::map<std::uint64_t, double> last_ts;      // per-tid timestamp monotonicity
+  std::map<std::string, int> names;
+  for (const util::JsonValue& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    ASSERT_TRUE(ph == "B" || ph == "E" || ph == "i") << ph;
+    const std::uint64_t tid = e.at("tid").as_uint();
+    const double ts = e.at("ts").as_double();
+    auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "non-monotonic ts on tid " << tid;
+    }
+    last_ts[tid] = ts;
+    if (ph == "B") ++depth[tid];
+    if (ph == "E") {
+      --depth[tid];
+      EXPECT_GE(depth[tid], 0) << "E without matching B on tid " << tid;
+    }
+    ++names[e.at("name").as_string()];
+  }
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "unbalanced spans on tid " << tid;
+  EXPECT_EQ(names["outer"], 2);
+  EXPECT_EQ(names["inner"], 2);
+  EXPECT_EQ(names["worker"], 2);
+  EXPECT_EQ(names["tick"], 1);
+
+  // The worker thread published a simulated time: its events carry sim_ps.
+  bool worker_sim_ps_seen = false;
+  for (const util::JsonValue& e : events) {
+    if (e.at("name").as_string() != "worker") continue;
+    const util::JsonValue* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    const util::JsonValue* sim = args->find("sim_ps");
+    ASSERT_NE(sim, nullptr);
+    EXPECT_EQ(sim->as_uint(), 123456u);
+    worker_sim_ps_seen = true;
+  }
+  EXPECT_TRUE(worker_sim_ps_seen);
+}
+
+TEST_F(ChromeTraceTest, RepairsUnbalancedSpans) {
+  obs::enable_tracing();
+  obs::emit('E', "orphan_end", "test");    // E with no B: must be dropped
+  obs::emit('B', "dangling_begin", "test");  // B with no E: must be closed
+  obs::instant("marker", "test");
+  obs::disable_tracing();
+
+  const util::JsonValue doc = util::parse_json(obs::chrome_trace_json());
+  int balance = 0;
+  int orphan_ends = 0;
+  int dangling = 0;
+  for (const util::JsonValue& e : doc.at("traceEvents").as_array()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "B") ++balance;
+    if (ph == "E") {
+      --balance;
+      EXPECT_GE(balance, 0);
+    }
+    if (e.at("name").as_string() == "orphan_end") ++orphan_ends;
+    if (e.at("name").as_string() == "dangling_begin") ++dangling;
+  }
+  EXPECT_EQ(balance, 0);
+  EXPECT_EQ(orphan_ends, 0) << "orphan E events must not survive export";
+  EXPECT_EQ(dangling, 2) << "dangling B must gain a synthesized E";
+}
+
+TEST_F(ChromeTraceTest, DisabledEmitsNothing) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  {
+    obs::ScopedSpan span("invisible", "test");
+    obs::instant("invisible.tick", "test");
+  }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST_F(ChromeTraceTest, RingCapacityBoundsMemory) {
+  // The capacity override only applies to rings created afterwards, so the
+  // spam runs on a fresh thread (the main thread's ring already exists).
+  obs::enable_tracing(64);
+  std::thread spammer([] {
+    for (int i = 0; i < 1000; ++i) obs::instant("spam", "test");
+  });
+  spammer.join();
+  obs::disable_tracing();
+  EXPECT_LE(obs::trace_event_count(), 64u);
+  EXPECT_GE(obs::trace_dropped_count(), 900u);
+  // Export still parses after heavy eviction.
+  const util::JsonValue doc = util::parse_json(obs::chrome_trace_json());
+  EXPECT_LE(doc.at("traceEvents").as_array().size(), 64u);
+}
+
+TEST_F(ChromeTraceTest, InternReturnsStablePointers) {
+  const char* a = obs::intern("runtime.name");
+  const char* b = obs::intern(std::string("runtime.") + "name");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "runtime.name");
+}
+
+}  // namespace

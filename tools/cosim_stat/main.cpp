@@ -1,0 +1,166 @@
+// cosim_stat: renders the observability JSON artifacts as tables and gates
+// CI on bench regressions.
+//
+//   cosim_stat STATS.json                 metrics-registry snapshot -> table
+//   cosim_stat BENCH_x.json               bench results -> table
+//   cosim_stat --check-bench CUR.json --baseline BASE.json
+//              [--max-regress-pct N]      exit 1 when any shared result's
+//                                         median regressed more than N%
+//                                         (default 15)
+//
+// Both file shapes are the schema-1 documents produced by --stats-out and
+// the bench_json harness; the file kind is sniffed from its fields.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+using nisc::util::JsonValue;
+
+namespace {
+
+int fail_usage() {
+  std::fprintf(stderr,
+               "usage: cosim_stat FILE.json\n"
+               "       cosim_stat --check-bench CURRENT.json --baseline BASELINE.json"
+               " [--max-regress-pct N]\n");
+  return 2;
+}
+
+void print_stats_table(const JsonValue& doc) {
+  std::printf("%-36s %16s\n", "counter", "value");
+  for (const auto& [name, value] : doc.at("counters").as_object()) {
+    std::printf("%-36s %16llu\n", name.c_str(),
+                static_cast<unsigned long long>(value.as_uint()));
+  }
+  for (const auto& [name, value] : doc.at("gauges").as_object()) {
+    std::printf("%-36s %16.6g  (gauge)\n", name.c_str(), value.as_double());
+  }
+  const auto& histograms = doc.at("histograms").as_object();
+  if (!histograms.empty()) {
+    std::printf("\n%-36s %10s %12s %10s %10s\n", "histogram", "count", "sum", "p50", "p90");
+    for (const auto& [name, h] : histograms) {
+      std::printf("%-36s %10llu %12llu %10.4g %10.4g\n", name.c_str(),
+                  static_cast<unsigned long long>(h.at("count").as_uint()),
+                  static_cast<unsigned long long>(h.at("sum").as_uint()),
+                  h.at("p50").as_double(), h.at("p90").as_double());
+    }
+  }
+}
+
+void print_bench_table(const JsonValue& doc) {
+  std::printf("bench %s%s\n\n", doc.at("bench").as_string().c_str(),
+              doc.at("quick").as_bool() ? " (quick)" : "");
+  std::printf("%-44s %6s %14s %14s %8s\n", "result", "runs", "median", "p90", "unit");
+  for (const JsonValue& r : doc.at("results").as_array()) {
+    std::printf("%-44s %6zu %14.6g %14.6g %8s\n", r.at("name").as_string().c_str(),
+                r.at("runs").as_array().size(), r.at("median").as_double(),
+                r.at("p90").as_double(), r.at("unit").as_string().c_str());
+  }
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics != nullptr && metrics->is_object()) {
+    std::printf("\nembedded metrics snapshot:\n");
+    print_stats_table(*metrics);
+  }
+}
+
+const JsonValue* find_result(const JsonValue& doc, const std::string& name) {
+  for (const JsonValue& r : doc.at("results").as_array()) {
+    if (r.at("name").as_string() == name) return &r;
+  }
+  return nullptr;
+}
+
+int check_bench(const std::string& current_path, const std::string& baseline_path,
+                double max_regress_pct) {
+  const JsonValue current = nisc::util::parse_json_file(current_path);
+  const JsonValue baseline = nisc::util::parse_json_file(baseline_path);
+  std::printf("%-44s %14s %14s %9s\n", "result", "baseline", "current", "delta");
+  int regressions = 0;
+  int compared = 0;
+  for (const JsonValue& base : baseline.at("results").as_array()) {
+    const std::string& name = base.at("name").as_string();
+    const JsonValue* cur = find_result(current, name);
+    if (cur == nullptr) {
+      std::printf("%-44s %14s %14s %9s\n", name.c_str(), "-", "missing", "-");
+      continue;
+    }
+    const double base_median = base.at("median").as_double();
+    const double cur_median = cur->at("median").as_double();
+    if (base_median <= 0.0) continue;
+    ++compared;
+    const double delta_pct = (cur_median - base_median) / base_median * 100.0;
+    // Seconds-like units: larger is slower. Non-time units (%, loc, ...)
+    // are informational only.
+    const bool time_like = base.at("unit").as_string() == "s";
+    const bool regressed = time_like && delta_pct > max_regress_pct;
+    if (regressed) ++regressions;
+    std::printf("%-44s %14.6g %14.6g %+8.1f%%%s\n", name.c_str(), base_median, cur_median,
+                delta_pct, regressed ? "  REGRESSED" : "");
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "cosim_stat: no comparable results between %s and %s\n",
+                 current_path.c_str(), baseline_path.c_str());
+    return 2;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "cosim_stat: %d result(s) regressed more than %.1f%%\n", regressions,
+                 max_regress_pct);
+    return 1;
+  }
+  std::printf("\nall %d comparable result(s) within %.1f%% of baseline\n", compared,
+              max_regress_pct);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string check_current;
+  std::string baseline;
+  double max_regress_pct = 15.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--check-bench") == 0 && i + 1 < argc) {
+      check_current = argv[++i];
+    } else if (std::strcmp(arg, "--baseline") == 0 && i + 1 < argc) {
+      baseline = argv[++i];
+    } else if (std::strcmp(arg, "--max-regress-pct") == 0 && i + 1 < argc) {
+      max_regress_pct = std::atof(argv[++i]);
+    } else if (arg[0] == '-') {
+      return fail_usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  try {
+    if (!check_current.empty()) {
+      if (baseline.empty()) return fail_usage();
+      return check_bench(check_current, baseline, max_regress_pct);
+    }
+    if (files.empty()) return fail_usage();
+    for (const std::string& file : files) {
+      const JsonValue doc = nisc::util::parse_json_file(file);
+      if (files.size() > 1) std::printf("== %s ==\n", file.c_str());
+      if (doc.find("results") != nullptr) {
+        print_bench_table(doc);
+      } else if (doc.find("counters") != nullptr) {
+        print_stats_table(doc);
+      } else {
+        std::fprintf(stderr, "cosim_stat: %s: neither a bench nor a stats document\n",
+                     file.c_str());
+        return 2;
+      }
+      if (files.size() > 1) std::printf("\n");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cosim_stat: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
