@@ -109,7 +109,7 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
-std::string render_json(const DiagEngine& engine) {
+std::string render_json(const DiagEngine& engine, std::string_view extra_json) {
   std::ostringstream out;
   out << "{\"schema\":1,\"diagnostics\":[";
   bool first = true;
@@ -123,7 +123,9 @@ std::string render_json(const DiagEngine& engine) {
         << ",\"line\":" << d.loc.line << ",\"column\":" << d.loc.column << '}';
   }
   out << "],\"errors\":" << engine.errors() << ",\"warnings\":" << engine.warnings()
-      << ",\"suppressed\":" << engine.suppressed_count() << "}";
+      << ",\"suppressed\":" << engine.suppressed_count();
+  if (!extra_json.empty()) out << ',' << extra_json;
+  out << "}";
   return out.str();
 }
 

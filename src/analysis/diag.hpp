@@ -89,7 +89,9 @@ std::string render_text(const DiagEngine& engine);
 ///   {"diagnostics":[{"severity":"error","rule":"...","message":"...",
 ///     "file":"...","line":N,"column":N}],"errors":N,"warnings":N,
 ///     "suppressed":N}
-std::string render_json(const DiagEngine& engine);
+/// `extra_json`, when non-empty, is appended verbatim as additional
+/// top-level members (it must be one or more `"key":value` fragments).
+std::string render_json(const DiagEngine& engine, std::string_view extra_json = {});
 
 /// Escapes a string for embedding in a JSON string literal (no quotes added).
 std::string json_escape(std::string_view s);

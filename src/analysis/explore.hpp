@@ -1,0 +1,114 @@
+// Explicit-state model checker for the protocol automata (DESIGN.md §11).
+//
+// Composes a model's two endpoint automata with a bounded-channel
+// environment (per channel, one FIFO each way) and exhaustively explores
+// every interleaving by breadth-first search over the global state space
+// (a_state, b_state, queue contents, channel liveness). The environment can
+// optionally lose, duplicate, or corrupt in-flight messages and cut
+// channels, mirroring what ipc::FaultyChannel does to real wires.
+//
+// Reported violations (the static half of the NL4xx family):
+//   NL410 Deadlock              no successor, not accepting, queues empty
+//   NL411 UnspecifiedReception  no successor with a message stuck in a queue
+//   NL412 StuckProgress         no accepting state reachable any more
+// BFS order makes every counterexample trace minimal for its violation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.hpp"
+#include "analysis/protocol.hpp"
+#include "ipc/fault.hpp"
+
+namespace nisc::analysis {
+
+/// The channel environment the endpoints are composed with.
+struct EnvOptions {
+  /// Messages in flight per channel per direction before a send blocks.
+  std::size_t channel_capacity = 2;
+  bool lossy = false;          ///< a sent message may vanish (Drop)
+  bool duplicating = false;    ///< a sent message may arrive twice (Duplicate)
+  bool corrupting = false;     ///< a sent message may arrive as garbage
+                               ///  (CorruptByte/Truncate at the symbol level)
+  bool disconnecting = false;  ///< a channel may be cut, flushing its queues
+
+  /// All four adversarial behaviors on (the `--faults` environment).
+  static EnvOptions faulty();
+};
+
+struct ExploreLimits {
+  /// Exploration stops (report.complete = false) beyond this many states.
+  std::size_t max_states = 200000;
+  /// Reported counterexamples per violation kind (deduplicated by final
+  /// state and fault attribution; BFS order keeps the shallowest ones).
+  std::size_t max_violations_per_kind = 4;
+};
+
+enum class ViolationKind : std::uint8_t { Deadlock, UnspecifiedReception, StuckProgress };
+
+const char* violation_kind_name(ViolationKind kind) noexcept;
+/// The NL41x rule id for a violation kind.
+const char* violation_rule(ViolationKind kind) noexcept;
+
+/// One step of a counterexample trace.
+struct TraceStep {
+  char endpoint = 'A';  ///< 'A', 'B', or 'E' (environment)
+  ActionKind kind = ActionKind::Internal;
+  int symbol = -1;
+  int channel = -1;
+  /// What the environment did to a Send ('E' steps use Cut).
+  enum class Effect : std::uint8_t { Normal, Lost, Duplicated, Corrupted, Cut };
+  Effect effect = Effect::Normal;
+  std::string text;  ///< human-readable rendering
+};
+
+struct Counterexample {
+  ViolationKind kind = ViolationKind::Deadlock;
+  std::vector<TraceStep> trace;  ///< minimal path from the initial state
+  std::string state;             ///< rendering of the violating global state
+};
+
+struct ExploreReport {
+  std::string model;
+  EnvOptions env;
+  std::size_t states = 0;
+  std::size_t edges = 0;
+  /// False when ExploreLimits::max_states stopped the search early.
+  bool complete = true;
+  std::vector<Counterexample> violations;
+
+  bool clean() const noexcept { return complete && violations.empty(); }
+};
+
+/// Exhaustive BFS of the composed system. Violations are deduplicated by
+/// (kind, endpoint states, queue contents, fault attribution) and capped per
+/// kind; the survivors are minimal traces by BFS order.
+ExploreReport explore(const ProtocolModel& model, const EnvOptions& env = {},
+                      const ExploreLimits& limits = {});
+
+/// Reports each violation as an NL41x diagnostic (error), one per
+/// counterexample, with the trace in the message.
+void report_violations(const ExploreReport& report, DiagEngine& diags);
+
+/// Multi-line human rendering of the report (summary + traces).
+std::string render_text(const ExploreReport& report);
+
+/// JSON object fragment (no surrounding braces' siblings) for embedding in
+/// cosim_lint --json output: {"model":...,"states":N,...,"violations":[...]}.
+std::string render_json(const ExploreReport& report);
+
+/// A FaultPlan reproducing a counterexample's environment faults as
+/// `endpoint`-side send faults ('A' or 'B'): the trace's nth Send by that
+/// endpoint maps to drop_send/duplicate_send/corrupt_send(nth). `complete`
+/// is false when the trace also contains faults the plan cannot express
+/// (the other endpoint's sends, channel cuts).
+struct FaultPlanResult {
+  ipc::FaultPlan plan;
+  bool complete = true;
+};
+
+FaultPlanResult fault_plan_for(const Counterexample& ce, char endpoint);
+
+}  // namespace nisc::analysis

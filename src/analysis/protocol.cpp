@@ -1,0 +1,642 @@
+#include "analysis/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "ipc/message.hpp"
+
+namespace nisc::analysis {
+
+namespace {
+
+// Driver-Kernel model symbol ids match ipc::MsgType so the decoder is a cast.
+constexpr int kDkRead = 0;
+constexpr int kDkWrite = 1;
+constexpr int kDkReadReply = 2;
+constexpr int kDkInterrupt = 3;
+constexpr int kDkGarbage = 4;
+constexpr int kChData = 0;
+constexpr int kChIrq = 1;
+
+// RSP model symbol ids (shared by gdb-kernel and gdb-wrapper).
+constexpr int kRspQuery = 0;
+constexpr int kRspCont = 1;
+constexpr int kRspKill = 2;
+constexpr int kRspRunQuantum = 3;
+constexpr int kRspIrqByte = 4;
+constexpr int kRspReply = 5;
+constexpr int kRspStopReply = 6;
+constexpr int kRspGarbage = 7;
+constexpr int kChRsp = 0;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Automaton structure
+
+int ProtocolAutomaton::add_state(std::string name, bool accepting, bool closed) {
+  states_.push_back(ProtoState{std::move(name), accepting, closed});
+  by_state_.emplace_back();
+  return static_cast<int>(states_.size()) - 1;
+}
+
+void ProtocolAutomaton::send(int from, int symbol, int channel, int to, bool recovery) {
+  by_state_[static_cast<std::size_t>(from)].push_back(
+      ProtoTransition{ActionKind::Send, symbol, channel, to, recovery, {}});
+}
+
+void ProtocolAutomaton::recv(int from, int symbol, int channel, int to, bool recovery) {
+  by_state_[static_cast<std::size_t>(from)].push_back(
+      ProtoTransition{ActionKind::Recv, symbol, channel, to, recovery, {}});
+}
+
+void ProtocolAutomaton::internal(int from, int to, std::string label, bool recovery) {
+  by_state_[static_cast<std::size_t>(from)].push_back(
+      ProtoTransition{ActionKind::Internal, -1, -1, to, recovery, std::move(label)});
+}
+
+int ProtocolAutomaton::find_state(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Models
+
+const char* model_name(ModelId id) noexcept {
+  switch (id) {
+    case ModelId::DriverKernel: return "driver-kernel";
+    case ModelId::GdbKernel: return "gdb-kernel";
+    case ModelId::GdbWrapper: return "gdb-wrapper";
+  }
+  return "?";
+}
+
+std::optional<ModelId> model_from_name(std::string_view name) noexcept {
+  if (name == "driver-kernel") return ModelId::DriverKernel;
+  if (name == "gdb-kernel") return ModelId::GdbKernel;
+  if (name == "gdb-wrapper") return ModelId::GdbWrapper;
+  return std::nullopt;
+}
+
+bool ProtocolModel::monitored(int channel) const noexcept {
+  return std::find(monitored_channels.begin(), monitored_channels.end(), channel) !=
+         monitored_channels.end();
+}
+
+const std::string& ProtocolModel::symbol_name(int symbol) const {
+  return symbols[static_cast<std::size_t>(symbol)];
+}
+
+const std::string& ProtocolModel::channel_name(int channel) const {
+  return channels[static_cast<std::size_t>(channel)];
+}
+
+namespace {
+
+/// Driver-Kernel (paper §4.2 + the PR 2 quiesce degradation). Endpoint A is
+/// DriverKernelExtension (SystemC kernel), endpoint B is ScPortDriver.
+ProtocolModel make_driver_kernel(const ModelOptions& o) {
+  ProtocolModel m;
+  m.id = ModelId::DriverKernel;
+  m.name = model_name(m.id);
+  m.wire = WireFormat::DriverKernel;
+  m.symbols = {"READ", "WRITE", "READ-REPLY", "INTERRUPT", "GARBAGE"};
+  m.channels = {"data", "irq"};
+  m.monitored_channels = {kChData};  // the capture/observer sits on the data socket
+  m.garbage_symbol = kDkGarbage;
+
+  ProtocolAutomaton kernel("kernel");
+  const int run = kernel.add_state("Run", /*accepting=*/true);
+  const int must_reply = kernel.add_state("MustReply");
+  const int quiesced = kernel.add_state("Quiesced", /*accepting=*/true, /*closed=*/true);
+  kernel.recv(run, kDkWrite, kChData, run);
+  kernel.recv(run, kDkRead, kChData, must_reply);
+  if (o.push_outputs) kernel.send(run, kDkReadReply, kChData, run);
+  if (o.interrupts) kernel.send(run, kDkInterrupt, kChIrq, run);
+  kernel.send(must_reply, kDkReadReply, kChData, run);
+  if (o.recovery) {
+    kernel.recv(run, kDkGarbage, kChData, quiesced, /*recovery=*/true);
+    kernel.internal(run, quiesced, "quiesce", /*recovery=*/true);
+    kernel.internal(must_reply, quiesced, "quiesce", /*recovery=*/true);
+  }
+  m.endpoint_a = std::move(kernel);
+
+  ProtocolAutomaton driver("driver");
+  const int idle = driver.add_state("Idle");
+  const int await_reply = driver.add_state("AwaitReply");
+  const int done = driver.add_state("Done", /*accepting=*/true);
+  const int degraded = driver.add_state("Degraded", /*accepting=*/true);
+  driver.send(idle, kDkWrite, kChData, idle);
+  if (o.sync_reads) driver.send(idle, kDkRead, kChData, await_reply);
+  driver.recv(idle, kDkReadReply, kChData, idle);
+  driver.recv(idle, kDkInterrupt, kChIrq, idle);
+  driver.internal(idle, done, "finish");
+  driver.recv(await_reply, kDkReadReply, kChData, idle);
+  driver.recv(await_reply, kDkInterrupt, kChIrq, await_reply);
+  if (o.recovery) {
+    driver.recv(idle, kDkGarbage, kChData, degraded, /*recovery=*/true);
+    driver.internal(idle, degraded, "degrade", /*recovery=*/true);
+    driver.recv(await_reply, kDkGarbage, kChData, degraded, /*recovery=*/true);
+    driver.internal(await_reply, degraded, "timeout", /*recovery=*/true);
+  }
+  for (int final : {done, degraded}) {
+    // Terminal states keep draining late kernel traffic (pushes, interrupts)
+    // without that counting as a violation.
+    driver.recv(final, kDkReadReply, kChData, final);
+    driver.recv(final, kDkGarbage, kChData, final);
+    driver.recv(final, kDkInterrupt, kChIrq, final);
+  }
+  m.endpoint_b = std::move(driver);
+  return m;
+}
+
+/// Shared GdbStub endpoint (identical for both RSP schemes): halted command
+/// loop, deferred stop replies while running, 0x03 interrupt handling.
+ProtocolAutomaton make_stub(const ModelOptions& o) {
+  ProtocolAutomaton stub("stub");
+  const int halted = stub.add_state("Halted", /*accepting=*/true);
+  const int must_reply = stub.add_state("MustReply");
+  const int running = stub.add_state("Running");
+  const int must_stop = stub.add_state("MustStop");
+  const int dead = stub.add_state("Dead", /*accepting=*/true, /*closed=*/true);
+  stub.recv(halted, kRspQuery, kChRsp, must_reply);
+  stub.recv(halted, kRspCont, kChRsp, running);
+  stub.recv(halted, kRspRunQuantum, kChRsp, must_stop);
+  stub.recv(halted, kRspKill, kChRsp, dead);
+  stub.recv(halted, kRspIrqByte, kChRsp, halted);  // 0x03 while halted: ignored
+  stub.send(must_reply, kRspReply, kChRsp, halted);
+  stub.send(must_reply, kRspStopReply, kChRsp, halted);  // 's' replies with a stop
+  stub.internal(running, must_stop, "hit");               // guest reaches a breakpoint
+  stub.recv(running, kRspIrqByte, kChRsp, must_stop);
+  stub.recv(running, kRspKill, kChRsp, dead);
+  stub.send(must_stop, kRspStopReply, kChRsp, halted);
+  if (o.recovery) {
+    // A garbage frame draws a Nak; the peer resends, so tolerate in place.
+    stub.recv(halted, kRspGarbage, kChRsp, halted, /*recovery=*/true);
+    stub.recv(running, kRspGarbage, kChRsp, running, /*recovery=*/true);
+    stub.internal(halted, dead, "die", /*recovery=*/true);
+    stub.internal(must_reply, dead, "die", /*recovery=*/true);
+    stub.internal(running, dead, "die", /*recovery=*/true);
+    stub.internal(must_stop, dead, "die", /*recovery=*/true);
+  }
+  return stub;
+}
+
+/// Adds the terminal client states shared by both RSP clients: Killed (wire
+/// torn down) and Failed (transport gave up; shutdown may still send k/0x03).
+struct ClientTails {
+  int killed;
+  int failed;
+};
+
+ClientTails add_client_tails(ProtocolAutomaton& client) {
+  ClientTails t{};
+  t.killed = client.add_state("Killed", /*accepting=*/true, /*closed=*/true);
+  t.failed = client.add_state("Failed", /*accepting=*/true);
+  client.send(t.failed, kRspKill, kChRsp, t.killed);
+  client.send(t.failed, kRspIrqByte, kChRsp, t.failed);
+  for (int sym : {kRspReply, kRspStopReply, kRspGarbage}) {
+    client.recv(t.failed, sym, kChRsp, t.failed);
+  }
+  return t;
+}
+
+ProtocolModel make_rsp_base(ModelId id) {
+  ProtocolModel m;
+  m.id = id;
+  m.name = model_name(id);
+  m.wire = WireFormat::Rsp;
+  m.symbols = {"QUERY", "CONT",  "KILL",       "RUN-QUANTUM",
+               "IRQ-BYTE", "REPLY", "STOP-REPLY", "GARBAGE"};
+  m.channels = {"rsp"};
+  m.monitored_channels = {kChRsp};
+  m.garbage_symbol = kRspGarbage;
+  return m;
+}
+
+/// GDB-Kernel (paper §3): the kernel-embedded GdbClient drives the stub via
+/// breakpoint-synchronised continue cycles.
+ProtocolModel make_gdb_kernel(const ModelOptions& o) {
+  ProtocolModel m = make_rsp_base(ModelId::GdbKernel);
+
+  ProtocolAutomaton client("client");
+  const int halted = client.add_state("Halted", /*accepting=*/true);
+  const int await_reply = client.add_state("AwaitReply");
+  const int running = client.add_state("Running");
+  const ClientTails tails = add_client_tails(client);
+  client.send(halted, kRspQuery, kChRsp, await_reply);
+  client.send(halted, kRspCont, kChRsp, running);
+  client.send(halted, kRspKill, kChRsp, tails.killed);
+  for (int sym : {kRspReply, kRspStopReply, kRspGarbage}) {
+    client.recv(halted, sym, kChRsp, halted);  // stray duplicates: tolerated
+  }
+  client.recv(await_reply, kRspReply, kChRsp, halted);
+  client.recv(await_reply, kRspStopReply, kChRsp, halted);
+  client.recv(await_reply, kRspGarbage, kChRsp, await_reply);  // Nak'd, await resend
+  client.send(await_reply, kRspKill, kChRsp, tails.killed);    // shutdown mid-transact
+  client.send(running, kRspIrqByte, kChRsp, running);
+  client.send(running, kRspKill, kChRsp, tails.killed);
+  client.recv(running, kRspStopReply, kChRsp, halted);
+  client.recv(running, kRspReply, kChRsp, running);
+  client.recv(running, kRspGarbage, kChRsp, running);
+  if (o.recovery) {
+    client.send(await_reply, kRspQuery, kChRsp, await_reply, /*recovery=*/true);  // resend
+    client.internal(await_reply, tails.failed, "timeout", /*recovery=*/true);
+    client.internal(running, tails.failed, "giveup", /*recovery=*/true);
+    client.internal(halted, tails.failed, "fail", /*recovery=*/true);
+  }
+  m.endpoint_a = std::move(client);
+  m.endpoint_b = make_stub(o);
+  return m;
+}
+
+/// GDB-Wrapper: the lock-step wrapper alternates qnisc.run quanta (or single
+/// steps) with breakpoint servicing.
+ProtocolModel make_gdb_wrapper(const ModelOptions& o) {
+  ProtocolModel m = make_rsp_base(ModelId::GdbWrapper);
+
+  ProtocolAutomaton wrapper("wrapper");
+  const int cycle = wrapper.add_state("Cycle", /*accepting=*/true);
+  const int await_reply = wrapper.add_state("AwaitReply");
+  const int await_stop = wrapper.add_state("AwaitStop");
+  const int done = wrapper.add_state("Done", /*accepting=*/true);
+  const ClientTails tails = add_client_tails(wrapper);
+  wrapper.send(cycle, kRspQuery, kChRsp, await_reply);
+  wrapper.send(cycle, kRspRunQuantum, kChRsp, await_stop);
+  wrapper.send(cycle, kRspKill, kChRsp, tails.killed);
+  wrapper.internal(cycle, done, "finish");
+  for (int sym : {kRspReply, kRspStopReply, kRspGarbage}) {
+    wrapper.recv(cycle, sym, kChRsp, cycle);  // stray duplicates: tolerated
+  }
+  wrapper.recv(await_reply, kRspReply, kChRsp, cycle);
+  wrapper.recv(await_reply, kRspStopReply, kChRsp, cycle);  // 's' step reply
+  wrapper.recv(await_reply, kRspGarbage, kChRsp, await_reply);
+  wrapper.send(await_reply, kRspKill, kChRsp, tails.killed);
+  wrapper.recv(await_stop, kRspStopReply, kChRsp, cycle);
+  wrapper.recv(await_stop, kRspReply, kChRsp, await_stop);  // stray duplicate
+  wrapper.recv(await_stop, kRspGarbage, kChRsp, await_stop);
+  wrapper.send(await_stop, kRspKill, kChRsp, tails.killed);
+  wrapper.send(done, kRspKill, kChRsp, tails.killed);
+  for (int sym : {kRspReply, kRspStopReply, kRspGarbage}) {
+    wrapper.recv(done, sym, kChRsp, done);
+  }
+  if (o.recovery) {
+    wrapper.send(await_reply, kRspQuery, kChRsp, await_reply, /*recovery=*/true);
+    wrapper.internal(await_reply, tails.failed, "timeout", /*recovery=*/true);
+    wrapper.send(await_stop, kRspRunQuantum, kChRsp, await_stop, /*recovery=*/true);
+    wrapper.internal(await_stop, tails.failed, "timeout", /*recovery=*/true);
+    wrapper.internal(cycle, tails.failed, "fail", /*recovery=*/true);
+  }
+  m.endpoint_a = std::move(wrapper);
+  m.endpoint_b = make_stub(o);
+  return m;
+}
+
+}  // namespace
+
+ProtocolModel make_model(ModelId id, const ModelOptions& options) {
+  switch (id) {
+    case ModelId::DriverKernel: return make_driver_kernel(options);
+    case ModelId::GdbKernel: return make_gdb_kernel(options);
+    case ModelId::GdbWrapper: return make_gdb_wrapper(options);
+  }
+  return make_driver_kernel(options);
+}
+
+// ---------------------------------------------------------------------------
+// Wire classification
+
+namespace {
+
+std::string printable_prefix(std::string_view payload, std::size_t max) {
+  std::string out;
+  for (std::size_t i = 0; i < payload.size() && i < max; ++i) {
+    const unsigned char c = static_cast<unsigned char>(payload[i]);
+    out += std::isprint(c) != 0 ? static_cast<char>(c) : '.';
+  }
+  if (payload.size() > max) out += "...";
+  return out;
+}
+
+WireSymbol classify_rsp(const std::string& payload, bool toward_target) {
+  WireSymbol sym;
+  sym.detail = "$" + printable_prefix(payload, 24) + "#";
+  if (toward_target) {
+    if (!payload.empty() && payload[0] == 'c') {
+      sym.symbol = kRspCont;
+    } else if (!payload.empty() && payload[0] == 'k') {
+      sym.symbol = kRspKill;
+    } else if (payload.rfind("qnisc.run:", 0) == 0) {
+      sym.symbol = kRspRunQuantum;
+    } else {
+      sym.symbol = kRspQuery;  // g/p/P/m/M/Z/z/H/?/s/D/...
+    }
+  } else {
+    sym.symbol = !payload.empty() && (payload[0] == 'S' || payload[0] == 'T') ? kRspStopReply
+                                                                              : kRspReply;
+  }
+  return sym;
+}
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+StreamDecoder::StreamDecoder(WireFormat format, bool toward_target)
+    : format_(format), toward_target_(toward_target) {}
+
+std::size_t StreamDecoder::pending() const noexcept {
+  return format_ == WireFormat::Rsp ? reader_.pending_bytes() : buffer_.size();
+}
+
+void StreamDecoder::feed(std::span<const std::uint8_t> bytes, std::vector<WireSymbol>& out) {
+  if (wedged_) return;
+  if (format_ == WireFormat::Rsp) {
+    reader_.feed(bytes);
+    while (std::optional<rsp::RspEvent> event = reader_.next()) {
+      switch (event->kind) {
+        case rsp::RspEventKind::Ack:
+        case rsp::RspEventKind::Nak:
+          break;  // advisory framing traffic, not part of the alphabet
+        case rsp::RspEventKind::Interrupt:
+          out.push_back(WireSymbol{kRspIrqByte, false, "0x03 interrupt byte"});
+          break;
+        case rsp::RspEventKind::Packet:
+          out.push_back(classify_rsp(event->payload, toward_target_));
+          break;
+      }
+    }
+    return;
+  }
+
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  while (buffer_.size() >= 4) {
+    const std::uint32_t size = read_le32(buffer_.data());
+    if (size > ipc::kMaxMessageBody) {
+      // An implausible size field means the stream desynchronized; there is
+      // no way to find the next frame boundary.
+      wedged_ = true;
+      out.push_back(WireSymbol{kDkGarbage, true,
+                               "frame size " + std::to_string(size) + " exceeds the " +
+                                   std::to_string(ipc::kMaxMessageBody) + "-byte limit"});
+      return;
+    }
+    if (buffer_.size() < 4u + size) break;
+    const std::span<const std::uint8_t> body(buffer_.data() + 4, size);
+    util::Result<ipc::DriverMessage> msg = ipc::decode_message_body(body);
+    if (msg.ok()) {
+      WireSymbol sym;
+      sym.symbol = static_cast<int>(msg.value().type);
+      sym.detail = std::string(ipc::msg_type_name(msg.value().type)) + "(" +
+                   std::to_string(msg.value().items.size()) + " item(s)" +
+                   (msg.value().items.empty() ? "" : ", " + msg.value().items.front().port) + ")";
+      out.push_back(std::move(sym));
+    } else {
+      // Framing stays intact (the size field was plausible), so classify the
+      // body as garbage and keep decoding subsequent frames.
+      out.push_back(WireSymbol{kDkGarbage, true, msg.error()});
+    }
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + size);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conformance monitor
+
+ConformanceMonitor::ConformanceMonitor(ProtocolModel model, DiagEngine& diags,
+                                       MonitorOptions options)
+    : model_(std::move(model)),
+      diags_(diags),
+      options_(std::move(options)),
+      tx_(model_.wire, /*toward_target=*/true),
+      rx_(model_.wire, /*toward_target=*/false) {
+  current_.insert(model_.endpoint_a.initial());
+}
+
+std::set<int> ConformanceMonitor::closure(std::set<int> states, bool include_recovery) const {
+  std::vector<int> worklist(states.begin(), states.end());
+  while (!worklist.empty()) {
+    const int s = worklist.back();
+    worklist.pop_back();
+    for (const ProtoTransition& t : model_.endpoint_a.from(s)) {
+      if (t.recovery && !include_recovery) continue;
+      const bool epsilon = t.kind == ActionKind::Internal || !model_.monitored(t.channel);
+      if (epsilon && states.insert(t.to).second) worklist.push_back(t.to);
+    }
+  }
+  return states;
+}
+
+namespace {
+
+std::string state_names(const ProtocolAutomaton& automaton, const std::set<int>& states) {
+  std::string out;
+  for (int s : states) {
+    if (!out.empty()) out += "|";
+    out += automaton.state(s).name;
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+}  // namespace
+
+void ConformanceMonitor::step(ActionKind kind, const WireSymbol& sym, ipc::CaptureDir dir) {
+  ++messages_seen_;
+  const char* dir_name = dir == ipc::CaptureDir::Tx ? "tx" : "rx";
+  const SourceLoc loc{options_.origin, static_cast<int>(messages_seen_), 0};
+  const std::set<int> reach = closure(current_, /*include_recovery=*/true);
+
+  if (sym.malformed) {
+    ++violations_;
+    diags_.report(Severity::Error, "NL402",
+                  std::string("undecodable wire data (") + dir_name + "): " + sym.detail, loc);
+  }
+
+  std::set<int> next;
+  for (int s : reach) {
+    for (const ProtoTransition& t : model_.endpoint_a.from(s)) {
+      if (t.kind == kind && t.symbol == sym.symbol && model_.monitored(t.channel)) {
+        next.insert(t.to);
+      }
+    }
+  }
+  if (next.empty()) {
+    const bool all_closed =
+        std::all_of(reach.begin(), reach.end(),
+                    [&](int s) { return model_.endpoint_a.state(s).closed; });
+    if (all_closed) {
+      ++violations_;
+      diags_.report(Severity::Error, "NL403",
+                    "traffic after the endpoint closed its wire (state " +
+                        state_names(model_.endpoint_a, reach) + "): " +
+                        model_.symbol_name(sym.symbol) + " " + dir_name,
+                    loc);
+    } else if (!sym.malformed) {
+      ++violations_;
+      diags_.report(Severity::Error, "NL401",
+                    "unexpected " + model_.symbol_name(sym.symbol) + " (" + dir_name +
+                        ") in state " + state_names(model_.endpoint_a, reach) +
+                        (sym.detail.empty() ? "" : ": " + sym.detail),
+                    loc);
+    }
+    // Resynchronize: any state is again possible, so one violation does not
+    // cascade into a report for every subsequent message.
+    for (std::size_t s = 0; s < model_.endpoint_a.states().size(); ++s) {
+      next.insert(static_cast<int>(s));
+    }
+  }
+  current_ = std::move(next);
+}
+
+void ConformanceMonitor::on_transfer(ipc::CaptureDir dir, std::span<const std::uint8_t> bytes) {
+  StreamDecoder& decoder = dir == ipc::CaptureDir::Tx ? tx_ : rx_;
+  std::vector<WireSymbol> symbols;
+  decoder.feed(bytes, symbols);
+  for (const WireSymbol& sym : symbols) {
+    step(dir == ipc::CaptureDir::Tx ? ActionKind::Send : ActionKind::Recv, sym, dir);
+  }
+}
+
+void ConformanceMonitor::on_event(std::string_view tag) {
+  const std::set<int> reach = closure(current_, /*include_recovery=*/true);
+  std::set<int> next;
+  for (int s : reach) {
+    for (const ProtoTransition& t : model_.endpoint_a.from(s)) {
+      if (t.kind == ActionKind::Internal && t.label == tag) next.insert(t.to);
+    }
+  }
+  if (next.empty()) {
+    diags_.report(Severity::Note, "NL401",
+                  "internal event '" + std::string(tag) + "' has no transition from state " +
+                      state_names(model_.endpoint_a, reach),
+                  SourceLoc{options_.origin, static_cast<int>(messages_seen_), 0});
+    return;
+  }
+  current_ = std::move(next);
+}
+
+void ConformanceMonitor::finish() {
+  const SourceLoc loc{options_.origin, static_cast<int>(messages_seen_), 0};
+  const auto tail = [&](const StreamDecoder& decoder, const char* dir_name) {
+    if (decoder.wedged()) return;  // already reported NL402 when it wedged
+    if (decoder.pending() > 0) {
+      ++violations_;
+      diags_.report(Severity::Error, "NL402",
+                    "stream ends mid-frame (" + std::to_string(decoder.pending()) +
+                        " byte(s) buffered, " + dir_name + ")",
+                    loc);
+    }
+  };
+  tail(tx_, "tx");
+  tail(rx_, "rx");
+  if (options_.end_check) {
+    const std::set<int> reach = closure(current_, /*include_recovery=*/false);
+    const bool quiescent = std::any_of(reach.begin(), reach.end(), [&](int s) {
+      return model_.endpoint_a.state(s).accepting;
+    });
+    if (!quiescent) {
+      ++violations_;
+      diags_.report(Severity::Warning, "NL404",
+                    "stream ended in non-quiescent state " +
+                        state_names(model_.endpoint_a, reach),
+                    loc);
+    }
+  }
+}
+
+bool ConformanceMonitor::state_possible(std::string_view name) const {
+  const int id = model_.endpoint_a.find_state(name);
+  if (id < 0) return false;
+  return closure(current_, /*include_recovery=*/true).count(id) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Live monitor
+
+LiveConformanceMonitor::LiveConformanceMonitor(ProtocolModel model, std::string origin)
+    : monitor_(std::move(model), diags_, MonitorOptions{std::move(origin), true}) {}
+
+void LiveConformanceMonitor::on_wire(ipc::CaptureDir dir, std::span<const std::uint8_t> bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  monitor_.on_transfer(dir, bytes);
+}
+
+void LiveConformanceMonitor::on_wire_event(std::string_view tag) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  monitor_.on_event(tag);
+}
+
+void LiveConformanceMonitor::finish() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  monitor_.finish();
+  finished_ = true;
+}
+
+std::size_t LiveConformanceMonitor::messages_seen() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return monitor_.messages_seen();
+}
+
+// ---------------------------------------------------------------------------
+// Capture replay
+
+std::size_t check_capture(std::span<const std::uint8_t> bytes, const ProtocolModel& model,
+                          DiagEngine& diags, const std::string& origin) {
+  ConformanceMonitor monitor(model, diags, MonitorOptions{origin, true});
+  std::size_t replayed = 0;
+  std::size_t offset = 0;
+  int frame = 0;
+  while (offset < bytes.size()) {
+    ++frame;
+    const SourceLoc loc{origin, frame, 0};
+    if (bytes.size() - offset < 4) {
+      diags.report(Severity::Error, "NL402",
+                   "capture envelope truncated at offset " + std::to_string(offset), loc);
+      break;
+    }
+    const std::uint32_t size = read_le32(bytes.data() + offset);
+    if (size > ipc::kMaxMessageBody || offset + 4 + size > bytes.size()) {
+      diags.report(Severity::Error, "NL402",
+                   "capture envelope frame " + std::to_string(frame) +
+                       " has implausible size " + std::to_string(size),
+                   loc);
+      break;
+    }
+    util::Result<ipc::DriverMessage> msg =
+        ipc::decode_message_body(bytes.subspan(offset + 4, size));
+    offset += 4 + size;
+    if (!msg.ok()) {
+      diags.report(Severity::Error, "NL402",
+                   "capture envelope frame " + std::to_string(frame) + ": " + msg.error(), loc);
+      break;
+    }
+    for (const ipc::MsgItem& item : msg.value().items) {
+      // WireCapture::dump pseudo-ports: "<label>.tx#<seq>" / "<label>.rx#<seq>".
+      const std::size_t tx = item.port.rfind(".tx#");
+      const std::size_t rx = item.port.rfind(".rx#");
+      if (tx == std::string::npos && rx == std::string::npos) {
+        diags.report(Severity::Note, "NL402",
+                     "frame " + std::to_string(frame) + " port '" + item.port +
+                         "' is not a capture pseudo-port; skipped",
+                     loc);
+        continue;
+      }
+      monitor.on_transfer(tx != std::string::npos ? ipc::CaptureDir::Tx : ipc::CaptureDir::Rx,
+                          item.data);
+      ++replayed;
+    }
+  }
+  monitor.finish();
+  return replayed;
+}
+
+}  // namespace nisc::analysis

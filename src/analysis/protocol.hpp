@@ -1,0 +1,262 @@
+// Protocol automata for the co-simulation wire (DESIGN.md §11).
+//
+// The paper specifies its two boundary protocols informally: §4.2 gives the
+// Driver-Kernel message format in prose, §3 leans on the GDB remote serial
+// protocol. This module makes each protocol explicit as a pair of
+// communicating finite-state machines — typed states, transitions labelled
+// Send/Recv/Internal with a message symbol and a channel — so the same
+// automaton can be
+//   (a) composed with a bounded-channel environment and model-checked
+//       exhaustively (analysis/explore.hpp), and
+//   (b) walked against live or captured wire traffic by a conformance
+//       monitor that turns violations into NL4xx diagnostics.
+//
+// Three models are provided, one per co-simulation scheme:
+//   driver-kernel  ScPortDriver <-> DriverKernelExtension (data + irq port,
+//                  including the PR 2 quiesce degradation states)
+//   gdb-kernel     GdbClient (kernel-embedded) <-> GdbStub over RSP
+//   gdb-wrapper    GdbClient (lock-step wrapper) <-> GdbStub over RSP
+// Endpoint A is always the SystemC side (kernel extension / client); endpoint
+// B is the target side (driver / stub). RSP '+'/'-' acks are advisory in this
+// implementation (both peers tolerate their loss), so they are not part of
+// the modelled alphabet and the monitor filters them out.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diag.hpp"
+#include "ipc/capture.hpp"
+#include "rsp/packet.hpp"
+
+namespace nisc::analysis {
+
+// ---------------------------------------------------------------------------
+// Automaton structure
+
+enum class ActionKind : std::uint8_t { Send, Recv, Internal };
+
+struct ProtoState {
+  std::string name;
+  /// Quiescent: the protocol may legitimately stop here (end of stream).
+  bool accepting = false;
+  /// The endpoint tore its wire down in this state: traffic observed while
+  /// every candidate state is closed is an NL403 violation, and the model
+  /// checker discards messages sent toward a closed endpoint (connection
+  /// reset semantics).
+  bool closed = false;
+};
+
+struct ProtoTransition {
+  ActionKind kind = ActionKind::Internal;
+  int symbol = -1;   ///< model symbol id (Send/Recv only)
+  int channel = -1;  ///< model channel id (Send/Recv only)
+  int to = 0;
+  /// Part of the resilience machinery (quiesce/timeout/resend/die) rather
+  /// than the core protocol. The monitor's end-of-stream check does not
+  /// assume recovery happened; ModelOptions::recovery omits these entirely.
+  bool recovery = false;
+  /// Internal transitions carry a label ("quiesce", "timeout", ...) so the
+  /// monitor can follow out-of-band notifications (WireObserver events).
+  std::string label;
+};
+
+/// One endpoint's protocol automaton.
+class ProtocolAutomaton {
+ public:
+  explicit ProtocolAutomaton(std::string role) : role_(std::move(role)) {}
+
+  int add_state(std::string name, bool accepting = false, bool closed = false);
+  void send(int from, int symbol, int channel, int to, bool recovery = false);
+  void recv(int from, int symbol, int channel, int to, bool recovery = false);
+  void internal(int from, int to, std::string label, bool recovery = false);
+
+  const std::string& role() const noexcept { return role_; }
+  const std::vector<ProtoState>& states() const noexcept { return states_; }
+  const ProtoState& state(int id) const { return states_[static_cast<std::size_t>(id)]; }
+  const std::vector<ProtoTransition>& from(int state) const {
+    return by_state_[static_cast<std::size_t>(state)];
+  }
+  int initial() const noexcept { return 0; }
+  int find_state(std::string_view name) const noexcept;  ///< -1 when absent
+
+ private:
+  std::string role_;
+  std::vector<ProtoState> states_;
+  std::vector<std::vector<ProtoTransition>> by_state_;
+};
+
+// ---------------------------------------------------------------------------
+// Models
+
+enum class ModelId : std::uint8_t { DriverKernel, GdbKernel, GdbWrapper };
+
+const char* model_name(ModelId id) noexcept;
+std::optional<ModelId> model_from_name(std::string_view name) noexcept;
+
+/// Which wire framing a model's traffic uses.
+enum class WireFormat : std::uint8_t { DriverKernel, Rsp };
+
+struct ModelOptions {
+  /// Include the resilience transitions (quiesce/degrade/timeout/die). The
+  /// conformance monitor always wants these; the model checker disables them
+  /// to prove the *protocol itself* deadlock-free, not its escape hatches.
+  bool recovery = true;
+  /// Driver-Kernel only: the kernel pushes fresh iss_out values
+  /// spontaneously (DriverKernelOptions::push_outputs).
+  bool push_outputs = true;
+  /// Driver-Kernel only: the driver issues synchronous READ requests.
+  bool sync_reads = true;
+  /// Driver-Kernel only: the kernel raises device interrupts.
+  bool interrupts = true;
+};
+
+/// A complete two-endpoint protocol model.
+struct ProtocolModel {
+  ModelId id = ModelId::DriverKernel;
+  std::string name;
+  WireFormat wire = WireFormat::DriverKernel;
+  std::vector<std::string> symbols;
+  std::vector<std::string> channels;
+  /// Channels the conformance monitor can observe (the capture layer sits on
+  /// one socket; Driver-Kernel interrupts travel on a second, unobserved
+  /// one). Transitions on unmonitored channels are epsilon to the monitor.
+  std::vector<int> monitored_channels;
+  int garbage_symbol = -1;  ///< symbol for undecodable traffic, -1 if none
+  ProtocolAutomaton endpoint_a{"a"};  ///< SystemC side (kernel / client)
+  ProtocolAutomaton endpoint_b{"b"};  ///< target side (driver / stub)
+
+  bool monitored(int channel) const noexcept;
+  const std::string& symbol_name(int symbol) const;
+  const std::string& channel_name(int channel) const;
+};
+
+ProtocolModel make_model(ModelId id, const ModelOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Wire classification
+
+/// One classified protocol message recovered from a byte stream.
+struct WireSymbol {
+  int symbol = -1;
+  bool malformed = false;  ///< undecodable bytes, classified as garbage
+  std::string detail;      ///< human-readable rendering for diagnostics
+};
+
+/// Incremental per-direction reassembler: raw transport bytes in, protocol
+/// symbols out. Driver-Kernel frames are rebuilt across arbitrary chunk
+/// boundaries (recv_exact captures header and body separately); RSP streams
+/// reuse rsp::PacketReader ('+'/'-' acks produce no symbol).
+class StreamDecoder {
+ public:
+  /// `toward_target`: bytes flowing A->B (commands) rather than B->A
+  /// (replies) — RSP payloads classify differently per direction.
+  StreamDecoder(WireFormat format, bool toward_target);
+
+  void feed(std::span<const std::uint8_t> bytes, std::vector<WireSymbol>& out);
+
+  /// Bytes buffered mid-frame (a non-zero value at end of stream is NL402).
+  std::size_t pending() const noexcept;
+  /// True once the stream desynchronized beyond recovery (bad frame size).
+  bool wedged() const noexcept { return wedged_; }
+
+ private:
+  WireFormat format_;
+  bool toward_target_;
+  bool wedged_ = false;
+  std::vector<std::uint8_t> buffer_;  // Driver-Kernel reassembly
+  rsp::PacketReader reader_;          // RSP reassembly
+};
+
+// ---------------------------------------------------------------------------
+// Conformance monitor
+
+struct MonitorOptions {
+  /// Diagnostic origin (SourceLoc::file), e.g. a capture path or "<wire>".
+  std::string origin = "<wire>";
+  /// Report NL404 when the stream ends with no accepting candidate state.
+  bool end_check = true;
+};
+
+/// NFA walk of endpoint A's automaton over observed traffic (subset
+/// construction: Internal transitions and unmonitored channels are epsilon).
+/// Rules:
+///   NL401 (error)    message impossible in every candidate state
+///   NL402 (error)    undecodable wire data / stream ends mid-frame
+///   NL403 (error)    traffic observed after the endpoint closed (quiesce)
+///   NL404 (warning)  stream ends in a non-quiescent protocol state
+class ConformanceMonitor {
+ public:
+  ConformanceMonitor(ProtocolModel model, DiagEngine& diags, MonitorOptions options = {});
+
+  /// Feeds one observed transfer (Tx = endpoint A sent, Rx = A received).
+  void on_transfer(ipc::CaptureDir dir, std::span<const std::uint8_t> bytes);
+
+  /// Applies an out-of-band internal event by label (e.g. "quiesce" from
+  /// DriverKernelExtension). Unknown labels are reported as notes.
+  void on_event(std::string_view tag);
+
+  /// End-of-stream checks; call once when the wire goes away.
+  void finish();
+
+  /// True when `name` is a candidate state (testing/introspection).
+  bool state_possible(std::string_view name) const;
+  std::size_t messages_seen() const noexcept { return messages_seen_; }
+  std::size_t violations() const noexcept { return violations_; }
+  const ProtocolModel& model() const noexcept { return model_; }
+
+ private:
+  /// Epsilon closure: Internal transitions plus transitions on unmonitored
+  /// channels. The end-of-stream check excludes recovery transitions — a
+  /// stream may not *assume* the endpoint escaped through one.
+  std::set<int> closure(std::set<int> states, bool include_recovery) const;
+  void step(ActionKind kind, const WireSymbol& sym, ipc::CaptureDir dir);
+
+  ProtocolModel model_;
+  DiagEngine& diags_;
+  MonitorOptions options_;
+  StreamDecoder tx_;
+  StreamDecoder rx_;
+  std::set<int> current_;
+  std::size_t messages_seen_ = 0;
+  std::size_t violations_ = 0;
+};
+
+/// Thread-safe WireObserver adapter: attach to a live ipc::Channel (via
+/// Channel::attach_observer / the session configs) and every transfer is
+/// conformance-checked as it happens. Owns its DiagEngine; read it after
+/// finish() or once the channel is quiet.
+class LiveConformanceMonitor final : public ipc::WireObserver {
+ public:
+  LiveConformanceMonitor(ProtocolModel model, std::string origin);
+
+  void on_wire(ipc::CaptureDir dir, std::span<const std::uint8_t> bytes) override;
+  void on_wire_event(std::string_view tag) override;
+
+  /// Runs the end-of-stream checks once (idempotent).
+  void finish();
+
+  DiagEngine& diags() noexcept { return diags_; }
+  std::size_t messages_seen() const;
+
+ private:
+  mutable std::mutex mutex_;
+  DiagEngine diags_;
+  ConformanceMonitor monitor_;
+  bool finished_ = false;
+};
+
+/// Replays a WireCapture::dump() post-mortem (concatenated WRITE frames with
+/// "<label>.tx#N" / ".rx#N" pseudo-ports) through a ConformanceMonitor.
+/// Returns the number of transfers replayed.
+std::size_t check_capture(std::span<const std::uint8_t> bytes, const ProtocolModel& model,
+                          DiagEngine& diags, const std::string& origin);
+
+}  // namespace nisc::analysis

@@ -30,6 +30,7 @@ void DriverKernelExtension::quiesce(const std::string& reason) {
   obs::instant("cosim.quiesce", "cosim");
   error_ = make_cosim_error("driver-kernel", reason, data_.capture());
   NISC_WARN("driver-kernel") << "offload port quiesced (simulation continues): " << reason;
+  data_.notify_observer("quiesce");
   data_.close();
   interrupts_.close();
   backlog_.clear();

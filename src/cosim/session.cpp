@@ -54,6 +54,7 @@ GdbTarget::GdbTarget(const std::string& guest_source, GdbTargetConfig config)
     capture_ = std::make_shared<ipc::WireCapture>("gdb", config_.capture_frames);
     pair.b.attach_capture(capture_);
   }
+  if (config_.wire_observer) pair.b.attach_observer(config_.wire_observer);
   rsp::StubOptions stub_options;
   stub_options.quantum = config_.stub_quantum;
   if (config_.throttled) {
@@ -131,6 +132,7 @@ DriverTarget::DriverTarget(const std::string& guest_source, DriverTargetConfig c
     capture_ = std::make_shared<ipc::WireCapture>("drv-data", config_.capture_frames);
     data.a.attach_capture(capture_);
   }
+  if (config_.wire_observer) data.a.attach_observer(config_.wire_observer);
   data_kernel_side_ = std::move(data.a);
   irq_kernel_side_ = std::move(irq.a);
   irq_target_side_ = std::move(irq.b);

@@ -44,6 +44,9 @@ struct GdbTargetConfig {
   /// Ring-buffer the client-side wire traffic for post-mortems.
   bool capture_wire = true;
   std::size_t capture_frames = 32;
+  /// Live wire tap on the client-side endpoint (e.g. an
+  /// analysis::LiveConformanceMonitor); null = none.
+  std::shared_ptr<ipc::WireObserver> wire_observer;
   /// Client reply deadline (see rsp::ClientOptions).
   int reply_timeout_ms = 10000;
   /// Hard deadline on every blocking channel send/recv.
@@ -125,6 +128,9 @@ struct DriverTargetConfig {
   /// Ring-buffer the kernel-side data traffic for post-mortems.
   bool capture_wire = true;
   std::size_t capture_frames = 32;
+  /// Live wire tap on the kernel-side data endpoint (e.g. an
+  /// analysis::LiveConformanceMonitor); null = none.
+  std::shared_ptr<ipc::WireObserver> wire_observer;
   /// Hard deadline on every blocking channel send/recv.
   int io_timeout_ms = 30000;
   /// Pay-after settlement bound: when the SystemC side stops depositing for

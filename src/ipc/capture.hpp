@@ -18,11 +18,24 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace nisc::ipc {
 
 enum class CaptureDir : std::uint8_t { Tx, Rx };
+
+/// Live tap on a channel's wire traffic. Attached via
+/// Channel::attach_observer; sees exactly the bytes the capture ring would
+/// record (post-fault-injection reality, not intent) plus out-of-band
+/// endpoint events (e.g. "quiesce"). Implementations must be thread-safe:
+/// the channel's reader and writer threads call in concurrently.
+class WireObserver {
+ public:
+  virtual ~WireObserver() = default;
+  virtual void on_wire(CaptureDir dir, std::span<const std::uint8_t> bytes) = 0;
+  virtual void on_wire_event(std::string_view tag) { (void)tag; }
+};
 
 class WireCapture {
  public:

@@ -65,6 +65,7 @@ void Channel::send(std::span<const std::uint8_t> data) {
   if (!faults_) {
     write_all(write_fd_, data, io_timeout_ms_);
     if (capture_) capture_->record(CaptureDir::Tx, data);
+    if (observer_) observer_->on_wire(CaptureDir::Tx, data);
     return;
   }
   SendVerdict verdict = faults_->on_send(data);
@@ -74,6 +75,7 @@ void Channel::send(std::span<const std::uint8_t> data) {
   for (int i = 0; i < verdict.copies; ++i) {
     write_all(write_fd_, verdict.bytes, io_timeout_ms_);
     if (capture_) capture_->record(CaptureDir::Tx, verdict.bytes);
+    if (observer_) observer_->on_wire(CaptureDir::Tx, verdict.bytes);
   }
   if (verdict.close_after) close();
 }
@@ -90,6 +92,7 @@ void Channel::recv_exact(std::span<std::uint8_t> out) {
   if (!faults_) {
     read_exact(read_fd_, out, io_timeout_ms_);
     if (capture_) capture_->record(CaptureDir::Rx, out);
+    if (observer_) observer_->on_wire(CaptureDir::Rx, out);
     return;
   }
   // A short-read fault splits the transfer; recv_exact still fills `out`,
@@ -103,6 +106,11 @@ void Channel::recv_exact(std::span<std::uint8_t> out) {
   }
   faults_->on_received(out);
   if (capture_) capture_->record(CaptureDir::Rx, out);
+  if (observer_) observer_->on_wire(CaptureDir::Rx, out);
+}
+
+void Channel::notify_observer(std::string_view tag) {
+  if (observer_) observer_->on_wire_event(tag);
 }
 
 bool Channel::readable(int timeout_ms) {
@@ -121,6 +129,7 @@ std::size_t Channel::recv_some(std::span<std::uint8_t> out) {
   if (!faults_) {
     std::size_t n = read_some_nonblocking(read_fd_, out);
     if (n > 0 && capture_) capture_->record(CaptureDir::Rx, out.first(n));
+    if (n > 0 && observer_) observer_->on_wire(CaptureDir::Rx, out.first(n));
     if (n > 0) {
       IoMetrics& metrics = io_metrics();
       metrics.recvs.add(1);
@@ -133,6 +142,7 @@ std::size_t Channel::recv_some(std::span<std::uint8_t> out) {
   if (n > 0) {
     faults_->on_received(out.first(n));
     if (capture_) capture_->record(CaptureDir::Rx, out.first(n));
+    if (observer_) observer_->on_wire(CaptureDir::Rx, out.first(n));
     IoMetrics& metrics = io_metrics();
     metrics.recvs.add(1);
     metrics.bytes_received.add(n);

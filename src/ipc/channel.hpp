@@ -2,12 +2,14 @@
 // paper's two co-simulation schemes use (a pipe for GDB-Kernel, sockets on
 // the data port 4444 / interrupt port 4445 for Driver-Kernel).
 //
-// Every channel carries two optional decorations, both null by default so
+// Every channel carries three optional decorations, all null by default so
 // the undecorated hot path costs one pointer check per I/O call:
 //   - a FaultState (ipc/fault.hpp): a seeded fault-injection plan that can
 //     corrupt, truncate, drop, duplicate, delay, or cut transfers;
 //   - a WireCapture (ipc/capture.hpp): a ring buffer of the last N
-//     transfers, dumpable as a `cosim_lint --frames` post-mortem.
+//     transfers, dumpable as a `cosim_lint --frames` post-mortem;
+//   - a WireObserver (ipc/capture.hpp): a live tap seeing every transfer as
+//     it happens (the protocol conformance monitor attaches here).
 // Blocking sends/receives are bounded by a per-channel I/O timeout; all
 // channel descriptors are O_NONBLOCK so write deadlines are enforceable.
 #pragma once
@@ -15,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "ipc/fd.hpp"
 #include "ipc/retry.hpp"
@@ -23,6 +26,7 @@ namespace nisc::ipc {
 
 class FaultState;
 class WireCapture;
+class WireObserver;
 
 /// A bidirectional byte-stream endpoint. Reading and writing may happen from
 /// different threads (one reader, one writer).
@@ -63,6 +67,18 @@ class Channel {
   }
   const std::shared_ptr<WireCapture>& capture() const noexcept { return capture_; }
 
+  /// Installs a live observer seeing every transfer (post fault injection,
+  /// i.e. the bytes that actually crossed the wire on this endpoint).
+  void attach_observer(std::shared_ptr<WireObserver> observer) noexcept {
+    observer_ = std::move(observer);
+  }
+  const std::shared_ptr<WireObserver>& observer() const noexcept { return observer_; }
+
+  /// Forwards an out-of-band endpoint event (e.g. "quiesce") to the
+  /// observer, if any; defined out of line to keep WireObserver forward-
+  /// declared here.
+  void notify_observer(std::string_view tag);
+
   /// Closes both directions.
   void close() noexcept {
     read_fd_.reset();
@@ -75,6 +91,7 @@ class Channel {
   int io_timeout_ms_ = -1;
   std::shared_ptr<FaultState> faults_;
   std::shared_ptr<WireCapture> capture_;
+  std::shared_ptr<WireObserver> observer_;
 };
 
 /// Two channel endpoints wired back-to-back.

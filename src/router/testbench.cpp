@@ -51,6 +51,7 @@ Testbench::Testbench(TestbenchConfig config) : config_(config) {
         tc.reply_timeout_ms = config_.reply_timeout_ms;
         tc.io_timeout_ms = config_.io_timeout_ms;
         tc.watchdog = config_.watchdog;
+        tc.wire_observer = config_.wire_observer;
         auto target = std::make_unique<cosim::GdbTarget>(
             word_stream_checksum_source(router_->to_cpu_port_name(cpu),
                                         router_->from_cpu_port_name(cpu)),
@@ -72,6 +73,7 @@ Testbench::Testbench(TestbenchConfig config) : config_(config) {
         tc.fault_plan = config_.fault_plan;
         tc.reply_timeout_ms = config_.reply_timeout_ms;
         tc.io_timeout_ms = config_.io_timeout_ms;
+        tc.wire_observer = config_.wire_observer;
         auto target = std::make_unique<cosim::GdbTarget>(
             word_stream_checksum_source(router_->to_cpu_port_name(cpu),
                                         router_->from_cpu_port_name(cpu)),
@@ -95,6 +97,7 @@ Testbench::Testbench(TestbenchConfig config) : config_(config) {
         dc.io_timeout_ms = config_.io_timeout_ms;
         dc.pay_timeout_ms = config_.pay_timeout_ms;
         dc.watchdog = config_.watchdog;
+        dc.wire_observer = config_.wire_observer;
         dc.write_port = router_->from_cpu_port_name(cpu);
         dc.read_port = router_->to_cpu_port_name(cpu);
         auto target = std::make_unique<cosim::DriverTarget>(bulk_checksum_source(), dc);

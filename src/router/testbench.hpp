@@ -50,6 +50,9 @@ struct TestbenchConfig {
   /// (the stub endpoint for the GDB schemes, the driver data endpoint for
   /// Driver-Kernel). Empty = healthy wire, zero overhead.
   ipc::FaultPlan fault_plan;
+  /// Live wire tap attached to every session's SystemC-side endpoint (e.g.
+  /// an analysis::LiveConformanceMonitor). Shared across CPUs; null = none.
+  std::shared_ptr<ipc::WireObserver> wire_observer;
   /// Resilience knobs forwarded to each session (see cosim::GdbTargetConfig
   /// / DriverTargetConfig). Matrix tests shrink these so every fault cell
   /// settles quickly.

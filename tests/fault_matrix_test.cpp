@@ -22,6 +22,7 @@
 #include <string>
 #include <tuple>
 
+#include "analysis/protocol.hpp"
 #include "ipc/fault.hpp"
 #include "router/testbench.hpp"
 #include "sysc/sysc.hpp"
@@ -109,6 +110,22 @@ TestbenchConfig cell_config(Scheme scheme, ipc::Transport transport) {
   return config;
 }
 
+analysis::ModelId model_for(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::GdbWrapper: return analysis::ModelId::GdbWrapper;
+    case Scheme::GdbKernel: return analysis::ModelId::GdbKernel;
+    case Scheme::DriverKernel: return analysis::ModelId::DriverKernel;
+  }
+  return analysis::ModelId::GdbKernel;
+}
+
+/// Live conformance monitor for a cell: every session's SystemC-side wire
+/// is checked against the scheme's protocol automaton as it runs.
+std::shared_ptr<analysis::LiveConformanceMonitor> make_monitor(Scheme scheme) {
+  return std::make_shared<analysis::LiveConformanceMonitor>(
+      analysis::make_model(model_for(scheme)), "<live>");
+}
+
 sysc::sc_time drain_limit(Scheme scheme) {
   return scheme == Scheme::GdbWrapper ? sysc::sc_time::from_ps(2000000000)   // 2 ms
                                       : sysc::sc_time::from_ps(5000000000);  // 5 ms
@@ -122,6 +139,8 @@ TEST_P(FaultMatrix, CellSettlesWithDocumentedOutcome) {
   const auto [scheme, transport, kind] = GetParam();
   TestbenchConfig config = cell_config(scheme, transport);
   config.fault_plan = plan_for(kind);
+  auto monitor = make_monitor(scheme);
+  config.wire_observer = monitor;
 
   const auto start = std::chrono::steady_clock::now();
   Testbench bench(config);
@@ -160,13 +179,20 @@ TEST_P(FaultMatrix, CellSettlesWithDocumentedOutcome) {
       std::chrono::steady_clock::now() - start);
   EXPECT_LT(elapsed.count(), 60) << "cell blew its wall-clock deadline";
 
+  // Informational: faulted wires are expected to violate the protocol; the
+  // interesting signal is which NL4xx rules each fault kind trips.
+  monitor->finish();
   RecordProperty("outcome", outcome_name(outcome));
-  std::printf("[ cell ] %s / %s / %s -> %s (%llu/%llu packets, %llu faults)\n",
+  RecordProperty("nl4xx_errors", static_cast<int>(monitor->diags().errors()));
+  std::printf("[ cell ] %s / %s / %s -> %s (%llu/%llu packets, %llu faults, "
+              "%llu wire msgs, %llu NL4xx errors)\n",
               router::scheme_name(scheme), ipc::transport_name(transport),
               ipc::fault_kind_name(kind), outcome_name(outcome),
               static_cast<unsigned long long>(report.received),
               static_cast<unsigned long long>(report.produced),
-              static_cast<unsigned long long>(bench.faults_injected()));
+              static_cast<unsigned long long>(bench.faults_injected()),
+              static_cast<unsigned long long>(monitor->messages_seen()),
+              static_cast<unsigned long long>(monitor->diags().errors()));
 }
 
 // A healthy control row: the same cell configuration with no plan installed
@@ -177,13 +203,21 @@ class HealthyBaseline
 
 TEST_P(HealthyBaseline, AllTrafficDelivered) {
   const auto [scheme, transport] = GetParam();
-  Testbench bench(cell_config(scheme, transport));
+  TestbenchConfig config = cell_config(scheme, transport);
+  auto monitor = make_monitor(scheme);
+  config.wire_observer = monitor;
+  Testbench bench(config);
   bench.run_until_drained(drain_limit(scheme));
   TestbenchReport report = bench.report();
   EXPECT_EQ(report.received, report.produced);
   EXPECT_FALSE(bench.cosim_error().has_value());
   EXPECT_FALSE(bench.degraded());
   EXPECT_EQ(bench.faults_injected(), 0u);
+  bench.shutdown();
+  // A healthy wire must conform: zero NL4xx errors from the live monitor.
+  monitor->finish();
+  EXPECT_GT(monitor->messages_seen(), 0u);
+  EXPECT_EQ(monitor->diags().errors(), 0u) << analysis::render_text(monitor->diags());
 }
 
 std::string scheme_tag(Scheme scheme) {

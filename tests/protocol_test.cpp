@@ -1,0 +1,514 @@
+// Tests for the protocol automata layer (DESIGN.md §11): model construction,
+// the explicit-state model checker (fault-free proofs + known-by-construction
+// counterexamples under adversarial environments), the conformance monitor
+// (NL401..NL404 over synthetic and captured traffic, including the PR 2
+// quiesce degradation), and the acceptance pipeline: a statically found
+// counterexample replayed through a real FaultyChannel schedule and caught by
+// the live monitor.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.hpp"
+#include "analysis/explore.hpp"
+#include "analysis/protocol.hpp"
+#include "cosim/driver_kernel.hpp"
+#include "ipc/capture.hpp"
+#include "ipc/channel.hpp"
+#include "ipc/fault.hpp"
+#include "ipc/message.hpp"
+#include "rsp/packet.hpp"
+#include "sysc/sysc.hpp"
+
+namespace nisc::analysis {
+namespace {
+
+using namespace sysc::time_literals;
+
+// encode_message already emits the full wire frame (u32 size + body).
+std::vector<std::uint8_t> frame_bytes(const ipc::DriverMessage& msg) {
+  return ipc::encode_message(msg);
+}
+
+std::vector<std::uint8_t> rsp_bytes(std::string_view payload) {
+  std::string framed = rsp::frame_packet(payload);
+  return std::vector<std::uint8_t>(framed.begin(), framed.end());
+}
+
+// ------------------------------------------------------------------- Models
+
+TEST(ProtocolModelTest, AllThreeModelsBuild) {
+  for (ModelId id : {ModelId::DriverKernel, ModelId::GdbKernel, ModelId::GdbWrapper}) {
+    ProtocolModel model = make_model(id);
+    EXPECT_EQ(model.id, id);
+    EXPECT_FALSE(model.symbols.empty());
+    EXPECT_FALSE(model.channels.empty());
+    EXPECT_GE(model.endpoint_a.states().size(), 2u);
+    EXPECT_GE(model.endpoint_b.states().size(), 2u);
+    EXPECT_EQ(model_from_name(model.name), id);
+  }
+  EXPECT_FALSE(model_from_name("no-such-model").has_value());
+}
+
+TEST(ProtocolModelTest, DriverKernelShape) {
+  ProtocolModel model = make_model(ModelId::DriverKernel);
+  // Kernel (A) has the quiesce degradation state from PR 2; the irq channel
+  // is not observable by the monitor (separate socket, no capture).
+  EXPECT_GE(model.endpoint_a.find_state("Quiesced"), 0);
+  EXPECT_GE(model.endpoint_b.find_state("Degraded"), 0);
+  EXPECT_TRUE(model.monitored(0));   // data
+  EXPECT_FALSE(model.monitored(1));  // irq
+  EXPECT_GE(model.garbage_symbol, 0);
+
+  // ModelOptions::recovery = false removes the degradation machinery: no
+  // transition of the core model is a recovery escape hatch.
+  ModelOptions no_recovery;
+  no_recovery.recovery = false;
+  ProtocolModel core = make_model(ModelId::DriverKernel, no_recovery);
+  for (const ProtocolAutomaton* automaton : {&core.endpoint_a, &core.endpoint_b}) {
+    for (std::size_t s = 0; s < automaton->states().size(); ++s) {
+      for (const ProtoTransition& t : automaton->from(static_cast<int>(s))) {
+        EXPECT_FALSE(t.recovery);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- Model checking
+
+TEST(ExploreTest, FaultFreeCompositionsAreClean) {
+  for (ModelId id : {ModelId::DriverKernel, ModelId::GdbKernel, ModelId::GdbWrapper}) {
+    ExploreReport report = explore(make_model(id));
+    EXPECT_TRUE(report.complete) << model_name(id);
+    EXPECT_TRUE(report.violations.empty())
+        << model_name(id) << ":\n" << render_text(report);
+    EXPECT_GT(report.states, 10u);
+  }
+}
+
+TEST(ExploreTest, FaultFreeCoreProtocolIsCleanWithoutRecovery) {
+  ModelOptions options;
+  options.recovery = false;
+  for (ModelId id : {ModelId::DriverKernel, ModelId::GdbKernel, ModelId::GdbWrapper}) {
+    ExploreReport report = explore(make_model(id, options));
+    EXPECT_TRUE(report.clean()) << model_name(id) << ":\n" << render_text(report);
+  }
+}
+
+TEST(ExploreTest, RecoveryHandlesFullyAdversarialEnvironment) {
+  // The resilience machinery (quiesce / timeout / die) must absorb loss,
+  // duplication, corruption and disconnects without dead ends.
+  for (ModelId id : {ModelId::DriverKernel, ModelId::GdbKernel, ModelId::GdbWrapper}) {
+    ExploreReport report = explore(make_model(id), EnvOptions::faulty());
+    EXPECT_TRUE(report.clean()) << model_name(id) << ":\n" << render_text(report);
+  }
+}
+
+TEST(ExploreTest, LossWithoutRecoveryDeadlocksDriverKernel) {
+  // Known by construction: with no recovery and no spontaneous output
+  // pushes, losing a READ leaves the driver waiting forever. (With
+  // push_outputs the kernel's pushes genuinely rescue the lost reply — the
+  // full model is clean under loss, which FaultFree/Recovery tests cover.)
+  ModelOptions options;
+  options.recovery = false;
+  options.push_outputs = false;
+  options.interrupts = false;
+  EnvOptions env;
+  env.lossy = true;
+  ExploreReport report = explore(make_model(ModelId::DriverKernel, options), env);
+  ASSERT_FALSE(report.violations.empty());
+  bool saw_minimal_deadlock = false;
+  for (const Counterexample& ce : report.violations) {
+    if (ce.kind != ViolationKind::Deadlock) continue;
+    EXPECT_FALSE(ce.trace.empty());
+    std::size_t faults = 0;
+    for (const TraceStep& step : ce.trace) {
+      if (step.effect != TraceStep::Effect::Normal) ++faults;
+    }
+    // Minimality: one lost message suffices, and BFS must find such a trace.
+    if (faults == 1) saw_minimal_deadlock = true;
+  }
+  EXPECT_TRUE(saw_minimal_deadlock) << render_text(report);
+
+  DiagEngine diags;
+  report_violations(report, diags);
+  EXPECT_TRUE(diags.has_rule("NL410"));
+  EXPECT_GT(diags.errors(), 0u);
+}
+
+TEST(ExploreTest, CorruptionWithoutRecoveryIsUnspecifiedReception) {
+  // Garbage arriving at an endpoint with no garbage transition and no other
+  // way forward is an unspecified reception, not a deadlock.
+  ModelOptions options;
+  options.recovery = false;
+  options.push_outputs = false;
+  options.interrupts = false;
+  EnvOptions env;
+  env.corrupting = true;
+  ExploreReport report = explore(make_model(ModelId::DriverKernel, options), env);
+  bool saw_unspecified = false;
+  for (const Counterexample& ce : report.violations) {
+    if (ce.kind == ViolationKind::UnspecifiedReception) saw_unspecified = true;
+  }
+  EXPECT_TRUE(saw_unspecified) << render_text(report);
+
+  DiagEngine diags;
+  report_violations(report, diags);
+  EXPECT_TRUE(diags.has_rule("NL411"));
+}
+
+TEST(ExploreTest, ReportRenderings) {
+  ModelOptions options;
+  options.recovery = false;
+  ExploreReport report = explore(make_model(ModelId::GdbWrapper, options), EnvOptions::faulty());
+  ASSERT_FALSE(report.violations.empty());
+  std::string text = render_text(report);
+  EXPECT_NE(text.find("deadlock"), std::string::npos);
+  std::string json = render_json(report);
+  EXPECT_NE(json.find("\"model\":\"gdb-wrapper\""), std::string::npos);
+  EXPECT_NE(json.find("\"violations\":["), std::string::npos);
+}
+
+// ------------------------------------------------------------ StreamDecoder
+
+TEST(StreamDecoderTest, ReassemblesDriverKernelFramesAcrossChunks) {
+  StreamDecoder decoder(WireFormat::DriverKernel, /*toward_target=*/false);
+  std::vector<std::uint8_t> frame = frame_bytes(ipc::DriverMessage::write_u32("p", 7));
+  std::vector<WireSymbol> out;
+  // Feed byte by byte: exactly one symbol, no garbage.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    decoder.feed(std::span<const std::uint8_t>(&frame[i], 1), out);
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].malformed);
+  EXPECT_EQ(decoder.pending(), 0u);
+}
+
+TEST(StreamDecoderTest, RspAcksAreFilteredAndPayloadsClassified) {
+  StreamDecoder decoder(WireFormat::Rsp, /*toward_target=*/true);
+  std::vector<WireSymbol> out;
+  std::vector<std::uint8_t> bytes = {'+'};
+  decoder.feed(bytes, out);
+  EXPECT_TRUE(out.empty());  // acks are advisory, not protocol symbols
+  bytes = rsp_bytes("c");
+  decoder.feed(bytes, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].malformed);
+}
+
+// ------------------------------------------------------ Conformance monitor
+
+TEST(ConformanceMonitorTest, CleanDriverKernelStreamIsAccepted) {
+  DiagEngine diags;
+  ConformanceMonitor monitor(make_model(ModelId::DriverKernel), diags);
+  // Driver -> kernel WRITE (monitor watches A, so this is Rx), kernel ->
+  // driver READ-REPLY push (Tx).
+  std::vector<std::uint8_t> write = frame_bytes(ipc::DriverMessage::write_u32("iss_in", 1));
+  monitor.on_transfer(ipc::CaptureDir::Rx, write);
+  std::vector<std::uint8_t> reply = frame_bytes(ipc::DriverMessage{
+      ipc::MsgType::ReadReply, {{"iss_out", {1, 0, 0, 0}}}});
+  monitor.on_transfer(ipc::CaptureDir::Tx, reply);
+  monitor.finish();
+  EXPECT_EQ(monitor.messages_seen(), 2u);
+  EXPECT_EQ(diags.errors(), 0u);
+  EXPECT_EQ(diags.warnings(), 0u);
+}
+
+TEST(ConformanceMonitorTest, QuiesceDegradationSequenceIsAccepted) {
+  // Satellite: the full PR 2 degradation sequence must conform — healthy
+  // traffic, then the out-of-band quiesce event, then silence.
+  DiagEngine diags;
+  ConformanceMonitor monitor(make_model(ModelId::DriverKernel), diags);
+  std::vector<std::uint8_t> write = frame_bytes(ipc::DriverMessage::write_u32("iss_in", 1));
+  monitor.on_transfer(ipc::CaptureDir::Rx, write);
+  EXPECT_TRUE(monitor.state_possible("Run"));
+  monitor.on_event("quiesce");
+  EXPECT_TRUE(monitor.state_possible("Quiesced"));
+  monitor.finish();
+  EXPECT_EQ(diags.errors(), 0u);
+  EXPECT_EQ(diags.warnings(), 0u);
+}
+
+TEST(ConformanceMonitorTest, TrafficAfterQuiesceIsNL403) {
+  DiagEngine diags;
+  ConformanceMonitor monitor(make_model(ModelId::DriverKernel), diags);
+  monitor.on_event("quiesce");
+  std::vector<std::uint8_t> write = frame_bytes(ipc::DriverMessage::write_u32("iss_in", 1));
+  monitor.on_transfer(ipc::CaptureDir::Rx, write);
+  monitor.finish();
+  EXPECT_TRUE(diags.has_rule("NL403"));
+  EXPECT_GT(diags.errors(), 0u);
+}
+
+TEST(ConformanceMonitorTest, UnexpectedMessageIsNL401) {
+  // Interrupts travel on the dedicated irq socket; one on the data port is
+  // impossible in every kernel state.
+  DiagEngine diags;
+  ConformanceMonitor monitor(make_model(ModelId::DriverKernel), diags);
+  std::vector<std::uint8_t> irq = frame_bytes(ipc::DriverMessage::interrupt(3));
+  monitor.on_transfer(ipc::CaptureDir::Tx, irq);
+  EXPECT_TRUE(diags.has_rule("NL401"));
+}
+
+TEST(ConformanceMonitorTest, StreamEndingMidFrameIsNL402) {
+  DiagEngine diags;
+  ConformanceMonitor monitor(make_model(ModelId::DriverKernel), diags);
+  std::vector<std::uint8_t> frame = frame_bytes(ipc::DriverMessage::write_u32("iss_in", 1));
+  frame.resize(frame.size() - 2);  // cut mid-body
+  monitor.on_transfer(ipc::CaptureDir::Rx, frame);
+  monitor.finish();
+  EXPECT_TRUE(diags.has_rule("NL402"));
+}
+
+TEST(ConformanceMonitorTest, MissingReplyIsNL404) {
+  // A READ with no READ-REPLY leaves the kernel in MustReply: the stream
+  // ends non-quiescent.
+  DiagEngine diags;
+  ConformanceMonitor monitor(make_model(ModelId::DriverKernel), diags);
+  std::vector<std::uint8_t> read = frame_bytes(ipc::DriverMessage::read_request("iss_out"));
+  monitor.on_transfer(ipc::CaptureDir::Rx, read);
+  EXPECT_TRUE(monitor.state_possible("MustReply"));
+  monitor.finish();
+  EXPECT_TRUE(diags.has_rule("NL404"));
+  EXPECT_EQ(diags.errors(), 0u);  // NL404 is a warning
+  EXPECT_GT(diags.warnings(), 0u);
+}
+
+TEST(ConformanceMonitorTest, GdbKernelRoundTripConforms) {
+  DiagEngine diags;
+  ConformanceMonitor monitor(make_model(ModelId::GdbKernel), diags);
+  std::vector<std::uint8_t> cont = rsp_bytes("c");
+  monitor.on_transfer(ipc::CaptureDir::Tx, cont);
+  EXPECT_TRUE(monitor.state_possible("Running"));
+  std::vector<std::uint8_t> stop = rsp_bytes("T05");
+  monitor.on_transfer(ipc::CaptureDir::Rx, stop);
+  EXPECT_TRUE(monitor.state_possible("Halted"));
+  std::vector<std::uint8_t> kill = rsp_bytes("k");
+  monitor.on_transfer(ipc::CaptureDir::Tx, kill);
+  monitor.finish();
+  EXPECT_EQ(diags.errors(), 0u);
+  EXPECT_EQ(diags.warnings(), 0u);
+  EXPECT_EQ(monitor.messages_seen(), 3u);
+}
+
+TEST(ConformanceMonitorTest, CheckCaptureReplaysWireCaptureDumps) {
+  ipc::WireCapture capture("drv-data", 8);
+  std::vector<std::uint8_t> read = frame_bytes(ipc::DriverMessage::read_request("iss_out"));
+  std::vector<std::uint8_t> reply = frame_bytes(ipc::DriverMessage{
+      ipc::MsgType::ReadReply, {{"iss_out", {1, 0, 0, 0}}}});
+  capture.record(ipc::CaptureDir::Rx, read);
+  capture.record(ipc::CaptureDir::Tx, reply);
+  std::vector<std::uint8_t> dump = capture.dump();
+
+  DiagEngine diags;
+  std::size_t transfers =
+      check_capture(dump, make_model(ModelId::DriverKernel), diags, "<test>");
+  EXPECT_EQ(transfers, 2u);
+  EXPECT_EQ(diags.errors(), 0u);
+  EXPECT_EQ(diags.warnings(), 0u);
+}
+
+// ---------------------------------------- Counterexample -> FaultPlan replay
+
+/// Finds a counterexample whose environment faults all hit endpoint A's
+/// sends and which fault_plan_for can express completely.
+const Counterexample* find_a_side_counterexample(const ExploreReport& report) {
+  for (const Counterexample& ce : report.violations) {
+    bool has_fault = false;
+    bool all_a = true;
+    for (const TraceStep& step : ce.trace) {
+      if (step.effect == TraceStep::Effect::Normal) continue;
+      has_fault = true;
+      if (step.endpoint != 'A') all_a = false;
+    }
+    if (has_fault && all_a && fault_plan_for(ce, 'A').complete) return &ce;
+  }
+  return nullptr;
+}
+
+/// The known-by-construction stuck state the acceptance pipeline replays: a
+/// corrupting wire turns the kernel's READ-REPLY into garbage the
+/// recovery-less driver cannot receive (unspecified reception).
+ExploreReport corrupted_reply_report() {
+  ModelOptions options;
+  options.recovery = false;
+  options.push_outputs = false;
+  options.interrupts = false;
+  EnvOptions env;
+  env.corrupting = true;
+  ExploreLimits limits;
+  // The kernel-side corruption needs three steps; keep enough per-kind slots
+  // that the shallower driver-side counterexamples do not crowd it out.
+  limits.max_violations_per_kind = 32;
+  return explore(make_model(ModelId::DriverKernel, options), env, limits);
+}
+
+TEST(ReplayTest, CounterexampleMapsToSingleCorruptFaultPlan) {
+  // The acceptance pipeline, static half: the counterexample's environment
+  // faults must translate into a complete FaultPlan against the kernel-side
+  // endpoint (its first send gets corrupted).
+  ExploreReport report = corrupted_reply_report();
+  const Counterexample* ce = find_a_side_counterexample(report);
+  ASSERT_NE(ce, nullptr) << render_text(report);
+
+  FaultPlanResult result = fault_plan_for(*ce, 'A');
+  EXPECT_TRUE(result.complete);
+  ASSERT_EQ(result.plan.specs.size(), 1u);
+  EXPECT_EQ(result.plan.specs[0].kind, ipc::FaultKind::CorruptByte);
+  EXPECT_EQ(result.plan.specs[0].nth, 1u);
+}
+
+TEST(ReplayTest, StaticCounterexampleReproducesLiveAsNL4xx) {
+  // The acceptance pipeline, dynamic half: run the statically found fault
+  // schedule against a *real* DriverKernelExtension with a live conformance
+  // monitor on the kernel-side data endpoint. The kernel's READ-REPLY is
+  // corrupted on the wire, so the monitor must flag the send as an NL4xx
+  // error (NL402 when the frame no longer decodes, NL401 when the flipped
+  // type byte decodes as a message the kernel never sends).
+  ExploreReport report = corrupted_reply_report();
+  const Counterexample* ce = find_a_side_counterexample(report);
+  ASSERT_NE(ce, nullptr) << render_text(report);
+  ipc::FaultPlan plan = fault_plan_for(*ce, 'A').plan;
+
+  sysc::sc_simcontext ctx;
+  sysc::sc_clock clk("clk", 10_ns);
+  sysc::iss_out<std::uint32_t> out_port("hw.out");
+  out_port.write(42);
+
+  ipc::ChannelPair data = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  ipc::ChannelPair irq = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  data.a.set_io_timeout(2000);
+  data.b.set_io_timeout(2000);
+  ipc::FaultyChannel::install(data.a, plan);
+  auto monitor = std::make_shared<LiveConformanceMonitor>(
+      make_model(ModelId::DriverKernel), "<replay>");
+  data.a.attach_observer(monitor);
+
+  cosim::DriverKernelOptions dk_options;
+  dk_options.push_outputs = false;
+  cosim::DriverKernelExtension ext(std::move(data.a), std::move(irq.a),
+                                   /*budget=*/nullptr, dk_options);
+  ctx.register_extension(&ext);
+
+  // Act as the driver: ask for hw.out; the reply leaves the kernel mangled.
+  ipc::send_message(data.b, ipc::DriverMessage::read_request("hw.out"));
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    ctx.run(100_ns);
+    if (monitor->messages_seen() >= 2) break;
+  }
+  ctx.unregister_extension(&ext);
+  try {
+    ipc::recv_message(data.b);  // the driver-side view of the mangled reply
+  } catch (const util::RuntimeError&) {
+    // Undecodable on the driver side too: exactly the modelled garbage.
+  }
+
+  monitor->finish();
+  EXPECT_GE(monitor->messages_seen(), 2u);  // the READ and the mangled reply
+  EXPECT_GT(monitor->diags().errors(), 0u);
+  EXPECT_TRUE(monitor->diags().has_rule("NL402") || monitor->diags().has_rule("NL401"));
+}
+
+TEST(ReplayTest, LostReadDeadlockReplaysViaDriverSidePlan) {
+  // The lossy counterpart: the checker's minimal deadlock under a lossy
+  // environment loses the driver's READ. fault_plan_for('B') turns that
+  // into a drop on the driver-side endpoint; replayed against a real
+  // extension, the stuck state manifests as a reply that never comes.
+  ModelOptions options;
+  options.recovery = false;
+  options.push_outputs = false;
+  options.interrupts = false;
+  EnvOptions env;
+  env.lossy = true;
+  ExploreReport report = explore(make_model(ModelId::DriverKernel, options), env);
+  const Counterexample* lost_read = nullptr;
+  for (const Counterexample& ce : report.violations) {
+    if (ce.kind != ViolationKind::Deadlock) continue;
+    FaultPlanResult candidate = fault_plan_for(ce, 'B');
+    if (candidate.complete && !candidate.plan.empty()) {
+      lost_read = &ce;
+      break;
+    }
+  }
+  ASSERT_NE(lost_read, nullptr) << render_text(report);
+  ipc::FaultPlan plan = fault_plan_for(*lost_read, 'B').plan;
+  ASSERT_EQ(plan.specs[0].kind, ipc::FaultKind::Drop);
+
+  sysc::sc_simcontext ctx;
+  sysc::sc_clock clk("clk", 10_ns);
+  sysc::iss_out<std::uint32_t> out_port("hw.out");
+  out_port.write(42);
+
+  ipc::ChannelPair data = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  ipc::ChannelPair irq = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  data.a.set_io_timeout(2000);
+  data.b.set_io_timeout(2000);
+  ipc::FaultyChannel::install(data.b, plan);
+  auto monitor = std::make_shared<LiveConformanceMonitor>(
+      make_model(ModelId::DriverKernel), "<replay>");
+  data.a.attach_observer(monitor);
+
+  cosim::DriverKernelOptions dk_options;
+  dk_options.push_outputs = false;
+  cosim::DriverKernelExtension ext(std::move(data.a), std::move(irq.a),
+                                   /*budget=*/nullptr, dk_options);
+  ctx.register_extension(&ext);
+
+  ipc::send_message(data.b, ipc::DriverMessage::read_request("hw.out"));
+  ctx.run(1_us);
+  ctx.unregister_extension(&ext);
+
+  // The READ was swallowed on the wire: the kernel never saw it (the
+  // monitor observed nothing) and the driver's reply never arrives — the
+  // statically predicted (Run, AwaitReply) deadlock, live.
+  EXPECT_FALSE(data.b.readable(100));
+  monitor->finish();
+  EXPECT_EQ(monitor->messages_seen(), 0u);
+  EXPECT_EQ(monitor->diags().errors(), 0u);
+}
+
+TEST(ReplayTest, HealthyWireStaysCleanUnderLiveMonitor) {
+  // Control: same setup, no fault plan — the reply arrives and the monitor
+  // reports nothing.
+  sysc::sc_simcontext ctx;
+  sysc::sc_clock clk("clk", 10_ns);
+  sysc::iss_out<std::uint32_t> out_port("hw.out");
+  out_port.write(7);
+
+  ipc::ChannelPair data = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  ipc::ChannelPair irq = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  data.a.set_io_timeout(2000);
+  data.b.set_io_timeout(2000);
+  auto monitor = std::make_shared<LiveConformanceMonitor>(
+      make_model(ModelId::DriverKernel), "<replay>");
+  data.a.attach_observer(monitor);
+
+  cosim::DriverKernelOptions dk_options;
+  dk_options.push_outputs = false;
+  cosim::DriverKernelExtension ext(std::move(data.a), std::move(irq.a),
+                                   /*budget=*/nullptr, dk_options);
+  ctx.register_extension(&ext);
+
+  ipc::send_message(data.b, ipc::DriverMessage::read_request("hw.out"));
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    ctx.run(100_ns);
+    if (monitor->messages_seen() >= 2) break;
+  }
+  ipc::DriverMessage reply = ipc::recv_message(data.b);
+  EXPECT_EQ(reply.type, ipc::MsgType::ReadReply);
+  ctx.unregister_extension(&ext);
+
+  monitor->finish();
+  EXPECT_EQ(monitor->messages_seen(), 2u);
+  EXPECT_EQ(monitor->diags().errors(), 0u);
+  EXPECT_EQ(monitor->diags().warnings(), 0u);
+}
+
+}  // namespace
+}  // namespace nisc::analysis

@@ -14,6 +14,20 @@
 //     --no-flow            skip the flow-sensitive NL3xx rules
 //     --max-warnings N     tolerate up to N warnings before exiting 1 (default 0)
 //     --frames FILE        validate FILE as concatenated driver-kernel frames
+//     --protocol           model-check the wire protocol automata (DESIGN.md
+//                          §11): exhaustive exploration, NL41x counterexamples
+//     --model NAME         restrict --protocol/--conform to one model
+//                          (driver-kernel | gdb-kernel | gdb-wrapper)
+//     --faults             compose with the adversarial channel environment
+//                          (lossy + duplicating + corrupting + disconnecting)
+//     --env LIST           pick adversarial behaviors individually, e.g.
+//                          --env lossy,corrupting (implies --protocol faults)
+//     --no-recovery        drop the resilience transitions from the automata
+//     --no-push            driver-kernel: kernel does not push outputs
+//     --no-interrupts      driver-kernel: kernel raises no interrupts
+//     --channel-cap N      in-flight messages per channel direction (default 2)
+//     --conform FILE       replay a wire-capture post-mortem through the
+//                          protocol conformance monitor (NL40x rules)
 //     --builtin            lint the built-in router guest programs
 //     --rtos-prelude       prepend the RTOS guest-ABI prelude (SYS_* equates)
 //                          to each linted source, as the Driver-Kernel
@@ -25,12 +39,15 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/explore.hpp"
 #include "analysis/frame.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/protocol.hpp"
 #include "router/guest_programs.hpp"
 #include "rtos/rtos.hpp"
 #include "util/strings.hpp"
@@ -43,8 +60,12 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--json[=FILE]] [--suppress RULE]... [--ports p1,p2] [--base ADDR]\n"
                "       %*s [--mem-size N] [--no-flow] [--max-warnings N] [--rtos-prelude]\n"
-               "       %*s [--frames FILE] [--builtin] [file.s ... | -]\n",
+               "       %*s [--frames FILE] [--protocol] [--model NAME] [--faults]\n"
+               "       %*s [--no-recovery] [--no-push] [--no-interrupts] [--channel-cap N]\n"
+               "       %*s [--conform FILE] [--builtin] [file.s ... | -]\n",
                argv0, static_cast<int>(std::string(argv0).size()), "",
+               static_cast<int>(std::string(argv0).size()), "",
+               static_cast<int>(std::string(argv0).size()), "",
                static_cast<int>(std::string(argv0).size()), "");
   return 2;
 }
@@ -70,6 +91,13 @@ int main(int argc, char** argv) {
   long max_warnings = 0;
   std::vector<std::string> sources;
   std::vector<std::string> frame_files;
+  std::vector<std::string> conform_files;
+  bool protocol = false;
+  bool faults = false;
+  std::optional<analysis::EnvOptions> custom_env;
+  std::string model_filter;
+  analysis::ModelOptions model_options;
+  std::size_t channel_cap = 2;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -136,6 +164,57 @@ int main(int argc, char** argv) {
       const char* path = next();
       if (path == nullptr) return usage(argv[0]);
       frame_files.emplace_back(path);
+    } else if (arg == "--protocol") {
+      protocol = true;
+    } else if (arg == "--faults") {
+      faults = true;
+    } else if (arg == "--env") {
+      const char* list = next();
+      if (list == nullptr) return usage(argv[0]);
+      custom_env = analysis::EnvOptions{};
+      for (std::string_view flag : util::split(list, ',')) {
+        flag = util::trim(flag);
+        if (flag == "lossy") {
+          custom_env->lossy = true;
+        } else if (flag == "duplicating") {
+          custom_env->duplicating = true;
+        } else if (flag == "corrupting") {
+          custom_env->corrupting = true;
+        } else if (flag == "disconnecting") {
+          custom_env->disconnecting = true;
+        } else if (!flag.empty()) {
+          std::fprintf(stderr, "--env: unknown behavior '%.*s'\n",
+                       static_cast<int>(flag.size()), flag.data());
+          return 2;
+        }
+      }
+    } else if (arg == "--no-recovery") {
+      model_options.recovery = false;
+    } else if (arg == "--no-push") {
+      model_options.push_outputs = false;
+    } else if (arg == "--no-interrupts") {
+      model_options.interrupts = false;
+    } else if (arg == "--model" || arg.rfind("--model=", 0) == 0) {
+      const char* name = arg == "--model" ? next() : arg.c_str() + 8;
+      if (name == nullptr) return usage(argv[0]);
+      if (!analysis::model_from_name(name)) {
+        std::fprintf(stderr, "--model: unknown model '%s'\n", name);
+        return 2;
+      }
+      model_filter = name;
+    } else if (arg == "--channel-cap") {
+      const char* text = next();
+      if (text == nullptr) return usage(argv[0]);
+      auto value = util::parse_int(text);
+      if (!value || *value < 1) {
+        std::fprintf(stderr, "--channel-cap: bad capacity '%s'\n", text);
+        return 2;
+      }
+      channel_cap = static_cast<std::size_t>(*value);
+    } else if (arg == "--conform") {
+      const char* path = next();
+      if (path == nullptr) return usage(argv[0]);
+      conform_files.emplace_back(path);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -146,7 +225,9 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (sources.empty() && frame_files.empty() && !builtin) return usage(argv[0]);
+  if (sources.empty() && frame_files.empty() && conform_files.empty() && !builtin && !protocol) {
+    return usage(argv[0]);
+  }
 
   for (const std::string& path : sources) {
     std::string text;
@@ -181,16 +262,60 @@ int main(int argc, char** argv) {
         path);
   }
 
+  // Conformance replay of wire-capture post-mortems. The model defaults to
+  // driver-kernel (the scheme whose captures the examples ship); RSP
+  // captures need an explicit --model.
+  for (const std::string& path : conform_files) {
+    std::string bytes;
+    if (!read_file(path, bytes)) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    const analysis::ModelId id =
+        model_filter.empty() ? analysis::ModelId::DriverKernel
+                             : *analysis::model_from_name(model_filter);
+    const analysis::ProtocolModel model = analysis::make_model(id, model_options);
+    analysis::check_capture(
+        std::span(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()), model,
+        diags, path);
+  }
+
+  // Model-check the protocol automata; violations become NL41x errors.
+  std::string protocol_json;
+  if (protocol) {
+    analysis::EnvOptions env =
+        custom_env ? *custom_env
+                   : (faults ? analysis::EnvOptions::faulty() : analysis::EnvOptions{});
+    env.channel_capacity = channel_cap;
+    std::vector<analysis::ModelId> ids;
+    if (model_filter.empty()) {
+      ids = {analysis::ModelId::DriverKernel, analysis::ModelId::GdbKernel,
+             analysis::ModelId::GdbWrapper};
+    } else {
+      ids = {*analysis::model_from_name(model_filter)};
+    }
+    protocol_json = "\"protocol\":[";
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const analysis::ProtocolModel model = analysis::make_model(ids[i], model_options);
+      const analysis::ExploreReport report = analysis::explore(model, env);
+      analysis::report_violations(report, diags);
+      if (i > 0) protocol_json += ",";
+      protocol_json += analysis::render_json(report);
+      if (!json) std::fputs(analysis::render_text(report).c_str(), stdout);
+    }
+    protocol_json += "]";
+  }
+
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
-    out << analysis::render_json(diags) << '\n';
+    out << analysis::render_json(diags, protocol_json) << '\n';
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 2;
     }
   }
   if (json) {
-    std::fputs(analysis::render_json(diags).c_str(), stdout);
+    std::fputs(analysis::render_json(diags, protocol_json).c_str(), stdout);
     std::fputc('\n', stdout);
   } else {
     std::fputs(analysis::render_text(diags).c_str(), stdout);
