@@ -1,0 +1,21 @@
+# NL311 fixture: the first call hands `scale` an uninitialized t2 — the
+# helper folds it into its result, so garbage flows out of the call. The
+# second call writes t2 first and is clean; only the first site is flagged.
+_start:
+    li sp, 0x10000
+    li t0, 7
+    call scale
+    la t3, out
+    sw a0, 0(t3)
+    li t2, 5
+    li t0, 7
+    call scale
+    sw a0, 0(t3)
+    ebreak
+
+scale:
+    mv a0, t0
+    add a0, a0, t2
+    ret
+
+out: .word 0

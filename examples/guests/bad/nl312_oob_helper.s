@@ -1,0 +1,19 @@
+# NL312 fixture: store_word dereferences its a0 argument. The first call
+# passes the address of `out` (inside the map) and is clean; the second
+# passes 0x200000 — past the 1 MiB memory map — so the helper's store
+# faults on every path through that site.
+_start:
+    li sp, 0x10000
+    la a0, out
+    li a1, 1
+    call store_word
+    li a0, 0x200000
+    li a1, 2
+    call store_word
+    ebreak
+
+store_word:
+    sw a1, 0(a0)
+    ret
+
+out: .word 0

@@ -1,0 +1,18 @@
+# NL313 fixture: `leak` under-releases its frame, and `run` inherits the
+# 8-byte displacement through the call — run's own stack arithmetic is
+# balanced, so only the cross-call view can pin run's imbalance on the call
+# to leak. (leak itself is also an NL304.)
+_start:
+    li sp, 0x10000
+    call run
+    ebreak
+
+run:
+    mv s0, ra
+    call leak
+    mv ra, s0
+    ret
+
+leak:
+    addi sp, sp, -8
+    ret

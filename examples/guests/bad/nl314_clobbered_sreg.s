@@ -1,0 +1,16 @@
+# NL314 fixture: `helper` zeroes s1 without spilling it. The caller loaded
+# 123 into s1 before the call and stores it afterwards — the store writes
+# helper's 0, not 123. The ABI says s1 is callee-saved.
+_start:
+    li sp, 0x10000
+    li s1, 123
+    call helper
+    la t0, out
+    sw s1, 0(t0)
+    ebreak
+
+helper:
+    li s1, 0
+    ret
+
+out: .word 0

@@ -1,0 +1,19 @@
+# NL315 fixture: `result` is bound to an iss_in port, but the only store
+# that writes it lives in `fill` — and nothing ever calls fill. The
+# breakpoint is reached with `result` stale on every run, and the
+# interprocedural pass names the dead writer.
+_start:
+    la t0, status
+    li t1, 1
+    #pragma iss_in("router.from_cpu", result)
+    sw t1, 0(t0)
+    ebreak
+
+fill:
+    la t2, result
+    li t3, 99
+    sw t3, 0(t2)
+    ret
+
+status: .word 0
+result: .word 0

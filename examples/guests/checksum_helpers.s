@@ -1,0 +1,45 @@
+# Multi-function clean guest: _start calls checksum over a 4-word buffer;
+# checksum keeps its cursor and count in s0/s1 — spilled and reloaded per
+# the ABI — and delegates each step to `accumulate`. cosim_lint must
+# produce zero findings on this file: the interprocedural pass has to see
+# through the spill/reload pairs, the balanced frames, and the call chain.
+_start:
+    li sp, 0x8000
+    la a0, buf
+    li a1, 4
+    call checksum
+    la t0, out
+    sw a0, 0(t0)
+    ebreak
+
+checksum:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    sw s0, 8(sp)
+    sw s1, 4(sp)
+    mv s0, a0
+    mv s1, a1
+    li a0, 0
+loop:
+    beqz s1, done
+    lw a1, 0(s0)
+    call accumulate
+    addi s0, s0, 4
+    addi s1, s1, -1
+    j loop
+done:
+    lw ra, 12(sp)
+    lw s0, 8(sp)
+    lw s1, 4(sp)
+    addi sp, sp, 16
+    ret
+
+accumulate:
+    add a0, a0, a1
+    ret
+
+buf: .word 1
+     .word 2
+     .word 3
+     .word 4
+out: .word 0

@@ -1,6 +1,7 @@
 #include "analysis/absint.hpp"
 
 #include <algorithm>
+#include <optional>
 
 namespace nisc::analysis {
 namespace {
@@ -57,7 +58,35 @@ AbsValue normalized(AbsValue v) noexcept {
   return v;
 }
 
+/// Key-intersection with value-join: slots only survive when both paths
+/// agree a word was stored there.
+bool join_frames(std::map<FrameKey, AbsValue>& into, const std::map<FrameKey, AbsValue>& from) {
+  bool changed = false;
+  for (auto it = into.begin(); it != into.end();) {
+    auto fit = from.find(it->first);
+    if (fit == from.end()) {
+      it = into.erase(it);
+      changed = true;
+    } else {
+      changed = it->second.join(fit->second) || changed;
+      ++it;
+    }
+  }
+  return changed;
+}
+
 }  // namespace
+
+std::optional<FrameKey> frame_key_of(const AbsValue& addr) noexcept {
+  if (!addr.range.is_exact()) return std::nullopt;
+  FrameKey key;
+  key.base = addr.base;
+  key.entry_reg = addr.base == AbsValue::Base::Entry ? addr.entry_reg : std::uint8_t{0};
+  key.offset = addr.base == AbsValue::Base::None
+                   ? static_cast<std::int64_t>(static_cast<std::uint32_t>(addr.range.lo))
+                   : addr.range.lo;
+  return key;
+}
 
 bool Interval::join(const Interval& o) noexcept {
   std::int64_t nlo = std::min(lo, o.lo);
@@ -81,7 +110,7 @@ bool AbsValue::join(const AbsValue& o) noexcept {
   Init ninit = join_init(init, o.init);
   bool changed = ninit != init;
   init = ninit;
-  if (base != o.base) {
+  if (!same_base(o)) {
     changed = changed || base != Base::None || !range.is_top();
     base = Base::None;
     range = Interval::top();
@@ -94,7 +123,7 @@ bool AbsValue::widen(const AbsValue& o) noexcept {
   Init ninit = join_init(init, o.init);
   bool changed = ninit != init;
   init = ninit;
-  if (base != o.base) {
+  if (!same_base(o)) {
     changed = changed || base != Base::None || !range.is_top();
     base = Base::None;
     range = Interval::top();
@@ -117,6 +146,11 @@ RegDomain::State RegDomain::boundary() const {
 }
 
 bool RegDomain::join(State& into, const State& from) const {
+  if (from.dead) return false;  // bottom contributes nothing
+  if (into.dead) {
+    into = from;
+    return true;
+  }
   bool changed = false;
   for (std::size_t r = 0; r < into.regs.size(); ++r) {
     changed = into.regs[r].join(from.regs[r]) || changed;
@@ -124,10 +158,16 @@ bool RegDomain::join(State& into, const State& from) const {
   std::uint64_t nwritten = into.written & from.written;
   changed = changed || nwritten != into.written;
   into.written = nwritten;
+  changed = join_frames(into.frame, from.frame) || changed;
   return changed;
 }
 
 bool RegDomain::widen(State& into, const State& from) const {
+  if (from.dead) return false;
+  if (into.dead) {
+    into = from;
+    return true;
+  }
   bool changed = false;
   for (std::size_t r = 0; r < into.regs.size(); ++r) {
     changed = into.regs[r].widen(from.regs[r]) || changed;
@@ -135,6 +175,7 @@ bool RegDomain::widen(State& into, const State& from) const {
   std::uint64_t nwritten = into.written & from.written;
   changed = changed || nwritten != into.written;
   into.written = nwritten;
+  changed = join_frames(into.frame, from.frame) || changed;
   return changed;
 }
 
@@ -167,13 +208,24 @@ std::vector<std::uint8_t> RegDomain::regs_read(const iss::Instr& instr) {
   }
 }
 
+std::vector<std::uint8_t> RegDomain::regs_read_values(const iss::Instr& instr) {
+  switch (instr.op) {
+    case Op::Sb: case Op::Sh: case Op::Sw:
+      return {instr.rs1};  // rs2 is the stored datum, not a value use
+    default:
+      return regs_read(instr);
+  }
+}
+
 AbsValue RegDomain::effective_address(const State& state, const iss::Instr& instr) {
   AbsValue base = state.regs[instr.rs1];
-  AbsValue addr{base.range.plus(Interval::exact(instr.imm)), base.base, AbsValue::Init::Init};
+  AbsValue addr{base.range.plus(Interval::exact(instr.imm)), base.base, AbsValue::Init::Init,
+                base.entry_reg};
   return normalized(addr);
 }
 
 void RegDomain::transfer(const CfgInstr& ci, State& state) const {
+  if (state.dead) return;  // bottom: nothing executes here
   const iss::Instr& in = ci.instr;
   auto set = [&](AbsValue v) {
     if (in.rd != 0) state.regs[in.rd] = normalized(v);
@@ -190,25 +242,24 @@ void RegDomain::transfer(const CfgInstr& ci, State& state) const {
       set(AbsValue::exact(ci.addr + static_cast<std::uint32_t>(in.imm)));
       break;
     case Op::Addi:
-      set({a.range.plus(Interval::exact(in.imm)), a.base, AbsValue::Init::Init});
+      set({a.range.plus(Interval::exact(in.imm)), a.base, AbsValue::Init::Init, a.entry_reg});
       break;
     case Op::Add:
-      if (a.base == AbsValue::Base::Sp && b.base == AbsValue::Base::Sp) {
-        set(AbsValue::top_init());
+      if (a.base != AbsValue::Base::None && b.base != AbsValue::Base::None) {
+        set(AbsValue::top_init());  // entry(i) + entry(j) is not representable
+      } else if (a.base != AbsValue::Base::None) {
+        set({a.range.plus(b.range), a.base, AbsValue::Init::Init, a.entry_reg});
       } else {
-        AbsValue::Base nbase = (a.base == AbsValue::Base::Sp || b.base == AbsValue::Base::Sp)
-                                   ? AbsValue::Base::Sp
-                                   : AbsValue::Base::None;
-        set({a.range.plus(b.range), nbase, AbsValue::Init::Init});
+        set({a.range.plus(b.range), b.base, AbsValue::Init::Init, b.entry_reg});
       }
       break;
     case Op::Sub:
-      if (a.base == AbsValue::Base::Sp && b.base == AbsValue::Base::Sp) {
+      if (a.base == AbsValue::Base::Entry && a.same_base(b)) {
         set({a.range.minus(b.range), AbsValue::Base::None, AbsValue::Init::Init});
-      } else if (b.base == AbsValue::Base::Sp) {
-        set(AbsValue::top_init());  // -sp0 is not representable
+      } else if (b.base != AbsValue::Base::None) {
+        set(AbsValue::top_init());  // -entry(j) is not representable
       } else {
-        set({a.range.minus(b.range), a.base, AbsValue::Init::Init});
+        set({a.range.minus(b.range), a.base, AbsValue::Init::Init, a.entry_reg});
       }
       break;
     case Op::Slti: case Op::Sltiu: case Op::Slt: case Op::Sltu:
@@ -242,14 +293,33 @@ void RegDomain::transfer(const CfgInstr& ci, State& state) const {
         set(AbsValue::top_init());
       }
       break;
-    case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
-      set(AbsValue::top_init());  // memory contents are not tracked
+    case Op::Lw: {
+      AbsValue addr = effective_address(state, in);
+      if (auto key = frame_key_of(addr)) {
+        auto it = state.frame.find(*key);
+        if (it != state.frame.end()) {
+          set(it->second);  // exact reload of a spilled word, garbage and all
+          break;
+        }
+      }
+      set(AbsValue::top_init());
+      break;
+    }
+    case Op::Lb: case Op::Lh: case Op::Lbu: case Op::Lhu:
+      set(AbsValue::top_init());  // sub-word loads never hit a tracked slot
       break;
     case Op::Sb: case Op::Sh: case Op::Sw: {
       AbsValue addr = effective_address(state, in);
       if (addr.is_exact_addr()) {
         int idx = tracked_index(static_cast<std::uint32_t>(addr.range.lo));
         if (idx >= 0) state.written |= std::uint64_t(1) << idx;
+      }
+      if (auto key = frame_key_of(addr)) {
+        if (in.op == Op::Sw) {
+          state.frame[*key] = state.regs[in.rs2];
+        } else {
+          state.frame.erase(*key);  // sub-word store shreds the slot
+        }
       }
       break;
     }

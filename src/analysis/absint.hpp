@@ -4,19 +4,34 @@
 // single forward pass serves every NL3xx rule.
 //
 // Register values are tracked as intervals, optionally relative to the
-// symbolic initial stack pointer (sp0): `value = (base == Sp ? sp0 : 0) +
-// range`. That keeps push/pop arithmetic exact without knowing where the
-// environment put the stack, which is what the stack-balance rule needs; it
-// also lets sp-relative accesses opt out of the out-of-bounds check instead
-// of drowning it in false positives. The initialization lattice
+// symbolic *entry value* of a register: `value = entry(entry_reg) + range`.
+// The whole-program pass only seeds the stack pointer symbolically
+// (`Base::Sp` is an alias for `Base::Entry` with `entry_reg == 2`), which
+// keeps push/pop arithmetic exact without knowing where the environment put
+// the stack; the interprocedural summary pass (analysis/summary.hpp) seeds
+// *every* register symbolically, so a function's exit state reads as a
+// function of its entry state — that is what makes callee summaries
+// composable at call sites. The initialization lattice
 // (Init < Mixed > Uninit) records assignment, not data validity: any write
 // initializes, so one uninitialized read does not cascade. `written` is a
 // must-lattice (bitwise AND on join) over the tracked variable addresses of
 // iss_in pragma bindings.
+//
+// The state also carries a small frame-slot map: word stores through an
+// exactly-known address record the stored value, and a later exact-match
+// word load restores it. This is what lets the analyzer see through the
+// standard prologue/epilogue spill/reload of callee-saved registers (the
+// NL314 rule would otherwise flag every correct function). The model
+// deliberately assumes frame slots are not aliased through unrelated
+// pointers — a wrong assumption can only *hide* a defect, never invent one,
+// which is the right failure direction for a zero-false-positive linter.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "analysis/cfg.hpp"
@@ -63,12 +78,15 @@ struct Interval {
 
 /// Abstract value of one register.
 struct AbsValue {
-  enum class Base : std::uint8_t { None, Sp };
+  /// `Entry` means "relative to the entry value of register `entry_reg`";
+  /// `Sp` is the historical alias for the sp-relative case (entry_reg == 2).
+  enum class Base : std::uint8_t { None, Entry, Sp = Entry };
   enum class Init : std::uint8_t { Init, Uninit, Mixed };
 
   Interval range = Interval::top();
   Base base = Base::None;
   Init init = Init::Uninit;
+  std::uint8_t entry_reg = 2;  ///< meaningful only when base == Entry
 
   static AbsValue uninit() noexcept { return {Interval::top(), Base::None, Init::Uninit}; }
   static AbsValue top_init() noexcept { return {Interval::top(), Base::None, Init::Init}; }
@@ -76,22 +94,62 @@ struct AbsValue {
     return {Interval::exact(v), Base::None, Init::Init};
   }
   /// The environment-provided stack pointer: sp0 + 0.
-  static AbsValue sp_entry() noexcept { return {Interval::exact(0), Base::Sp, Init::Init}; }
+  static AbsValue sp_entry() noexcept { return {Interval::exact(0), Base::Sp, Init::Init, 2}; }
+  /// The symbolic entry value of register `r` (summary-pass boundary).
+  static AbsValue entry(std::uint8_t r, Init init = Init::Uninit) noexcept {
+    return {Interval::exact(0), Base::Entry, init, r};
+  }
 
   bool maybe_uninit() const noexcept { return init != Init::Init; }
   bool is_exact_addr() const noexcept { return base == Base::None && range.is_exact(); }
+  /// Relative to the symbolic entry stack pointer.
+  bool is_sp_rel() const noexcept { return base == Base::Entry && entry_reg == 2; }
+  /// Relative to the symbolic entry value of register `r`.
+  bool is_entry_rel(std::uint8_t r) const noexcept {
+    return base == Base::Entry && entry_reg == r;
+  }
+  /// Exactly the unmodified entry value of register `r`.
+  bool is_entry_identity(std::uint8_t r) const noexcept {
+    return is_entry_rel(r) && range == Interval::exact(0);
+  }
+  /// True when the two values share a base symbol (None, or same entry reg).
+  bool same_base(const AbsValue& o) const noexcept {
+    return base == o.base && (base == Base::None || entry_reg == o.entry_reg);
+  }
 
   bool join(const AbsValue& o) noexcept;
   bool widen(const AbsValue& o) noexcept;
 
-  bool operator==(const AbsValue&) const = default;
+  bool operator==(const AbsValue& o) const noexcept {
+    return same_base(o) && range == o.range && init == o.init;
+  }
 };
 
+/// Key of one tracked frame slot: the address's base symbol (Base::None
+/// slots use entry_reg 0) and the exact offset from it.
+struct FrameKey {
+  AbsValue::Base base = AbsValue::Base::None;
+  std::uint8_t entry_reg = 0;
+  std::int64_t offset = 0;
+
+  auto operator<=>(const FrameKey&) const = default;
+};
+
+/// Frame-slot key for an exactly-offset address; nullopt when the address
+/// is not exact relative to its base symbol.
+std::optional<FrameKey> frame_key_of(const AbsValue& addr) noexcept;
+
 /// The dataflow state: one AbsValue per architectural register plus the
-/// must-written bitset over tracked variable addresses.
+/// must-written bitset over tracked variable addresses and the frame-slot
+/// map for exact word spills/reloads.
 struct RegState {
   std::array<AbsValue, 32> regs;
   std::uint64_t written = ~std::uint64_t(0);  ///< must-lattice top: AND-joined
+  std::map<FrameKey, AbsValue> frame;         ///< exact word stores, intersected on join
+  /// Bottom marker: the program point is unreachable (e.g. after a call to a
+  /// function that provably never returns). Joins ignore dead states and
+  /// checks must not report from them.
+  bool dead = false;
 
   bool operator==(const RegState&) const = default;
 };
@@ -112,9 +170,16 @@ class RegDomain {
   /// Index of `addr` in the tracked list, -1 when untracked.
   int tracked_index(std::uint32_t addr) const noexcept;
   std::size_t tracked_count() const noexcept { return tracked_.size(); }
+  const std::vector<std::uint32_t>& tracked() const noexcept { return tracked_; }
 
   /// Architectural source registers `instr` reads (ecall reads a7).
   static std::vector<std::uint8_t> regs_read(const iss::Instr& instr);
+
+  /// Like regs_read, but excludes the *data* operand of a store (rs2 unless
+  /// it doubles as the address base): spilling an uninitialized register to
+  /// the stack is the canonical prologue idiom, not a use of garbage, so
+  /// the uninitialized-read rules (NL302/NL311) key off this set.
+  static std::vector<std::uint8_t> regs_read_values(const iss::Instr& instr);
 
   /// Abstract effective address rs1 + imm of a load or store.
   static AbsValue effective_address(const State& state, const iss::Instr& instr);

@@ -1,0 +1,201 @@
+#include "analysis/callgraph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace nisc::analysis {
+namespace {
+
+using iss::Op;
+
+bool is_call(const iss::Instr& in) noexcept {
+  return (in.op == Op::Jal || in.op == Op::Jalr) && in.rd != 0;
+}
+
+/// Iterative Tarjan SCC over the function-level call relation. Components
+/// are emitted callees-first, i.e. already in the bottom-up order the
+/// summary pass wants.
+struct Tarjan {
+  const std::vector<std::vector<std::size_t>>& succs;
+  std::vector<int> index, lowlink;
+  std::vector<bool> on_stack;
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> sccs;
+  int next_index = 0;
+
+  explicit Tarjan(const std::vector<std::vector<std::size_t>>& s)
+      : succs(s), index(s.size(), -1), lowlink(s.size(), 0), on_stack(s.size(), false) {}
+
+  void run() {
+    for (std::size_t v = 0; v < succs.size(); ++v) {
+      if (index[v] < 0) visit(v);
+    }
+  }
+
+  void visit(std::size_t root) {
+    // Explicit DFS stack: (node, next successor position to explore).
+    std::vector<std::pair<std::size_t, std::size_t>> work{{root, 0}};
+    while (!work.empty()) {
+      auto& [v, pos] = work.back();
+      if (pos == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      if (pos < succs[v].size()) {
+        std::size_t w = succs[v][pos++];
+        if (index[w] < 0) {
+          work.emplace_back(w, 0);
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<std::size_t> scc;
+        std::size_t w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+        } while (w != v);
+        sccs.push_back(std::move(scc));
+      }
+      std::size_t finished = v;
+      work.pop_back();
+      if (!work.empty()) {
+        std::size_t parent = work.back().first;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CallGraph CallGraph::build(const Cfg& cfg, const iss::Program& program) {
+  CallGraph cg;
+  if (cfg.empty()) return cg;
+
+  // Function roots: the program entry plus every call target the CFG saw.
+  std::set<std::uint32_t> roots;
+  if (cfg.entry() != Cfg::npos) roots.insert(cfg.blocks()[cfg.entry()].start);
+  for (std::uint32_t t : cfg.call_targets()) roots.insert(t);
+
+  std::map<std::uint32_t, std::size_t> fn_of_entry;
+  for (std::uint32_t entry_addr : roots) {
+    std::size_t entry_block = cfg.block_at(entry_addr);
+    if (entry_block == Cfg::npos) continue;
+    Function fn;
+    fn.entry_addr = entry_addr;
+    fn.entry_block = entry_block;
+    for (const auto& [name, addr] : program.symbols) {
+      if (addr == entry_addr) {
+        fn.name = name;
+        break;
+      }
+    }
+    if (fn.name.empty()) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "fn_%x", entry_addr);
+      fn.name = buf;
+    }
+    fn_of_entry[entry_addr] = cg.functions_.size();
+    cg.functions_.push_back(std::move(fn));
+  }
+  if (cg.functions_.empty()) return cg;
+
+  // Body = intra-procedural reachability from the entry block. Blocks can
+  // belong to several functions (shared tails); each function analyzes its
+  // own view.
+  for (Function& fn : cg.functions_) {
+    std::vector<bool> seen(cfg.blocks().size(), false);
+    std::vector<std::size_t> work{fn.entry_block};
+    seen[fn.entry_block] = true;
+    while (!work.empty()) {
+      std::size_t b = work.back();
+      work.pop_back();
+      fn.blocks.push_back(b);
+      for (const CfgEdge& e : cfg.blocks()[b].succs) {
+        if (!(edge_bit(e.kind) & kIntraprocEdges)) continue;
+        if (!seen[e.block]) {
+          seen[e.block] = true;
+          work.push_back(e.block);
+        }
+      }
+    }
+    std::sort(fn.blocks.begin(), fn.blocks.end());
+  }
+
+  // Call sites: the terminating call of any body block. The CFG already
+  // resolved targets (direct: the jal target; indirect: Call edges to the
+  // conservative target set), so callees are read off the edge list.
+  const bool indirect_resolved = std::any_of(
+      program.address_taken.begin(), program.address_taken.end(),
+      [&](std::uint32_t addr) { return cfg.block_at(addr) != Cfg::npos; });
+  for (std::size_t f = 0; f < cg.functions_.size(); ++f) {
+    for (std::size_t b : cg.functions_[f].blocks) {
+      const BasicBlock& block = cfg.blocks()[b];
+      const CfgInstr& last = block.instrs.back();
+      if (!is_call(last.instr)) continue;
+      CallSite site;
+      site.addr = last.addr;
+      site.line = last.line;
+      site.caller = f;
+      site.indirect = last.instr.op == Op::Jalr;
+      site.resolved = !site.indirect || indirect_resolved;
+      std::set<std::size_t> callees;
+      for (const CfgEdge& e : block.succs) {
+        if (e.kind != EdgeKind::Call) continue;
+        auto it = fn_of_entry.find(cfg.blocks()[e.block].start);
+        if (it != fn_of_entry.end()) callees.insert(it->second);
+      }
+      site.callees.assign(callees.begin(), callees.end());
+      if (site.callees.empty()) site.resolved = false;  // call into data / nothing
+      cg.functions_[f].call_sites.push_back(cg.sites_.size());
+      cg.sites_.push_back(std::move(site));
+    }
+  }
+
+  // Condense to SCCs, bottom-up.
+  std::vector<std::vector<std::size_t>> succs(cg.functions_.size());
+  for (const CallSite& site : cg.sites_) {
+    for (std::size_t callee : site.callees) succs[site.caller].push_back(callee);
+  }
+  Tarjan tarjan(succs);
+  tarjan.run();
+  cg.sccs_ = std::move(tarjan.sccs);
+  for (std::size_t s = 0; s < cg.sccs_.size(); ++s) {
+    for (std::size_t f : cg.sccs_[s]) cg.functions_[f].scc = s;
+  }
+
+  if (cfg.entry() != Cfg::npos) {
+    auto it = fn_of_entry.find(cfg.blocks()[cfg.entry()].start);
+    if (it != fn_of_entry.end()) cg.entry_function_ = it->second;
+  }
+  return cg;
+}
+
+bool CallGraph::scc_is_recursive(std::size_t scc) const noexcept {
+  if (scc >= sccs_.size()) return false;
+  if (sccs_[scc].size() > 1) return true;
+  std::size_t fn = sccs_[scc].front();
+  for (std::size_t s : functions_[fn].call_sites) {
+    for (std::size_t callee : sites_[s].callees) {
+      if (callee == fn) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t CallGraph::function_at(std::uint32_t addr) const noexcept {
+  for (std::size_t f = 0; f < functions_.size(); ++f) {
+    if (functions_[f].entry_addr == addr) return f;
+  }
+  return npos;
+}
+
+}  // namespace nisc::analysis

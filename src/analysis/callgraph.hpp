@@ -1,0 +1,77 @@
+// Call graph over the guest CFG: which functions exist, who calls whom, and
+// in what order summaries must be computed.
+//
+// Functions are discovered from the CFG's call targets plus the program
+// entry; a function's body is every block reachable from its entry over the
+// intra-procedural edge view (calls are stepped over via their CallFall
+// summary edge). Direct calls resolve to exactly one callee; indirect calls
+// resolve to the CFG's conservative target set when the program took the
+// address of at least one code label, and are marked *unresolved* otherwise
+// — an unresolved site gets the havoc summary (summary.hpp), never a guess.
+//
+// Strongly connected components are emitted bottom-up (callees before
+// callers), which is exactly the order the summary pass consumes: when a
+// function's summary is computed, every callee outside its own SCC already
+// has one, and SCC-internal recursion is iterated to a widened fixpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "iss/program.hpp"
+
+namespace nisc::analysis {
+
+/// One call instruction (jal rd!=x0 or jalr rd!=x0).
+struct CallSite {
+  std::uint32_t addr = 0;             ///< address of the call instruction
+  int line = 0;                       ///< 1-based source line, 0 when unknown
+  std::size_t caller = 0;             ///< index into CallGraph::functions()
+  std::vector<std::size_t> callees;   ///< possible callees, same index space
+  bool indirect = false;              ///< jalr through a register
+  bool resolved = true;               ///< false: callee set is a fallback guess
+};
+
+/// One discovered function.
+struct Function {
+  std::uint32_t entry_addr = 0;
+  std::size_t entry_block = Cfg::npos;
+  std::string name;                       ///< symbol at the entry, or "fn_<hex>"
+  std::vector<std::size_t> blocks;        ///< body blocks (intra-procedural reach)
+  std::vector<std::size_t> call_sites;    ///< indices into CallGraph::sites()
+  std::size_t scc = 0;                    ///< index into CallGraph::sccs()
+};
+
+class CallGraph {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  static CallGraph build(const Cfg& cfg, const iss::Program& program);
+
+  const std::vector<Function>& functions() const noexcept { return functions_; }
+  const std::vector<CallSite>& sites() const noexcept { return sites_; }
+
+  /// SCCs of the call relation, bottom-up: every call from sccs()[i] lands
+  /// in sccs()[j] with j <= i (j == i only for recursion).
+  const std::vector<std::vector<std::size_t>>& sccs() const noexcept { return sccs_; }
+
+  /// True when the SCC has more than one member or a self-call.
+  bool scc_is_recursive(std::size_t scc) const noexcept;
+
+  /// Function whose entry is the program entry point; npos when the entry
+  /// address is not code.
+  std::size_t entry_function() const noexcept { return entry_function_; }
+
+  /// Function whose entry address is `addr`; npos when none.
+  std::size_t function_at(std::uint32_t addr) const noexcept;
+
+ private:
+  std::vector<Function> functions_;
+  std::vector<CallSite> sites_;
+  std::vector<std::vector<std::size_t>> sccs_;
+  std::size_t entry_function_ = npos;
+};
+
+}  // namespace nisc::analysis

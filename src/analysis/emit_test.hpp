@@ -1,0 +1,40 @@
+// Regression-test emission for model-checker counterexamples
+// (cosim_lint --emit-test=DIR).
+//
+// Every counterexample in an ExploreReport is compiled into one gtest TEST
+// in a self-contained C++ translation unit:
+//   * the minimal trace and the violating global state, as comments, so the
+//     test documents the exact interleaving it guards against;
+//   * a re-run of the exhaustive exploration under the same ModelOptions /
+//     EnvOptions, asserting the same NL41x violation kind is rediscovered —
+//     the model checker is its own oracle, so the test fails the moment a
+//     protocol change silently loses (or fixes) the counterexample;
+//   * the ipc::FaultPlan that reproduces the trace's environment faults as
+//     endpoint send faults (analysis::fault_plan_for), ready to wire into a
+//     FaultyChannel when the scenario graduates to an end-to-end test.
+//
+// The emitted file compiles against the repo's own headers and gtest; it is
+// a starting point meant to be reviewed and committed, not regenerated on
+// every build.
+#pragma once
+
+#include <string>
+
+#include "analysis/explore.hpp"
+#include "analysis/protocol.hpp"
+
+namespace nisc::analysis {
+
+/// Filename the generated TU should be written to, e.g.
+/// "emitted_driver_kernel_test.cpp".
+std::string emitted_test_filename(ModelId id);
+
+/// Renders the complete gtest translation unit for `report`'s
+/// counterexamples (one TEST per violation). The model is rebuilt inside
+/// the TU from `id` + `options`, and explored under `env` — the exact
+/// configuration that produced `report`. Returns the file contents; a clean
+/// report yields a TU with a single always-passing documentation TEST.
+std::string emit_regression_tests(const ExploreReport& report, ModelId id,
+                                  const ModelOptions& options, const EnvOptions& env);
+
+}  // namespace nisc::analysis

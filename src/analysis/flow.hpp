@@ -2,12 +2,17 @@
 // program assembles. Each rule is a pass over the basic-block CFG
 // (analysis/cfg.hpp) using the worklist dataflow engine
 // (analysis/dataflow.hpp) with the interval/taint register domain
-// (analysis/absint.hpp).
+// (analysis/absint.hpp); the NL31x rules additionally use the call graph
+// (analysis/callgraph.hpp) and bottom-up function summaries
+// (analysis/summary.hpp).
 //
+// Intraprocedural rules (PR 3):
 //  * NL301 (warning): a pragma breakpoint address is not reachable from the
 //    program entry along any CFG path — the ISS can never stop there.
 //  * NL302 (warning): an instruction reads a register that is uninitialized
 //    on EVERY path from the entry (x0 and sp are environment-provided).
+//    The *data* operand of a store is exempt: spilling a caller-saved
+//    register in a prologue is idiomatic, not a use of its value.
 //  * NL303 (error): a load/store whose effective address is provably outside
 //    the memory map [0, mem_size) on every path. Stack-relative and
 //    unbounded addresses are never flagged — only definite faults.
@@ -18,6 +23,29 @@
 //    provably outside the memory map (the co-simulation side could never
 //    read or inject it); warning when an iss_in-bound variable might not be
 //    written on some path from the entry to its breakpoint.
+//
+// Interprocedural rules (computed from call-graph summaries; disabled with
+// FlowOptions::interproc = false):
+//  * NL311 (warning): a call site passes a register that is uninitialized
+//    on every path to the call, and the callee (transitively) consumes that
+//    entry value.
+//  * NL312 (error): a callee dereferences an address derived from a caller
+//    argument, and with this call site's argument the access is provably
+//    outside the memory map.
+//  * NL313 (warning): a function returns with sp provably displaced and the
+//    imbalance flows in through one of its callees — the cross-call
+//    counterpart of NL304, which by design trusts callees to balance.
+//  * NL314 (warning): a callee provably fails to preserve a callee-saved
+//    register (s0-s11) whose caller value is still live (read after the
+//    call before being rewritten) — an ABI/calling-convention violation
+//    with observable effect.
+//  * NL315 (warning): an iss_in-bound variable's only writes live in a
+//    function that is unreachable from the entry; refines the matching
+//    NL305 warning (which it replaces) with the dead-callee evidence.
+//
+// When the intra- and inter-procedural passes flag the same (rule, PC,
+// operand) triple, one diagnostic is emitted with a "via call from <line>"
+// note instead of two entries.
 //
 // All rules are definite-evidence only: an inconclusive analysis stays
 // silent, so a clean guest produces zero NL3xx findings.
@@ -37,6 +65,8 @@ namespace nisc::analysis {
 struct FlowOptions {
   /// Size of the guest memory map the loads/stores must stay inside.
   std::uint64_t mem_size = std::uint64_t(1) << 20;
+  /// Run the interprocedural pass (call graph + summaries + NL31x).
+  bool interproc = true;
 };
 
 /// Sink for flow findings; the caller applies nolint/suppression and file
@@ -45,7 +75,10 @@ using FlowReport =
     std::function<void(Severity severity, std::string rule, std::string message, int line)>;
 
 /// Runs every NL3xx rule over an assembled program and its pragma bindings.
+/// When `summaries_json` is non-null and the interprocedural pass ran, it
+/// receives the "functions":[...] summary-dump fragment (see summary.hpp).
 void check_flow(const iss::Program& program, const std::vector<cosim::PragmaBinding>& bindings,
-                const FlowOptions& options, const FlowReport& report);
+                const FlowOptions& options, const FlowReport& report,
+                std::string* summaries_json = nullptr);
 
 }  // namespace nisc::analysis

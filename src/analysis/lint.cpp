@@ -269,10 +269,12 @@ LintResult lint_guest_source(std::string_view source, const std::string& file,
 
   // 5. Flow-sensitive NL3xx rules over the assembled program's CFG.
   if (result.assembled && options.flow) {
-    check_flow(result.program, result.bindings, FlowOptions{options.mem_size},
-               [&](Severity severity, std::string rule, std::string message, int line) {
-                 report(severity, std::move(rule), std::move(message), line);
-               });
+    check_flow(
+        result.program, result.bindings, FlowOptions{options.mem_size, options.interproc},
+        [&](Severity severity, std::string rule, std::string message, int line) {
+          report(severity, std::move(rule), std::move(message), line);
+        },
+        &result.summaries_json);
   }
 
   return result;

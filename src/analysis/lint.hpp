@@ -29,6 +29,11 @@
 //    register reads, provably out-of-map accesses, stack balance, and
 //    binding liveness. They run only when the program assembled cleanly and
 //    can be disabled wholesale with LintOptions::flow = false.
+//  * NL311..NL315 (see analysis/flow.hpp): interprocedural rules over the
+//    call graph and bottom-up function summaries — uninitialized call
+//    arguments, out-of-map accesses through helpers, cross-call stack
+//    imbalance, callee-saved register clobbers, and bindings written only
+//    in dead code. Disabled with LintOptions::interproc = false.
 //
 // Inline suppression: a `nolint` token in a comment on the offending line
 // silences all rules for that line; `nolint(rule-a,rule-b)` silences only
@@ -52,6 +57,8 @@ struct LintOptions {
   std::uint32_t base = 0;
   /// Run the flow-sensitive NL3xx rules (CFG + abstract interpretation).
   bool flow = true;
+  /// Run the interprocedural pass (call graph, summaries, NL31x rules).
+  bool interproc = true;
   /// Guest memory map size the NL303/NL305 in-map checks use.
   std::uint64_t mem_size = std::uint64_t(1) << 20;
 };
@@ -60,6 +67,9 @@ struct LintResult {
   bool assembled = false;                        ///< program assembled cleanly
   iss::Program program;                          ///< valid when assembled
   std::vector<cosim::PragmaBinding> bindings;    ///< parsed pragma bindings
+  /// `"functions":[...]` summary-dump fragment from the interprocedural
+  /// pass; empty when the pass did not run (see summary.hpp).
+  std::string summaries_json;
 };
 
 /// Lints one guest program. `file` is used in diagnostic locations.

@@ -1,0 +1,279 @@
+#include "analysis/summary.hpp"
+
+#include <algorithm>
+
+#include "analysis/dataflow.hpp"
+#include "analysis/diag.hpp"
+#include "iss/isa.hpp"
+
+namespace nisc::analysis {
+namespace {
+
+using iss::Op;
+
+bool is_load(Op op) {
+  return op == Op::Lb || op == Op::Lh || op == Op::Lw || op == Op::Lbu || op == Op::Lhu;
+}
+bool is_store(Op op) { return op == Op::Sb || op == Op::Sh || op == Op::Sw; }
+
+std::uint32_t access_size(Op op) {
+  switch (op) {
+    case Op::Lb: case Op::Lbu: case Op::Sb: return 1;
+    case Op::Lh: case Op::Lhu: case Op::Sh: return 2;
+    default: return 4;
+  }
+}
+
+bool is_ret(const iss::Instr& in) {
+  return in.op == Op::Jalr && in.rd == 0 && in.rs1 == 1 && in.imm == 0;
+}
+
+AbsValue wrap_exact(AbsValue v) noexcept {
+  if (v.base == AbsValue::Base::None && v.range.is_exact()) {
+    v.range = Interval::exact(static_cast<std::uint32_t>(v.range.lo));
+  }
+  return v;
+}
+
+/// Rewrites a callee-exit value (entry-relative) into the caller's terms:
+/// the caller's registers at the call *are* the callee's entry values.
+AbsValue translate(const AbsValue& exit, const std::array<AbsValue, 32>& entry_vals) {
+  if (exit.base != AbsValue::Base::Entry) return exit;
+  const AbsValue& e = entry_vals[exit.entry_reg];
+  return wrap_exact({e.range.plus(exit.range), e.base, e.init, e.entry_reg});
+}
+
+/// One symbolic-fixpoint pass over a single function, reading callee
+/// summaries from `table` (bottom defaults for not-yet-computed SCC peers).
+FunctionSummary summarize(const Cfg& cfg, const CallGraph& cg, std::size_t f,
+                          const SummaryTable& table, const std::vector<std::uint32_t>& tracked) {
+  const Function& fn = cg.functions()[f];
+  CallAwareDomain dom(RegDomain(tracked), symbolic_boundary(), table.site_summaries(cg, f));
+  DataflowResult<CallAwareDomain> flow = run_forward(cfg, dom, kIntraprocEdges, fn.entry_block);
+
+  FunctionSummary s;
+  for (std::size_t b : fn.blocks) {
+    if (!flow.out[b] || flow.out[b]->dead) continue;
+    const CfgInstr& last = cfg.blocks()[b].instrs.back();
+    if (!is_ret(last.instr)) continue;
+    s.rets.emplace_back(last.addr, last.line);
+    if (!s.reached_ret) {
+      s.reached_ret = true;
+      s.exit_regs = flow.out[b]->regs;
+      s.must_written = flow.out[b]->written;
+    } else {
+      for (std::size_t r = 0; r < 32; ++r) s.exit_regs[r].join(flow.out[b]->regs[r]);
+      s.must_written &= flow.out[b]->written;
+    }
+  }
+  const AbsValue& sp = s.exit_regs[2];
+  if (s.reached_ret && sp.is_sp_rel() && sp.range.is_exact()) s.sp_delta = sp.range.lo;
+
+  // Replay every reachable block to harvest entry reads and the
+  // entry-relative memory footprint, folding callee claims in transitively.
+  std::map<std::uint8_t, EntryRead> reads;
+  auto note_read = [&](std::uint8_t entry_reg, const CfgInstr& ci) {
+    if (entry_reg != 0) reads.emplace(entry_reg, EntryRead{entry_reg, ci.addr, ci.line});
+  };
+  auto note_mem = [&](MemAccess m) {
+    if (s.mem_truncated || m.offset.is_top()) return;
+    if (std::find(s.mem.begin(), s.mem.end(), m) != s.mem.end()) return;
+    if (s.mem.size() >= kMaxSummaryMem) {
+      s.mem_truncated = true;
+      return;
+    }
+    s.mem.push_back(std::move(m));
+  };
+  for (std::size_t b : fn.blocks) {
+    if (!flow.in[b] || flow.in[b]->dead) continue;
+    RegState state = *flow.in[b];
+    for (const CfgInstr& ci : cfg.blocks()[b].instrs) {
+      if (state.dead) break;
+      for (std::uint8_t q : RegDomain::regs_read_values(ci.instr)) {
+        const AbsValue& v = state.regs[q];
+        if (v.base == AbsValue::Base::Entry) note_read(v.entry_reg, ci);
+      }
+      if (is_load(ci.instr.op) || is_store(ci.instr.op)) {
+        AbsValue addr = RegDomain::effective_address(state, ci.instr);
+        if (addr.base == AbsValue::Base::Entry && !addr.range.is_top()) {
+          note_mem({addr.entry_reg, addr.range, access_size(ci.instr.op), is_store(ci.instr.op),
+                    ci.addr, ci.line});
+        }
+      }
+      if (const FunctionSummary* callee = dom.summary_at(ci.addr)) {
+        if (!callee->havoc) {
+          RegState at_call = state;
+          dom.inner().transfer(ci, at_call);  // link register written first
+          for (const EntryRead& er : callee->entry_reads) {
+            const AbsValue& v = at_call.regs[er.reg];
+            if (v.base == AbsValue::Base::Entry) note_read(v.entry_reg, ci);
+          }
+          for (const MemAccess& m : callee->mem) {
+            const AbsValue& v = at_call.regs[m.entry_reg];
+            if (v.base == AbsValue::Base::Entry && !v.range.is_top()) {
+              note_mem({v.entry_reg, v.range.plus(m.offset), m.size, m.is_store, ci.addr, ci.line});
+            }
+          }
+          if (callee->mem_truncated) s.mem_truncated = true;
+        }
+      }
+      dom.transfer(ci, state);
+    }
+  }
+  for (auto& [reg, read] : reads) s.entry_reads.push_back(read);
+  return s;
+}
+
+}  // namespace
+
+FunctionSummary FunctionSummary::make_havoc() {
+  FunctionSummary s;
+  s.havoc = true;
+  s.reached_ret = true;
+  for (AbsValue& v : s.exit_regs) v = AbsValue::top_init();
+  s.exit_regs[0] = AbsValue::exact(0);
+  s.exit_regs[2] = AbsValue::entry(2, AbsValue::Init::Init);  // ABI-balanced sp
+  return s;
+}
+
+const EntryRead* FunctionSummary::read_of(std::uint8_t reg) const noexcept {
+  for (const EntryRead& er : entry_reads) {
+    if (er.reg == reg) return &er;
+  }
+  return nullptr;
+}
+
+void apply_summary(const FunctionSummary& summary, RegState& state) {
+  if (state.dead) return;
+  if (summary.havoc) {
+    for (std::size_t r = 1; r < 32; ++r) {
+      if (r != 2) state.regs[r] = AbsValue::top_init();
+    }
+    state.frame.clear();
+    return;
+  }
+  if (!summary.reached_ret) {
+    state.dead = true;
+    return;
+  }
+  const std::array<AbsValue, 32> entry_vals = state.regs;
+  for (std::size_t r = 1; r < 32; ++r) {
+    state.regs[r] = translate(summary.exit_regs[r], entry_vals);
+  }
+  state.written |= summary.must_written;
+  for (const MemAccess& m : summary.mem) {
+    if (!m.is_store) continue;
+    const AbsValue& base = entry_vals[m.entry_reg];
+    AbsValue addr =
+        wrap_exact({base.range.plus(m.offset), base.base, AbsValue::Init::Init, base.entry_reg});
+    if (auto key = frame_key_of(addr)) state.frame.erase(*key);
+  }
+  if (summary.mem_truncated) state.frame.clear();  // stores beyond the cap are unknown
+}
+
+RegState symbolic_boundary() {
+  RegState state;
+  for (std::size_t r = 0; r < 32; ++r) {
+    state.regs[r] = AbsValue::entry(static_cast<std::uint8_t>(r), AbsValue::Init::Init);
+  }
+  state.regs[0] = AbsValue::exact(0);
+  state.written = 0;
+  return state;
+}
+
+SummaryTable SummaryTable::compute(const Cfg& cfg, const CallGraph& cg,
+                                   std::vector<std::uint32_t> tracked) {
+  SummaryTable table;
+  table.summaries_.resize(cg.functions().size());  // bottom: reached_ret = false
+  for (std::size_t sidx = 0; sidx < cg.sccs().size(); ++sidx) {
+    const std::vector<std::size_t>& scc = cg.sccs()[sidx];
+    const bool recursive = cg.scc_is_recursive(sidx);
+    int rounds = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t f : scc) {
+        FunctionSummary s = summarize(cfg, cg, f, table, tracked);
+        if (!(s == table.summaries_[f])) {
+          table.summaries_[f] = std::move(s);
+          changed = true;
+        }
+      }
+      if (!recursive) break;
+      if (changed && ++rounds >= kMaxSccRounds) {
+        // Non-converging recursion: give up precisely, not unsoundly.
+        for (std::size_t f : scc) table.summaries_[f] = FunctionSummary::make_havoc();
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+const FunctionSummary& SummaryTable::at_site(const CallGraph& cg, std::size_t site) const {
+  const CallSite& s = cg.sites()[site];
+  if (!s.resolved || s.callees.size() != 1) return havoc_;
+  return summaries_[s.callees.front()];
+}
+
+std::map<std::uint32_t, const FunctionSummary*> SummaryTable::site_summaries(
+    const CallGraph& cg, std::size_t fn) const {
+  std::map<std::uint32_t, const FunctionSummary*> map;
+  for (std::size_t site : cg.functions()[fn].call_sites) {
+    map[cg.sites()[site].addr] = &at_site(cg, site);
+  }
+  return map;
+}
+
+std::string render_summaries_json(const CallGraph& cg, const SummaryTable& table) {
+  std::string out = "\"functions\":[";
+  for (std::size_t f = 0; f < cg.functions().size(); ++f) {
+    const Function& fn = cg.functions()[f];
+    const FunctionSummary& s = table.of(f);
+    if (f) out += ',';
+    out += "{\"name\":\"";
+    out += json_escape(fn.name);
+    out += "\",\"entry\":";
+    out += std::to_string(fn.entry_addr);
+    out += ",\"havoc\":";
+    out += s.havoc ? "true" : "false";
+    out += ",\"returns\":";
+    out += s.reached_ret ? "true" : "false";
+    out += ",\"sp_delta\":";
+    out += s.sp_delta ? std::to_string(*s.sp_delta) : "null";
+    out += ",\"reads\":[";
+    for (std::size_t i = 0; i < s.entry_reads.size(); ++i) {
+      if (i) out += ',';
+      out += "{\"reg\":\"";
+      out += iss::reg_abi_name(s.entry_reads[i].reg);
+      out += "\",\"line\":";
+      out += std::to_string(s.entry_reads[i].line);
+      out += '}';
+    }
+    out += "],\"mem\":[";
+    for (std::size_t i = 0; i < s.mem.size(); ++i) {
+      const MemAccess& m = s.mem[i];
+      if (i) out += ',';
+      out += "{\"reg\":\"";
+      out += iss::reg_abi_name(m.entry_reg);
+      out += "\",\"lo\":";
+      out += std::to_string(m.offset.lo);
+      out += ",\"hi\":";
+      out += std::to_string(m.offset.hi);
+      out += ",\"size\":";
+      out += std::to_string(m.size);
+      out += ",\"store\":";
+      out += m.is_store ? "true" : "false";
+      out += ",\"line\":";
+      out += std::to_string(m.line);
+      out += '}';
+    }
+    out += "],\"mem_truncated\":";
+    out += s.mem_truncated ? "true" : "false";
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace nisc::analysis

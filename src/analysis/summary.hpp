@@ -1,0 +1,170 @@
+// Bottom-up, context-insensitive function summaries over the abstract
+// domain of analysis/absint.hpp.
+//
+// Each function is analyzed once on a fully *symbolic* boundary — every
+// register holds the opaque entry value of itself (AbsValue::entry) — so
+// the fixpoint describes the function as a transformer of its entry state:
+//
+//   * exit_regs  — the register file at return, entry-relative where
+//                  possible ("a0 := entry(a0) + 4", "s1 := 0", ...)
+//   * sp_delta   — exact stack-pointer displacement at return, when provable
+//   * entry_reads — entry registers whose value is consumed before being
+//                  overwritten (value-based: reads of any Entry(k)-derived
+//                  value count, so a value copied through a temporary is
+//                  still attributed to the register the caller must set)
+//   * mem        — loads/stores whose address is entry-relative, i.e. the
+//                  function's memory footprint as a function of its
+//                  arguments
+//   * must_written — tracked pragma-variable bits definitely written
+//
+// Summaries compose: a call site inside a function folds the callee's
+// (already computed) summary into the symbolic state, so entry_reads and
+// mem propagate transitively through call chains. Strongly connected
+// components of the call graph are iterated to a fixpoint; an SCC that
+// fails to converge within kMaxSccRounds collapses to the havoc summary.
+//
+// The havoc summary is the deliberate model of an *unresolved* call
+// (indirect with no address-taken labels, or a call into data): every
+// register except x0/sp becomes unknown-but-initialized, the frame-slot map
+// is dropped, and no read/footprint/write claims are made. sp is assumed
+// ABI-balanced — this can hide a defect behind an unresolved call but can
+// never invent one, matching the analyzer's zero-false-positive contract
+// (sp-relative addresses are never flagged out-of-map, so a wrong balance
+// assumption cannot surface as a bogus NL303/NL312).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/absint.hpp"
+#include "analysis/callgraph.hpp"
+#include "analysis/cfg.hpp"
+
+namespace nisc::analysis {
+
+/// Evidence that a function consumes the entry value of a register.
+struct EntryRead {
+  std::uint8_t reg = 0;    ///< entry register whose value is consumed
+  std::uint32_t addr = 0;  ///< first instruction that consumes it
+  int line = 0;
+
+  bool operator==(const EntryRead&) const = default;
+};
+
+/// One entry-relative memory access: address = entry(entry_reg) + offset.
+struct MemAccess {
+  std::uint8_t entry_reg = 0;
+  Interval offset;
+  std::uint32_t size = 4;
+  bool is_store = false;
+  std::uint32_t addr = 0;  ///< instruction evidence
+  int line = 0;
+
+  bool operator==(const MemAccess&) const = default;
+};
+
+/// Most entry-relative accesses a summary records before truncating.
+constexpr std::size_t kMaxSummaryMem = 32;
+
+struct FunctionSummary {
+  bool havoc = false;        ///< unresolved target: assume nothing but ABI sp
+  bool reached_ret = false;  ///< false: the function provably never returns
+  std::array<AbsValue, 32> exit_regs{};
+  std::optional<std::int64_t> sp_delta;
+  std::vector<EntryRead> entry_reads;  ///< at most one entry per register
+  std::vector<MemAccess> mem;
+  bool mem_truncated = false;  ///< footprint overflowed kMaxSummaryMem
+  std::uint64_t must_written = 0;
+  std::vector<std::pair<std::uint32_t, int>> rets;  ///< reachable ret (addr, line)
+
+  static FunctionSummary make_havoc();
+
+  /// Entry value of `reg` consumed on some path? (linear scan; ≤31 entries)
+  const EntryRead* read_of(std::uint8_t reg) const noexcept;
+
+  bool operator==(const FunctionSummary&) const = default;
+};
+
+/// Folds `summary` into a caller state sitting just after the call
+/// instruction: exit registers are translated from the callee's
+/// entry-relative terms into the caller's own terms (the caller's registers
+/// at the call *are* the callee's entry values), must-written bits are
+/// imported, and frame slots the callee provably stores over are dropped.
+/// A no-return summary marks the state dead.
+void apply_summary(const FunctionSummary& summary, RegState& state);
+
+/// The symbolic boundary the summary fixpoint starts from: regs[r] =
+/// entry(r) for every r, x0 pinned to zero, nothing written.
+RegState symbolic_boundary();
+
+/// Domain for per-function flows that step over calls via their summaries:
+/// wraps RegDomain, substituting a configurable boundary and folding the
+/// call-site summary into the state right after each call instruction.
+class CallAwareDomain {
+ public:
+  using State = RegState;
+
+  CallAwareDomain(RegDomain inner, State boundary,
+                  std::map<std::uint32_t, const FunctionSummary*> site_summaries)
+      : inner_(std::move(inner)),
+        boundary_(std::move(boundary)),
+        site_summaries_(std::move(site_summaries)) {}
+
+  State boundary() const { return boundary_; }
+  bool join(State& into, const State& from) const { return inner_.join(into, from); }
+  bool widen(State& into, const State& from) const { return inner_.widen(into, from); }
+  void transfer(const CfgInstr& instr, State& state) const {
+    inner_.transfer(instr, state);
+    auto it = site_summaries_.find(instr.addr);
+    if (it != site_summaries_.end()) apply_summary(*it->second, state);
+  }
+
+  const RegDomain& inner() const noexcept { return inner_; }
+  const FunctionSummary* summary_at(std::uint32_t addr) const noexcept {
+    auto it = site_summaries_.find(addr);
+    return it == site_summaries_.end() ? nullptr : it->second;
+  }
+
+ private:
+  RegDomain inner_;
+  State boundary_;
+  std::map<std::uint32_t, const FunctionSummary*> site_summaries_;
+};
+
+/// SCC iterations before a recursive component is forced to havoc.
+constexpr int kMaxSccRounds = 16;
+
+class SummaryTable {
+ public:
+  /// Computes a summary for every CallGraph function, bottom-up over SCCs.
+  /// `tracked` is the pragma-variable address list (see RegDomain).
+  static SummaryTable compute(const Cfg& cfg, const CallGraph& cg,
+                              std::vector<std::uint32_t> tracked);
+
+  const FunctionSummary& of(std::size_t fn) const { return summaries_.at(fn); }
+  const std::vector<FunctionSummary>& all() const noexcept { return summaries_; }
+
+  /// Summary a call site folds in: the single resolved callee's, or havoc
+  /// for unresolved / multi-target sites.
+  const FunctionSummary& at_site(const CallGraph& cg, std::size_t site) const;
+
+  /// addr-of-call -> summary map for every call site of `fn`, ready for
+  /// CallAwareDomain.
+  std::map<std::uint32_t, const FunctionSummary*> site_summaries(const CallGraph& cg,
+                                                                 std::size_t fn) const;
+
+ private:
+  std::vector<FunctionSummary> summaries_;
+  FunctionSummary havoc_ = FunctionSummary::make_havoc();
+};
+
+/// JSON fragment `"functions":[...]` describing every summary (dumped under
+/// the cosim_lint --json "summaries" member; schema documented in
+/// DESIGN.md §8.5).
+std::string render_summaries_json(const CallGraph& cg, const SummaryTable& table);
+
+}  // namespace nisc::analysis

@@ -4,6 +4,7 @@
 // shipped router example must stay clean (no false positives).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -11,14 +12,18 @@
 #include <string>
 
 #include "analysis/absint.hpp"
+#include "analysis/callgraph.hpp"
 #include "analysis/cfg.hpp"
 #include "analysis/dataflow.hpp"
 #include "analysis/diag.hpp"
 #include "analysis/elab.hpp"
+#include "analysis/emit_test.hpp"
+#include "analysis/explore.hpp"
 #include "analysis/flow.hpp"
 #include "analysis/frame.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/race.hpp"
+#include "analysis/summary.hpp"
 #include "ipc/message.hpp"
 #include "iss/assembler.hpp"
 #include "iss/cpu.hpp"
@@ -757,6 +762,428 @@ TEST(FlowCleanTest, CommittedGuestsHaveNoFindings) {
     ++checked;
   }
   EXPECT_GE(checked, 2);  // the committed guest corpus
+}
+
+// ---------------------------------------------------------------- call graph
+
+TEST(CallGraphTest, FunctionsSitesAndSccsBottomUp) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    li a0, 3\n"
+      "    call even\n"
+      "    ebreak\n"
+      "even:\n"
+      "    beqz a0, even_yes\n"
+      "    addi a0, a0, -1\n"
+      "    call odd\n"
+      "    ret\n"
+      "even_yes:\n"
+      "    ret\n"
+      "odd:\n"
+      "    addi a0, a0, -1\n"
+      "    call even\n"
+      "    ret\n");
+  Cfg cfg = Cfg::build(prog);
+  CallGraph cg = CallGraph::build(cfg, prog);
+
+  ASSERT_EQ(cg.functions().size(), 3u);  // _start, even, odd
+  std::size_t start_fn = cg.function_at(prog.entry);
+  std::size_t even_fn = cg.function_at(prog.symbol("even"));
+  std::size_t odd_fn = cg.function_at(prog.symbol("odd"));
+  ASSERT_NE(start_fn, CallGraph::npos);
+  ASSERT_NE(even_fn, CallGraph::npos);
+  ASSERT_NE(odd_fn, CallGraph::npos);
+  EXPECT_EQ(cg.entry_function(), start_fn);
+  EXPECT_EQ(cg.functions()[even_fn].name, "even");
+  EXPECT_EQ(cg.sites().size(), 3u);
+
+  // even <-> odd form one recursive SCC; _start's SCC is not recursive and,
+  // with the list in bottom-up (callees-first) order, must come after it.
+  EXPECT_EQ(cg.functions()[even_fn].scc, cg.functions()[odd_fn].scc);
+  EXPECT_TRUE(cg.scc_is_recursive(cg.functions()[even_fn].scc));
+  EXPECT_FALSE(cg.scc_is_recursive(cg.functions()[start_fn].scc));
+  EXPECT_GT(cg.functions()[start_fn].scc, cg.functions()[even_fn].scc);
+
+  // Direct call sites resolve to exactly one callee.
+  const CallSite& start_site = cg.sites()[cg.functions()[start_fn].call_sites.front()];
+  EXPECT_TRUE(start_site.resolved);
+  EXPECT_FALSE(start_site.indirect);
+  ASSERT_EQ(start_site.callees.size(), 1u);
+  EXPECT_EQ(start_site.callees.front(), even_fn);
+}
+
+// ---------------------------------------------------------------- summaries
+
+TEST(SummaryTest, SpDeltaAndSpillReloadPreservation) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    li sp, 0x1000\n"
+      "    call fn\n"
+      "    ebreak\n"
+      "fn:\n"
+      "    addi sp, sp, -16\n"
+      "    sw s0, 12(sp)\n"
+      "    li s0, 9\n"
+      "    lw s0, 12(sp)\n"
+      "    addi sp, sp, 16\n"
+      "    ret\n");
+  Cfg cfg = Cfg::build(prog);
+  CallGraph cg = CallGraph::build(cfg, prog);
+  SummaryTable table = SummaryTable::compute(cfg, cg, {});
+  std::size_t fn = cg.function_at(prog.symbol("fn"));
+  ASSERT_NE(fn, CallGraph::npos);
+  const FunctionSummary& s = table.of(fn);
+
+  EXPECT_FALSE(s.havoc);
+  EXPECT_TRUE(s.reached_ret);
+  ASSERT_TRUE(s.sp_delta.has_value());
+  EXPECT_EQ(*s.sp_delta, 0);
+  // The spill/reload pair restores the entry value of s0 despite the
+  // clobbering li in between.
+  EXPECT_TRUE(s.exit_regs[8].is_entry_identity(8));
+  EXPECT_TRUE(s.exit_regs[2].is_sp_rel());
+}
+
+TEST(SummaryTest, EntryReadsFollowValuesAndClobbersAreExact) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    li sp, 0x1000\n"
+      "    li a0, 1\n"
+      "    li a1, 2\n"
+      "    call fn\n"
+      "    ebreak\n"
+      "fn:\n"
+      "    mv t0, a0\n"
+      "    add a0, t0, a1\n"
+      "    li s1, 0\n"
+      "    ret\n");
+  Cfg cfg = Cfg::build(prog);
+  CallGraph cg = CallGraph::build(cfg, prog);
+  SummaryTable table = SummaryTable::compute(cfg, cg, {});
+  const FunctionSummary& s = table.of(cg.function_at(prog.symbol("fn")));
+
+  // a0 is consumed through the t0 copy; a1 directly. t3 never.
+  EXPECT_NE(s.read_of(10), nullptr);
+  EXPECT_NE(s.read_of(11), nullptr);
+  EXPECT_EQ(s.read_of(28), nullptr);
+  // s1 is definitely clobbered to the constant 0 at exit.
+  EXPECT_EQ(s.exit_regs[9].base, AbsValue::Base::None);
+  EXPECT_EQ(s.exit_regs[9].range, Interval::exact(0));
+}
+
+TEST(SummaryTest, RecursiveSccTerminatesWithSoundSummary) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    li sp, 0x1000\n"
+      "    li a0, 3\n"
+      "    call count\n"
+      "    ebreak\n"
+      "count:\n"
+      "    beqz a0, count_done\n"
+      "    addi a0, a0, -1\n"
+      "    call count\n"
+      "count_done:\n"
+      "    ret\n");
+  Cfg cfg = Cfg::build(prog);
+  CallGraph cg = CallGraph::build(cfg, prog);
+  SummaryTable table = SummaryTable::compute(cfg, cg, {});  // must terminate
+  std::size_t fn = cg.function_at(prog.symbol("count"));
+  EXPECT_TRUE(cg.scc_is_recursive(cg.functions()[fn].scc));
+  const FunctionSummary& s = table.of(fn);
+  // Either the fixpoint converged or the SCC collapsed to havoc — both are
+  // sound; a bottom (never-returns) summary for a returning function is not.
+  EXPECT_TRUE(s.havoc || s.reached_ret);
+}
+
+TEST(SummaryTest, UnresolvedIndirectCallGetsHavoc) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    li t0, 64\n"
+      "    jalr ra, t0, 0\n"
+      "    ebreak\n");
+  Cfg cfg = Cfg::build(prog);
+  CallGraph cg = CallGraph::build(cfg, prog);
+  ASSERT_EQ(cg.sites().size(), 1u);
+  EXPECT_TRUE(cg.sites()[0].indirect);
+  EXPECT_FALSE(cg.sites()[0].resolved);  // no address-taken code labels
+  SummaryTable table = SummaryTable::compute(cfg, cg, {});
+  const FunctionSummary& s = table.at_site(cg, 0);
+  EXPECT_TRUE(s.havoc);
+  EXPECT_TRUE(s.reached_ret);            // havoc assumes an ABI-balanced return
+  EXPECT_TRUE(s.exit_regs[2].is_sp_rel());
+}
+
+TEST(SummaryTest, ApplySummaryMarksNoReturnCalleeDead) {
+  FunctionSummary never;  // default: reached_ret == false
+  RegState state;
+  state.regs[2] = AbsValue::sp_entry();
+  apply_summary(never, state);
+  EXPECT_TRUE(state.dead);
+}
+
+// ---------------------------------------------------------------- NL31x rules
+
+TEST(FlowRuleTest, EveryInterprocFixtureFlagsItsRule) {
+  const struct {
+    const char* file;
+    const char* rule;
+    std::set<std::string> companions;  // additional rules the fixture may fire
+  } cases[] = {
+      {"nl311_uninit_call.s", "NL311", {}},
+      {"nl312_oob_helper.s", "NL312", {}},
+      {"nl313_cross_stack.s", "NL313", {"NL304"}},  // leak itself is an NL304
+      {"nl314_clobbered_sreg.s", "NL314", {}},
+      {"nl315_dead_callee_binding.s", "NL315", {}},
+  };
+  for (const auto& c : cases) {
+    DiagEngine diags;
+    LintResult result =
+        lint_guest_source(read_file_or_die(fixture_path(c.file)), c.file, diags);
+    EXPECT_TRUE(result.assembled) << c.file;
+    EXPECT_TRUE(diags.has_rule(c.rule)) << c.file << "\n" << render_text(diags);
+    for (const Diagnostic& d : diags.diagnostics()) {
+      EXPECT_TRUE(d.rule == c.rule || c.companions.count(d.rule) > 0)
+          << c.file << " fired unexpected " << d.rule << ": " << d.message;
+    }
+  }
+}
+
+// NL315 refines NL305: the generic "may be stale" warning must be replaced
+// by the dead-writer evidence, not duplicated.
+TEST(FlowRuleTest, Nl315ReplacesTheNl305Warning) {
+  DiagEngine diags;
+  lint_guest_source(read_file_or_die(fixture_path("nl315_dead_callee_binding.s")), "nl315",
+                    diags);
+  EXPECT_TRUE(diags.has_rule("NL315"));
+  EXPECT_FALSE(diags.has_rule("NL305")) << render_text(diags);
+}
+
+// NL311 oracle: replaying the run with a written-register scoreboard shows
+// the callee really does consume t2 before anything wrote it.
+TEST(FlowRuleTest, Nl311VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r = lint_guest_source(read_file_or_die(fixture_path("nl311_uninit_call.s")),
+                                   "nl311", diags);
+  ASSERT_TRUE(r.assembled);
+  ASSERT_TRUE(diags.has_rule("NL311"));
+  EXPECT_NE(diags.diagnostics()[0].message.find("register t2"), std::string::npos);
+
+  iss::Cpu cpu;
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  std::set<unsigned> written = {0, 2};
+  bool t2_read_before_write = false;
+  cpu.set_trace_hook([&](std::uint32_t, std::uint32_t word) {
+    iss::Instr in = iss::decode(word);
+    for (std::uint8_t rr : RegDomain::regs_read(in)) {
+      if (rr == 7 && written.count(7) == 0) t2_read_before_write = true;
+    }
+    if (in.rd != 0) written.insert(in.rd);
+  });
+  EXPECT_EQ(cpu.run(1000), iss::Halt::Ebreak);
+  EXPECT_TRUE(t2_read_before_write);
+}
+
+// NL312 oracle: the run dies with a memory fault inside the helper, on the
+// store the summary attributed the footprint to — after the first, clean
+// call already wrote `out`.
+TEST(FlowRuleTest, Nl312VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r = lint_guest_source(read_file_or_die(fixture_path("nl312_oob_helper.s")),
+                                   "nl312", diags);
+  ASSERT_TRUE(r.assembled);
+  ASSERT_TRUE(diags.has_rule("NL312"));
+
+  iss::Cpu cpu;  // default 1 MiB map, matching LintOptions::mem_size
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  iss::ExecutionTracer tracer(cpu, 16);
+  EXPECT_EQ(cpu.run(1000), iss::Halt::MemoryFault);
+  ASSERT_FALSE(tracer.entries().empty());
+  EXPECT_EQ(tracer.entries().back().pc, r.program.symbol("store_word"));
+  EXPECT_EQ(cpu.mem().read32(r.program.symbol("out")), 1u);  // first call landed
+}
+
+// NL313 oracle: the imbalance the cross-call rule promised is exactly what
+// the stack pointer shows after the run.
+TEST(FlowRuleTest, Nl313VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r = lint_guest_source(read_file_or_die(fixture_path("nl313_cross_stack.s")),
+                                   "nl313", diags);
+  ASSERT_TRUE(r.assembled);
+  ASSERT_TRUE(diags.has_rule("NL313"));
+
+  iss::Cpu cpu;
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  EXPECT_EQ(cpu.run(1000), iss::Halt::Ebreak);
+  EXPECT_EQ(cpu.reg(2), 0x10000u - 8u);
+}
+
+// NL314 oracle: the caller's store after the call writes helper's 0, not
+// the 123 the caller put in s1 — the clobber is observable.
+TEST(FlowRuleTest, Nl314VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r = lint_guest_source(read_file_or_die(fixture_path("nl314_clobbered_sreg.s")),
+                                   "nl314", diags);
+  ASSERT_TRUE(r.assembled);
+  ASSERT_TRUE(diags.has_rule("NL314"));
+  EXPECT_NE(diags.diagnostics()[0].message.find("s1"), std::string::npos);
+
+  iss::Cpu cpu;
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  EXPECT_EQ(cpu.run(1000), iss::Halt::Ebreak);
+  EXPECT_EQ(cpu.mem().read32(r.program.symbol("out")), 0u);  // not 123
+}
+
+// NL315 oracle: the breakpoint is reached, the bound variable is stale, and
+// the trace never enters the dead writer.
+TEST(FlowRuleTest, Nl315VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r = lint_guest_source(read_file_or_die(fixture_path("nl315_dead_callee_binding.s")),
+                                   "nl315", diags);
+  ASSERT_TRUE(r.assembled);
+  ASSERT_TRUE(diags.has_rule("NL315"));
+  ASSERT_EQ(r.bindings.size(), 1u);
+
+  iss::Cpu cpu;
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  cpu.add_breakpoint(r.program.symbol(r.bindings[0].label));
+  iss::ExecutionTracer tracer(cpu, 256);
+  EXPECT_EQ(cpu.run(1000), iss::Halt::Breakpoint);
+  EXPECT_EQ(cpu.mem().read32(r.program.symbol(r.bindings[0].variable)), 0u);  // stale
+  for (const iss::TraceEntry& e : tracer.entries()) EXPECT_LT(e.pc, r.program.symbol("fill"));
+}
+
+// When the whole-program pass and the per-function context pass derive the
+// same defect, exactly one diagnostic comes out, annotated with the call
+// provenance.
+TEST(FlowRuleTest, InterprocDuplicateMergesIntoOneDiagnostic) {
+  DiagEngine diags;
+  lint_guest_source(
+      "_start:\n"
+      "    li sp, 0x10000\n"
+      "    call poke\n"
+      "    ebreak\n"
+      "poke:\n"
+      "    li t0, 0x200000\n"
+      "    sw zero, 0(t0)\n"
+      "    ret\n",
+      "seed.s", diags);
+  std::size_t nl303 = 0;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.rule == "NL303") {
+      ++nl303;
+      EXPECT_NE(d.message.find("via call from line 3"), std::string::npos) << d.message;
+    }
+  }
+  EXPECT_EQ(nl303, 1u) << render_text(diags);
+}
+
+TEST(FlowRuleTest, InterprocOptOutSkipsNl31xRules) {
+  LintOptions options;
+  options.interproc = false;
+  DiagEngine diags;
+  LintResult r = lint_guest_source(read_file_or_die(fixture_path("nl311_uninit_call.s")),
+                                   "nl311", diags, options);
+  ASSERT_TRUE(r.assembled);
+  EXPECT_TRUE(diags.empty()) << render_text(diags);
+  EXPECT_TRUE(r.summaries_json.empty());
+}
+
+// The multi-function clean guest exercises prologue spills, a loop calling
+// a helper, and frame release — and must stay finding-free with the
+// interprocedural pass on (it is also swept by CommittedGuestsHaveNoFindings).
+TEST(FlowRuleTest, ChecksumHelpersGuestIsCleanWithSummaries) {
+  DiagEngine diags;
+  LintResult r = lint_guest_source(
+      read_file_or_die(std::string(NISC_SOURCE_DIR "/examples/guests/checksum_helpers.s")),
+      "checksum_helpers.s", diags);
+  ASSERT_TRUE(r.assembled);
+  EXPECT_TRUE(diags.empty()) << render_text(diags);
+  // The summary dump names every function and proves checksum balanced.
+  EXPECT_NE(r.summaries_json.find("\"name\":\"checksum\""), std::string::npos);
+  EXPECT_NE(r.summaries_json.find("\"name\":\"accumulate\""), std::string::npos);
+  EXPECT_NE(r.summaries_json.find("\"sp_delta\":0"), std::string::npos);
+}
+
+// Interprocedural analysis must not blow the analysis budget: the full
+// committed corpus with summaries stays within 2x of the intraprocedural
+// pass (plus constant slack for timer noise on loaded CI machines).
+TEST(FlowPerfTest, InterprocStaysWithinTwiceIntraproc) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> corpus;
+  for (const char* dir : {NISC_SOURCE_DIR "/examples/guests",
+                          NISC_SOURCE_DIR "/examples/guests/bad"}) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".s") {
+        corpus.push_back(read_file_or_die(entry.path().string()));
+      }
+    }
+  }
+  ASSERT_GE(corpus.size(), 10u);
+
+  auto lint_corpus = [&](bool interproc) {
+    LintOptions options;
+    options.interproc = interproc;
+    auto begin = std::chrono::steady_clock::now();
+    for (const std::string& source : corpus) {
+      DiagEngine diags;
+      lint_guest_source(source, "perf.s", diags, options);
+    }
+    return std::chrono::steady_clock::now() - begin;
+  };
+  // Best of three to shrug off scheduler noise.
+  auto best_off = lint_corpus(false);
+  auto best_on = lint_corpus(true);
+  for (int i = 0; i < 2; ++i) {
+    best_off = std::min(best_off, lint_corpus(false));
+    best_on = std::min(best_on, lint_corpus(true));
+  }
+  EXPECT_LE(best_on, 2 * best_off + std::chrono::milliseconds(50))
+      << "interproc: " << std::chrono::duration_cast<std::chrono::microseconds>(best_on).count()
+      << "us, intraproc only: "
+      << std::chrono::duration_cast<std::chrono::microseconds>(best_off).count() << "us";
+}
+
+// ---------------------------------------------------------------- emit-test
+
+TEST(EmitTestTest, CounterexamplesCompileIntoGtestSources) {
+  ModelOptions model_options;
+  model_options.recovery = false;
+  ProtocolModel model = make_model(ModelId::DriverKernel, model_options);
+  EnvOptions env = EnvOptions::faulty();
+  ExploreReport report = explore(model, env);
+  ASSERT_FALSE(report.violations.empty());  // the faulty environment bites
+
+  std::string tu = emit_regression_tests(report, ModelId::DriverKernel, model_options, env);
+  EXPECT_NE(tu.find("#include <gtest/gtest.h>"), std::string::npos);
+  EXPECT_NE(tu.find("TEST(EmittedDriverKernel, NL41"), std::string::npos);
+  EXPECT_NE(tu.find("ViolationKind::"), std::string::npos);
+  EXPECT_NE(tu.find("ipc::FaultPlan plan;"), std::string::npos);
+  EXPECT_NE(tu.find("options.recovery = false;"), std::string::npos);
+  EXPECT_NE(tu.find("env.corrupting = true;"), std::string::npos);
+  // Every counterexample became one TEST, each with its trace as comments.
+  std::size_t tests = 0;
+  for (std::size_t pos = 0; (pos = tu.find("TEST(", pos)) != std::string::npos; ++pos) ++tests;
+  EXPECT_EQ(tests, report.violations.size());
+  EXPECT_NE(tu.find("minimal counterexample trace"), std::string::npos);
+
+  EXPECT_EQ(emitted_test_filename(ModelId::DriverKernel), "emitted_driver_kernel_test.cpp");
+  EXPECT_EQ(emitted_test_filename(ModelId::GdbWrapper), "emitted_gdb_wrapper_test.cpp");
+}
+
+TEST(EmitTestTest, CleanExplorationEmitsDocumentationTest) {
+  ModelOptions model_options;
+  model_options.recovery = false;
+  ExploreReport report = explore(make_model(ModelId::GdbWrapper, model_options), EnvOptions{});
+  ASSERT_TRUE(report.clean());
+  std::string tu =
+      emit_regression_tests(report, ModelId::GdbWrapper, model_options, EnvOptions{});
+  EXPECT_NE(tu.find("ExplorationStaysClean"), std::string::npos);
+  EXPECT_NE(tu.find("EXPECT_TRUE(report.clean());"), std::string::npos);
 }
 
 // ---------------------------------------------------------------- frames

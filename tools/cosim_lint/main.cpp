@@ -12,6 +12,9 @@
 //     --base ADDR          guest load address (default 0)
 //     --mem-size N         guest memory map size for NL303/NL305 (default 1 MiB)
 //     --no-flow            skip the flow-sensitive NL3xx rules
+//     --no-interproc       skip the interprocedural pass (call-graph function
+//                          summaries + NL311-NL315); also drops the summary
+//                          dump from --json output
 //     --max-warnings N     tolerate up to N warnings before exiting 1 (default 0)
 //     --frames FILE        validate FILE as concatenated driver-kernel frames
 //     --protocol           model-check the wire protocol automata (DESIGN.md
@@ -28,6 +31,9 @@
 //     --channel-cap N      in-flight messages per channel direction (default 2)
 //     --conform FILE       replay a wire-capture post-mortem through the
 //                          protocol conformance monitor (NL40x rules)
+//     --emit-test DIR      with --protocol: compile every model-checker
+//                          counterexample into a gtest source under DIR
+//                          (one emitted_<model>_test.cpp per model)
 //     --builtin            lint the built-in router guest programs
 //     --rtos-prelude       prepend the RTOS guest-ABI prelude (SYS_* equates)
 //                          to each linted source, as the Driver-Kernel
@@ -37,6 +43,7 @@
 // Exit status: 0 clean (no errors, warnings within --max-warnings),
 // 1 findings, 2 usage or IO error.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -44,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/emit_test.hpp"
 #include "analysis/explore.hpp"
 #include "analysis/frame.hpp"
 #include "analysis/lint.hpp"
@@ -59,11 +67,13 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--json[=FILE]] [--suppress RULE]... [--ports p1,p2] [--base ADDR]\n"
-               "       %*s [--mem-size N] [--no-flow] [--max-warnings N] [--rtos-prelude]\n"
-               "       %*s [--frames FILE] [--protocol] [--model NAME] [--faults]\n"
-               "       %*s [--no-recovery] [--no-push] [--no-interrupts] [--channel-cap N]\n"
-               "       %*s [--conform FILE] [--builtin] [file.s ... | -]\n",
+               "       %*s [--mem-size N] [--no-flow] [--no-interproc] [--max-warnings N]\n"
+               "       %*s [--rtos-prelude] [--frames FILE] [--protocol] [--model NAME]\n"
+               "       %*s [--faults] [--no-recovery] [--no-push] [--no-interrupts]\n"
+               "       %*s [--channel-cap N] [--conform FILE] [--emit-test DIR] [--builtin]\n"
+               "       %*s [file.s ... | -]\n",
                argv0, static_cast<int>(std::string(argv0).size()), "",
+               static_cast<int>(std::string(argv0).size()), "",
                static_cast<int>(std::string(argv0).size()), "",
                static_cast<int>(std::string(argv0).size()), "",
                static_cast<int>(std::string(argv0).size()), "");
@@ -98,6 +108,7 @@ int main(int argc, char** argv) {
   std::string model_filter;
   analysis::ModelOptions model_options;
   std::size_t channel_cap = 2;
+  std::string emit_test_dir;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -118,6 +129,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-flow") {
       options.flow = false;
+    } else if (arg == "--no-interproc") {
+      options.interproc = false;
     } else if (arg == "--mem-size") {
       const char* text = next();
       if (text == nullptr) return usage(argv[0]);
@@ -215,6 +228,13 @@ int main(int argc, char** argv) {
       const char* path = next();
       if (path == nullptr) return usage(argv[0]);
       conform_files.emplace_back(path);
+    } else if (arg == "--emit-test" || arg.rfind("--emit-test=", 0) == 0) {
+      const char* dir = arg == "--emit-test" ? next() : arg.c_str() + 12;
+      if (dir == nullptr || *dir == '\0') {
+        std::fprintf(stderr, "--emit-test needs a directory\n");
+        return 2;
+      }
+      emit_test_dir = dir;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -228,6 +248,19 @@ int main(int argc, char** argv) {
   if (sources.empty() && frame_files.empty() && conform_files.empty() && !builtin && !protocol) {
     return usage(argv[0]);
   }
+  if (!emit_test_dir.empty() && !protocol) {
+    std::fprintf(stderr, "--emit-test needs --protocol (it compiles counterexamples)\n");
+    return 2;
+  }
+
+  // Per-file "summaries" JSON members from the interprocedural pass.
+  std::string summaries_json;
+  auto collect_summaries = [&](const analysis::LintResult& result, const std::string& file) {
+    if (result.summaries_json.empty()) return;
+    if (!summaries_json.empty()) summaries_json += ",";
+    summaries_json += "{\"file\":\"" + analysis::json_escape(file) + "\"," +
+                      result.summaries_json + "}";
+  };
 
   for (const std::string& path : sources) {
     std::string text;
@@ -240,15 +273,20 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (rtos_prelude) text = rtos::guest_abi_prelude() + text;
-    analysis::lint_guest_source(text, path == "-" ? "<stdin>" : path, diags, options);
+    const std::string file = path == "-" ? "<stdin>" : path;
+    collect_summaries(analysis::lint_guest_source(text, file, diags, options), file);
   }
 
   if (builtin) {
-    analysis::lint_guest_source(
-        router::word_stream_checksum_source("router.to_cpu", "router.from_cpu"),
-        "<builtin:checksum_gdb>", diags, options);
-    analysis::lint_guest_source(rtos::guest_abi_prelude() + router::bulk_checksum_source(),
-                                "<builtin:checksum_driver>", diags, options);
+    collect_summaries(
+        analysis::lint_guest_source(
+            router::word_stream_checksum_source("router.to_cpu", "router.from_cpu"),
+            "<builtin:checksum_gdb>", diags, options),
+        "<builtin:checksum_gdb>");
+    collect_summaries(
+        analysis::lint_guest_source(rtos::guest_abi_prelude() + router::bulk_checksum_source(),
+                                    "<builtin:checksum_driver>", diags, options),
+        "<builtin:checksum_driver>");
   }
 
   for (const std::string& path : frame_files) {
@@ -302,20 +340,44 @@ int main(int argc, char** argv) {
       if (i > 0) protocol_json += ",";
       protocol_json += analysis::render_json(report);
       if (!json) std::fputs(analysis::render_text(report).c_str(), stdout);
+      if (!emit_test_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(emit_test_dir, ec);
+        const std::filesystem::path out_path =
+            std::filesystem::path(emit_test_dir) / analysis::emitted_test_filename(ids[i]);
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        out << analysis::emit_regression_tests(report, ids[i], model_options, env);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", out_path.string().c_str());
+          return 2;
+        }
+        if (!json) {
+          std::fprintf(stdout, "emitted %s (%zu counterexamples)\n",
+                       out_path.string().c_str(), report.violations.size());
+        }
+      }
     }
     protocol_json += "]";
   }
 
+  // Extra --json members: the protocol exploration and the per-file
+  // interprocedural summary dumps (both optional, schema stays 1).
+  std::string extra_json = protocol_json;
+  if (!summaries_json.empty()) {
+    if (!extra_json.empty()) extra_json += ",";
+    extra_json += "\"summaries\":[" + summaries_json + "]";
+  }
+
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
-    out << analysis::render_json(diags, protocol_json) << '\n';
+    out << analysis::render_json(diags, extra_json) << '\n';
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 2;
     }
   }
   if (json) {
-    std::fputs(analysis::render_json(diags, protocol_json).c_str(), stdout);
+    std::fputs(analysis::render_json(diags, extra_json).c_str(), stdout);
     std::fputc('\n', stdout);
   } else {
     std::fputs(analysis::render_text(diags).c_str(), stdout);
