@@ -639,4 +639,24 @@ std::size_t check_capture(std::span<const std::uint8_t> bytes, const ProtocolMod
   return replayed;
 }
 
+DrainResult drain_to_frame_boundary(ipc::Channel& channel, WireFormat format, bool toward_target,
+                                    int timeout_ms) {
+  DrainResult out;
+  StreamDecoder decoder(format, toward_target);
+  std::uint8_t buf[4096];
+  for (;;) {
+    // On a boundary only sweep what is already pending (poll); mid-frame,
+    // wait up to the timeout for the sender to finish its frame.
+    const bool mid_frame = decoder.pending() > 0;
+    if (!channel.readable(mid_frame ? timeout_ms : 0)) break;
+    const std::size_t n = channel.recv_some(buf);
+    if (n == 0) break;
+    decoder.feed({buf, n}, out.symbols);
+    out.bytes.insert(out.bytes.end(), buf, buf + n);
+    if (decoder.wedged()) break;
+  }
+  out.clean = decoder.pending() == 0 && !decoder.wedged();
+  return out;
+}
+
 }  // namespace nisc::analysis

@@ -34,6 +34,7 @@
 
 #include "analysis/diag.hpp"
 #include "ipc/capture.hpp"
+#include "ipc/channel.hpp"
 #include "rsp/packet.hpp"
 
 namespace nisc::analysis {
@@ -174,6 +175,27 @@ class StreamDecoder {
   std::vector<std::uint8_t> buffer_;  // Driver-Kernel reassembly
   rsp::PacketReader reader_;          // RSP reassembly
 };
+
+/// Result of draining a live wire up to a frame boundary (the checkpoint
+/// subsystem's frame-boundary invariant, DESIGN.md §12).
+struct DrainResult {
+  /// Raw bytes consumed from the channel. When `clean`, these are whole
+  /// frames — exactly what cosim::ChannelSnapshot::inflight may store.
+  std::vector<std::uint8_t> bytes;
+  /// Complete protocol messages recovered from `bytes`.
+  std::vector<WireSymbol> symbols;
+  /// True when the stream landed on a frame boundary (no partial frame
+  /// buffered, stream not wedged). A snapshot MUST NOT be taken otherwise.
+  bool clean = false;
+};
+
+/// Reads everything pending on `channel` and keeps reading (up to
+/// `timeout_ms` per wait) while the decoder sits mid-frame, so the returned
+/// bytes end on a frame boundary whenever the sender completes its frames
+/// within the timeout. Used to quiesce a live Driver-Kernel or RSP wire
+/// before a checkpoint: snapshots never contain a partial frame.
+DrainResult drain_to_frame_boundary(ipc::Channel& channel, WireFormat format,
+                                    bool toward_target, int timeout_ms = 100);
 
 // ---------------------------------------------------------------------------
 // Conformance monitor

@@ -1,0 +1,105 @@
+// Little-endian byte codec shared by the checkpoint format and the
+// supervisor<->worker frame protocol (checkpoint.cpp, worker.cpp,
+// supervisor.cpp). Writer appends; Reader is bounds-checked and throws
+// RuntimeError naming the structure being decoded on truncation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nisc::cosim {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  /// Length-prefixed (u32) byte blob.
+  void blob(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    bytes(data);
+  }
+  /// Length-prefixed (u16) string.
+  void str(const std::string& s) {
+    util::require(s.size() <= 0xFFFF, "byte codec: string too long");
+    u16(static_cast<std::uint16_t>(s.size()));
+    bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  const std::vector<std::uint8_t>& data() const { return out_; }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(std::span<const std::uint8_t> data, const char* what) : data_(data), what_(what) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (u8() << 8));
+  }
+  std::uint32_t u32() {
+    std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::uint64_t u64() {
+    std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::vector<std::uint8_t> blob() { return bytes(u32()); }
+  std::string str() {
+    std::size_t n = u16();
+    need(n);
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  bool done() const noexcept { return pos_ == data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw util::RuntimeError(std::string("truncated ") + what_ + " (need " + std::to_string(n) +
+                               " bytes, have " + std::to_string(remaining()) + ")");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  const char* what_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nisc::cosim

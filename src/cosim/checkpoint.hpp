@@ -1,0 +1,133 @@
+// Crash-consistent session checkpoints (DESIGN.md §12).
+//
+// A checkpoint is a versioned, length-prefixed container serializing every
+// layer of a co-simulation session:
+//   * ISS architectural state — registers, pc, retirement/cycle counters,
+//     pending debug state (breakpoints/watchpoints), and guest memory as
+//     sparse pages (all-zero pages are elided);
+//   * SystemC kernel state — simulated time, the delta/sequence counters and
+//     every pending timed/delta notification by name (sysc::kernel_state);
+//   * wire state — per-channel send/receive frame sequence numbers plus any
+//     received-but-unconsumed bytes. The frame-boundary invariant: inflight
+//     bytes always contain whole frames, never a partial one (snapshots are
+//     taken only after the stream has been drained through a frame decoder —
+//     analysis::drain_to_frame_boundary for live Driver-Kernel/RSP wires,
+//     by construction for the supervisor's worker protocol);
+//   * worker session extras — delivered/pending interrupts and the device
+//     read queue of a supervised ISS worker (cosim/worker.hpp).
+//
+// Wire layout (little-endian):
+//   u32 magic "NCKP" | u32 version
+//   repeated sections: u32 tag | u64 payload_len | payload | u32 crc32
+// Unknown section tags decode into Checkpoint::extra and re-encode verbatim,
+// so newer checkpoints survive older inspectors. Every decode error — bad
+// magic, unsupported version, truncation, CRC mismatch — throws RuntimeError
+// naming the offending section.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "iss/cpu.hpp"
+#include "sysc/kernel.hpp"
+
+namespace nisc::cosim {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x504B434Eu;  // "NCKP"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// Guest memory is serialized in pages of this size; all-zero pages are
+/// elided (memory is zero-initialized, so restore clears then applies).
+inline constexpr std::uint32_t kCheckpointPageSize = 4096;
+
+/// Section tags (fourcc, little-endian).
+inline constexpr std::uint32_t kSectionIss = 0x20535349u;      // "ISS "
+inline constexpr std::uint32_t kSectionKernel = 0x4C4E524Bu;   // "KRNL"
+inline constexpr std::uint32_t kSectionChannel = 0x4E414843u;  // "CHAN"
+inline constexpr std::uint32_t kSectionWorker = 0x524B5257u;   // "WRKR"
+
+/// ISS architectural state, exactly what Cpu needs to resume bit-identically.
+struct IssSnapshot {
+  std::array<std::uint32_t, 32> regs{};
+  std::uint32_t pc = 0;
+  std::uint64_t instret = 0;
+  std::uint64_t cycles = 0;
+  std::uint8_t last_halt = 0;
+  iss::CycleModel cycle_model;
+  std::vector<std::uint32_t> breakpoints;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> watchpoints;
+  std::uint64_t mem_size = 0;
+  /// (page index, kCheckpointPageSize bytes) for every non-zero page, in
+  /// ascending page order.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> pages;
+
+  bool operator==(const IssSnapshot&) const;
+
+  /// Captures the CPU's architectural state (callable only between run()
+  /// slices — the co-simulation layer serializes access).
+  static IssSnapshot capture(const iss::Cpu& cpu);
+
+  /// Applies the snapshot; throws RuntimeError on memory-size mismatch.
+  void apply(iss::Cpu& cpu) const;
+};
+
+/// One channel endpoint's resumable wire state. Sequence numbers count
+/// whole frames: tx_seq = frames this side has sent, rx_seq = frames this
+/// side has consumed. The resume handshake compares them with the peer's
+/// counters to decide what to replay.
+struct ChannelSnapshot {
+  std::string label;
+  std::uint64_t tx_seq = 0;
+  std::uint64_t rx_seq = 0;
+  /// Received-but-unconsumed bytes, frame-aligned (never mid-frame).
+  std::vector<std::uint8_t> inflight;
+
+  bool operator==(const ChannelSnapshot&) const = default;
+};
+
+/// Supervised-worker session extras (cosim/worker.hpp): interrupt wire
+/// progress and the device bytes the guest has not yet consumed.
+struct WorkerSnapshot {
+  std::uint64_t irqs_delivered = 0;
+  std::vector<std::uint32_t> pending_irqs;
+  std::vector<std::uint8_t> dev_rx;
+
+  bool operator==(const WorkerSnapshot&) const = default;
+};
+
+/// A decoded checkpoint: any subset of sections may be present.
+struct Checkpoint {
+  std::optional<IssSnapshot> iss;
+  std::optional<sysc::kernel_state> kernel;
+  std::vector<ChannelSnapshot> channels;
+  std::optional<WorkerSnapshot> worker;
+  /// Unknown sections, preserved verbatim (tag, payload) for forward
+  /// compatibility: decode(encode(c)) round-trips byte-identically even
+  /// for sections this build does not understand.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> extra;
+
+  bool operator==(const Checkpoint&) const;
+};
+
+/// Serializes to the wire layout above. Deterministic: equal checkpoints
+/// encode to identical bytes (the crash matrix compares runs this way).
+std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& checkpoint);
+
+/// Parses and verifies (magic, version, per-section CRC). Throws
+/// RuntimeError on any corruption.
+Checkpoint decode_checkpoint(std::span<const std::uint8_t> bytes);
+
+/// Human rendering for `cosim_ckpt inspect`: one line per section with
+/// sizes, counters and digests.
+std::string describe_checkpoint(const Checkpoint& checkpoint);
+
+/// Field-level differences for `cosim_ckpt diff`, most significant first;
+/// empty when equal. At most `max_lines` lines (then a truncation marker).
+std::vector<std::string> diff_checkpoints(const Checkpoint& a, const Checkpoint& b,
+                                          std::size_t max_lines = 32);
+
+}  // namespace nisc::cosim

@@ -1,0 +1,394 @@
+#include "cosim/supervisor.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <optional>
+
+#include "cosim/bytes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sysc/kernel.hpp"
+#include "sysc/sc_time.hpp"
+#include "util/error.hpp"
+
+namespace nisc::cosim {
+
+using util::RuntimeError;
+
+namespace {
+
+/// The supervisor's SystemC-backed device model. Registers live in a map;
+/// every *applied* write advances the simulation (a timed notification the
+/// device process consumes), so the kernel section of an augmented
+/// checkpoint is a deterministic function of the applied write sequence —
+/// replays (which are deduplicated) leave it untouched.
+class DeviceModel {
+ public:
+  DeviceModel() {
+    sysc::sc_simcontext::ContextGuard guard(ctx_);
+    irq_event_ = std::make_unique<sysc::sc_event>("dev_irq");
+    sysc::sc_process& update = ctx_.create_method("dev_update", [this] { ++updates_; });
+    update.dont_initialize();
+    update.make_sensitive(*irq_event_);
+  }
+
+  std::uint32_t read(std::uint32_t addr) const {
+    if (addr == kDevOpCountAddr) return static_cast<std::uint32_t>(writes_);
+    const auto it = regs_.find(addr);
+    return it == regs_.end() ? 0 : it->second;
+  }
+
+  /// Applies a write; returns the interrupt line to raise, if any.
+  std::optional<std::uint32_t> write(std::uint32_t addr, std::uint32_t value) {
+    regs_[addr] = value;
+    ++writes_;
+    irq_event_->notify(sysc::sc_time::from_ps(10000));
+    ctx_.run(sysc::sc_time::from_ps(20000));
+    if (addr == kDevIrqTriggerAddr) return value & 0x1F;
+    return std::nullopt;
+  }
+
+  sysc::kernel_state state() const { return ctx_.save_state(); }
+
+ private:
+  sysc::sc_simcontext ctx_;
+  std::unique_ptr<sysc::sc_event> irq_event_;
+  std::map<std::uint32_t, std::uint32_t> regs_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+struct SocketPair {
+  ipc::Fd parent;
+  ipc::Fd child;
+};
+
+SocketPair make_socketpair() {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    throw RuntimeError(std::string("socketpair: ") + std::strerror(errno));
+  }
+  return SocketPair{ipc::Fd(sv[0]), ipc::Fd(sv[1])};
+}
+
+}  // namespace
+
+struct Supervisor::Impl {
+  explicit Impl(SupervisorConfig config) : cfg(std::move(config)) {
+    util::require(!cfg.worker_path.empty(), "supervisor: worker_path is required");
+  }
+
+  ~Impl() { kill_child(); }
+
+  SupervisorConfig cfg;
+  DeviceModel device;
+
+  pid_t pid = -1;
+  ipc::Channel data;
+  ipc::Channel irq;
+
+  // -- crash-consistency bookkeeping ----------------------------------------
+  std::uint64_t applied_seq = 0;  ///< highest worker frame seq applied
+  std::uint64_t irq_tx_seq = 0;   ///< interrupts raised (logical, applied writes only)
+  /// Replies to applied requests, for answering replays after a restore.
+  /// Keyed by the worker's request seq; pruned at every checkpoint.
+  struct LoggedReply {
+    bool is_read = false;
+    std::uint32_t value = 0;
+    std::uint64_t irq_mark = 0;  ///< irq_tx_seq right after the original apply
+  };
+  std::map<std::uint64_t, LoggedReply> reply_log;
+  /// Raised interrupts the worker may not have durably absorbed yet
+  /// (seq -> line); pruned at every checkpoint, re-sent on resume.
+  std::map<std::uint64_t, std::uint32_t> irq_log;
+
+  std::vector<std::uint8_t> latest_ckpt;    ///< augmented, encoded
+  std::uint64_t latest_irqs_delivered = 0;  ///< from the latest checkpoint
+
+  SupervisorOutcome outcome;
+  int spawn_count = 0;
+
+  // -- child lifecycle -------------------------------------------------------
+
+  void spawn() {
+    obs::ScopedSpan span("sup.spawn", "sup", "spawn", static_cast<std::uint64_t>(spawn_count));
+    SocketPair data_sp = make_socketpair();
+    SocketPair irq_sp = make_socketpair();
+
+    const std::string data_fd = std::to_string(data_sp.child.get());
+    const std::string irq_fd = std::to_string(irq_sp.child.get());
+    const pid_t child = ::fork();
+    if (child < 0) throw RuntimeError(std::string("fork: ") + std::strerror(errno));
+    if (child == 0) {
+      // Child: the socketpair fds are inherited; tell the worker which ones.
+      data_sp.parent.reset();
+      irq_sp.parent.reset();
+      ::execl(cfg.worker_path.c_str(), "cosim_issworker", "--data-fd", data_fd.c_str(),
+              "--irq-fd", irq_fd.c_str(), static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed; the parent sees EOF on the sockets
+    }
+    pid = child;
+    data_sp.child.reset();
+    irq_sp.child.reset();
+    data = ipc::Channel::from_socket(std::move(data_sp.parent));
+    irq = ipc::Channel::from_socket(std::move(irq_sp.parent));
+    data.set_io_timeout(cfg.hang_timeout_ms);
+    irq.set_io_timeout(cfg.hang_timeout_ms);
+
+    // Handshake: Hello, then Start (fresh) or Resume (replay the latest
+    // checkpoint and re-send the interrupts it had not absorbed).
+    const WorkerFrame hello = recv_frame(data);
+    if (hello.op != WorkerOp::Hello) {
+      throw RuntimeError(std::string("supervisor: expected Hello, got ") +
+                         worker_op_name(hello.op));
+    }
+    ByteReader r(hello.payload, "Hello payload");
+    const std::uint32_t magic = r.u32();
+    if (magic != kWorkerHelloMagic) {
+      throw RuntimeError("supervisor: worker protocol magic mismatch");
+    }
+
+    WorkerConfig worker_cfg = cfg.worker;
+    worker_cfg.fault = spawn_count < static_cast<int>(cfg.fault_plan.size())
+                           ? cfg.fault_plan[static_cast<std::size_t>(spawn_count)]
+                           : WorkerFault{};
+    ++spawn_count;
+
+    if (latest_ckpt.empty()) {
+      send_frame(data, WorkerFrame{WorkerOp::Start, 0, encode_worker_config(worker_cfg)});
+    } else {
+      ByteWriter w;
+      const std::vector<std::uint8_t> encoded_cfg = encode_worker_config(worker_cfg);
+      w.blob(encoded_cfg);
+      w.bytes(latest_ckpt);
+      send_frame(data, WorkerFrame{WorkerOp::Resume, 0, w.take()});
+    }
+    // Re-send every logged interrupt the replayed run has not yet absorbed —
+    // on the Start path too: a crash before the first checkpoint replays
+    // from reset, and its deduplicated device writes will not re-raise the
+    // interrupts the original run already produced, yet the replayed acks
+    // carry the historical irq high-water marks the worker must drain to.
+    for (const auto& [seq, line] : irq_log) {
+      if (seq <= latest_irqs_delivered) continue;
+      ByteWriter payload;
+      payload.u32(line);
+      send_frame(irq, WorkerFrame{WorkerOp::Irq, seq, payload.take()});
+    }
+  }
+
+  bool child_dead() {
+    if (pid < 0) return true;
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      pid = -1;  // reaped
+      return true;
+    }
+    return false;
+  }
+
+  void kill_child() noexcept {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+    data.close();
+    irq.close();
+  }
+
+  void recover(const char* reason) {
+    ++outcome.recoveries;
+    static obs::Counter& c_recoveries = obs::counter("sup.recoveries");
+    c_recoveries.add(1);
+    obs::instant(reason, "sup", "recoveries", static_cast<std::uint64_t>(outcome.recoveries));
+    if (outcome.recoveries > cfg.max_recoveries) {
+      kill_child();
+      throw RuntimeError("supervisor: recovery limit exceeded (" +
+                         std::to_string(cfg.max_recoveries) + ")");
+    }
+    obs::ScopedSpan span("sup.recover", "sup");
+    kill_child();
+    spawn();
+  }
+
+  // -- frame handling --------------------------------------------------------
+
+  /// Augments a worker checkpoint with the supervisor-side sections and
+  /// stores it as the resume point. Logical counters only — replays change
+  /// none of them, so the augmented bytes are identical whether or not a
+  /// recovery happened on the way here.
+  std::vector<std::uint8_t> augment(std::span<const std::uint8_t> worker_ckpt) {
+    Checkpoint checkpoint = decode_checkpoint(worker_ckpt);
+    checkpoint.kernel = device.state();
+    ChannelSnapshot sup;
+    sup.label = "sup-data";
+    sup.tx_seq = outcome.writes_applied + outcome.reads_served;
+    sup.rx_seq = applied_seq;
+    checkpoint.channels.push_back(std::move(sup));
+    return encode_checkpoint(checkpoint);
+  }
+
+  void store_checkpoint(std::span<const std::uint8_t> worker_ckpt) {
+    const Checkpoint checkpoint = decode_checkpoint(worker_ckpt);
+    latest_ckpt = augment(worker_ckpt);
+    static obs::Counter& c_ckpts = obs::counter("sup.checkpoints");
+    c_ckpts.add(1);
+
+    // Prune: everything at or below the checkpoint's counters is durable.
+    std::uint64_t worker_tx = 0;
+    for (const ChannelSnapshot& chan : checkpoint.channels) {
+      if (chan.label == "worker-data") worker_tx = chan.tx_seq;
+    }
+    std::erase_if(reply_log, [worker_tx](const auto& e) { return e.first <= worker_tx; });
+    if (checkpoint.worker) {
+      latest_irqs_delivered = checkpoint.worker->irqs_delivered;
+      std::erase_if(irq_log,
+                    [this](const auto& e) { return e.first <= latest_irqs_delivered; });
+    }
+
+    if (!cfg.checkpoint_path.empty()) {
+      std::ofstream out(cfg.checkpoint_path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(latest_ckpt.data()),
+                static_cast<std::streamsize>(latest_ckpt.size()));
+    }
+  }
+
+  void handle_dev_write(const WorkerFrame& frame) {
+    ByteReader r(frame.payload, "DevWrite payload");
+    const std::uint32_t addr = r.u32();
+    const std::uint32_t value = r.u32();
+    std::uint64_t irq_mark = 0;
+    if (frame.seq <= applied_seq) {
+      // Replay of an applied write: re-ack with the *historical* irq mark so
+      // the worker drains interrupts at the same instruction boundary as the
+      // original run.
+      irq_mark = logged_reply(frame, false).irq_mark;
+    } else {
+      applied_seq = frame.seq;
+      ++outcome.writes_applied;
+      if (const std::optional<std::uint32_t> line = device.write(addr, value)) {
+        ++irq_tx_seq;
+        ++outcome.irqs_sent;
+        irq_log.emplace(irq_tx_seq, *line);
+        ByteWriter payload;
+        payload.u32(*line);
+        send_frame(irq, WorkerFrame{WorkerOp::Irq, irq_tx_seq, payload.take()});
+      }
+      irq_mark = irq_tx_seq;
+      reply_log.emplace(frame.seq, LoggedReply{false, 0, irq_mark});
+    }
+    ByteWriter ack;
+    ack.u64(irq_mark);
+    send_frame(data, WorkerFrame{WorkerOp::WriteAck, frame.seq, ack.take()});
+  }
+
+  void handle_dev_read(const WorkerFrame& frame) {
+    ByteReader r(frame.payload, "DevRead payload");
+    const std::uint32_t addr = r.u32();
+    std::uint32_t value = 0;
+    std::uint64_t irq_mark = 0;
+    if (frame.seq <= applied_seq) {
+      // Replay: answer from the log — the device may have moved on since.
+      const LoggedReply& logged = logged_reply(frame, true);
+      value = logged.value;
+      irq_mark = logged.irq_mark;
+    } else {
+      applied_seq = frame.seq;
+      ++outcome.reads_served;
+      value = device.read(addr);
+      irq_mark = irq_tx_seq;
+      reply_log.emplace(frame.seq, LoggedReply{true, value, irq_mark});
+    }
+    ByteWriter reply;
+    reply.u32(value);
+    reply.u64(irq_mark);
+    send_frame(data, WorkerFrame{WorkerOp::ReadReply, frame.seq, reply.take()});
+  }
+
+  const LoggedReply& logged_reply(const WorkerFrame& frame, bool want_read) {
+    const auto it = reply_log.find(frame.seq);
+    if (it == reply_log.end() || it->second.is_read != want_read) {
+      throw RuntimeError("supervisor: replayed " + std::string(worker_op_name(frame.op)) +
+                         " seq " + std::to_string(frame.seq) +
+                         " diverges from the logged history");
+    }
+    return it->second;
+  }
+
+  /// Returns true when the session is complete (Done handled).
+  bool handle(const WorkerFrame& frame) {
+    switch (frame.op) {
+      case WorkerOp::Ckpt:
+        if (frame.seq > applied_seq) {
+          applied_seq = frame.seq;
+          store_checkpoint(frame.payload);
+        }
+        return false;
+      case WorkerOp::DevWrite:
+        handle_dev_write(frame);
+        return false;
+      case WorkerOp::DevRead:
+        handle_dev_read(frame);
+        return false;
+      case WorkerOp::Done: {
+        ByteReader r(frame.payload, "Done payload");
+        outcome.guest_halt = r.u8();
+        outcome.final_checkpoint = augment(r.bytes(r.remaining()));
+        if (!cfg.checkpoint_path.empty()) {
+          std::ofstream out(cfg.checkpoint_path, std::ios::binary | std::ios::trunc);
+          out.write(reinterpret_cast<const char*>(outcome.final_checkpoint.data()),
+                    static_cast<std::streamsize>(outcome.final_checkpoint.size()));
+        }
+        return true;
+      }
+      default:
+        throw RuntimeError(std::string("supervisor: unexpected ") + worker_op_name(frame.op) +
+                           " frame");
+    }
+  }
+
+  SupervisorOutcome run() {
+    obs::ScopedSpan span("sup.session", "sup");
+    spawn();
+    for (;;) {
+      if (!data.readable(cfg.hang_timeout_ms)) {
+        recover(child_dead() ? "sup.recover.death" : "sup.recover.hang");
+        continue;
+      }
+      WorkerFrame frame;
+      try {
+        frame = recv_frame(data);
+      } catch (const std::exception&) {
+        recover(child_dead() ? "sup.recover.death" : "sup.recover.protocol");
+        continue;
+      }
+      try {
+        if (handle(frame)) break;
+      } catch (const RuntimeError&) {
+        recover("sup.recover.protocol");
+      }
+    }
+    // Let the worker exit cleanly; SIGKILL whatever refuses.
+    if (pid > 0) {
+      int status = 0;
+      if (::waitpid(pid, &status, WNOHANG) == pid) pid = -1;
+    }
+    kill_child();
+    return std::move(outcome);
+  }
+};
+
+Supervisor::Supervisor(SupervisorConfig config) : impl_(std::make_unique<Impl>(std::move(config))) {}
+Supervisor::~Supervisor() = default;
+
+SupervisorOutcome Supervisor::run() { return impl_->run(); }
+
+}  // namespace nisc::cosim

@@ -1,0 +1,81 @@
+// Session supervisor: spawns the ISS as a real child process, watches it,
+// and recovers it from the last crash-consistent checkpoint (DESIGN.md §12).
+//
+// The supervisor plays the SystemC side of the paper's Driver-Kernel scheme
+// for a supervised session: it owns a device model backed by a
+// sysc::sc_simcontext (applied device writes advance simulated time), the
+// data socket, and the dedicated interrupt socket. The worker protocol is
+// defined in cosim/worker.hpp.
+//
+// Recovery triggers, matching the failure taxonomy in ISSUE/DESIGN §12:
+//  * death    — waitpid reports the child gone (SIGKILL, abort, exit);
+//  * hang     — no frame within `hang_timeout_ms` while the child lives;
+//  * protocol — an undecodable frame arrives (stream corruption).
+// On any trigger the supervisor SIGKILLs what remains of the child, spawns
+// a fresh worker over fresh socketpairs, replays the latest checkpoint
+// (Resume frame + re-sent interrupts), and continues. Replayed frames are
+// deduplicated by sequence number; replayed device reads are answered from
+// a reply log (pruned at each checkpoint), so a recovered run's final
+// checkpoint is bit-identical to an uninterrupted run's.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cosim/checkpoint.hpp"
+#include "cosim/worker.hpp"
+#include "ipc/channel.hpp"
+
+namespace nisc::cosim {
+
+struct SupervisorConfig {
+  /// Path to the cosim_issworker binary.
+  std::string worker_path;
+  /// Guest program + cadence shipped to every spawn.
+  WorkerConfig worker;
+  /// Fault injected into spawn N (fault_plan[N]); spawns beyond the end run
+  /// clean. Lets a crash-matrix cell kill the worker several times.
+  std::vector<WorkerFault> fault_plan;
+  /// No frame for this long while the child lives => hang, recover.
+  int hang_timeout_ms = 5000;
+  /// Abort after this many recoveries (RuntimeError).
+  int max_recoveries = 8;
+  /// When non-empty, every checkpoint is also written to this file (the
+  /// crash-matrix failure artifact and the cosim_ckpt handoff point).
+  std::string checkpoint_path;
+};
+
+struct SupervisorOutcome {
+  /// Guest halt reason (iss::Halt) reported by the worker's Done frame.
+  std::uint8_t guest_halt = 0;
+  /// Times the worker was respawned.
+  int recoveries = 0;
+  /// Final checkpoint, augmented with the supervisor's kernel section and
+  /// channel snapshot — the bit-comparison surface of the crash matrix.
+  std::vector<std::uint8_t> final_checkpoint;
+  std::uint64_t writes_applied = 0;
+  std::uint64_t reads_served = 0;
+  std::uint64_t irqs_sent = 0;
+};
+
+/// Runs one supervised session to completion. Single-threaded and
+/// synchronous; construct, call run() once, inspect the outcome.
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorConfig config);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  SupervisorOutcome run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nisc::cosim

@@ -1,0 +1,332 @@
+#include "cosim/worker.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <optional>
+#include <thread>
+
+#include "cosim/bytes.hpp"
+#include "cosim/checkpoint.hpp"
+#include "iss/assembler.hpp"
+#include "iss/cpu.hpp"
+#include "iss/program.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace nisc::cosim {
+
+using util::RuntimeError;
+
+const char* worker_op_name(WorkerOp op) noexcept {
+  switch (op) {
+    case WorkerOp::Start: return "Start";
+    case WorkerOp::Resume: return "Resume";
+    case WorkerOp::WriteAck: return "WriteAck";
+    case WorkerOp::ReadReply: return "ReadReply";
+    case WorkerOp::Irq: return "Irq";
+    case WorkerOp::Hello: return "Hello";
+    case WorkerOp::Ckpt: return "Ckpt";
+    case WorkerOp::DevWrite: return "DevWrite";
+    case WorkerOp::DevRead: return "DevRead";
+    case WorkerOp::Done: return "Done";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_worker_config(const WorkerConfig& config) {
+  ByteWriter w;
+  w.blob({reinterpret_cast<const std::uint8_t*>(config.guest_source.data()),
+          config.guest_source.size()});
+  w.u64(config.mem_size);
+  w.u64(config.ckpt_every);
+  w.u8(static_cast<std::uint8_t>(config.fault.kind));
+  w.u64(config.fault.at_instret);
+  return w.take();
+}
+
+WorkerConfig decode_worker_config(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload, "worker config");
+  WorkerConfig config;
+  const std::vector<std::uint8_t> source = r.blob();
+  config.guest_source.assign(reinterpret_cast<const char*>(source.data()), source.size());
+  config.mem_size = r.u64();
+  config.ckpt_every = r.u64();
+  util::require(config.ckpt_every > 0, "worker config: ckpt_every must be positive");
+  config.fault.kind = static_cast<FaultKind>(r.u8());
+  config.fault.at_instret = r.u64();
+  return config;
+}
+
+void send_frame(ipc::Channel& channel, const WorkerFrame& frame) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(1 + 8 + frame.payload.size()));
+  w.u8(static_cast<std::uint8_t>(frame.op));
+  w.u64(frame.seq);
+  w.bytes(frame.payload);
+  channel.send(w.data());
+}
+
+WorkerFrame recv_frame(ipc::Channel& channel) {
+  std::uint8_t head[4];
+  channel.recv_exact(head);
+  const std::uint32_t body_len = static_cast<std::uint32_t>(head[0]) | (head[1] << 8) |
+                                 (head[2] << 16) | (static_cast<std::uint32_t>(head[3]) << 24);
+  if (body_len < 1 + 8 || body_len > kMaxWorkerFrame) {
+    throw RuntimeError("worker frame: implausible body length " + std::to_string(body_len) +
+                       " (stream corrupt?)");
+  }
+  std::vector<std::uint8_t> body(body_len);
+  channel.recv_exact(body);
+  ByteReader r(body, "worker frame body");
+  WorkerFrame frame;
+  frame.op = static_cast<WorkerOp>(r.u8());
+  frame.seq = r.u64();
+  frame.payload = r.bytes(r.remaining());
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Worker main loop
+
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+/// The guest-facing side of one supervised session.
+class WorkerSession {
+ public:
+  WorkerSession(ipc::Channel& data, ipc::Channel& irq, WorkerConfig config)
+      : data_(data), irq_(irq), config_(std::move(config)), cpu_(config_.mem_size) {
+    const iss::Program program = iss::assemble(config_.guest_source);
+    program.load_into(cpu_.mem());
+    cpu_.set_pc(program.entry);
+    install_hooks();
+  }
+
+  void restore(const Checkpoint& checkpoint) {
+    util::require(checkpoint.iss.has_value(), "resume checkpoint lacks an ISS section");
+    const std::uint64_t t0 = now_us();
+    checkpoint.iss->apply(cpu_);
+    if (checkpoint.worker) {
+      irqs_delivered_ = checkpoint.worker->irqs_delivered;
+      pending_irqs_.assign(checkpoint.worker->pending_irqs.begin(),
+                           checkpoint.worker->pending_irqs.end());
+    }
+    for (const ChannelSnapshot& chan : checkpoint.channels) {
+      if (chan.label == "worker-data") {
+        tx_seq_ = chan.tx_seq;
+        replies_rx_ = chan.rx_seq;
+        util::require(chan.inflight.empty(),
+                      "resume checkpoint violates the frame-boundary invariant");
+      }
+    }
+    static obs::Histogram& h_restore = obs::histogram("ckpt.restore_us", obs::default_us_bounds());
+    h_restore.observe(now_us() - t0);
+    resumed_ = true;
+  }
+
+  /// Runs the guest to completion, emitting checkpoints every
+  /// config.ckpt_every retired instructions.
+  void run() {
+    obs::instant(resumed_ ? "worker.resume" : "worker.start", "worker", "instret",
+                 cpu_.instret());
+    for (;;) {
+      const std::uint64_t next_ckpt =
+          (cpu_.instret() / config_.ckpt_every + 1) * config_.ckpt_every;
+      const iss::Halt halt = cpu_.run(next_ckpt - cpu_.instret());
+      if (halt == iss::Halt::Quantum) {
+        send_checkpoint(WorkerOp::Ckpt, iss::Halt::None);
+        continue;
+      }
+      send_checkpoint(WorkerOp::Done, halt);
+      return;
+    }
+  }
+
+ private:
+  void install_hooks() {
+    cpu_.set_ecall_handler([this](iss::Cpu& cpu) { return on_ecall(cpu); });
+    if (config_.fault.kind != FaultKind::None) {
+      cpu_.set_trace_hook([this](std::uint32_t, std::uint32_t) {
+        if (fault_armed_ && cpu_.instret() == config_.fault.at_instret) trigger_fault();
+      });
+    }
+  }
+
+  iss::Cpu::EcallResult on_ecall(iss::Cpu& cpu) {
+    switch (cpu.reg(17)) {  // a7
+      case kEcallDevWrite:
+        dev_write(cpu.reg(10), cpu.reg(11));
+        return iss::Cpu::EcallResult::Handled;
+      case kEcallDevRead:
+        cpu.set_reg(10, dev_read(cpu.reg(10)));
+        return iss::Cpu::EcallResult::Handled;
+      case kEcallIrqPop: {
+        std::uint32_t line = ~0u;
+        if (!pending_irqs_.empty()) {
+          line = pending_irqs_.front();
+          pending_irqs_.pop_front();
+        }
+        cpu.set_reg(10, line);
+        return iss::Cpu::EcallResult::Handled;
+      }
+      default:
+        return iss::Cpu::EcallResult::Halt;  // kEcallExit and unknown selectors
+    }
+  }
+
+  void dev_write(std::uint32_t addr, std::uint32_t value) {
+    ByteWriter w;
+    w.u32(addr);
+    w.u32(value);
+    send_frame(data_, WorkerFrame{WorkerOp::DevWrite, ++tx_seq_, w.take()});
+    const WorkerFrame ack = expect_reply(WorkerOp::WriteAck);
+    ByteReader r(ack.payload, "WriteAck payload");
+    drain_irqs(r.u64());
+  }
+
+  std::uint32_t dev_read(std::uint32_t addr) {
+    ByteWriter w;
+    w.u32(addr);
+    send_frame(data_, WorkerFrame{WorkerOp::DevRead, ++tx_seq_, w.take()});
+    const WorkerFrame reply = expect_reply(WorkerOp::ReadReply);
+    ByteReader r(reply.payload, "ReadReply payload");
+    const std::uint32_t value = r.u32();
+    drain_irqs(r.u64());
+    return value;
+  }
+
+  WorkerFrame expect_reply(WorkerOp op) {
+    const WorkerFrame frame = recv_frame(data_);
+    if (frame.op != op || frame.seq != tx_seq_) {
+      throw RuntimeError(std::string("worker: expected ") + worker_op_name(op) + " seq " +
+                         std::to_string(tx_seq_) + ", got " + worker_op_name(frame.op) + " seq " +
+                         std::to_string(frame.seq));
+    }
+    ++replies_rx_;
+    return frame;
+  }
+
+  /// Consumes irq frames until the delivered count reaches `target` (the
+  /// high-water mark the last ack reported). Interrupt delivery thereby
+  /// happens at deterministic points in the guest instruction stream.
+  void drain_irqs(std::uint64_t target) {
+    while (irqs_delivered_ < target) {
+      const WorkerFrame frame = recv_frame(irq_);
+      if (frame.op != WorkerOp::Irq) {
+        throw RuntimeError(std::string("worker: unexpected ") + worker_op_name(frame.op) +
+                           " on the irq socket");
+      }
+      if (frame.seq <= irqs_delivered_) continue;  // resend overlap after resume
+      if (frame.seq != irqs_delivered_ + 1) {
+        throw RuntimeError("worker: irq gap (have " + std::to_string(irqs_delivered_) +
+                           ", got seq " + std::to_string(frame.seq) + ")");
+      }
+      ByteReader r(frame.payload, "Irq payload");
+      irqs_delivered_ = frame.seq;
+      pending_irqs_.push_back(r.u32());
+    }
+  }
+
+  void send_checkpoint(WorkerOp op, iss::Halt halt) {
+    const std::uint64_t t0 = now_us();
+    // The checkpoint frame consumes a sequence number *before* the snapshot
+    // is taken, so the stored tx_seq covers this very frame: a resumed
+    // worker then re-numbers its replayed frames exactly as the original
+    // run did, which is what makes the supervisor's dedup line up.
+    const std::uint64_t seq = ++tx_seq_;
+    Checkpoint checkpoint;
+    checkpoint.iss = IssSnapshot::capture(cpu_);
+    WorkerSnapshot worker;
+    worker.irqs_delivered = irqs_delivered_;
+    worker.pending_irqs.assign(pending_irqs_.begin(), pending_irqs_.end());
+    checkpoint.worker = worker;
+    ChannelSnapshot chan;
+    chan.label = "worker-data";
+    chan.tx_seq = tx_seq_;
+    chan.rx_seq = replies_rx_;
+    checkpoint.channels.push_back(std::move(chan));
+    ByteWriter w;
+    if (op == WorkerOp::Done) w.u8(static_cast<std::uint8_t>(halt));
+    w.bytes(encode_checkpoint(checkpoint));
+    static obs::Histogram& h_save = obs::histogram("ckpt.save_us", obs::default_us_bounds());
+    h_save.observe(now_us() - t0);
+    send_frame(data_, WorkerFrame{op, seq, w.take()});
+  }
+
+  void trigger_fault() {
+    fault_armed_ = false;
+    obs::instant("worker.fault", "worker", "instret", cpu_.instret());
+    switch (config_.fault.kind) {
+      case FaultKind::CrashAt:
+        ::raise(SIGKILL);  // dies here; never returns
+        return;
+      case FaultKind::HangAt:
+        for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+      case FaultKind::GarbageAt: {
+        const std::uint8_t junk[16] = {0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE,
+                                       0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE};
+        data_.send(junk);
+        return;  // keeps running; the supervisor will kill it
+      }
+      case FaultKind::None: return;
+    }
+  }
+
+  ipc::Channel& data_;
+  ipc::Channel& irq_;
+  WorkerConfig config_;
+  iss::Cpu cpu_;
+  std::uint64_t tx_seq_ = 0;
+  std::uint64_t replies_rx_ = 0;
+  std::uint64_t irqs_delivered_ = 0;
+  std::deque<std::uint32_t> pending_irqs_;
+  bool fault_armed_ = true;
+  bool resumed_ = false;
+};
+
+}  // namespace
+
+int run_worker(ipc::Channel data, ipc::Channel irq) {
+  try {
+    // Bounded I/O so an orphaned worker (supervisor killed) exits instead
+    // of lingering.
+    data.set_io_timeout(30000);
+    irq.set_io_timeout(30000);
+    ByteWriter hello;
+    hello.u32(kWorkerHelloMagic);
+    send_frame(data, WorkerFrame{WorkerOp::Hello, 0, hello.take()});
+
+    const WorkerFrame init = recv_frame(data);
+    WorkerConfig config;
+    std::optional<Checkpoint> restore;
+    if (init.op == WorkerOp::Start) {
+      config = decode_worker_config(init.payload);
+    } else if (init.op == WorkerOp::Resume) {
+      ByteReader r(init.payload, "Resume payload");
+      config = decode_worker_config(r.blob());
+      restore = decode_checkpoint(r.bytes(r.remaining()));
+    } else {
+      throw RuntimeError(std::string("worker: expected Start/Resume, got ") +
+                         worker_op_name(init.op));
+    }
+
+    WorkerSession session(data, irq, std::move(config));
+    if (restore) session.restore(*restore);
+    session.run();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cosim_issworker: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace nisc::cosim

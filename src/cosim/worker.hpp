@@ -1,0 +1,124 @@
+// Supervised ISS worker: the guest side of the crash-recovery scheme
+// (DESIGN.md §12).
+//
+// The paper keeps the ISS in its own process and talks to it over a data
+// socket plus a dedicated interrupt socket. The supervised-session variant
+// reproduces that process boundary for real: cosim::Supervisor fork/execs
+// the `cosim_issworker` binary with a data and an irq socketpair, and the
+// worker runs an iss::Cpu over a guest program, exchanging the frames
+// defined here. Because the worker is a real process it can really die
+// (SIGKILL, hang, stream corruption) and the supervisor can really
+// recover it from the last checkpoint.
+//
+// Frame format on both sockets (little-endian):
+//   u32 body_len | u8 op | u64 seq | payload
+//
+// Crash-consistency contract:
+//  * every worker->supervisor frame carries a monotonically increasing
+//    sequence number (tx_seq); the supervisor deduplicates replays after a
+//    restore by tracking the last applied seq;
+//  * device writes/reads are synchronous: each is acknowledged, and the ack
+//    carries the supervisor's interrupt-wire high-water mark, which the
+//    worker drains from the irq socket before retiring the guest's ecall —
+//    interrupt delivery is thereby a deterministic function of the guest
+//    instruction stream, so a replayed run is bit-identical to an
+//    uninterrupted one;
+//  * checkpoints are emitted on instruction-count boundaries with no
+//    request outstanding, so channel snapshots never contain partial
+//    frames (the frame-boundary invariant).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ipc/channel.hpp"
+
+namespace nisc::cosim {
+
+/// Fault injected into the worker for crash-matrix tests. The trigger fires
+/// when `at_instret` guest instructions have retired.
+enum class FaultKind : std::uint8_t {
+  None = 0,
+  CrashAt = 1,    ///< raise(SIGKILL): the crash-matrix kill point
+  HangAt = 2,     ///< stop making progress (supervisor deadline fires)
+  GarbageAt = 3,  ///< write junk into the data socket (protocol error)
+};
+
+struct WorkerFault {
+  FaultKind kind = FaultKind::None;
+  std::uint64_t at_instret = 0;
+
+  bool operator==(const WorkerFault&) const = default;
+};
+
+/// Everything a worker needs to run a guest, sent in the Start/Resume frame.
+struct WorkerConfig {
+  std::string guest_source;       ///< RV32IM assembly, assembled in the worker
+  std::uint64_t mem_size = 1 << 20;
+  std::uint64_t ckpt_every = 64;  ///< checkpoint cadence in retired instructions
+  WorkerFault fault;
+
+  bool operator==(const WorkerConfig&) const = default;
+};
+
+std::vector<std::uint8_t> encode_worker_config(const WorkerConfig& config);
+WorkerConfig decode_worker_config(std::span<const std::uint8_t> payload);
+
+/// Frame opcodes. 0x0x: supervisor -> worker; 0x1x: worker -> supervisor.
+enum class WorkerOp : std::uint8_t {
+  Start = 0x01,      ///< payload: WorkerConfig — run the guest from reset
+  Resume = 0x02,     ///< payload: WorkerConfig | checkpoint bytes — restore then run
+  WriteAck = 0x03,   ///< payload: u64 irq high-water mark; seq echoes the DevWrite
+  ReadReply = 0x04,  ///< payload: u32 value | u64 irq high-water mark
+  Irq = 0x05,        ///< irq socket only; payload: u32 line; seq: irq ordinal
+
+  Hello = 0x10,      ///< payload: u32 protocol magic; worker is ready
+  Ckpt = 0x11,       ///< payload: checkpoint bytes (ISS + WRKR + CHAN sections)
+  DevWrite = 0x12,   ///< payload: u32 addr | u32 value
+  DevRead = 0x13,    ///< payload: u32 addr
+  Done = 0x14,       ///< payload: u8 halt reason | final checkpoint bytes
+};
+
+const char* worker_op_name(WorkerOp op) noexcept;
+
+/// Magic carried by Hello frames (protocol version 1).
+inline constexpr std::uint32_t kWorkerHelloMagic = 0x314B5257u;  // "WRK1"
+
+/// Guard on frame bodies; anything larger is stream corruption.
+inline constexpr std::uint32_t kMaxWorkerFrame = 64u << 20;
+
+struct WorkerFrame {
+  WorkerOp op = WorkerOp::Hello;
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const WorkerFrame&) const = default;
+};
+
+/// Writes one frame (atomically, as a single send).
+void send_frame(ipc::Channel& channel, const WorkerFrame& frame);
+
+/// Blocking read of one frame; throws RuntimeError on a malformed or
+/// oversized header (the supervisor treats that as a protocol error and
+/// recycles the worker).
+WorkerFrame recv_frame(ipc::Channel& channel);
+
+// -- guest-visible device ABI (ecall, args a0/a1, selector a7) --------------
+inline constexpr std::uint32_t kEcallExit = 0;      ///< a0: exit code
+inline constexpr std::uint32_t kEcallDevWrite = 1;  ///< a0: addr, a1: value
+inline constexpr std::uint32_t kEcallDevRead = 2;   ///< a0: addr -> a0: value
+inline constexpr std::uint32_t kEcallIrqPop = 3;    ///< -> a0: line or ~0u
+
+/// Device register that raises an interrupt when written (line = value).
+inline constexpr std::uint32_t kDevIrqTriggerAddr = 0x100;
+/// Read-only register returning the number of writes the device has applied.
+inline constexpr std::uint32_t kDevOpCountAddr = 0x104;
+
+/// Runs the worker protocol over the two channels until the guest halts or
+/// the supervisor goes away. Returns the process exit code (0 = guest ran
+/// to completion and Done was sent).
+int run_worker(ipc::Channel data, ipc::Channel irq);
+
+}  // namespace nisc::cosim

@@ -39,6 +39,16 @@ IoMetrics& io_metrics() {
 
 }  // namespace
 
+void Channel::attach_observer(std::shared_ptr<WireObserver> observer) noexcept {
+  std::atomic_store_explicit(&observer_, std::move(observer), std::memory_order_release);
+}
+
+std::shared_ptr<WireObserver> Channel::observer() const noexcept { return load_observer(); }
+
+std::shared_ptr<WireObserver> Channel::load_observer() const noexcept {
+  return std::atomic_load_explicit(&observer_, std::memory_order_acquire);
+}
+
 Channel Channel::from_socket(Fd socket_fd) {
   // Duplicate so read and write sides can be closed independently.
   int dup_fd = ::dup(socket_fd.get());
@@ -62,10 +72,11 @@ void Channel::send(std::span<const std::uint8_t> data) {
   IoMetrics& metrics = io_metrics();
   metrics.sends.add(1);
   metrics.bytes_sent.add(data.size());
+  const std::shared_ptr<WireObserver> observer = load_observer();
   if (!faults_) {
     write_all(write_fd_, data, io_timeout_ms_);
     if (capture_) capture_->record(CaptureDir::Tx, data);
-    if (observer_) observer_->on_wire(CaptureDir::Tx, data);
+    if (observer) observer->on_wire(CaptureDir::Tx, data);
     return;
   }
   SendVerdict verdict = faults_->on_send(data);
@@ -75,7 +86,7 @@ void Channel::send(std::span<const std::uint8_t> data) {
   for (int i = 0; i < verdict.copies; ++i) {
     write_all(write_fd_, verdict.bytes, io_timeout_ms_);
     if (capture_) capture_->record(CaptureDir::Tx, verdict.bytes);
-    if (observer_) observer_->on_wire(CaptureDir::Tx, verdict.bytes);
+    if (observer) observer->on_wire(CaptureDir::Tx, verdict.bytes);
   }
   if (verdict.close_after) close();
 }
@@ -89,10 +100,11 @@ void Channel::recv_exact(std::span<std::uint8_t> out) {
   IoMetrics& metrics = io_metrics();
   metrics.recvs.add(1);
   metrics.bytes_received.add(out.size());
+  const std::shared_ptr<WireObserver> observer = load_observer();
   if (!faults_) {
     read_exact(read_fd_, out, io_timeout_ms_);
     if (capture_) capture_->record(CaptureDir::Rx, out);
-    if (observer_) observer_->on_wire(CaptureDir::Rx, out);
+    if (observer) observer->on_wire(CaptureDir::Rx, out);
     return;
   }
   // A short-read fault splits the transfer; recv_exact still fills `out`,
@@ -106,11 +118,12 @@ void Channel::recv_exact(std::span<std::uint8_t> out) {
   }
   faults_->on_received(out);
   if (capture_) capture_->record(CaptureDir::Rx, out);
-  if (observer_) observer_->on_wire(CaptureDir::Rx, out);
+  if (observer) observer->on_wire(CaptureDir::Rx, out);
 }
 
 void Channel::notify_observer(std::string_view tag) {
-  if (observer_) observer_->on_wire_event(tag);
+  const std::shared_ptr<WireObserver> observer = load_observer();
+  if (observer) observer->on_wire_event(tag);
 }
 
 bool Channel::readable(int timeout_ms) {
@@ -126,10 +139,11 @@ bool Channel::readable(int timeout_ms) {
 }
 
 std::size_t Channel::recv_some(std::span<std::uint8_t> out) {
+  const std::shared_ptr<WireObserver> observer = load_observer();
   if (!faults_) {
     std::size_t n = read_some_nonblocking(read_fd_, out);
     if (n > 0 && capture_) capture_->record(CaptureDir::Rx, out.first(n));
-    if (n > 0 && observer_) observer_->on_wire(CaptureDir::Rx, out.first(n));
+    if (n > 0 && observer) observer->on_wire(CaptureDir::Rx, out.first(n));
     if (n > 0) {
       IoMetrics& metrics = io_metrics();
       metrics.recvs.add(1);
@@ -142,7 +156,7 @@ std::size_t Channel::recv_some(std::span<std::uint8_t> out) {
   if (n > 0) {
     faults_->on_received(out.first(n));
     if (capture_) capture_->record(CaptureDir::Rx, out.first(n));
-    if (observer_) observer_->on_wire(CaptureDir::Rx, out.first(n));
+    if (observer) observer->on_wire(CaptureDir::Rx, out.first(n));
     IoMetrics& metrics = io_metrics();
     metrics.recvs.add(1);
     metrics.bytes_received.add(n);

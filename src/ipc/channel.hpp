@@ -67,12 +67,15 @@ class Channel {
   }
   const std::shared_ptr<WireCapture>& capture() const noexcept { return capture_; }
 
-  /// Installs a live observer seeing every transfer (post fault injection,
-  /// i.e. the bytes that actually crossed the wire on this endpoint).
-  void attach_observer(std::shared_ptr<WireObserver> observer) noexcept {
-    observer_ = std::move(observer);
-  }
-  const std::shared_ptr<WireObserver>& observer() const noexcept { return observer_; }
+  /// Installs (or, with nullptr, detaches) a live observer seeing every
+  /// transfer (post fault injection, i.e. the bytes that actually crossed
+  /// the wire on this endpoint). Safe to call while the reader/writer
+  /// threads are mid-traffic: the pointer is published atomically and
+  /// in-flight calls finish against the observer they loaded — the
+  /// supervisor re-attaches its conformance monitor on recovery while the
+  /// peer may still be draining.
+  void attach_observer(std::shared_ptr<WireObserver> observer) noexcept;
+  std::shared_ptr<WireObserver> observer() const noexcept;
 
   /// Forwards an out-of-band endpoint event (e.g. "quiesce") to the
   /// observer, if any; defined out of line to keep WireObserver forward-
@@ -86,12 +89,16 @@ class Channel {
   }
 
  private:
+  /// Acquire-loads the observer for one I/O call (never touch observer_
+  /// directly on the hot paths: attach/detach may race with traffic).
+  std::shared_ptr<WireObserver> load_observer() const noexcept;
+
   Fd read_fd_;
   Fd write_fd_;
   int io_timeout_ms_ = -1;
   std::shared_ptr<FaultState> faults_;
   std::shared_ptr<WireCapture> capture_;
-  std::shared_ptr<WireObserver> observer_;
+  std::shared_ptr<WireObserver> observer_;  // atomic_load/atomic_store only
 };
 
 /// Two channel endpoints wired back-to-back.

@@ -2,12 +2,29 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace nisc::ipc {
+
+std::uint64_t default_retry_seed() noexcept {
+  // Read once: a mid-run setenv must not split one process's backoff
+  // schedules across two seeds (the fault matrix re-reads per test, but a
+  // given process run stays internally consistent).
+  static const std::uint64_t seed = []() -> std::uint64_t {
+    constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+    const char* env = std::getenv("NISC_FAULT_SEED");
+    if (env == nullptr || *env == '\0') return kGolden;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end == env) return kGolden;
+    return kGolden ^ (parsed * 0xBF58476D1CE4E5B9ULL);
+  }();
+  return seed;
+}
 
 int Backoff::next_delay_ms() {
   ++attempt_;

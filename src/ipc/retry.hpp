@@ -13,6 +13,12 @@
 
 namespace nisc::ipc {
 
+/// Default jitter seed: the fault-matrix seed (NISC_FAULT_SEED, read once
+/// and cached) mixed into the golden-ratio constant, so fault-matrix and
+/// crash-matrix runs get bit-identical backoff schedules across CI reruns
+/// of the same seed. Without the variable this is the historical constant.
+std::uint64_t default_retry_seed() noexcept;
+
 struct RetryPolicy {
   /// Total attempts (the first try included). 1 disables retrying.
   int max_attempts = 5;
@@ -26,8 +32,8 @@ struct RetryPolicy {
   /// (0.25 -> delays land in [d, 1.25 d]): decorrelates peers that fail
   /// together without ever retrying early.
   double jitter = 0.25;
-  /// Seed for the jitter stream.
-  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  /// Seed for the jitter stream (see default_retry_seed()).
+  std::uint64_t seed = default_retry_seed();
 };
 
 /// Iterates the delay schedule of a RetryPolicy.

@@ -79,7 +79,20 @@ class Cpu {
   /// Charges extra cycles (used by the RTOS model for OS overhead).
   void add_cycles(std::uint64_t n) noexcept { cycles_ += n; }
 
+  // -- checkpoint interface (cosim/checkpoint.hpp) ---------------------------
+
+  /// Overwrites the retirement/cycle counters with snapshot values. Only the
+  /// checkpoint restore path may call this: the counters otherwise advance
+  /// solely through execution.
+  void restore_counters(std::uint64_t instret, std::uint64_t cycles) noexcept {
+    instret_ = instret;
+    cycles_ = cycles;
+  }
+  /// Overwrites the last-halt reason with a snapshot value.
+  void restore_halt(Halt halt) noexcept { last_halt_ = halt; }
+
   CycleModel& cycle_model() noexcept { return cycle_model_; }
+  const CycleModel& cycle_model() const noexcept { return cycle_model_; }
 
   // -- debug interface (GDB stub) --------------------------------------------
 
@@ -87,10 +100,14 @@ class Cpu {
   void remove_breakpoint(std::uint32_t addr) noexcept { breakpoints_.erase(addr); }
   bool has_breakpoint(std::uint32_t addr) const noexcept { return breakpoints_.count(addr) > 0; }
   std::size_t breakpoint_count() const noexcept { return breakpoints_.size(); }
+  const std::set<std::uint32_t>& breakpoints() const noexcept { return breakpoints_; }
 
   /// Write watchpoint over [addr, addr+len).
   void add_watchpoint(std::uint32_t addr, std::uint32_t len) { watchpoints_[addr] = len; }
   void remove_watchpoint(std::uint32_t addr) noexcept { watchpoints_.erase(addr); }
+  const std::map<std::uint32_t, std::uint32_t>& watchpoints() const noexcept {
+    return watchpoints_;
+  }
 
   /// Address whose watchpoint fired last (valid after Halt::Watchpoint).
   std::uint32_t watch_hit_addr() const noexcept { return watch_hit_addr_; }

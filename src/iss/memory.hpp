@@ -74,6 +74,9 @@ class Memory {
   /// Zeroes all of memory.
   void clear() noexcept { std::fill(bytes_.begin(), bytes_.end(), 0); }
 
+  /// Read-only view over the whole address space (checkpoint page scan).
+  std::span<const std::uint8_t> bytes() const noexcept { return bytes_; }
+
  private:
   void check(std::uint32_t addr, std::size_t len) const {
     if (static_cast<std::uint64_t>(addr) + len > bytes_.size()) {

@@ -57,9 +57,14 @@ sc_object::~sc_object() { ctx_->remove_object(this); }
 // ---------------------------------------------------------------------------
 // sc_event
 
-sc_event::sc_event(std::string name) : name_(std::move(name)), ctx_(&current_context()) {}
+sc_event::sc_event(std::string name) : name_(std::move(name)), ctx_(&current_context()) {
+  ctx_->add_event(this);
+}
 
-sc_event::~sc_event() { ctx_->cancel_event(this); }
+sc_event::~sc_event() {
+  ctx_->cancel_event(this);
+  ctx_->remove_event(this);
+}
 
 void sc_event::notify() { fire(); }
 
@@ -483,6 +488,100 @@ void sc_simcontext::remove_object(sc_object* object) noexcept {
   std::erase_if(iss_ports_, [object](iss_port_base* p) {
     return static_cast<sc_object*>(p) == object;
   });
+}
+
+void sc_simcontext::add_event(sc_event* event) { events_.push_back(event); }
+
+void sc_simcontext::remove_event(sc_event* event) noexcept { std::erase(events_, event); }
+
+sc_event* sc_simcontext::find_event(std::string_view name, std::uint32_t ordinal) const noexcept {
+  std::uint32_t seen = 0;
+  for (sc_event* event : events_) {
+    if (event->name() != name) continue;
+    if (seen == ordinal) return event;
+    ++seen;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Ordinal of `event` among same-named events in registration order.
+std::uint32_t event_ordinal(const std::vector<sc_event*>& events, const sc_event* event) noexcept {
+  std::uint32_t ordinal = 0;
+  for (sc_event* candidate : events) {
+    if (candidate == event) return ordinal;
+    if (candidate->name() == event->name()) ++ordinal;
+  }
+  return ordinal;
+}
+
+}  // namespace
+
+kernel_state sc_simcontext::save_state() const {
+  util::require(runnable_.empty() && update_queue_.empty(),
+                "save_state: kernel is mid-delta (runnable processes or pending updates)");
+  kernel_state state;
+  state.now_ps = now_.ps();
+  state.timed_seq = timed_seq_;
+  state.stats = stats_;
+  state.timed.reserve(timed_queue_.size());
+  for (const auto& [key, entry] : timed_queue_) {
+    kernel_state::timed_entry out;
+    out.at_ps = key.first;
+    out.seq = key.second;
+    if (entry.process != nullptr) {
+      out.is_process = true;
+      out.name = entry.process->name();
+    } else if (entry.event != nullptr) {
+      out.name = entry.event->name();
+      out.ordinal = event_ordinal(events_, entry.event);
+    }
+    state.timed.push_back(std::move(out));
+  }
+  state.delta_events.reserve(delta_events_.size());
+  for (const sc_event* event : delta_events_) {
+    state.delta_events.push_back({event->name(), event_ordinal(events_, event)});
+  }
+  return state;
+}
+
+void sc_simcontext::restore_state(const kernel_state& state) {
+  util::require(runnable_.empty() && update_queue_.empty(),
+                "restore_state: kernel is mid-delta");
+  elaborate();
+  // The snapshotted run already executed the initialization phase; running
+  // it again would double-dispatch every initializable process.
+  initialized_ = true;
+  timed_queue_.clear();
+  delta_events_.clear();
+  now_ = sc_time::from_ps(state.now_ps);
+  timed_seq_ = state.timed_seq;
+  stats_ = state.stats;
+  for (const kernel_state::timed_entry& entry : state.timed) {
+    TimedEntry resolved;
+    if (entry.is_process) {
+      sc_object* object = find_object(entry.name);
+      resolved.process = dynamic_cast<sc_process*>(object);
+      if (resolved.process == nullptr) {
+        throw util::RuntimeError("restore_state: unresolved process '" + entry.name + "'");
+      }
+    } else {
+      resolved.event = find_event(entry.name, entry.ordinal);
+      if (resolved.event == nullptr) {
+        throw util::RuntimeError("restore_state: unresolved event '" + entry.name + "' ordinal " +
+                                 std::to_string(entry.ordinal));
+      }
+    }
+    timed_queue_.emplace(TimedKey{entry.at_ps, entry.seq}, resolved);
+  }
+  for (const kernel_state::delta_entry& entry : state.delta_events) {
+    sc_event* event = find_event(entry.name, entry.ordinal);
+    if (event == nullptr) {
+      throw util::RuntimeError("restore_state: unresolved delta event '" + entry.name + "'");
+    }
+    delta_events_.push_back(event);
+  }
 }
 
 std::string sc_simcontext::unique_name(const std::string& base) {

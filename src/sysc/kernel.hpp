@@ -271,6 +271,46 @@ struct kernel_stats {
   std::uint64_t channel_updates = 0;
   std::uint64_t timed_advances = 0;
   std::uint64_t extension_checks = 0;
+
+  bool operator==(const kernel_stats&) const = default;
+};
+
+/// Schedulable-state snapshot of a quiescent kernel (cosim/checkpoint.hpp,
+/// DESIGN.md §12): simulated time, the delta/sequence counters, and every
+/// pending notification identified *by name* so the snapshot can be applied
+/// to an identically rebuilt design. Notifications reference events by
+/// (name, ordinal-among-same-name, in registration order) because sc_event
+/// names — unlike sc_object names — are not uniquified; a deterministically
+/// rebuilt design reproduces both.
+///
+/// Not captured (host substitution, DESIGN.md §2): thread-process stacks.
+/// A snapshot is only faithful when every pending wait is event- or
+/// method-based, or the threads are re-driven to their wait points by
+/// deterministic re-execution (what the supervisor's replay does).
+struct kernel_state {
+  struct timed_entry {
+    std::uint64_t at_ps = 0;
+    std::uint64_t seq = 0;  ///< original tie-break: same-instant firing order
+    bool is_process = false;
+    std::string name;
+    std::uint32_t ordinal = 0;  ///< events only; 0 for processes
+
+    bool operator==(const timed_entry&) const = default;
+  };
+  struct delta_entry {
+    std::string name;
+    std::uint32_t ordinal = 0;
+
+    bool operator==(const delta_entry&) const = default;
+  };
+
+  std::uint64_t now_ps = 0;
+  std::uint64_t timed_seq = 0;
+  kernel_stats stats;
+  std::vector<timed_entry> timed;
+  std::vector<delta_entry> delta_events;
+
+  bool operator==(const kernel_state&) const = default;
 };
 
 /// One independent simulation kernel: object registry, event queues and the
@@ -336,6 +376,25 @@ class sc_simcontext {
   void stop() noexcept { stop_requested_ = true; }
   bool stop_requested() const noexcept { return stop_requested_; }
 
+  // -- checkpoint interface (cosim/checkpoint.hpp) ---------------------------
+
+  /// Captures the scheduler state between run() calls. Throws LogicError
+  /// when called mid-delta (runnable processes or pending updates exist):
+  /// snapshots must land on delta-cycle boundaries, mirroring the wire
+  /// snapshot's frame-boundary invariant.
+  kernel_state save_state() const;
+
+  /// Applies a snapshot to this context, which must be an identically
+  /// rebuilt design that has not yet run (elaboration is performed here;
+  /// the initialization phase is skipped — the snapshotted run already
+  /// executed it). Throws RuntimeError when a named event/process cannot
+  /// be resolved.
+  void restore_state(const kernel_state& state);
+
+  /// Resolves the `ordinal`-th live event named `name`, in registration
+  /// order; nullptr when absent.
+  sc_event* find_event(std::string_view name, std::uint32_t ordinal = 0) const noexcept;
+
   sc_time time_stamp() const noexcept { return now_; }
   std::uint64_t delta_count() const noexcept { return stats_.delta_cycles; }
   const kernel_stats& stats() const noexcept { return stats_; }
@@ -353,6 +412,8 @@ class sc_simcontext {
 
   void add_object(sc_object* object);
   void remove_object(sc_object* object) noexcept;
+  void add_event(sc_event* event);
+  void remove_event(sc_event* event) noexcept;
   std::string unique_name(const std::string& base);
   sc_object* find_object(std::string_view name) const noexcept;
   std::size_t object_count() const noexcept { return objects_.size(); }
@@ -402,6 +463,7 @@ class sc_simcontext {
   std::multimap<TimedKey, TimedEntry> timed_queue_;
 
   std::vector<sc_object*> objects_;  // non-owning registry, insertion order
+  std::vector<sc_event*> events_;    // non-owning registry, insertion order
   std::map<std::string, sc_object*, std::less<>> objects_by_name_;
   std::map<std::string, int> name_counters_;
   std::vector<std::unique_ptr<sc_process>> processes_;

@@ -46,4 +46,38 @@ std::uint32_t word_sum32(std::span<const std::uint8_t> data) noexcept {
   return sum;
 }
 
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() noexcept {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& crc32_table() noexcept {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data) noexcept {
+  const Crc32Table& table = crc32_table();
+  for (std::uint8_t byte : data) state = table.entries[(state ^ byte) & 0xFF] ^ (state >> 8);
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) noexcept { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
 }  // namespace nisc::util

@@ -23,4 +23,14 @@ std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) noexcept;
 /// implement (cheap on RV32 yet order-sensitive enough to catch swaps).
 std::uint32_t word_sum32(std::span<const std::uint8_t> data) noexcept;
 
+/// CRC-32 (IEEE 802.3: poly 0xEDB88320 reflected, init/final-xor 0xFFFFFFFF).
+/// Integrity seal on every checkpoint section (DESIGN.md §12).
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental CRC-32: feed chunks with `crc32_update` starting from
+/// `crc32_init()`, then finalize with `crc32_final`.
+std::uint32_t crc32_init() noexcept;
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data) noexcept;
+std::uint32_t crc32_final(std::uint32_t state) noexcept;
+
 }  // namespace nisc::util

@@ -1,0 +1,250 @@
+// Crash matrix (DESIGN.md §12): SIGKILL the supervised ISS worker at
+// randomized instruction counts and assert the recovered session's final
+// checkpoint is bit-identical to an uninterrupted control run's.
+//
+// The worker is a real child process (cosim_issworker, path baked in via
+// NISC_WORKER_BIN), so the kills are real kills: the supervisor sees EOF or
+// a dead pid, respawns over fresh socketpairs, replays the last checkpoint
+// and re-sends undrained interrupts. The guest exercises every recovery-
+// sensitive path: device writes, synchronous device reads, interrupt
+// raising and draining — all logged into guest memory so any divergence
+// shows up in the ISS page diff, not just the counters.
+//
+// Full matrix: >= 8 distinct kill points x 3 seeds, plus hang, garbage and
+// multi-crash cells. NISC_CRASH_QUICK=1 (the PR CI profile) shrinks it to
+// 3 points x 1 seed. On mismatch the control and recovered checkpoints are
+// written next to the test as artifacts and the field diff is printed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cosim/checkpoint.hpp"
+#include "cosim/supervisor.hpp"
+#include "cosim/worker.hpp"
+#include "iss/cpu.hpp"
+#include "util/rng.hpp"
+
+namespace nisc::cosim {
+namespace {
+
+// 40 iterations; every iteration does a device write, an op-count read and
+// an irq pop; every 4th raises an interrupt. All results are logged to
+// memory so the final ISS pages encode the full device interaction history.
+constexpr const char* kGuestSource = R"(
+_start:
+    li   s0, 0          # i
+    li   s1, 40         # iterations
+    la   s2, log
+loop:
+    # dev_write(0x200 + 4*i, 4*i + 7)
+    slli a0, s0, 2
+    addi a1, a0, 7
+    addi a0, a0, 0x200
+    li   a7, 1
+    ecall
+    # every 4th iteration: raise irq line (i & 31)
+    andi t1, s0, 3
+    bnez t1, no_irq
+    li   a0, 0x100
+    andi a1, s0, 31
+    li   a7, 1
+    ecall
+no_irq:
+    # log dev_read(op count)
+    li   a0, 0x104
+    li   a7, 2
+    ecall
+    sw   a0, 0(s2)
+    addi s2, s2, 4
+    # log irq_pop (line or ~0)
+    li   a7, 3
+    ecall
+    sw   a0, 0(s2)
+    addi s2, s2, 4
+    addi s0, s0, 1
+    bne  s0, s1, loop
+    li   a0, 0
+    li   a7, 0          # exit
+    ecall
+
+log:
+    .space 2048
+)";
+
+bool quick_profile() {
+  const char* env = std::getenv("NISC_CRASH_QUICK");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+SupervisorConfig base_config() {
+  SupervisorConfig config;
+  config.worker_path = NISC_WORKER_BIN;
+  config.worker.guest_source = kGuestSource;
+  config.worker.mem_size = 1 << 16;
+  config.worker.ckpt_every = 64;
+  config.hang_timeout_ms = 5000;
+  return config;
+}
+
+void dump_artifact(const std::string& name, std::span<const std::uint8_t> bytes) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::fprintf(stderr, "crash_matrix artifact: %s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
+/// Bit-identity assertion with forensic output: on mismatch both
+/// checkpoints become artifacts and the decoded field diff is printed.
+void expect_bit_identical(const SupervisorOutcome& control, const SupervisorOutcome& cell,
+                          const std::string& label) {
+  if (cell.final_checkpoint == control.final_checkpoint) return;
+  dump_artifact(label + "-control.ckpt", control.final_checkpoint);
+  dump_artifact(label + "-recovered.ckpt", cell.final_checkpoint);
+  std::string rendered;
+  for (const std::string& line :
+       diff_checkpoints(decode_checkpoint(control.final_checkpoint),
+                        decode_checkpoint(cell.final_checkpoint))) {
+    rendered += "  " + line + "\n";
+  }
+  ADD_FAILURE() << label << ": recovered final checkpoint diverges from control\n" << rendered;
+}
+
+struct ControlRun {
+  SupervisorOutcome outcome;
+  std::uint64_t total_instret = 0;
+};
+
+/// One uninterrupted run, shared by every matrix cell.
+const ControlRun& control_run() {
+  static const ControlRun control = [] {
+    Supervisor supervisor(base_config());
+    ControlRun run;
+    run.outcome = supervisor.run();
+    const Checkpoint decoded = decode_checkpoint(run.outcome.final_checkpoint);
+    EXPECT_TRUE(decoded.iss.has_value());
+    if (decoded.iss) run.total_instret = decoded.iss->instret;
+    return run;
+  }();
+  return control;
+}
+
+TEST(CrashMatrixTest, ControlRunCompletesWithoutRecovery) {
+  const ControlRun& control = control_run();
+  EXPECT_EQ(control.outcome.recoveries, 0);
+  EXPECT_EQ(control.outcome.guest_halt, static_cast<std::uint8_t>(iss::Halt::Ecall));
+  EXPECT_EQ(control.outcome.writes_applied, 40u + 10u);  // data writes + irq triggers
+  EXPECT_EQ(control.outcome.reads_served, 40u);
+  EXPECT_EQ(control.outcome.irqs_sent, 10u);
+  // Long enough that the randomized kill points spread across several
+  // checkpoint intervals (ckpt_every = 64).
+  EXPECT_GT(control.total_instret, 512u);
+
+  // Determinism baseline: a second uninterrupted run is bit-identical.
+  Supervisor again(base_config());
+  const SupervisorOutcome repeat = again.run();
+  expect_bit_identical(control.outcome, repeat, "control-repeat");
+}
+
+TEST(CrashMatrixTest, KilledWorkerRecoversBitIdenticallyAtRandomizedPoints) {
+  const ControlRun& control = control_run();
+  ASSERT_GT(control.total_instret, 2u);
+
+  const std::vector<std::uint64_t> seeds =
+      quick_profile() ? std::vector<std::uint64_t>{1} : std::vector<std::uint64_t>{1, 7, 1234};
+  const std::size_t points_per_seed = quick_profile() ? 3 : 8;
+
+  for (const std::uint64_t seed : seeds) {
+    util::Rng rng(seed);
+    std::set<std::uint64_t> points;
+    while (points.size() < points_per_seed) {
+      points.insert(rng.between(1, control.total_instret - 1));
+    }
+    for (const std::uint64_t at : points) {
+      SupervisorConfig config = base_config();
+      config.fault_plan = {{FaultKind::CrashAt, at}};
+      Supervisor supervisor(std::move(config));
+      const SupervisorOutcome outcome = supervisor.run();
+      const std::string label =
+          "kill-s" + std::to_string(seed) + "-i" + std::to_string(at);
+      EXPECT_EQ(outcome.recoveries, 1) << label;
+      EXPECT_EQ(outcome.guest_halt, static_cast<std::uint8_t>(iss::Halt::Ecall)) << label;
+      expect_bit_identical(control.outcome, outcome, label);
+    }
+  }
+}
+
+TEST(CrashMatrixTest, HungWorkerIsDetectedAndRecovered) {
+  const ControlRun& control = control_run();
+  SupervisorConfig config = base_config();
+  config.hang_timeout_ms = 500;  // the worker stops; only the deadline saves us
+  config.fault_plan = {{FaultKind::HangAt, control.total_instret / 2}};
+  Supervisor supervisor(std::move(config));
+  const SupervisorOutcome outcome = supervisor.run();
+  EXPECT_GE(outcome.recoveries, 1);
+  expect_bit_identical(control.outcome, outcome, "hang");
+}
+
+TEST(CrashMatrixTest, GarbageOnTheWireIsAProtocolErrorAndRecovered) {
+  const ControlRun& control = control_run();
+  SupervisorConfig config = base_config();
+  config.fault_plan = {{FaultKind::GarbageAt, control.total_instret / 3}};
+  Supervisor supervisor(std::move(config));
+  const SupervisorOutcome outcome = supervisor.run();
+  EXPECT_GE(outcome.recoveries, 1);
+  expect_bit_identical(control.outcome, outcome, "garbage");
+}
+
+TEST(CrashMatrixTest, RepeatedCrashesStillConverge) {
+  const ControlRun& control = control_run();
+  SupervisorConfig config = base_config();
+  config.fault_plan = {{FaultKind::CrashAt, control.total_instret / 4},
+                       {FaultKind::CrashAt, control.total_instret / 2},
+                       {FaultKind::CrashAt, (3 * control.total_instret) / 4}};
+  Supervisor supervisor(std::move(config));
+  const SupervisorOutcome outcome = supervisor.run();
+  EXPECT_EQ(outcome.recoveries, 3);
+  expect_bit_identical(control.outcome, outcome, "multi-crash");
+}
+
+TEST(CrashMatrixTest, RecoveryBudgetIsEnforced) {
+  SupervisorConfig config = base_config();
+  config.max_recoveries = 2;
+  // More planned crashes than the budget allows: the supervisor must give
+  // up with an error instead of thrashing forever.
+  config.fault_plan = {{FaultKind::CrashAt, 10},
+                       {FaultKind::CrashAt, 20},
+                       {FaultKind::CrashAt, 30},
+                       {FaultKind::CrashAt, 40}};
+  Supervisor supervisor(std::move(config));
+  EXPECT_THROW(supervisor.run(), std::exception);
+}
+
+TEST(CrashMatrixTest, CheckpointFileArtifactIsWrittenAndLoadable) {
+  const std::string path = ::testing::TempDir() + "crash-matrix-latest.ckpt";
+  SupervisorConfig config = base_config();
+  config.checkpoint_path = path;
+  Supervisor supervisor(std::move(config));
+  const SupervisorOutcome outcome = supervisor.run();
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << path;
+  const std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                        std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, outcome.final_checkpoint);
+  const Checkpoint decoded = decode_checkpoint(bytes);
+  EXPECT_TRUE(decoded.iss.has_value());
+  EXPECT_TRUE(decoded.kernel.has_value());
+  EXPECT_TRUE(decoded.worker.has_value());
+  EXPECT_FALSE(decoded.channels.empty());
+}
+
+}  // namespace
+}  // namespace nisc::cosim

@@ -648,5 +648,105 @@ TEST(CaptureTest, ChannelRecordsBothDirections) {
   EXPECT_EQ(capture->size(), 2u);  // one Tx + one Rx on endpoint a
 }
 
+TEST(CaptureTest, RingWrapsKeepingTheMostRecentFrames) {
+  WireCapture capture("ring", 4);
+  for (int i = 0; i < 10; ++i) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(i);
+    capture.record(CaptureDir::Tx, {&byte, 1});
+  }
+  EXPECT_EQ(capture.size(), 4u);            // ring capacity
+  EXPECT_EQ(capture.total_recorded(), 10u);  // nothing miscounted by eviction
+
+  // The dump must contain exactly the surviving transfers — seq 6..9 — and
+  // none of the evicted ones. Pseudo-ports carry the sequence numbers.
+  const std::vector<std::uint8_t> dump = capture.dump();
+  const std::string text(dump.begin(), dump.end());
+  for (int seq = 6; seq <= 9; ++seq) {
+    EXPECT_NE(text.find("ring.tx#" + std::to_string(seq)), std::string::npos) << seq;
+  }
+  EXPECT_EQ(text.find("ring.tx#5"), std::string::npos);
+  EXPECT_EQ(text.find("ring.tx#0"), std::string::npos);
+}
+
+TEST(CaptureTest, WrappedDumpStillParsesAsFrames) {
+  // After heavy wraparound the dump must still be a clean concatenation of
+  // whole Driver-Kernel frames (u32 size | body) with nothing left over.
+  WireCapture capture("wrap", 3);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(1 + i % 7),
+                                      static_cast<std::uint8_t>(i));
+    capture.record(i % 2 == 0 ? CaptureDir::Tx : CaptureDir::Rx, payload);
+  }
+  const std::vector<std::uint8_t> dump = capture.dump();
+  std::size_t offset = 0;
+  std::size_t frames = 0;
+  while (offset + 4 <= dump.size()) {
+    const std::uint32_t size = static_cast<std::uint32_t>(dump[offset]) |
+                               (dump[offset + 1] << 8) | (dump[offset + 2] << 16) |
+                               (static_cast<std::uint32_t>(dump[offset + 3]) << 24);
+    ASSERT_LE(offset + 4 + size, dump.size());
+    offset += 4 + size;
+    ++frames;
+  }
+  EXPECT_EQ(offset, dump.size());  // ends exactly on a frame boundary
+  EXPECT_EQ(frames, 3u);
+}
+
+// ---------------------------------------------------------------- observer
+
+namespace {
+/// Counts callbacks; deliberately slow so callbacks overlap detach windows.
+class CountingObserver final : public WireObserver {
+ public:
+  void on_wire(CaptureDir, std::span<const std::uint8_t>) override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+  std::atomic<std::uint64_t> calls{0};
+};
+}  // namespace
+
+TEST(ObserverRaceTest, AttachDetachWhileTrafficInFlight) {
+  // Regression test: attach_observer/observer publish the shared_ptr with
+  // atomic_load/atomic_store, so re-attaching a monitor while the peer is
+  // mid-traffic (what the supervisor does on recovery) must not race the
+  // sender's use of the previous observer. Run under TSan in CI.
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  auto observer = std::make_shared<CountingObserver>();
+  std::atomic<bool> stop{false};
+
+  std::thread sender([&] {
+    std::uint8_t byte = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      pair.a.send({&byte, 1});
+      ++byte;
+    }
+  });
+  std::thread receiver([&] {
+    std::uint8_t buf[256];
+    while (true) {
+      if (pair.b.readable(20)) {
+        pair.b.recv_some(buf);
+      } else if (stop.load(std::memory_order_acquire)) {
+        return;  // wire is dry and the sender has been told to quit
+      }
+    }
+  });
+
+  for (int i = 0; i < 2000; ++i) {
+    pair.a.attach_observer(observer);
+    std::this_thread::yield();
+    pair.a.attach_observer(nullptr);  // detach mid-traffic
+  }
+  stop.store(true, std::memory_order_release);
+  sender.join();
+  receiver.join();
+
+  EXPECT_GT(observer->calls.load(), 0u);  // the tap really saw traffic
+  EXPECT_EQ(pair.a.observer(), nullptr);
+  pair.a.attach_observer(observer);
+  EXPECT_EQ(pair.a.observer(), observer);
+}
+
 }  // namespace
 }  // namespace nisc::ipc

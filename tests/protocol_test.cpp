@@ -11,10 +11,12 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/diag.hpp"
 #include "analysis/explore.hpp"
+#include "analysis/frame.hpp"
 #include "analysis/protocol.hpp"
 #include "cosim/driver_kernel.hpp"
 #include "ipc/capture.hpp"
@@ -310,6 +312,65 @@ TEST(ConformanceMonitorTest, CheckCaptureReplaysWireCaptureDumps) {
   EXPECT_EQ(transfers, 2u);
   EXPECT_EQ(diags.errors(), 0u);
   EXPECT_EQ(diags.warnings(), 0u);
+}
+
+TEST(ConformanceMonitorTest, TruncatedFinalFrameInDumpIsFlagged) {
+  // A worker SIGKILLed mid-send leaves its capture dump ending inside the
+  // last frame. Both post-mortem paths must flag it: the frame validator
+  // (frame.truncated) and the capture replayer (NL402, stream ends
+  // mid-frame) — while still crediting the complete frames before the tear.
+  ipc::WireCapture capture("drv-data", 8);
+  std::vector<std::uint8_t> read = frame_bytes(ipc::DriverMessage::read_request("iss_out"));
+  std::vector<std::uint8_t> reply = frame_bytes(ipc::DriverMessage{
+      ipc::MsgType::ReadReply, {{"iss_out", {1, 0, 0, 0}}}});
+  capture.record(ipc::CaptureDir::Rx, read);
+  capture.record(ipc::CaptureDir::Tx, reply);
+  std::vector<std::uint8_t> dump = capture.dump();
+  ASSERT_GT(dump.size(), 6u);
+  dump.resize(dump.size() - 5);  // tear the final frame mid-body
+
+  DiagEngine frame_diags;
+  const std::size_t good = check_frames(dump, frame_diags, "<truncated>");
+  EXPECT_EQ(good, 1u);
+  EXPECT_TRUE(frame_diags.has_rule("frame.truncated"));
+
+  DiagEngine wire_diags;
+  check_capture(dump, make_model(ModelId::DriverKernel), wire_diags, "<truncated>");
+  EXPECT_TRUE(wire_diags.has_rule("NL402"));
+  EXPECT_GE(wire_diags.errors(), 1u);
+}
+
+TEST(ConformanceMonitorTest, DrainToFrameBoundaryReassemblesSplitFrames) {
+  // The checkpoint frame-boundary invariant (DESIGN.md §12): a drain that
+  // starts mid-frame keeps reading until the sender finishes the frame, so
+  // the returned bytes are whole frames — safe to store in a snapshot.
+  ipc::ChannelPair pair = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  std::vector<std::uint8_t> frame = frame_bytes(ipc::DriverMessage::read_request("iss_out"));
+
+  // First half now; second half from a helper thread after a delay.
+  const std::size_t split = frame.size() / 2;
+  pair.b.send(std::span<const std::uint8_t>(frame.data(), split));
+  std::thread finisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    pair.b.send(std::span<const std::uint8_t>(frame.data() + split, frame.size() - split));
+  });
+
+  DrainResult drained =
+      drain_to_frame_boundary(pair.a, WireFormat::DriverKernel, /*toward_target=*/true,
+                              /*timeout_ms=*/2000);
+  finisher.join();
+  EXPECT_TRUE(drained.clean);
+  EXPECT_EQ(drained.bytes, frame);
+  ASSERT_EQ(drained.symbols.size(), 1u);
+  EXPECT_FALSE(drained.symbols[0].malformed);
+
+  // And when the sender never completes the frame, the drain reports dirty.
+  pair.b.send(std::span<const std::uint8_t>(frame.data(), split));
+  DrainResult dirty =
+      drain_to_frame_boundary(pair.a, WireFormat::DriverKernel, /*toward_target=*/true,
+                              /*timeout_ms=*/50);
+  EXPECT_FALSE(dirty.clean);
+  EXPECT_EQ(dirty.bytes.size(), split);
 }
 
 // ---------------------------------------- Counterexample -> FaultPlan replay

@@ -1,0 +1,79 @@
+// Regression tests for the NISC_FAULT_SEED hook on ipc::default_retry_seed
+// (satellite of the checkpoint/recovery PR): the fault-matrix seed must flow
+// into the backoff jitter stream so crash-matrix reruns of the same seed get
+// bit-identical retry schedules.
+//
+// default_retry_seed caches its env lookup in a function-local static (one
+// process, one seed), so the variable is injected from a global initializer
+// that runs before main — this test lives in its own binary for exactly that
+// reason and must not be merged into ipc_test.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "ipc/retry.hpp"
+
+namespace nisc::ipc {
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+constexpr unsigned long long kEnvSeed = 1234;
+
+const bool g_env_injected = [] {
+  ::setenv("NISC_FAULT_SEED", "1234", /*overwrite=*/1);
+  return true;
+}();
+
+std::vector<int> schedule(const RetryPolicy& policy) {
+  Backoff backoff(policy);
+  std::vector<int> delays;
+  for (int delay = backoff.next_delay_ms(); delay >= 0; delay = backoff.next_delay_ms()) {
+    delays.push_back(delay);
+  }
+  return delays;
+}
+
+TEST(RetrySeedTest, EnvSeedIsMixedIntoTheDefaultSeed) {
+  ASSERT_TRUE(g_env_injected);
+  const std::uint64_t expected = kGolden ^ (kEnvSeed * 0xBF58476D1CE4E5B9ULL);
+  EXPECT_EQ(default_retry_seed(), expected);
+  EXPECT_NE(default_retry_seed(), kGolden);  // env really took effect
+}
+
+TEST(RetrySeedTest, DefaultPolicyPicksUpTheEnvSeed) {
+  const RetryPolicy policy;  // seed defaults to default_retry_seed()
+  EXPECT_EQ(policy.seed, default_retry_seed());
+}
+
+TEST(RetrySeedTest, SeedIsCachedForTheLifetimeOfTheProcess) {
+  const std::uint64_t before = default_retry_seed();
+  ::setenv("NISC_FAULT_SEED", "9999", /*overwrite=*/1);
+  EXPECT_EQ(default_retry_seed(), before);  // mid-run setenv must not split schedules
+  ::setenv("NISC_FAULT_SEED", "1234", /*overwrite=*/1);
+}
+
+TEST(RetrySeedTest, SameSeedSameSchedule) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_ms = 4;
+  policy.max_backoff_ms = 1000;
+  const std::vector<int> first = schedule(policy);
+  const std::vector<int> second = schedule(policy);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 7u);  // max_attempts - 1 delays
+}
+
+TEST(RetrySeedTest, DifferentSeedsDecorrelateJitter) {
+  RetryPolicy a;
+  a.max_attempts = 16;
+  a.initial_backoff_ms = 64;
+  a.max_backoff_ms = 1 << 20;  // keep the exponential curve un-clamped
+  a.jitter = 1.0;
+  RetryPolicy b = a;
+  b.seed = a.seed ^ 0x1ULL;
+  EXPECT_NE(schedule(a), schedule(b));
+}
+
+}  // namespace
+}  // namespace nisc::ipc

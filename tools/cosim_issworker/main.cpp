@@ -1,0 +1,36 @@
+// cosim_issworker: the supervised ISS child process (DESIGN.md §12).
+//
+// Spawned by cosim::Supervisor with two inherited socketpair descriptors:
+//   cosim_issworker --data-fd N --irq-fd M
+// Everything else — guest program, checkpoint cadence, injected fault —
+// arrives over the data socket in the Start/Resume frame.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "cosim/worker.hpp"
+#include "ipc/channel.hpp"
+#include "ipc/fd.hpp"
+
+int main(int argc, char** argv) {
+  int data_fd = -1;
+  int irq_fd = -1;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--data-fd") == 0) {
+      data_fd = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--irq-fd") == 0) {
+      irq_fd = std::atoi(argv[i + 1]);
+    } else {
+      std::fprintf(stderr, "cosim_issworker: unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (data_fd < 0 || irq_fd < 0) {
+    std::fprintf(stderr, "usage: cosim_issworker --data-fd N --irq-fd M\n");
+    return 2;
+  }
+  nisc::ipc::Channel data = nisc::ipc::Channel::from_socket(nisc::ipc::Fd(data_fd));
+  nisc::ipc::Channel irq = nisc::ipc::Channel::from_socket(nisc::ipc::Fd(irq_fd));
+  return nisc::cosim::run_worker(std::move(data), std::move(irq));
+}
