@@ -1,0 +1,134 @@
+// Static-analysis throughput: wall time of cosim_lint's flow pipeline over
+// the committed guest corpus and over a synthetic many-function guest that
+// stresses the interprocedural machinery (call-string clones, SCC
+// widening/narrowing, summary joins).
+//
+// Results (seconds per corpus sweep / per synthetic lint):
+//   corpus/intraproc    flow rules only, interprocedural pass off
+//   corpus/interproc    full pipeline at the default --context-k=1
+//   synthetic/k0        generated call tree, context-insensitive summaries
+//   synthetic/k1        generated call tree, k-limited call-string clones
+//
+// CI gates the medians against bench/baselines/BENCH_lint.json (see the
+// perf-smoke job); NISC_BENCH_QUICK=1 shrinks the workload.
+//
+//   $ ./bench_lint
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.hpp"
+#include "analysis/lint.hpp"
+#include "bench_json.hpp"
+
+using namespace nisc;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<std::string> load_corpus() {
+  std::vector<std::string> corpus;
+  for (const char* root : {"examples/guests", "../examples/guests"}) {
+    if (!fs::is_directory(root)) continue;
+    for (const char* dir : {"", "/bad"}) {
+      for (const fs::directory_entry& entry : fs::directory_iterator(std::string(root) + dir)) {
+        if (!entry.is_regular_file() || entry.path().extension() != ".s") continue;
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        corpus.push_back(buf.str());
+      }
+    }
+    break;
+  }
+  return corpus;
+}
+
+/// A call tree of `layers` x `width` helper functions: every layer-n helper
+/// calls two layer-(n+1) helpers with different arguments, the leaves do
+/// frame spills — lots of distinct call strings and real SCC-free summary
+/// work, which is exactly what the clone table has to chew through.
+std::string synthetic_guest(int layers, int width) {
+  std::ostringstream out;
+  out << "_start:\n    li sp, 0x10000\n    li a0, 1\n    call f_0_0\n    ebreak\n";
+  for (int l = 0; l < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      out << "f_" << l << "_" << w << ":\n";
+      out << "    addi sp, sp, -16\n    sw ra, 12(sp)\n    sw s0, 8(sp)\n";
+      out << "    mv s0, a0\n";
+      if (l + 1 < layers) {
+        out << "    addi a0, s0, " << w << "\n";
+        out << "    call f_" << l + 1 << "_" << w << "\n";
+        out << "    addi a0, s0, " << w + 1 << "\n";
+        out << "    call f_" << l + 1 << "_" << (w + 1) % width << "\n";
+      } else {
+        out << "    add a0, s0, s0\n";
+      }
+      out << "    lw s0, 8(sp)\n    lw ra, 12(sp)\n    addi sp, sp, 16\n    ret\n";
+    }
+  }
+  return out.str();
+}
+
+double time_lint(const std::vector<std::string>& sources, const analysis::LintOptions& options,
+                 int iters) {
+  // Best of three sweeps: the workloads are sub-millisecond, so a single
+  // scheduler hiccup would otherwise dominate the regression gate.
+  double best = 0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      for (const std::string& source : sources) {
+        analysis::DiagEngine diags;
+        analysis::lint_guest_source(source, "bench.s", diags, options);
+      }
+    }
+    std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - begin;
+    double per_iter = elapsed.count() / iters;
+    if (attempt == 0 || per_iter < best) best = per_iter;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::quick_mode();
+  const int reps = bench::repetitions();
+  const int iters = quick ? 10 : 25;
+
+  std::vector<std::string> corpus = load_corpus();
+  if (corpus.empty()) {
+    std::fprintf(stderr, "bench_lint: guest corpus not found (run from the repo root)\n");
+    return 1;
+  }
+  std::vector<std::string> synthetic = {synthetic_guest(quick ? 4 : 6, quick ? 3 : 4)};
+
+  analysis::LintOptions intraproc;
+  intraproc.interproc = false;
+  analysis::LintOptions k0;
+  k0.context_k = 0;
+  analysis::LintOptions k1;  // defaults: interproc on, context_k = 1
+
+  bench::Recorder recorder("lint");
+  std::printf("cosim_lint flow-pipeline wall time (%d files, best of %d reps)\n\n",
+              static_cast<int>(corpus.size()), reps);
+  for (int r = 0; r < reps; ++r) {
+    double corpus_off = time_lint(corpus, intraproc, iters);
+    double corpus_on = time_lint(corpus, k1, iters);
+    double synth_k0 = time_lint(synthetic, k0, iters);
+    double synth_k1 = time_lint(synthetic, k1, iters);
+    recorder.record("corpus/intraproc", corpus_off);
+    recorder.record("corpus/interproc", corpus_on);
+    recorder.record("synthetic/k0", synth_k0);
+    recorder.record("synthetic/k1", synth_k1);
+    std::printf("  rep %d: corpus %.3f ms -> %.3f ms, synthetic k0 %.3f ms -> k1 %.3f ms\n",
+                r + 1, corpus_off * 1e3, corpus_on * 1e3, synth_k0 * 1e3, synth_k1 * 1e3);
+  }
+  recorder.write();
+  return 0;
+}

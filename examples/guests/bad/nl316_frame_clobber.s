@@ -1,0 +1,43 @@
+# NL316 fixture: `_start` repoints sp at a scratch arena whose floor sits on
+# the bound variable `flag`, then calls `with_frame`, whose a0-scaled frame
+# puts `helper`'s spill slot exactly on flag's word. The first call runs on
+# the real stack and is harmless. Only the k = 1 clone of the second call
+# string keeps sp and a0 exact through `with_frame` — context-insensitively
+# (--context-k=0) the two entry states join to intervals and the clobber is
+# unprovable.
+_start:
+    li sp, 0x10000
+    li s0, 0x5AFE
+    li a0, 1
+    call with_frame        # benign: deep stack, frame in free space
+    la sp, arena_top       # arena floor sits on flag
+    li a0, 2
+    call with_frame        # guilty: helper's spill slot lands on flag
+    la t0, flag
+    #pragma iss_in("router.from_cpu", flag)
+    sw a0, 0(t0)
+    ebreak
+
+with_frame:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    slli t0, a0, 2         # a0-scaled scratch area below the fixed frame
+    sub sp, sp, t0
+    call helper
+    add sp, sp, t0
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+helper:
+    addi sp, sp, -16
+    sw s0, 8(sp)           # spill slot — overlaps flag in the guilty context
+    mv s0, a0
+    add a0, s0, s0
+    lw s0, 8(sp)
+    addi sp, sp, 16
+    ret
+
+flag:  .word 0
+       .space 28
+arena_top: .word 0

@@ -1,0 +1,31 @@
+# NL317 fixture: `scramble` zeroes s1 without spilling it, and `echo`
+# forwards s1 to memory after that call. Whether data is lost depends on
+# the caller: the first call never initialized s1 (the echoed value is
+# garbage either way), but the second loaded 77 and expects it echoed to
+# `out_b` — the store writes scramble's 0 instead. The context join sees s1
+# only as maybe-initialized at the call (Mixed), so NL314 cannot claim the
+# clobber; the k = 1 clone of the second call string proves it.
+_start:
+    li sp, 0x10000
+    la a0, out_a
+    call echo              # s1 carries no value here — clobber harmless
+    li s1, 77
+    la a0, out_b
+    call echo              # s1 = 77 is live through the call — clobbered
+    ebreak
+
+echo:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    call scramble
+    sw s1, 0(a0)
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+scramble:
+    li s1, 0
+    ret
+
+out_a: .word 0
+out_b: .word 0

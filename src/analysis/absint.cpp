@@ -106,6 +106,19 @@ bool Interval::widen(const Interval& o) noexcept {
   return changed;
 }
 
+bool Interval::narrow(const Interval& o) noexcept {
+  bool changed = false;
+  if (lo == kMin && o.lo > lo) {
+    lo = o.lo;
+    changed = true;
+  }
+  if (hi == kMax && o.hi < hi) {
+    hi = o.hi;
+    changed = true;
+  }
+  return changed;
+}
+
 bool AbsValue::join(const AbsValue& o) noexcept {
   Init ninit = join_init(init, o.init);
   bool changed = ninit != init;
@@ -130,6 +143,25 @@ bool AbsValue::widen(const AbsValue& o) noexcept {
     return changed;
   }
   return range.widen(o.range) || changed;
+}
+
+bool AbsValue::narrow(const AbsValue& o) noexcept {
+  // A base symbol the widening collapsed to unbounded top is recovered
+  // wholesale from the recomputed value (the recomputation is sound, so
+  // adopting it cannot under-approximate more than one descending step).
+  if (base == Base::None && range.is_top() && o.base != Base::None) {
+    Init old_init = init;
+    *this = o;
+    init = old_init == Init::Mixed ? o.init : old_init;
+    return true;
+  }
+  bool changed = false;
+  if (init == Init::Mixed && o.init != init) {
+    init = o.init;
+    changed = true;
+  }
+  if (!same_base(o)) return changed;
+  return range.narrow(o.range) || changed;
 }
 
 RegDomain::RegDomain(std::vector<std::uint32_t> tracked) : tracked_(std::move(tracked)) {
@@ -176,6 +208,29 @@ bool RegDomain::widen(State& into, const State& from) const {
   changed = changed || nwritten != into.written;
   into.written = nwritten;
   changed = join_frames(into.frame, from.frame) || changed;
+  return changed;
+}
+
+bool RegDomain::narrow(State& into, const State& from) const {
+  if (into.dead) return false;  // already bottom: nothing to refine
+  if (from.dead) {
+    into = from;  // recomputation proved the point unreachable
+    return true;
+  }
+  bool changed = false;
+  for (std::size_t r = 0; r < into.regs.size(); ++r) {
+    changed = into.regs[r].narrow(from.regs[r]) || changed;
+  }
+  // Must-components: the recomputed value is derived from sound (narrowed)
+  // inputs, so it is at least as precise — adopt it.
+  if (into.written != from.written) {
+    into.written = from.written;
+    changed = true;
+  }
+  if (into.frame != from.frame) {
+    into.frame = from.frame;
+    changed = true;
+  }
   return changed;
 }
 

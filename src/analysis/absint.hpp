@@ -72,6 +72,9 @@ struct Interval {
   bool join(const Interval& o) noexcept;
   /// Widening: bounds that grew jump straight to the lattice extremes.
   bool widen(const Interval& o) noexcept;
+  /// Narrowing: bounds the widening threw to an extreme are pulled back to
+  /// the recomputed bound; finite bounds are kept (no oscillation).
+  bool narrow(const Interval& o) noexcept;
 
   bool operator==(const Interval&) const = default;
 };
@@ -119,6 +122,10 @@ struct AbsValue {
 
   bool join(const AbsValue& o) noexcept;
   bool widen(const AbsValue& o) noexcept;
+  /// Descending refinement from a recomputed (sound) value: pulls widened
+  /// interval bounds back in, recovers a base symbol the widening smashed
+  /// to unbounded top, and resolves a Mixed init to the recomputed verdict.
+  bool narrow(const AbsValue& o) noexcept;
 
   bool operator==(const AbsValue& o) const noexcept {
     return same_base(o) && range == o.range && init == o.init;
@@ -165,6 +172,11 @@ class RegDomain {
   State boundary() const;
   bool join(State& into, const State& from) const;
   bool widen(State& into, const State& from) const;
+  /// Descending sweep step: `from` is the state recomputed from (already
+  /// sound) narrowed predecessors, so register values narrow pointwise and
+  /// the must-components (written bits, frame slots) adopt the recomputed,
+  /// strictly-better information.
+  bool narrow(State& into, const State& from) const;
   void transfer(const CfgInstr& instr, State& state) const;
 
   /// Index of `addr` in the tracked list, -1 when untracked.

@@ -123,13 +123,21 @@ Cfg Cfg::build(const iss::Program& program) {
     cfg.block_of_instr_[instrs[i].addr] = cfg.blocks_.size() - 1;
   }
 
-  // Edges from each block's last instruction.
+  // Edges from each block's last instruction. Return edges are deferred:
+  // they need the intra-procedural reachability of each call target, which
+  // needs the other edges in place first.
   auto add_edge = [&](std::size_t from, std::uint32_t to_addr, EdgeKind kind) {
     auto it = cfg.block_of_instr_.find(to_addr);
     if (it == cfg.block_of_instr_.end()) return;  // transfer into data: no edge
     cfg.blocks_[from].succs.push_back({it->second, kind});
     cfg.blocks_[it->second].preds.push_back({from, kind});
   };
+  struct PendingCall {
+    std::size_t block;                  // block whose call produced the return site
+    std::uint32_t return_site;          // call addr + 4
+    std::vector<std::uint32_t> targets; // possible callee entries
+  };
+  std::vector<PendingCall> pending_calls;
   for (std::size_t b = 0; b < cfg.blocks_.size(); ++b) {
     const CfgInstr& last = cfg.blocks_[b].instrs.back();
     std::uint32_t target = last.addr + static_cast<std::uint32_t>(last.instr.imm);
@@ -147,10 +155,10 @@ Cfg Cfg::build(const iss::Program& program) {
       case Term::Call:
         add_edge(b, target, EdgeKind::Call);
         add_edge(b, last.addr + 4, EdgeKind::CallFall);
+        pending_calls.push_back({b, last.addr + 4, {target}});
         break;
       case Term::Ret:
-        for (std::uint32_t site : return_sites) add_edge(b, site, EdgeKind::Return);
-        break;
+        break;  // paired with its calls below
       case Term::Indirect:
         for (std::uint32_t t : indirect_targets) add_edge(b, t, EdgeKind::Indirect);
         break;
@@ -160,8 +168,48 @@ Cfg Cfg::build(const iss::Program& program) {
           call_target_set.insert(t);
         }
         add_edge(b, last.addr + 4, EdgeKind::CallFall);
+        pending_calls.push_back({b, last.addr + 4,
+                                 {indirect_targets.begin(), indirect_targets.end()}});
         break;
       case Term::Halt: break;
+    }
+  }
+
+  // Call-site-paired Return edges: a call's return site only receives
+  // Return edges from the ret blocks of its own callee body — the blocks
+  // reachable from the callee entry over intra-procedural edges. The body
+  // walk per target is memoized, so the cost is one BFS per distinct callee.
+  std::map<std::uint32_t, std::vector<std::size_t>> ret_blocks_of_target;
+  auto ret_blocks_of = [&](std::uint32_t target) -> const std::vector<std::size_t>& {
+    auto it = ret_blocks_of_target.find(target);
+    if (it != ret_blocks_of_target.end()) return it->second;
+    std::vector<std::size_t>& rets = ret_blocks_of_target[target];
+    auto entry_it = cfg.block_of_instr_.find(target);
+    if (entry_it == cfg.block_of_instr_.end()) return rets;  // call into data
+    std::vector<bool> seen(cfg.blocks_.size(), false);
+    std::vector<std::size_t> work{entry_it->second};
+    seen[entry_it->second] = true;
+    while (!work.empty()) {
+      std::size_t b = work.back();
+      work.pop_back();
+      if (classify(cfg.blocks_[b].instrs.back().instr) == Term::Ret) rets.push_back(b);
+      for (const CfgEdge& e : cfg.blocks_[b].succs) {
+        if (!(edge_bit(e.kind) & kIntraprocEdges)) continue;
+        if (!seen[e.block]) {
+          seen[e.block] = true;
+          work.push_back(e.block);
+        }
+      }
+    }
+    return rets;
+  };
+  for (const PendingCall& call : pending_calls) {
+    std::set<std::size_t> sources;  // dedupe: two targets can share a ret block
+    for (std::uint32_t target : call.targets) {
+      for (std::size_t ret_block : ret_blocks_of(target)) sources.insert(ret_block);
+    }
+    for (std::size_t ret_block : sources) {
+      add_edge(ret_block, call.return_site, EdgeKind::Return);
     }
   }
 

@@ -11,8 +11,12 @@
 //   * Call / Return  — interprocedural paths through the callee body
 //   * CallFall       — the summary edge straight to the return site,
 //                      treating the callee as a balanced no-op
-// Return edges are context-insensitive: a `ret` targets every recorded
-// return site.
+// Return edges are call-site-paired: a `ret` only targets the return sites
+// of calls whose callee body (intra-procedural reachability from the call
+// target) contains that ret — so the whole-program pass never joins a
+// return state into a call site that cannot have produced it. Calls into
+// data (no decodable target) contribute no Return edges; their return
+// sites are reached only when some resolvable call shares them.
 #pragma once
 
 #include <cstdint>

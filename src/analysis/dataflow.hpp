@@ -17,10 +17,22 @@
 // `mask` propagate state, so one Cfg serves both the interprocedural view
 // (kInterprocEdges) and the per-function view (kIntraprocEdges).
 //
+// When `narrow_rounds > 0` and the Domain additionally supplies
+//   bool narrow(State& into, const State& from) const;  // descending step
+// the widened fixpoint is refined by up to that many bounded descending
+// sweeps: each sweep recomputes every in-state as the plain join of its
+// (narrowed) predecessors, re-runs the transfers, and narrows the stored
+// out-state toward the recomputed one. Starting from a post-fixpoint with a
+// monotone transfer, every intermediate sweep remains a sound
+// over-approximation — stopping at the bound is always safe, it just keeps
+// some widened bound. `narrow_iters`, when non-null, is incremented once
+// per executed sweep (precision accounting for cosim_lint --stats).
+//
 // Unreachable blocks keep std::nullopt states — analyses must not report
 // from them.
 #pragma once
 
+#include <concepts>
 #include <optional>
 #include <vector>
 
@@ -44,7 +56,8 @@ struct DataflowResult {
 
 template <class Domain>
 DataflowResult<Domain> run_forward(const Cfg& cfg, const Domain& domain, EdgeMask mask,
-                                   std::size_t entry, int widen_after = 8) {
+                                   std::size_t entry, int widen_after = 8,
+                                   int narrow_rounds = 0, std::size_t* narrow_iters = nullptr) {
   DataflowResult<Domain> result;
   result.in.resize(cfg.blocks().size());
   result.out.resize(cfg.blocks().size());
@@ -91,6 +104,36 @@ DataflowResult<Domain> run_forward(const Cfg& cfg, const Domain& domain, EdgeMas
         ++joins[b];
         changed = true;
       }
+    }
+  }
+
+  // Bounded descending sweeps: undo the precision the widening gave away.
+  if constexpr (requires(typename Domain::State& a, const typename Domain::State& b) {
+                  { domain.narrow(a, b) } -> std::convertible_to<bool>;
+                }) {
+    for (int round = 0; round < narrow_rounds; ++round) {
+      bool narrowed = false;
+      for (std::size_t b : order) {
+        std::optional<typename Domain::State> in;
+        if (b == entry) in = domain.boundary();
+        for (const CfgEdge& pred : cfg.blocks()[b].preds) {
+          if ((edge_bit(pred.kind) & mask) == 0) continue;
+          const auto& pred_out = result.out[pred.block];
+          if (!pred_out) continue;
+          if (!in) {
+            in = *pred_out;
+          } else {
+            domain.join(*in, *pred_out);
+          }
+        }
+        if (!in || !result.out[b]) continue;
+        typename Domain::State out = *in;
+        for (const CfgInstr& instr : cfg.blocks()[b].instrs) domain.transfer(instr, out);
+        narrowed = domain.narrow(*result.out[b], out) || narrowed;
+        if (result.in[b]) narrowed = domain.narrow(*result.in[b], *in) || narrowed;
+      }
+      if (narrow_iters != nullptr) ++*narrow_iters;
+      if (!narrowed) break;
     }
   }
   return result;

@@ -46,6 +46,18 @@ const char* reg_name(std::uint8_t r) {
   return names[r & 31];
 }
 
+constexpr std::uint8_t kCalleeSaved[] = {8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27};
+
+/// "f", or "f/g" for a resolved multi-target (jalr) site.
+std::string callee_names(const CallGraph& cg, const CallSite& site) {
+  std::string out;
+  for (std::size_t i = 0; i < site.callees.size(); ++i) {
+    if (i) out += '/';
+    out += cg.functions()[site.callees[i]].name;
+  }
+  return out;
+}
+
 /// Both passes can derive the same defect; findings are buffered and keyed
 /// by (rule, pc, operand) so the duplicate becomes a "via call from" note on
 /// one diagnostic instead of a second entry. Flush order is insertion
@@ -297,10 +309,10 @@ void check_cross_call_stack(const CallGraph& cg, const SummaryTable& table,
     const FunctionSummary& s = table.of(f);
     if (s.havoc || !s.reached_ret || !s.sp_delta || *s.sp_delta == 0) continue;
     for (std::size_t site_idx : fn.call_sites) {
-      const FunctionSummary& callee = table.at_site(cg, site_idx);
+      const FunctionSummary callee = table.at_site(cg, site_idx);
       if (callee.havoc || !callee.sp_delta || *callee.sp_delta == 0) continue;
       const CallSite& site = cg.sites()[site_idx];
-      const std::string& callee_name = cg.functions()[site.callees.front()].name;
+      const std::string callee_name = callee_names(cg, site);
       for (const auto& [ret_addr, ret_line] : s.rets) {
         buffer.add_interproc(
             Severity::Warning, "NL313", ret_addr, 0,
@@ -354,7 +366,7 @@ bool writes_reg(const iss::Instr& in, std::uint8_t r) {
 /// definite); calls are stepped through via their summaries. Returns the
 /// first reading instruction, nullptr when r is dead or unprovable.
 const CfgInstr* find_live_read(const Cfg& cfg, std::uint32_t start_addr, std::uint8_t r,
-                               const std::map<std::uint32_t, const FunctionSummary*>& sites) {
+                               const std::map<std::uint32_t, FunctionSummary>& sites) {
   std::size_t b0 = cfg.block_at(start_addr);
   if (b0 == Cfg::npos) return nullptr;
   std::size_t start_index = 0;
@@ -381,7 +393,7 @@ const CfgInstr* find_live_read(const Cfg& cfg, std::uint32_t start_addr, std::ui
       }
       if (is_call(ci.instr)) {
         auto it = sites.find(ci.addr);
-        const FunctionSummary* s = it == sites.end() ? nullptr : it->second;
+        const FunctionSummary* s = it == sites.end() ? nullptr : &it->second;
         if (s == nullptr || s->havoc || !s->reached_ret) {
           stopped = true;  // unknown or no-return callee: no definite claim
           break;
@@ -406,20 +418,20 @@ const CfgInstr* find_live_read(const Cfg& cfg, std::uint32_t start_addr, std::ui
 
 /// NL314: a resolved callee provably fails to preserve a callee-saved
 /// register that is live (and initialized) in the caller across the call.
+/// Multi-target sites participate: the joined summary only proves a clobber
+/// when every candidate target clobbers compatibly.
 void check_abi_preservation(const Cfg& cfg, const CallGraph& cg, const SummaryTable& table,
                             const RegDomain& domain, const DataflowResult<RegDomain>& flow1,
                             FindingBuffer& buffer) {
-  static constexpr std::uint8_t kCalleeSaved[] = {8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27};
   for (std::size_t site_idx = 0; site_idx < cg.sites().size(); ++site_idx) {
     const CallSite& site = cg.sites()[site_idx];
-    if (!site.resolved || site.callees.size() != 1) continue;
-    const FunctionSummary& s = table.at_site(cg, site_idx);
+    if (!site.resolved || site.callees.empty()) continue;
+    const FunctionSummary s = table.at_site(cg, site_idx);
     if (s.havoc || !s.reached_ret) continue;
     RegState before;
     if (!state_before(cfg, flow1, domain, site.addr, before)) continue;
-    std::map<std::uint32_t, const FunctionSummary*> caller_sites =
-        table.site_summaries(cg, site.caller);
-    const std::string& callee_name = cg.functions()[site.callees.front()].name;
+    std::map<std::uint32_t, FunctionSummary> caller_sites = table.site_summaries(cg, site.caller);
+    const std::string callee_name = callee_names(cg, site);
     for (std::uint8_t r : kCalleeSaved) {
       if (!definitely_clobbered(s.exit_regs[r], r)) continue;
       if (before.regs[r].init != AbsValue::Init::Init) continue;  // no caller value at stake
@@ -511,94 +523,207 @@ RegState conservative_context() {
   return state;
 }
 
-/// Top-down context propagation: each reachable function is re-analyzed on
-/// the join of its call-site states, calls stepped over via summaries. The
-/// per-function flow (a) re-runs the NL302/NL303 value checks — findings
-/// dedupe with the whole-program pass or surface with "via call"
-/// provenance — and (b) checks every call site's arguments against the
-/// callee summary (NL311 uninit argument, NL312 out-of-map footprint).
+/// Top-down context propagation over clones: each materialized (function,
+/// k-limited call string) clone is re-analyzed on its own call-site state —
+/// unjoined for distinct contexts, joined only where call strings collide
+/// (always, when context_k == 0). The per-clone flow (a) re-runs the
+/// NL302/NL303 value checks — findings dedupe with the whole-program pass
+/// across clones thanks to the shared (rule, pc, operand) keys — and (b)
+/// checks every call site's arguments against the callee summary resolved
+/// under this clone's context: NL311 uninit argument, NL312 out-of-map
+/// footprint, NL316 frame-over-binding and NL317 context-divergent clobber.
 void run_context_pass(const Cfg& cfg, const CallGraph& cg, const SummaryTable& table,
-                      const RegDomain& domain, const FlowOptions& options,
-                      FindingBuffer& buffer) {
-  std::vector<std::optional<RegState>> context(cg.functions().size());
-  std::vector<int> via(cg.functions().size(), 0);
+                      const RegDomain& domain, const DataflowResult<RegDomain>& flow1,
+                      const iss::Program& program,
+                      const std::vector<cosim::PragmaBinding>& bindings,
+                      const FlowOptions& options, FindingBuffer& buffer) {
+  using CloneKey = std::pair<std::size_t, Context>;
+  std::map<CloneKey, RegState> entry_state;
+  std::map<CloneKey, int> via;
+  const std::size_t k = table.context_k();
   if (cg.entry_function() != CallGraph::npos) {
-    context[cg.entry_function()] = domain.boundary();
+    entry_state[{cg.entry_function(), Context{}}] = domain.boundary();
   }
   for (std::size_t si = cg.sccs().size(); si-- > 0;) {  // SCC list is bottom-up; walk top-down
     const std::vector<std::size_t>& scc = cg.sccs()[si];
     if (cg.scc_is_recursive(si)) {
-      bool any = std::any_of(scc.begin(), scc.end(),
-                             [&](std::size_t f) { return context[f].has_value(); });
+      // Recursion keeps the conservative whole-SCC context: the clone table
+      // holds root clones only for its members, and no definite entry claim
+      // survives an unbounded chain of self-calls anyway.
+      bool any = std::any_of(scc.begin(), scc.end(), [&](std::size_t f) {
+        return entry_state.count({f, Context{}}) > 0;
+      });
       if (!any) continue;
-      for (std::size_t f : scc) context[f] = conservative_context();
+      for (std::size_t f : scc) entry_state[{f, Context{}}] = conservative_context();
     }
     for (std::size_t f : scc) {
-      if (!context[f]) continue;
       const Function& fn = cg.functions()[f];
-      CallAwareDomain fn_domain(RegDomain(domain.tracked()), *context[f],
-                                table.site_summaries(cg, f));
-      DataflowResult<CallAwareDomain> flow =
-          run_forward(cfg, fn_domain, kIntraprocEdges, fn.entry_block);
-      check_block_values(cfg, fn.blocks, flow, fn_domain, options, via[f], buffer);
-      for (std::size_t site_idx : fn.call_sites) {
-        const CallSite& site = cg.sites()[site_idx];
-        RegState at_call;
-        if (!state_before(cfg, flow, fn_domain, site.addr, at_call) || at_call.dead) continue;
-        const CfgInstr* call_instr = cfg.instr_at(site.addr);
-        fn_domain.inner().transfer(*call_instr, at_call);  // link register written
-        const FunctionSummary& s = table.at_site(cg, site_idx);
-        if (!s.havoc && site.callees.size() == 1) {
-          const std::string& callee_name = cg.functions()[site.callees.front()].name;
-          for (const EntryRead& er : s.entry_reads) {
-            if (er.reg == 0 || er.reg == 2) continue;
-            if (at_call.regs[er.reg].init != AbsValue::Init::Uninit) continue;
-            buffer.add_interproc(Severity::Warning, "NL311", site.addr, er.reg,
-                                 "call to '" + callee_name + "' passes register " +
-                                     reg_name(er.reg) +
-                                     " which is never written on any path to the call; '" +
-                                     callee_name + "' reads it on line " + std::to_string(er.line),
-                                 site.line, via[f]);
-          }
-          for (const MemAccess& m : s.mem) {
-            const AbsValue& v = at_call.regs[m.entry_reg];
-            if (v.base != AbsValue::Base::None || v.range.is_top()) continue;
-            if (v.init != AbsValue::Init::Init) continue;
-            Interval addr = v.range.plus(m.offset);
-            if (addr.is_top()) continue;
-            std::int64_t limit = static_cast<std::int64_t>(options.mem_size) - m.size;
-            if (addr.lo > limit || addr.hi < 0) {
-              std::string message = "call to '" + callee_name + "' passes ";
-              message += reg_name(m.entry_reg);
-              message += " = ";
-              if (v.range.is_exact()) {
-                message += std::to_string(v.range.lo);
-              } else {
-                message += "[";
-                message += std::to_string(v.range.lo);
-                message += ", ";
-                message += std::to_string(v.range.hi);
-                message += "]";
-              }
-              message += "; the ";
-              message += m.is_store ? "store" : "load";
-              message += " through it on line ";
-              message += std::to_string(m.line);
-              message += " falls outside the ";
-              message += std::to_string(options.mem_size);
-              message += "-byte memory map on every path";
-              buffer.add_interproc(Severity::Error, "NL312", site.addr, m.addr,
-                                   std::move(message), site.line, via[f]);
+      for (const Context& ctx : table.contexts_of(f)) {
+        auto st = entry_state.find({f, ctx});
+        if (st == entry_state.end()) continue;
+        auto via_it = via.find({f, ctx});
+        const int via_line = via_it == via.end() ? 0 : via_it->second;
+        std::map<std::uint32_t, FunctionSummary> caller_sites = table.site_summaries(cg, f, ctx);
+        CallAwareDomain fn_domain(RegDomain(domain.tracked()), st->second, caller_sites);
+        DataflowResult<CallAwareDomain> flow =
+            run_forward(cfg, fn_domain, kIntraprocEdges, fn.entry_block, 8, kNarrowSweeps);
+        check_block_values(cfg, fn.blocks, flow, fn_domain, options, via_line, buffer);
+        for (std::size_t site_idx : fn.call_sites) {
+          const CallSite& site = cg.sites()[site_idx];
+          RegState at_call;
+          if (!state_before(cfg, flow, fn_domain, site.addr, at_call) || at_call.dead) continue;
+          const CfgInstr* call_instr = cfg.instr_at(site.addr);
+          fn_domain.inner().transfer(*call_instr, at_call);  // link register written
+          const FunctionSummary s = table.at_site(cg, site_idx, ctx);
+          const std::string callee_name =
+              site.resolved ? callee_names(cg, site) : std::string();
+          if (!s.havoc && site.resolved && !site.callees.empty()) {
+            // NL311: the intersection semantics of the multi-target join
+            // keep an entry read only when every candidate consumes it, so
+            // the definite claim holds whichever target the call picks.
+            for (const EntryRead& er : s.entry_reads) {
+              if (er.reg == 0 || er.reg == 2) continue;
+              if (at_call.regs[er.reg].init != AbsValue::Init::Uninit) continue;
+              buffer.add_interproc(Severity::Warning, "NL311", site.addr, er.reg,
+                                   "call to '" + callee_name + "' passes register " +
+                                       reg_name(er.reg) +
+                                       " which is never written on any path to the call; '" +
+                                       callee_name + "' reads it on line " + std::to_string(er.line),
+                                   site.line, via_line);
             }
           }
-        }
-        if (site.resolved && site.callees.size() == 1) {
-          std::size_t callee = site.callees.front();
-          if (!context[callee]) {
-            context[callee] = at_call;
-            via[callee] = site.line;
-          } else {
-            domain.join(*context[callee], at_call);
+          if (!s.havoc && site.callees.size() == 1) {
+            // NL312 stays single-target: a footprint entry of a joined
+            // summary belongs to just one candidate, so "outside the map"
+            // would only hold if the call picked that one.
+            for (const MemAccess& m : s.mem) {
+              const AbsValue& v = at_call.regs[m.entry_reg];
+              if (v.base != AbsValue::Base::None || v.range.is_top()) continue;
+              if (v.init != AbsValue::Init::Init) continue;
+              Interval addr = v.range.plus(m.offset);
+              if (addr.is_top()) continue;
+              std::int64_t limit = static_cast<std::int64_t>(options.mem_size) - m.size;
+              if (addr.lo > limit || addr.hi < 0) {
+                std::string message = "call to '" + callee_name + "' passes ";
+                message += reg_name(m.entry_reg);
+                message += " = ";
+                if (v.range.is_exact()) {
+                  message += std::to_string(v.range.lo);
+                } else {
+                  message += "[";
+                  message += std::to_string(v.range.lo);
+                  message += ", ";
+                  message += std::to_string(v.range.hi);
+                  message += "]";
+                }
+                message += "; the ";
+                message += m.is_store ? "store" : "load";
+                message += " through it on line ";
+                message += std::to_string(m.line);
+                message += " falls outside the ";
+                message += std::to_string(options.mem_size);
+                message += "-byte memory map on every path";
+                buffer.add_interproc(Severity::Error, "NL312", site.addr, m.addr,
+                                     std::move(message), site.line, via_line);
+              }
+            }
+          }
+          // NL316: the clone's concrete stack pointer places the callee's
+          // frame stores over a bound variable's word. sp must be an exact
+          // absolute address — only an unjoined call string keeps it exact,
+          // so context_k = 0 (joined sp interval) is the negative control.
+          if (!s.havoc && site.resolved && !site.callees.empty()) {
+            const AbsValue& sp = at_call.regs[2];
+            if (sp.base == AbsValue::Base::None && sp.range.is_exact() &&
+                sp.init == AbsValue::Init::Init) {
+              const std::int64_t sp_val = sp.range.lo;
+              for (const MemAccess& m : s.mem) {
+                if (!m.is_store || m.entry_reg != 2 || !m.offset.is_exact()) continue;
+                const std::int64_t lo = sp_val + m.offset.lo;
+                const std::int64_t hi = lo + m.size;  // exclusive
+                for (const cosim::PragmaBinding& b : bindings) {
+                  if (!program.has_symbol(b.variable)) continue;
+                  const std::int64_t var = program.symbols.at(b.variable);
+                  if (hi <= var || lo >= var + 4) continue;
+                  std::string message = "call to '" + callee_name + "' grows the stack over '";
+                  message += b.variable;
+                  message += "' (bound to port '";
+                  message += b.port;
+                  message += "'): sp is ";
+                  message += std::to_string(sp_val);
+                  message += " here and the callee stores ";
+                  message += std::to_string(m.size);
+                  message += " bytes at sp";
+                  message += (m.offset.lo >= 0 ? "+" : "");
+                  message += std::to_string(m.offset.lo);
+                  message += " (line ";
+                  message += std::to_string(m.line);
+                  message += "), clobbering address ";
+                  message += std::to_string(lo);
+                  if (!ctx.empty()) {
+                    message += " [call string: ";
+                    message += context_label(cg, ctx);
+                    message += "]";
+                  }
+                  buffer.add_interproc(Severity::Error, "NL316", site.addr, m.addr,
+                                       std::move(message), site.line, via_line);
+                }
+              }
+            }
+          }
+          // NL317: under this call string the caller's callee-saved value is
+          // provably initialized and provably clobbered, but the
+          // context-joined view NL314 works from only sees a Mixed
+          // initialization — the defect exists on one call path and the
+          // join masked it.
+          if (!s.havoc && s.reached_ret && site.resolved && !site.callees.empty()) {
+            RegState whole;
+            if (state_before(cfg, flow1, domain, site.addr, whole)) {
+              for (std::uint8_t r : kCalleeSaved) {
+                if (!definitely_clobbered(s.exit_regs[r], r)) continue;
+                if (at_call.regs[r].init != AbsValue::Init::Init) continue;
+                if (whole.regs[r].init != AbsValue::Init::Mixed) continue;
+                if (buffer.has("NL314", site.addr, r)) continue;
+                const CfgInstr* read = find_live_read(cfg, site.addr + 4, r, caller_sites);
+                if (read == nullptr) continue;
+                std::string message = "call to '" + callee_name +
+                                      "' does not preserve callee-saved register ";
+                message += reg_name(r);
+                message += " (it returns holding ";
+                message += describe_exit_value(s.exit_regs[r], r);
+                message += ") and the caller still reads its value on line ";
+                message += std::to_string(read->line);
+                message += "; the clobbered value is live only on the call path";
+                if (!ctx.empty()) {
+                  message += " [call string: ";
+                  message += context_label(cg, ctx);
+                  message += "]";
+                }
+                message += ", so the context-joined view cannot prove it";
+                buffer.add_interproc(Severity::Warning, "NL317", site.addr, r,
+                                     std::move(message), site.line, via_line);
+              }
+            }
+          }
+          // Propagate this clone's call-site state to every resolved
+          // callee's matching clone (root when the exact call string was
+          // never materialized — recursion, clone-cap overflow, k = 0).
+          if (site.resolved) {
+            const Context callee_ctx = context_push(ctx, site_idx, k);
+            for (std::size_t callee : site.callees) {
+              const std::vector<Context>& known = table.contexts_of(callee);
+              const Context& target =
+                  std::find(known.begin(), known.end(), callee_ctx) != known.end() ? callee_ctx
+                                                                                   : Context{};
+              CloneKey ck{callee, target};
+              auto it = entry_state.find(ck);
+              if (it == entry_state.end()) {
+                entry_state.emplace(std::move(ck), at_call);
+                via[{callee, target}] = site.line;
+              } else {
+                domain.join(it->second, at_call);
+              }
+            }
           }
         }
       }
@@ -610,7 +735,7 @@ void run_context_pass(const Cfg& cfg, const CallGraph& cg, const SummaryTable& t
 
 void check_flow(const iss::Program& program, const std::vector<cosim::PragmaBinding>& bindings,
                 const FlowOptions& options, const FlowReport& report,
-                std::string* summaries_json) {
+                std::string* summaries_json, FlowStats* stats) {
   Cfg cfg = Cfg::build(program);
   if (cfg.blocks().empty() || cfg.entry() == Cfg::npos) return;
 
@@ -637,12 +762,20 @@ void check_flow(const iss::Program& program, const std::vector<cosim::PragmaBind
   if (options.interproc) {
     CallGraph cg = CallGraph::build(cfg, program);
     if (!cg.functions().empty()) {
-      SummaryTable table = SummaryTable::compute(cfg, cg, domain.tracked());
+      SummaryTable table = SummaryTable::compute(cfg, cg, domain.tracked(), options.context_k);
       check_cross_call_stack(cg, table, buffer);
       check_abi_preservation(cfg, cg, table, domain, flow, buffer);
       check_dead_binding_writes(cfg, program, bindings, flow, domain, reachable, buffer);
-      run_context_pass(cfg, cg, table, domain, options, buffer);
+      run_context_pass(cfg, cg, table, domain, flow, program, bindings, options, buffer);
       if (summaries_json != nullptr) *summaries_json = render_summaries_json(cg, table);
+      if (stats != nullptr) {
+        const SummaryStats& ss = table.stats();
+        stats->functions = ss.functions;
+        stats->clones = ss.clones;
+        stats->havoc_summaries = ss.havoc_summaries;
+        stats->narrowing_iterations = ss.narrowing_iterations;
+        stats->clone_overflows = ss.clone_overflows;
+      }
     }
   }
 

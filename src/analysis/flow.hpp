@@ -28,24 +28,41 @@
 // FlowOptions::interproc = false):
 //  * NL311 (warning): a call site passes a register that is uninitialized
 //    on every path to the call, and the callee (transitively) consumes that
-//    entry value.
+//    entry value. At a resolved multi-target site the claim must hold for
+//    every possible callee (summaries join with entry-read intersection).
 //  * NL312 (error): a callee dereferences an address derived from a caller
 //    argument, and with this call site's argument the access is provably
-//    outside the memory map.
+//    outside the memory map. Single-target sites only: a footprint entry of
+//    a joined multi-target summary belongs to just one of the candidates.
 //  * NL313 (warning): a function returns with sp provably displaced and the
 //    imbalance flows in through one of its callees — the cross-call
 //    counterpart of NL304, which by design trusts callees to balance.
 //  * NL314 (warning): a callee provably fails to preserve a callee-saved
 //    register (s0-s11) whose caller value is still live (read after the
 //    call before being rewritten) — an ABI/calling-convention violation
-//    with observable effect.
+//    with observable effect. Fires on multi-target sites too: the joined
+//    exit state only proves a clobber when every candidate clobbers.
+//
+// Context-sensitive rules (computed in the top-down clone pass, which walks
+// one clone per k-limited call string — FlowOptions::context_k; k = 0
+// reproduces the joined, context-insensitive view):
 //  * NL315 (warning): an iss_in-bound variable's only writes live in a
 //    function that is unreachable from the entry; refines the matching
 //    NL305 warning (which it replaces) with the dead-callee evidence.
+//  * NL316 (error): under some call string the caller's concrete stack
+//    pointer places the callee's frame stores over a bound variable's word
+//    — the co-simulation binding would be silently clobbered by stack
+//    growth. Needs an exact sp, which survives only in an unjoined clone;
+//    with context_k = 0 the joined sp interval stays silent.
+//  * NL317 (warning): a context-divergent callee-saved clobber — under this
+//    call string the caller's live register value is provably initialized
+//    and provably destroyed by the callee, but the context-joined view
+//    (which NL314 checks) masks it behind a Mixed initialization state.
 //
 // When the intra- and inter-procedural passes flag the same (rule, PC,
 // operand) triple, one diagnostic is emitted with a "via call from <line>"
-// note instead of two entries.
+// note instead of two entries. Clones share the same keys, so the same
+// defect reached over several call strings stays one diagnostic.
 //
 // All rules are definite-evidence only: an inconclusive analysis stays
 // silent, so a clean guest produces zero NL3xx findings.
@@ -67,6 +84,20 @@ struct FlowOptions {
   std::uint64_t mem_size = std::uint64_t(1) << 20;
   /// Run the interprocedural pass (call graph + summaries + NL31x).
   bool interproc = true;
+  /// Call-string depth for context-sensitive summaries and the top-down
+  /// clone pass: 0 joins every caller (context-insensitive), 1 keeps one
+  /// clone per immediate call site.
+  std::size_t context_k = 1;
+};
+
+/// Precision counters for cosim_lint --stats (mirrors analysis::SummaryStats
+/// so this header stays free of the summary machinery).
+struct FlowStats {
+  std::size_t functions = 0;             ///< discovered call-graph functions
+  std::size_t clones = 0;                ///< materialized (function, context) clones
+  std::size_t havoc_summaries = 0;       ///< clones whose summary fell back to havoc
+  std::size_t narrowing_iterations = 0;  ///< descending sweeps executed
+  std::size_t clone_overflows = 0;       ///< call strings folded into the root clone
 };
 
 /// Sink for flow findings; the caller applies nolint/suppression and file
@@ -76,9 +107,10 @@ using FlowReport =
 
 /// Runs every NL3xx rule over an assembled program and its pragma bindings.
 /// When `summaries_json` is non-null and the interprocedural pass ran, it
-/// receives the "functions":[...] summary-dump fragment (see summary.hpp).
+/// receives the "context_k":K,"functions":[...] summary-dump fragment (see
+/// summary.hpp); `stats`, when non-null, receives the precision counters.
 void check_flow(const iss::Program& program, const std::vector<cosim::PragmaBinding>& bindings,
                 const FlowOptions& options, const FlowReport& report,
-                std::string* summaries_json = nullptr);
+                std::string* summaries_json = nullptr, FlowStats* stats = nullptr);
 
 }  // namespace nisc::analysis

@@ -269,12 +269,19 @@ LintResult lint_guest_source(std::string_view source, const std::string& file,
 
   // 5. Flow-sensitive NL3xx rules over the assembled program's CFG.
   if (result.assembled && options.flow) {
+    FlowStats flow_stats;
     check_flow(
-        result.program, result.bindings, FlowOptions{options.mem_size, options.interproc},
+        result.program, result.bindings,
+        FlowOptions{options.mem_size, options.interproc, options.context_k},
         [&](Severity severity, std::string rule, std::string message, int line) {
           report(severity, std::move(rule), std::move(message), line);
         },
-        &result.summaries_json);
+        &result.summaries_json, &flow_stats);
+    result.stats.functions = flow_stats.functions;
+    result.stats.clones = flow_stats.clones;
+    result.stats.havoc_summaries = flow_stats.havoc_summaries;
+    result.stats.narrowing_iterations = flow_stats.narrowing_iterations;
+    result.stats.clone_overflows = flow_stats.clone_overflows;
   }
 
   return result;

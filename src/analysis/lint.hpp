@@ -29,11 +29,13 @@
 //    register reads, provably out-of-map accesses, stack balance, and
 //    binding liveness. They run only when the program assembled cleanly and
 //    can be disabled wholesale with LintOptions::flow = false.
-//  * NL311..NL315 (see analysis/flow.hpp): interprocedural rules over the
-//    call graph and bottom-up function summaries — uninitialized call
-//    arguments, out-of-map accesses through helpers, cross-call stack
-//    imbalance, callee-saved register clobbers, and bindings written only
-//    in dead code. Disabled with LintOptions::interproc = false.
+//  * NL311..NL317 (see analysis/flow.hpp): interprocedural rules over the
+//    call graph and context-sensitive function summaries — uninitialized
+//    call arguments, out-of-map accesses through helpers, cross-call stack
+//    imbalance, callee-saved register clobbers, bindings written only in
+//    dead code, stack growth over a binding, and context-divergent clobbers.
+//    Disabled with LintOptions::interproc = false; the call-string depth of
+//    the clone pass is LintOptions::context_k.
 //
 // Inline suppression: a `nolint` token in a comment on the offending line
 // silences all rules for that line; `nolint(rule-a,rule-b)` silences only
@@ -59,17 +61,31 @@ struct LintOptions {
   bool flow = true;
   /// Run the interprocedural pass (call graph, summaries, NL31x rules).
   bool interproc = true;
+  /// Call-string depth for context-sensitive summaries and the clone pass
+  /// (0 = context-insensitive, the pre-context behavior).
+  std::size_t context_k = 1;
   /// Guest memory map size the NL303/NL305 in-map checks use.
   std::uint64_t mem_size = std::uint64_t(1) << 20;
+};
+
+/// Precision counters from the interprocedural pass (cosim_lint --stats).
+struct LintStats {
+  std::size_t functions = 0;
+  std::size_t clones = 0;
+  std::size_t havoc_summaries = 0;
+  std::size_t narrowing_iterations = 0;
+  std::size_t clone_overflows = 0;
 };
 
 struct LintResult {
   bool assembled = false;                        ///< program assembled cleanly
   iss::Program program;                          ///< valid when assembled
   std::vector<cosim::PragmaBinding> bindings;    ///< parsed pragma bindings
-  /// `"functions":[...]` summary-dump fragment from the interprocedural
-  /// pass; empty when the pass did not run (see summary.hpp).
+  /// `"context_k":K,"functions":[...]` summary-dump fragment from the
+  /// interprocedural pass; empty when the pass did not run (summary.hpp).
   std::string summaries_json;
+  /// Precision counters; all zero when the interprocedural pass did not run.
+  LintStats stats;
 };
 
 /// Lints one guest program. `file` is used in diagnostic locations.

@@ -1,6 +1,7 @@
 #include "analysis/summary.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "analysis/dataflow.hpp"
 #include "analysis/diag.hpp"
@@ -43,13 +44,18 @@ AbsValue translate(const AbsValue& exit, const std::array<AbsValue, 32>& entry_v
   return wrap_exact({e.range.plus(exit.range), e.base, e.init, e.entry_reg});
 }
 
-/// One symbolic-fixpoint pass over a single function, reading callee
-/// summaries from `table` (bottom defaults for not-yet-computed SCC peers).
+/// One symbolic-fixpoint pass over a single function clone, stepping over
+/// call sites via `env` (addr -> callee summary under this clone's context;
+/// bottom defaults for not-yet-computed SCC peers). `narrow_iters` counts
+/// the descending sweeps the inner dataflow executes.
 FunctionSummary summarize(const Cfg& cfg, const CallGraph& cg, std::size_t f,
-                          const SummaryTable& table, const std::vector<std::uint32_t>& tracked) {
+                          std::map<std::uint32_t, FunctionSummary> env,
+                          const std::vector<std::uint32_t>& tracked,
+                          std::size_t* narrow_iters) {
   const Function& fn = cg.functions()[f];
-  CallAwareDomain dom(RegDomain(tracked), symbolic_boundary(), table.site_summaries(cg, f));
-  DataflowResult<CallAwareDomain> flow = run_forward(cfg, dom, kIntraprocEdges, fn.entry_block);
+  CallAwareDomain dom(RegDomain(tracked), symbolic_boundary(), std::move(env));
+  DataflowResult<CallAwareDomain> flow = run_forward(cfg, dom, kIntraprocEdges, fn.entry_block, 8,
+                                                     kNarrowSweeps, narrow_iters);
 
   FunctionSummary s;
   for (std::size_t b : fn.blocks) {
@@ -126,6 +132,24 @@ FunctionSummary summarize(const Cfg& cfg, const CallGraph& cg, std::size_t f,
 
 }  // namespace
 
+Context context_push(const Context& ctx, std::size_t site, std::size_t k) {
+  if (k == 0) return {};
+  Context out = ctx;
+  out.push_back(site);
+  if (out.size() > k) out.erase(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(out.size() - k));
+  return out;
+}
+
+std::string context_label(const CallGraph& cg, const Context& ctx) {
+  std::string out;
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    if (i) out += " > ";
+    out += "line ";
+    out += std::to_string(cg.sites()[ctx[i]].line);
+  }
+  return out;
+}
+
 FunctionSummary FunctionSummary::make_havoc() {
   FunctionSummary s;
   s.havoc = true;
@@ -141,6 +165,88 @@ const EntryRead* FunctionSummary::read_of(std::uint8_t reg) const noexcept {
     if (er.reg == reg) return &er;
   }
   return nullptr;
+}
+
+void FunctionSummary::join_target(const FunctionSummary& o) {
+  if (havoc || o.havoc) {
+    *this = make_havoc();
+    return;
+  }
+  // Definite claims survive only when every target makes them.
+  std::vector<EntryRead> kept;
+  for (const EntryRead& er : entry_reads) {
+    if (o.read_of(er.reg) != nullptr) kept.push_back(er);
+  }
+  entry_reads = std::move(kept);
+  // The footprint is a may-set: union, respecting the cap.
+  for (const MemAccess& m : o.mem) {
+    if (std::find(mem.begin(), mem.end(), m) != mem.end()) continue;
+    if (mem.size() >= kMaxSummaryMem) {
+      mem_truncated = true;
+      break;
+    }
+    mem.push_back(m);
+  }
+  mem_truncated = mem_truncated || o.mem_truncated;
+  if (!o.reached_ret) return;  // a never-returning target adds no exit state
+  if (!reached_ret) {
+    reached_ret = true;
+    exit_regs = o.exit_regs;
+    sp_delta = o.sp_delta;
+    must_written = o.must_written;
+    rets = o.rets;
+    return;
+  }
+  for (std::size_t r = 0; r < 32; ++r) exit_regs[r].join(o.exit_regs[r]);
+  if (sp_delta != o.sp_delta) sp_delta.reset();
+  must_written &= o.must_written;
+  for (const auto& ret : o.rets) {
+    if (std::find(rets.begin(), rets.end(), ret) == rets.end()) rets.push_back(ret);
+  }
+}
+
+void FunctionSummary::widen_from(const FunctionSummary& o) {
+  if (havoc || o.havoc) {
+    *this = make_havoc();
+    return;
+  }
+  for (const EntryRead& er : o.entry_reads) {
+    if (read_of(er.reg) == nullptr) entry_reads.push_back(er);
+  }
+  for (const auto& ret : o.rets) {
+    if (std::find(rets.begin(), rets.end(), ret) == rets.end()) rets.push_back(ret);
+  }
+  // Collapse the footprint to one widened interval per (register, size,
+  // kind) group: a recursive frame chain would otherwise add one entry per
+  // round forever. Evidence (addr/line) sticks with the group's first entry.
+  std::map<std::tuple<std::uint8_t, std::uint32_t, bool>, MemAccess> groups;
+  auto fold = [&](const MemAccess& m, bool accelerate) {
+    auto key = std::make_tuple(m.entry_reg, m.size, m.is_store);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      groups.emplace(key, m);
+    } else if (accelerate) {
+      it->second.offset.widen(m.offset);
+    } else {
+      it->second.offset.join(m.offset);
+    }
+  };
+  for (const MemAccess& m : mem) fold(m, false);
+  for (const MemAccess& m : o.mem) fold(m, true);
+  mem.clear();
+  for (auto& [key, m] : groups) mem.push_back(m);
+  mem_truncated = mem_truncated || o.mem_truncated;
+  if (!o.reached_ret) return;
+  if (!reached_ret) {
+    reached_ret = true;
+    exit_regs = o.exit_regs;
+    sp_delta = o.sp_delta;
+    must_written = o.must_written;
+    return;
+  }
+  for (std::size_t r = 0; r < 32; ++r) exit_regs[r].widen(o.exit_regs[r]);
+  if (sp_delta != o.sp_delta) sp_delta.reset();
+  must_written &= o.must_written;
 }
 
 void apply_summary(const FunctionSummary& summary, RegState& state) {
@@ -182,60 +288,177 @@ RegState symbolic_boundary() {
 }
 
 SummaryTable SummaryTable::compute(const Cfg& cfg, const CallGraph& cg,
-                                   std::vector<std::uint32_t> tracked) {
+                                   std::vector<std::uint32_t> tracked, std::size_t context_k) {
   SummaryTable table;
-  table.summaries_.resize(cg.functions().size());  // bottom: reached_ret = false
+  table.context_k_ = context_k;
+  const std::size_t nfns = cg.functions().size();
+  table.contexts_.resize(nfns);
+  table.stats_.functions = nfns;
+  for (std::size_t f = 0; f < nfns; ++f) table.contexts_[f].push_back(Context{});
+
+  // Top-down clone discovery: the closure of k-limited call strings over
+  // resolved call sites. Recursive functions keep the root clone only — the
+  // SCC fixpoint joins their callers anyway, and per-cycle clones would
+  // multiply the iteration space for no precision.
+  if (context_k > 0) {
+    std::vector<std::pair<std::size_t, Context>> work;
+    work.reserve(nfns);
+    for (std::size_t f = 0; f < nfns; ++f) work.push_back({f, Context{}});
+    while (!work.empty()) {
+      std::pair<std::size_t, Context> item = std::move(work.back());
+      work.pop_back();
+      for (std::size_t site : cg.functions()[item.first].call_sites) {
+        const CallSite& cs = cg.sites()[site];
+        if (!cs.resolved) continue;
+        Context nctx = context_push(item.second, site, context_k);
+        for (std::size_t g : cs.callees) {
+          if (cg.scc_is_recursive(cg.functions()[g].scc)) continue;
+          std::vector<Context>& known = table.contexts_[g];
+          if (std::find(known.begin(), known.end(), nctx) != known.end()) continue;
+          if (known.size() >= kMaxClonesPerFunction) {
+            ++table.stats_.clone_overflows;
+            continue;
+          }
+          known.push_back(nctx);
+          work.push_back({g, nctx});
+        }
+      }
+    }
+  }
+  for (std::size_t f = 0; f < nfns; ++f) {
+    for (const Context& ctx : table.contexts_[f]) table.summaries_[{f, ctx}];  // bottom
+  }
+
+  std::size_t* ni = &table.stats_.narrowing_iterations;
   for (std::size_t sidx = 0; sidx < cg.sccs().size(); ++sidx) {
     const std::vector<std::size_t>& scc = cg.sccs()[sidx];
     const bool recursive = cg.scc_is_recursive(sidx);
-    int rounds = 0;
-    bool changed = true;
-    while (changed) {
-      changed = false;
+
+    // One recompute pass over every clone of the SCC. Clones whose call-site
+    // environment matches the root clone's (always true at k <= 1) reuse the
+    // root's fresh summary instead of re-running the dataflow.
+    auto sweep = [&](bool accelerate) {
+      bool changed = false;
       for (std::size_t f : scc) {
-        FunctionSummary s = summarize(cfg, cg, f, table, tracked);
-        if (!(s == table.summaries_[f])) {
-          table.summaries_[f] = std::move(s);
-          changed = true;
+        std::map<std::uint32_t, FunctionSummary> root_env;
+        const FunctionSummary* root_sum = nullptr;
+        for (const Context& ctx : table.contexts_[f]) {
+          std::map<std::uint32_t, FunctionSummary> env = table.site_summaries(cg, f, ctx);
+          FunctionSummary s;
+          if (root_sum != nullptr && env == root_env) {
+            s = *root_sum;
+          } else {
+            s = summarize(cfg, cg, f, std::move(env), tracked, ni);
+          }
+          FunctionSummary& slot = table.summaries_.at({f, ctx});
+          if (accelerate) {
+            FunctionSummary w = slot;
+            w.widen_from(s);
+            s = std::move(w);
+          }
+          if (!(s == slot)) {
+            slot = std::move(s);
+            changed = true;
+          }
+          if (ctx.empty()) {
+            root_env = table.site_summaries(cg, f, ctx);
+            root_sum = &slot;
+          }
         }
       }
-      if (!recursive) break;
-      if (changed && ++rounds >= kMaxSccRounds) {
-        // Non-converging recursion: give up precisely, not unsoundly.
-        for (std::size_t f : scc) table.summaries_[f] = FunctionSummary::make_havoc();
+      return changed;
+    };
+
+    // Ascending phase: plain rounds, then widening acceleration, with the
+    // havoc collapse kept only as a hard backstop.
+    int rounds = 0;
+    bool havocked = false;
+    while (true) {
+      bool changed = sweep(recursive && rounds >= kSccPlainRounds);
+      if (!changed || !recursive) break;
+      if (++rounds >= kMaxSccRounds) {
+        for (std::size_t f : scc) {
+          for (const Context& ctx : table.contexts_[f]) {
+            table.summaries_.at({f, ctx}) = FunctionSummary::make_havoc();
+          }
+        }
+        havocked = true;
         break;
       }
     }
+    // Descending phase: recompute from the widened post-fixpoint. Each
+    // sweep is F(X) with X a sound post-fixpoint, so stopping anywhere is
+    // safe; the bound keeps worst-case cost linear in kNarrowSweeps.
+    if (recursive && !havocked) {
+      for (int n = 0; n < kNarrowSweeps; ++n) {
+        bool improved = sweep(false);
+        ++table.stats_.narrowing_iterations;
+        if (!improved) break;
+      }
+    }
+  }
+
+  for (const auto& [key, s] : table.summaries_) {
+    ++table.stats_.clones;
+    if (s.havoc) ++table.stats_.havoc_summaries;
   }
   return table;
 }
 
-const FunctionSummary& SummaryTable::at_site(const CallGraph& cg, std::size_t site) const {
-  const CallSite& s = cg.sites()[site];
-  if (!s.resolved || s.callees.size() != 1) return havoc_;
-  return summaries_[s.callees.front()];
+const FunctionSummary& SummaryTable::of(std::size_t fn) const {
+  return summaries_.at({fn, Context{}});
 }
 
-std::map<std::uint32_t, const FunctionSummary*> SummaryTable::site_summaries(
-    const CallGraph& cg, std::size_t fn) const {
-  std::map<std::uint32_t, const FunctionSummary*> map;
+const FunctionSummary& SummaryTable::of(std::size_t fn, const Context& ctx) const {
+  auto it = summaries_.find({fn, ctx});
+  return it != summaries_.end() ? it->second : of(fn);
+}
+
+const std::vector<Context>& SummaryTable::contexts_of(std::size_t fn) const {
+  return contexts_[fn];
+}
+
+FunctionSummary SummaryTable::at_site(const CallGraph& cg, std::size_t site,
+                                      const Context& caller_ctx) const {
+  const CallSite& s = cg.sites()[site];
+  if (!s.resolved || s.callees.empty()) return FunctionSummary::make_havoc();
+  Context callee_ctx = context_push(caller_ctx, site, context_k_);
+  FunctionSummary joined = of(s.callees.front(), callee_ctx);
+  for (std::size_t i = 1; i < s.callees.size(); ++i) {
+    joined.join_target(of(s.callees[i], callee_ctx));
+  }
+  return joined;
+}
+
+std::map<std::uint32_t, FunctionSummary> SummaryTable::site_summaries(const CallGraph& cg,
+                                                                      std::size_t fn,
+                                                                      const Context& ctx) const {
+  std::map<std::uint32_t, FunctionSummary> map;
   for (std::size_t site : cg.functions()[fn].call_sites) {
-    map[cg.sites()[site].addr] = &at_site(cg, site);
+    map.emplace(cg.sites()[site].addr, at_site(cg, site, ctx));
   }
   return map;
 }
 
 std::string render_summaries_json(const CallGraph& cg, const SummaryTable& table) {
-  std::string out = "\"functions\":[";
-  for (std::size_t f = 0; f < cg.functions().size(); ++f) {
+  std::string out = "\"context_k\":";
+  out += std::to_string(table.context_k());
+  out += ",\"functions\":[";
+  bool first_entry = true;
+  auto emit = [&](std::size_t f, const Context& ctx, const FunctionSummary& s) {
     const Function& fn = cg.functions()[f];
-    const FunctionSummary& s = table.of(f);
-    if (f) out += ',';
+    if (!first_entry) out += ',';
+    first_entry = false;
     out += "{\"name\":\"";
     out += json_escape(fn.name);
     out += "\",\"entry\":";
     out += std::to_string(fn.entry_addr);
-    out += ",\"havoc\":";
+    out += ",\"context\":[";
+    for (std::size_t i = 0; i < ctx.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(cg.sites()[ctx[i]].line);
+    }
+    out += "],\"havoc\":";
     out += s.havoc ? "true" : "false";
     out += ",\"returns\":";
     out += s.reached_ret ? "true" : "false";
@@ -271,6 +494,18 @@ std::string render_summaries_json(const CallGraph& cg, const SummaryTable& table
     out += "],\"mem_truncated\":";
     out += s.mem_truncated ? "true" : "false";
     out += '}';
+  };
+  for (std::size_t f = 0; f < cg.functions().size(); ++f) {
+    const FunctionSummary& root = table.of(f);
+    emit(f, Context{}, root);
+    // Non-root clones appear only when context sensitivity actually changed
+    // the summary — the common identical clone would just repeat the root.
+    for (const Context& ctx : table.contexts_of(f)) {
+      if (ctx.empty()) continue;
+      const FunctionSummary& s = table.of(f, ctx);
+      if (s == root) continue;
+      emit(f, ctx, s);
+    }
   }
   out += ']';
   return out;

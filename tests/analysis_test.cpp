@@ -890,9 +890,118 @@ TEST(SummaryTest, RecursiveSccTerminatesWithSoundSummary) {
   std::size_t fn = cg.function_at(prog.symbol("count"));
   EXPECT_TRUE(cg.scc_is_recursive(cg.functions()[fn].scc));
   const FunctionSummary& s = table.of(fn);
-  // Either the fixpoint converged or the SCC collapsed to havoc — both are
-  // sound; a bottom (never-returns) summary for a returning function is not.
-  EXPECT_TRUE(s.havoc || s.reached_ret);
+  // Widening-then-narrowing must converge to a real summary: the recursion
+  // is stack-balanced, so the havoc backstop would be a precision bug.
+  EXPECT_FALSE(s.havoc);
+  EXPECT_TRUE(s.reached_ret);
+  ASSERT_TRUE(s.sp_delta.has_value());
+  EXPECT_EQ(*s.sp_delta, 0);
+  EXPECT_EQ(table.stats().havoc_summaries, 0u);
+}
+
+// A mutually recursive pair with real frames: the widening/narrowing SCC
+// fixpoint must prove both balanced (exact sp_delta 0) without the havoc
+// fallback, and the ISS run confirms the stack comes back level.
+TEST(SummaryTest, MutualRecursionConvergesWithoutHavoc) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    li sp, 0x10000\n"
+      "    li a0, 5\n"
+      "    call even\n"
+      "    ebreak\n"
+      "even:\n"
+      "    addi sp, sp, -16\n"
+      "    sw ra, 12(sp)\n"
+      "    beqz a0, even_base\n"
+      "    addi a0, a0, -1\n"
+      "    call odd\n"
+      "    j even_out\n"
+      "even_base:\n"
+      "    li a0, 1\n"
+      "even_out:\n"
+      "    lw ra, 12(sp)\n"
+      "    addi sp, sp, 16\n"
+      "    ret\n"
+      "odd:\n"
+      "    addi sp, sp, -16\n"
+      "    sw ra, 12(sp)\n"
+      "    beqz a0, odd_base\n"
+      "    addi a0, a0, -1\n"
+      "    call even\n"
+      "    j odd_out\n"
+      "odd_base:\n"
+      "    li a0, 0\n"
+      "odd_out:\n"
+      "    lw ra, 12(sp)\n"
+      "    addi sp, sp, 16\n"
+      "    ret\n");
+  Cfg cfg = Cfg::build(prog);
+  CallGraph cg = CallGraph::build(cfg, prog);
+  SummaryTable table = SummaryTable::compute(cfg, cg, {});
+  for (const char* name : {"even", "odd"}) {
+    const FunctionSummary& s = table.of(cg.function_at(prog.symbol(name)));
+    EXPECT_FALSE(s.havoc) << name;
+    EXPECT_TRUE(s.reached_ret) << name;
+    ASSERT_TRUE(s.sp_delta.has_value()) << name;
+    EXPECT_EQ(*s.sp_delta, 0) << name;
+    EXPECT_TRUE(s.exit_regs[2].is_sp_rel()) << name;
+  }
+  EXPECT_EQ(table.stats().havoc_summaries, 0u);
+  EXPECT_GT(table.stats().narrowing_iterations, 0u);
+
+  iss::Cpu cpu;  // the oracle: is_even(5) == 0 and sp comes back level
+  prog.load_into(cpu.mem());
+  cpu.reset(prog.entry);
+  EXPECT_EQ(cpu.run(10000), iss::Halt::Ebreak);
+  EXPECT_EQ(cpu.reg(10), 0u);
+  EXPECT_EQ(cpu.reg(2), 0x10000u);
+}
+
+// An indirect call through a two-entry address-taken set: the joined site
+// summary keeps only the claims that hold for every target — entry reads
+// intersect, exit values join, and the balanced sp survives.
+TEST(SummaryTest, IndirectCallJoinsAddressTakenTargets) {
+  iss::Program prog = iss::assemble(
+      "_start:\n"
+      "    li sp, 0x10000\n"
+      "    la t0, f_one\n"
+      "    la t1, f_two\n"
+      "    li a0, 4\n"
+      "    li a1, 2\n"
+      "    jalr ra, t0, 0\n"
+      "    ebreak\n"
+      "f_one:\n"
+      "    add a0, a0, a1\n"
+      "    ret\n"
+      "f_two:\n"
+      "    addi a0, a0, 1\n"
+      "    li s1, 5\n"
+      "    ret\n");
+  Cfg cfg = Cfg::build(prog);
+  CallGraph cg = CallGraph::build(cfg, prog);
+  std::size_t site_idx = CallGraph::npos;
+  for (std::size_t i = 0; i < cg.sites().size(); ++i) {
+    if (cg.sites()[i].indirect) site_idx = i;
+  }
+  ASSERT_NE(site_idx, CallGraph::npos);
+  const CallSite& site = cg.sites()[site_idx];
+  ASSERT_TRUE(site.resolved);
+  ASSERT_EQ(site.callees.size(), 2u);
+
+  SummaryTable table = SummaryTable::compute(cfg, cg, {});
+  const FunctionSummary s = table.at_site(cg, site_idx);
+  EXPECT_FALSE(s.havoc);
+  EXPECT_TRUE(s.reached_ret);
+  ASSERT_TRUE(s.sp_delta.has_value());
+  EXPECT_EQ(*s.sp_delta, 0);
+  // a0 is read by both targets; a1 only by f_one — the intersection drops it.
+  EXPECT_NE(s.read_of(10), nullptr);
+  EXPECT_EQ(s.read_of(11), nullptr);
+  // s1 is clobbered by f_two but preserved by f_one: the join can neither
+  // claim identity nor a definite clobber.
+  EXPECT_FALSE(s.exit_regs[9].is_entry_identity(9));
+  EXPECT_FALSE(s.exit_regs[9].base == AbsValue::Base::None &&
+               s.exit_regs[9].range.is_exact());
 }
 
 TEST(SummaryTest, UnresolvedIndirectCallGetsHavoc) {
@@ -929,11 +1038,16 @@ TEST(FlowRuleTest, EveryInterprocFixtureFlagsItsRule) {
     const char* rule;
     std::set<std::string> companions;  // additional rules the fixture may fire
   } cases[] = {
-      {"nl311_uninit_call.s", "NL311", {}},
-      {"nl312_oob_helper.s", "NL312", {}},
+      // The context-sensitive clone pass (k = 1) proves the callee-side
+      // defect under the guilty call string too, so the call-site rule
+      // gains its intraprocedural companion inside the callee clone.
+      {"nl311_uninit_call.s", "NL311", {"NL302"}},
+      {"nl312_oob_helper.s", "NL312", {"NL303"}},
       {"nl313_cross_stack.s", "NL313", {"NL304"}},  // leak itself is an NL304
       {"nl314_clobbered_sreg.s", "NL314", {}},
       {"nl315_dead_callee_binding.s", "NL315", {}},
+      {"nl316_frame_clobber.s", "NL316", {}},
+      {"nl317_context_clobber.s", "NL317", {}},
   };
   for (const auto& c : cases) {
     DiagEngine diags;
@@ -1057,6 +1171,170 @@ TEST(FlowRuleTest, Nl315VerdictAgreesWithExecution) {
   for (const iss::TraceEntry& e : tracer.entries()) EXPECT_LT(e.pc, r.program.symbol("fill"));
 }
 
+// NL316 oracle: halted just before the binding store, the bound variable
+// already holds helper's spilled s0 — the frame clobbered it. The defect
+// needs the exact per-context sp, so --context-k=0 is the negative control.
+TEST(FlowRuleTest, Nl316VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r = lint_guest_source(read_file_or_die(fixture_path("nl316_frame_clobber.s")),
+                                   "nl316", diags);
+  ASSERT_TRUE(r.assembled);
+  ASSERT_TRUE(diags.has_rule("NL316"));
+  EXPECT_NE(diags.diagnostics()[0].message.find("'flag'"), std::string::npos);
+  ASSERT_EQ(r.bindings.size(), 1u);
+
+  LintOptions joined;  // context-insensitive: the joined sp interval is mute
+  joined.context_k = 0;
+  DiagEngine diags0;
+  lint_guest_source(read_file_or_die(fixture_path("nl316_frame_clobber.s")), "nl316", diags0,
+                    joined);
+  EXPECT_FALSE(diags0.has_rule("NL316")) << render_text(diags0);
+
+  std::uint32_t store_addr = 0;
+  for (const iss::CodeLoc& loc : r.program.code) {
+    if (loc.line == r.bindings[0].statement_line) store_addr = loc.addr;
+  }
+  ASSERT_NE(store_addr, 0u);
+  iss::Cpu cpu;
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  cpu.add_breakpoint(store_addr);
+  EXPECT_EQ(cpu.run(1000), iss::Halt::Breakpoint);
+  // The spill slot of the guilty call landed on flag: s0's 0x5AFE is there.
+  EXPECT_EQ(cpu.mem().read32(r.program.symbol("flag")), 0x5AFEu);
+}
+
+// NL317 oracle: the second caller's 77 never reaches out_b — scramble's 0
+// is echoed instead. Context-insensitively the defect is invisible (s1 is
+// Mixed at the call), so --context-k=0 is the negative control.
+TEST(FlowRuleTest, Nl317VerdictAgreesWithExecution) {
+  DiagEngine diags;
+  LintResult r = lint_guest_source(read_file_or_die(fixture_path("nl317_context_clobber.s")),
+                                   "nl317", diags);
+  ASSERT_TRUE(r.assembled);
+  ASSERT_TRUE(diags.has_rule("NL317"));
+  EXPECT_NE(diags.diagnostics()[0].message.find("s1"), std::string::npos);
+  EXPECT_NE(diags.diagnostics()[0].message.find("call string"), std::string::npos);
+
+  LintOptions joined;
+  joined.context_k = 0;
+  DiagEngine diags0;
+  lint_guest_source(read_file_or_die(fixture_path("nl317_context_clobber.s")), "nl317", diags0,
+                    joined);
+  EXPECT_FALSE(diags0.has_rule("NL317")) << render_text(diags0);
+
+  iss::Cpu cpu;
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  EXPECT_EQ(cpu.run(1000), iss::Halt::Ebreak);
+  EXPECT_EQ(cpu.mem().read32(r.program.symbol("out_b")), 0u);  // not 77
+}
+
+// A helper reached from three contexts with disjoint argument values: only
+// the k = 1 clone of the third call string keeps a0 exact through `fetch`,
+// so NL312 needs context sensitivity — the joined entry interval spans the
+// map boundary and proves nothing. The ISS run faults exactly there.
+TEST(FlowRuleTest, ContextClonesSeparateDisjointArguments) {
+  // fetch indexes off two arguments, so its own summary cannot pin the
+  // address entry-relatively — only a clone with both arguments exact can.
+  const std::string source =
+      "_start:\n"
+      "    li sp, 0x10000\n"
+      "    la a0, buf_a\n"
+      "    li a1, 0\n"
+      "    call fetch\n"
+      "    la a0, buf_b\n"
+      "    li a1, 4\n"
+      "    call fetch\n"
+      "    li a0, 0x200000\n"
+      "    li a1, 0\n"
+      "    call fetch\n"
+      "    ebreak\n"
+      "fetch:\n"
+      "    addi sp, sp, -16\n"
+      "    sw ra, 12(sp)\n"
+      "    add a0, a0, a1\n"
+      "    call peek\n"
+      "    lw ra, 12(sp)\n"
+      "    addi sp, sp, 16\n"
+      "    ret\n"
+      "peek:\n"
+      "    lw a0, 0(a0)\n"
+      "    ret\n"
+      "buf_a: .word 7\n"
+      "buf_b: .word 9\n"
+      "       .word 11\n";
+  DiagEngine diags;
+  LintResult r = lint_guest_source(source, "ctx3.s", diags);
+  ASSERT_TRUE(r.assembled);
+  EXPECT_TRUE(diags.has_rule("NL312")) << render_text(diags);
+
+  LintOptions joined;
+  joined.context_k = 0;
+  DiagEngine diags0;
+  lint_guest_source(source, "ctx3.s", diags0, joined);
+  EXPECT_FALSE(diags0.has_rule("NL312")) << render_text(diags0);
+
+  iss::Cpu cpu;  // first two calls read the buffers; the third faults in peek
+  r.program.load_into(cpu.mem());
+  cpu.reset(r.program.entry);
+  iss::ExecutionTracer tracer(cpu, 16);
+  EXPECT_EQ(cpu.run(1000), iss::Halt::MemoryFault);
+  ASSERT_FALSE(tracer.entries().empty());
+  EXPECT_EQ(tracer.entries().back().pc, r.program.symbol("peek"));
+}
+
+// NL311 through an indirect call joining two targets: the warning fires
+// only for registers every candidate consumes (a0); a1 is read by just one
+// target, so the intersection keeps the analysis honest about it.
+TEST(FlowRuleTest, IndirectNl311UsesTargetIntersection) {
+  DiagEngine diags;
+  lint_guest_source(
+      "_start:\n"
+      "    li sp, 0x10000\n"
+      "    la t0, f_one\n"
+      "    la t1, f_two\n"
+      "    jalr ra, t0, 0\n"
+      "    ebreak\n"
+      "f_one:\n"
+      "    add a0, a0, a1\n"
+      "    ret\n"
+      "f_two:\n"
+      "    addi a0, a0, 1\n"
+      "    ret\n",
+      "indirect.s", diags);
+  std::size_t nl311 = 0;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.rule != "NL311") continue;
+    ++nl311;
+    EXPECT_NE(d.message.find("f_one/f_two"), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("register a0"), std::string::npos) << d.message;
+  }
+  EXPECT_EQ(nl311, 1u) << render_text(diags);  // a0 only, never a1
+}
+
+// The --stats counters surface the precision contract: the clean corpus
+// guest needs no havoc fallback, narrowing ran, and k = 0 collapses the
+// clone table back to one summary per function.
+TEST(FlowRuleTest, StatsReportZeroHavocOnCleanGuest) {
+  const std::string source =
+      read_file_or_die(std::string(NISC_SOURCE_DIR "/examples/guests/checksum_helpers.s"));
+  DiagEngine diags;
+  LintResult r = lint_guest_source(source, "checksum_helpers.s", diags);
+  ASSERT_TRUE(r.assembled);
+  EXPECT_GE(r.stats.functions, 3u);
+  EXPECT_GT(r.stats.clones, r.stats.functions);  // call strings materialized
+  EXPECT_EQ(r.stats.havoc_summaries, 0u);
+  EXPECT_GT(r.stats.narrowing_iterations, 0u);
+  EXPECT_EQ(r.stats.clone_overflows, 0u);
+
+  LintOptions joined;
+  joined.context_k = 0;
+  DiagEngine diags0;
+  LintResult r0 = lint_guest_source(source, "checksum_helpers.s", diags0, joined);
+  EXPECT_EQ(r0.stats.clones, r0.stats.functions);
+}
+
 // When the whole-program pass and the per-function context pass derive the
 // same defect, exactly one diagnostic comes out, annotated with the call
 // provenance.
@@ -1109,10 +1387,13 @@ TEST(FlowRuleTest, ChecksumHelpersGuestIsCleanWithSummaries) {
   EXPECT_NE(r.summaries_json.find("\"sp_delta\":0"), std::string::npos);
 }
 
-// Interprocedural analysis must not blow the analysis budget: the full
-// committed corpus with summaries stays within 2x of the intraprocedural
-// pass (plus constant slack for timer noise on loaded CI machines).
-TEST(FlowPerfTest, InterprocStaysWithinTwiceIntraproc) {
+// Smoke bound only: the context-sensitive interprocedural pass does real
+// extra work (clone table, narrowing sweeps), so the old hard 2x wall-time
+// ratio is retired — regressions are tracked by bench_lint against the
+// committed BENCH_lint.json baseline instead. This test just catches
+// runaway blowups (4x plus constant slack for timer noise on loaded CI
+// machines).
+TEST(FlowPerfTest, InterprocSmokeBound) {
   namespace fs = std::filesystem;
   std::vector<std::string> corpus;
   for (const char* dir : {NISC_SOURCE_DIR "/examples/guests",
@@ -1142,7 +1423,7 @@ TEST(FlowPerfTest, InterprocStaysWithinTwiceIntraproc) {
     best_off = std::min(best_off, lint_corpus(false));
     best_on = std::min(best_on, lint_corpus(true));
   }
-  EXPECT_LE(best_on, 2 * best_off + std::chrono::milliseconds(50))
+  EXPECT_LE(best_on, 4 * best_off + std::chrono::milliseconds(100))
       << "interproc: " << std::chrono::duration_cast<std::chrono::microseconds>(best_on).count()
       << "us, intraproc only: "
       << std::chrono::duration_cast<std::chrono::microseconds>(best_off).count() << "us";

@@ -13,8 +13,14 @@
 //     --mem-size N         guest memory map size for NL303/NL305 (default 1 MiB)
 //     --no-flow            skip the flow-sensitive NL3xx rules
 //     --no-interproc       skip the interprocedural pass (call-graph function
-//                          summaries + NL311-NL315); also drops the summary
+//                          summaries + NL311-NL317); also drops the summary
 //                          dump from --json output
+//     --context-k N        call-string depth for context-sensitive summaries
+//                          and the clone pass (default 1; 0 joins every
+//                          caller, the context-insensitive view)
+//     --stats              report precision counters (functions, clones,
+//                          havoc'd summaries, narrowing iterations); with
+//                          --json they land in a "stats" member
 //     --max-warnings N     tolerate up to N warnings before exiting 1 (default 0)
 //     --frames FILE        validate FILE as concatenated driver-kernel frames
 //     --protocol           model-check the wire protocol automata (DESIGN.md
@@ -67,12 +73,14 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--json[=FILE]] [--suppress RULE]... [--ports p1,p2] [--base ADDR]\n"
-               "       %*s [--mem-size N] [--no-flow] [--no-interproc] [--max-warnings N]\n"
+               "       %*s [--mem-size N] [--no-flow] [--no-interproc] [--context-k N]\n"
+               "       %*s [--stats] [--max-warnings N]\n"
                "       %*s [--rtos-prelude] [--frames FILE] [--protocol] [--model NAME]\n"
                "       %*s [--faults] [--no-recovery] [--no-push] [--no-interrupts]\n"
                "       %*s [--channel-cap N] [--conform FILE] [--emit-test DIR] [--builtin]\n"
                "       %*s [file.s ... | -]\n",
                argv0, static_cast<int>(std::string(argv0).size()), "",
+               static_cast<int>(std::string(argv0).size()), "",
                static_cast<int>(std::string(argv0).size()), "",
                static_cast<int>(std::string(argv0).size()), "",
                static_cast<int>(std::string(argv0).size()), "",
@@ -98,6 +106,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool builtin = false;
   bool rtos_prelude = false;
+  bool stats_flag = false;
   long max_warnings = 0;
   std::vector<std::string> sources;
   std::vector<std::string> frame_files;
@@ -131,6 +140,17 @@ int main(int argc, char** argv) {
       options.flow = false;
     } else if (arg == "--no-interproc") {
       options.interproc = false;
+    } else if (arg == "--context-k" || arg.rfind("--context-k=", 0) == 0) {
+      const char* text = arg == "--context-k" ? next() : arg.c_str() + 12;
+      if (text == nullptr) return usage(argv[0]);
+      auto value = util::parse_int(text);
+      if (!value || *value < 0 || *value > 8) {
+        std::fprintf(stderr, "--context-k: bad depth '%s' (expected 0..8)\n", text);
+        return 2;
+      }
+      options.context_k = static_cast<std::size_t>(*value);
+    } else if (arg == "--stats") {
+      stats_flag = true;
     } else if (arg == "--mem-size") {
       const char* text = next();
       if (text == nullptr) return usage(argv[0]);
@@ -253,9 +273,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Per-file "summaries" JSON members from the interprocedural pass.
+  // Per-file "summaries" JSON members from the interprocedural pass, plus
+  // the aggregated precision counters for --stats.
   std::string summaries_json;
+  analysis::LintStats stats_total;
   auto collect_summaries = [&](const analysis::LintResult& result, const std::string& file) {
+    stats_total.functions += result.stats.functions;
+    stats_total.clones += result.stats.clones;
+    stats_total.havoc_summaries += result.stats.havoc_summaries;
+    stats_total.narrowing_iterations += result.stats.narrowing_iterations;
+    stats_total.clone_overflows += result.stats.clone_overflows;
     if (result.summaries_json.empty()) return;
     if (!summaries_json.empty()) summaries_json += ",";
     summaries_json += "{\"file\":\"" + analysis::json_escape(file) + "\"," +
@@ -360,12 +387,22 @@ int main(int argc, char** argv) {
     protocol_json += "]";
   }
 
-  // Extra --json members: the protocol exploration and the per-file
-  // interprocedural summary dumps (both optional, schema stays 1).
+  // Extra --json members: the protocol exploration, the per-file
+  // interprocedural summary dumps, and the --stats precision counters (all
+  // optional, schema stays 1).
   std::string extra_json = protocol_json;
   if (!summaries_json.empty()) {
     if (!extra_json.empty()) extra_json += ",";
     extra_json += "\"summaries\":[" + summaries_json + "]";
+  }
+  if (stats_flag) {
+    if (!extra_json.empty()) extra_json += ",";
+    extra_json += "\"stats\":{\"context_k\":" + std::to_string(options.context_k) +
+                  ",\"functions\":" + std::to_string(stats_total.functions) +
+                  ",\"clones\":" + std::to_string(stats_total.clones) +
+                  ",\"havoc_summaries\":" + std::to_string(stats_total.havoc_summaries) +
+                  ",\"narrowing_iterations\":" + std::to_string(stats_total.narrowing_iterations) +
+                  ",\"clone_overflows\":" + std::to_string(stats_total.clone_overflows) + "}";
   }
 
   if (!json_path.empty()) {
@@ -381,6 +418,14 @@ int main(int argc, char** argv) {
     std::fputc('\n', stdout);
   } else {
     std::fputs(analysis::render_text(diags).c_str(), stdout);
+    if (stats_flag) {
+      std::printf(
+          "stats: %zu functions, %zu clones (k=%zu), %zu havoc'd summaries, "
+          "%zu narrowing iterations, %zu clone overflows\n",
+          stats_total.functions, stats_total.clones, options.context_k,
+          stats_total.havoc_summaries, stats_total.narrowing_iterations,
+          stats_total.clone_overflows);
+    }
   }
   // Notes never gate the exit status; warnings do once they exceed the
   // --max-warnings budget.
