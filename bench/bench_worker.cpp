@@ -1,0 +1,121 @@
+// Ablation A8: worker-wire frame overhead with correlation IDs.
+//
+// The observability side-band (DESIGN.md §10.5) appends a 12-byte trailer
+// (trace_id + "FTID" magic) to fixed-payload frames when tracing is on.
+// This benchmark pins the cost of that trailer against the plain frame
+// path so the "tracing disabled = free" claim stays checked in CI:
+//   * BM_FrameRoundTrip/0      — DevWrite->WriteAck over a socketpair,
+//                                trace_id 0 (no trailer, the default path);
+//   * BM_FrameRoundTrip/1      — same exchange with a nonzero trace_id
+//                                (trailer appended, stripped, echoed back);
+//   * BM_FrameCodec            — encode+decode only, no I/O, both shapes.
+#include <benchmark/benchmark.h>
+
+#include "bench_json.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "cosim/worker.hpp"
+#include "ipc/channel.hpp"
+
+namespace {
+
+using namespace nisc::cosim;
+using namespace nisc::ipc;
+
+/// Echo peer speaking the worker framing: every DevWrite is answered with a
+/// WriteAck carrying the same seq and trace_id (the supervisor's ack path).
+class FramePeer {
+ public:
+  explicit FramePeer(Channel channel) : channel_(std::move(channel)) {
+    thread_ = std::thread([this] { run(); });
+  }
+  ~FramePeer() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+    channel_.close();
+  }
+
+ private:
+  void run() {
+    try {
+      while (!stop_.load()) {
+        if (!channel_.readable(10)) continue;
+        WorkerFrame frame = recv_frame(channel_);
+        WorkerFrame ack;
+        ack.op = WorkerOp::WriteAck;
+        ack.seq = frame.seq;
+        ack.trace_id = frame.trace_id;
+        ack.payload.assign(8, 0);
+        send_frame(channel_, ack);
+      }
+    } catch (...) {
+      // peer closed
+    }
+  }
+
+  Channel channel_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+void BM_FrameRoundTrip(benchmark::State& state) {
+  ChannelPair pair = make_channel_pair(Transport::SocketPair);
+  FramePeer peer(std::move(pair.b));
+  const bool with_id = state.range(0) != 0;
+  WorkerFrame frame;
+  frame.op = WorkerOp::DevWrite;
+  frame.payload.assign(8, 0x5A);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    frame.seq = ++seq;
+    frame.trace_id = with_id ? (1ull << 48) | seq : 0;
+    send_frame(pair.a, frame);
+    WorkerFrame ack = recv_frame(pair.a);
+    benchmark::DoNotOptimize(ack.trace_id);
+  }
+  state.SetLabel(with_id ? "trace_id" : "plain");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameRoundTrip)->Arg(0)->Arg(1);
+
+// Codec-only cost: how much of the trailer shows up without syscalls. Uses
+// peek_frame_trace_id on the encoded bytes the same way ObsTap does.
+void BM_FrameCodec(benchmark::State& state) {
+  const bool with_id = state.range(0) != 0;
+  std::vector<std::uint8_t> wire;
+  wire.reserve(64);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    ++seq;
+    const std::uint64_t id = with_id ? (1ull << 48) | seq : 0;
+    wire.clear();
+    const std::size_t fixed = worker_op_fixed_payload(WorkerOp::DevWrite);
+    const std::size_t body = 1 + 8 + fixed + (id != 0 ? 12 : 0);
+    auto put32 = [&wire](std::uint32_t v) {
+      for (int i = 0; i < 4; ++i) wire.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    auto put64 = [&wire](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) wire.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    put32(static_cast<std::uint32_t>(body));
+    wire.push_back(static_cast<std::uint8_t>(WorkerOp::DevWrite));
+    put64(seq);
+    for (std::size_t i = 0; i < fixed; ++i) wire.push_back(0x5A);
+    if (id != 0) {
+      put64(id);
+      put32(kFrameTraceMagic);
+    }
+    benchmark::DoNotOptimize(peek_frame_trace_id(CaptureDir::Tx, wire));
+  }
+  state.SetLabel(with_id ? "trace_id" : "plain");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameCodec)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return nisc::bench::run_gbench_main("worker", argc, argv);
+}

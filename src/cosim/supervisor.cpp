@@ -6,12 +6,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 
 #include "cosim/bytes.hpp"
+#include "ipc/capture.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sysc/kernel.hpp"
@@ -78,6 +81,23 @@ SocketPair make_socketpair() {
   return SocketPair{ipc::Fd(sv[0]), ipc::Fd(sv[1])};
 }
 
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+void write_file(const std::filesystem::path& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  write_file(path, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
 }  // namespace
 
 struct Supervisor::Impl {
@@ -115,6 +135,18 @@ struct Supervisor::Impl {
   SupervisorOutcome outcome;
   int spawn_count = 0;
 
+  // -- observability (DESIGN.md §10.5-10.6) ---------------------------------
+  std::uint32_t worker_features = 0;  ///< from the latest Hello
+  int ckpts_since_pull = 0;
+  /// Last-N-transfers ring on the data socket; survives kill_child (the
+  /// shared_ptr keeps it alive after the channel closes), so a postmortem
+  /// bundle contains the dying worker's final wire traffic.
+  std::shared_ptr<ipc::WireCapture> wire_capture;
+
+  bool obs_active() const noexcept {
+    return cfg.obs_export && (worker_features & kWorkerFeatureObs) != 0;
+  }
+
   // -- child lifecycle -------------------------------------------------------
 
   void spawn() {
@@ -141,6 +173,12 @@ struct Supervisor::Impl {
     irq = ipc::Channel::from_socket(std::move(irq_sp.parent));
     data.set_io_timeout(cfg.hang_timeout_ms);
     irq.set_io_timeout(cfg.hang_timeout_ms);
+    if (!cfg.postmortem_dir.empty() || cfg.obs_export) {
+      wire_capture = std::make_shared<ipc::WireCapture>(cfg.session_label + "-data");
+      data.attach_capture(wire_capture);
+      data.attach_observer(
+          std::make_shared<ipc::ObsTap>("sup.data", peek_frame_trace_id, "dev_access", "flow"));
+    }
 
     // Handshake: Hello, then Start (fresh) or Resume (replay the latest
     // checkpoint and re-send the interrupts it had not absorbed).
@@ -154,21 +192,25 @@ struct Supervisor::Impl {
     if (magic != kWorkerHelloMagic) {
       throw RuntimeError("supervisor: worker protocol magic mismatch");
     }
+    // Feature bits follow the magic since the obs side-band landed; a Hello
+    // without them is an older worker (no side-band spoken).
+    worker_features = r.remaining() >= 4 ? r.u32() : 0;
 
     WorkerConfig worker_cfg = cfg.worker;
     worker_cfg.fault = spawn_count < static_cast<int>(cfg.fault_plan.size())
                            ? cfg.fault_plan[static_cast<std::size_t>(spawn_count)]
                            : WorkerFault{};
+    if (obs_active()) worker_cfg.obs_export = true;
     ++spawn_count;
 
     if (latest_ckpt.empty()) {
-      send_frame(data, WorkerFrame{WorkerOp::Start, 0, encode_worker_config(worker_cfg)});
+      send_frame(data, WorkerFrame{WorkerOp::Start, 0, 0, encode_worker_config(worker_cfg)});
     } else {
       ByteWriter w;
       const std::vector<std::uint8_t> encoded_cfg = encode_worker_config(worker_cfg);
       w.blob(encoded_cfg);
       w.bytes(latest_ckpt);
-      send_frame(data, WorkerFrame{WorkerOp::Resume, 0, w.take()});
+      send_frame(data, WorkerFrame{WorkerOp::Resume, 0, 0, w.take()});
     }
     // Re-send every logged interrupt the replayed run has not yet absorbed —
     // on the Start path too: a crash before the first checkpoint replays
@@ -179,8 +221,33 @@ struct Supervisor::Impl {
       if (seq <= latest_irqs_delivered) continue;
       ByteWriter payload;
       payload.u32(line);
-      send_frame(irq, WorkerFrame{WorkerOp::Irq, seq, payload.take()});
+      send_frame(irq, WorkerFrame{WorkerOp::Irq, seq, 0, payload.take()});
     }
+
+    if (worker_cfg.obs_export) clock_sync();
+  }
+
+  /// Clock-offset handshake (DESIGN.md §10.5): the worker answers the
+  /// ClockSync ping with its steady clock; assuming symmetric transit, its
+  /// reading was taken at our (t0+t1)/2, so offset = midpoint - worker_ns.
+  void clock_sync() {
+    obs::ScopedSpan span("sup.clock_sync", "sup");
+    const std::uint64_t t0 = now_ns();
+    ByteWriter w;
+    w.u64(t0);
+    send_frame(data, WorkerFrame{WorkerOp::ClockSync, 0, 0, w.take()});
+    const WorkerFrame ack = recv_frame(data);
+    const std::uint64_t t1 = now_ns();
+    if (ack.op != WorkerOp::ClockSyncAck) {
+      throw RuntimeError(std::string("supervisor: expected ClockSyncAck, got ") +
+                         worker_op_name(ack.op));
+    }
+    ByteReader r(ack.payload, "ClockSyncAck payload");
+    const std::uint64_t worker_ns = r.u64();
+    outcome.clock_offset_ns =
+        static_cast<std::int64_t>((t0 + t1) / 2) - static_cast<std::int64_t>(worker_ns);
+    static obs::Gauge& g_offset = obs::gauge("sup.clock_offset_ns");
+    g_offset.set(outcome.clock_offset_ns);
   }
 
   bool child_dead() {
@@ -209,6 +276,9 @@ struct Supervisor::Impl {
     static obs::Counter& c_recoveries = obs::counter("sup.recoveries");
     c_recoveries.add(1);
     obs::instant(reason, "sup", "recoveries", static_cast<std::uint64_t>(outcome.recoveries));
+    // Flight recorder first, while the dying worker's wire ring and last
+    // ObsReport are still what they were at the failure.
+    write_postmortem(reason);
     if (outcome.recoveries > cfg.max_recoveries) {
       kill_child();
       throw RuntimeError("supervisor: recovery limit exceeded (" +
@@ -217,6 +287,94 @@ struct Supervisor::Impl {
     obs::ScopedSpan span("sup.recover", "sup");
     kill_child();
     spawn();
+  }
+
+  /// The merged view of the session: supervisor rings as pid 1, the last
+  /// exported worker rings (rebased by the measured clock offset) as pid 2.
+  std::vector<obs::ProcessTrace> merged_processes() const {
+    std::vector<obs::ProcessTrace> processes;
+    obs::ProcessTrace sup;
+    sup.label = cfg.session_label + "/supervisor";
+    sup.pid = 1;
+    sup.snapshot = obs::take_trace_snapshot();
+    processes.push_back(std::move(sup));
+    obs::ProcessTrace wrk;
+    wrk.label = cfg.session_label + "/worker";
+    wrk.pid = 2;
+    wrk.clock_offset_ns = outcome.clock_offset_ns;
+    wrk.snapshot = outcome.worker_trace;
+    processes.push_back(std::move(wrk));
+    return processes;
+  }
+
+  /// Crash flight recorder (DESIGN.md §10.6): writes one bundle directory
+  /// per recovery. Best-effort by design — a full disk must not stop the
+  /// recovery path, so every failure here is swallowed.
+  void write_postmortem(const char* reason) noexcept {
+    if (cfg.postmortem_dir.empty()) return;
+    try {
+      namespace fs = std::filesystem;
+      const fs::path dir =
+          fs::path(cfg.postmortem_dir) /
+          (cfg.session_label + "-pm" + std::to_string(outcome.postmortem_paths.size() + 1));
+      fs::create_directories(dir);
+      std::vector<std::string> files;
+
+      obs::write_chrome_trace((dir / "trace.json").string(), merged_processes());
+      files.push_back("trace.json");
+
+      write_file(dir / "metrics.json", obs::MetricsRegistry::instance().render_json());
+      files.push_back("metrics.json");
+      write_file(dir / "worker_metrics.json",
+                 outcome.worker_metrics_json.empty() ? std::string("{}\n")
+                                                     : outcome.worker_metrics_json);
+      files.push_back("worker_metrics.json");
+
+      std::vector<std::uint8_t> capture_dump;
+      std::string capture_text;
+      if (wire_capture) {
+        capture_dump = wire_capture->dump();
+        capture_text = wire_capture->render_text();
+        write_file(dir / "wire.capture", std::span<const std::uint8_t>(capture_dump));
+        files.push_back("wire.capture");
+      }
+
+      if (latest_ckpt.empty()) {
+        write_file(dir / "checkpoint.txt", std::string("no checkpoint captured\n"));
+      } else {
+        write_file(dir / "checkpoint.txt", describe_checkpoint(decode_checkpoint(latest_ckpt)));
+        write_file(dir / "checkpoint.ckpt", std::span<const std::uint8_t>(latest_ckpt));
+        files.push_back("checkpoint.ckpt");
+      }
+      files.push_back("checkpoint.txt");
+
+      std::string findings;
+      findings += std::string("reason: ") + reason + "\n";
+      findings += "recoveries: " + std::to_string(outcome.recoveries) + "\n";
+      findings += "clock_offset_ns: " + std::to_string(outcome.clock_offset_ns) + "\n";
+      if (!capture_text.empty()) findings += "\nwire capture (last transfers):\n" + capture_text;
+      if (cfg.findings_hook) findings += "\nconformance:\n" + cfg.findings_hook(capture_dump);
+      write_file(dir / "findings.txt", findings);
+      files.push_back("findings.txt");
+
+      std::string manifest = "{\"schema\":1,\"session\":\"" + cfg.session_label +
+                             "\",\"reason\":\"" + reason +
+                             "\",\"recoveries\":" + std::to_string(outcome.recoveries) +
+                             ",\"clock_offset_ns\":" + std::to_string(outcome.clock_offset_ns) +
+                             ",\"files\":[";
+      for (std::size_t i = 0; i < files.size(); ++i) {
+        if (i > 0) manifest += ',';
+        manifest += '"' + files[i] + '"';
+      }
+      manifest += "]}\n";
+      write_file(dir / "MANIFEST.json", manifest);
+
+      outcome.postmortem_paths.push_back(dir.string());
+      static obs::Counter& c_bundles = obs::counter("sup.postmortems");
+      c_bundles.add(1);
+    } catch (...) {
+      // Recovery matters more than the bundle.
+    }
   }
 
   // -- frame handling --------------------------------------------------------
@@ -262,6 +420,11 @@ struct Supervisor::Impl {
   }
 
   void handle_dev_write(const WorkerFrame& frame) {
+    // The flow-finish joins the worker's flow-begin around the ecall that
+    // sent this frame: one arrow per correlated device access in the merged
+    // timeline.
+    obs::ScopedSpan span("sup.dev_write", "sup", "seq", frame.seq);
+    obs::flow_end("dev_access", "flow", frame.trace_id);
     ByteReader r(frame.payload, "DevWrite payload");
     const std::uint32_t addr = r.u32();
     const std::uint32_t value = r.u32();
@@ -280,17 +443,19 @@ struct Supervisor::Impl {
         irq_log.emplace(irq_tx_seq, *line);
         ByteWriter payload;
         payload.u32(*line);
-        send_frame(irq, WorkerFrame{WorkerOp::Irq, irq_tx_seq, payload.take()});
+        send_frame(irq, WorkerFrame{WorkerOp::Irq, irq_tx_seq, 0, payload.take()});
       }
       irq_mark = irq_tx_seq;
       reply_log.emplace(frame.seq, LoggedReply{false, 0, irq_mark});
     }
     ByteWriter ack;
     ack.u64(irq_mark);
-    send_frame(data, WorkerFrame{WorkerOp::WriteAck, frame.seq, ack.take()});
+    send_frame(data, WorkerFrame{WorkerOp::WriteAck, frame.seq, frame.trace_id, ack.take()});
   }
 
   void handle_dev_read(const WorkerFrame& frame) {
+    obs::ScopedSpan span("sup.dev_read", "sup", "seq", frame.seq);
+    obs::flow_end("dev_access", "flow", frame.trace_id);
     ByteReader r(frame.payload, "DevRead payload");
     const std::uint32_t addr = r.u32();
     std::uint32_t value = 0;
@@ -310,7 +475,7 @@ struct Supervisor::Impl {
     ByteWriter reply;
     reply.u32(value);
     reply.u64(irq_mark);
-    send_frame(data, WorkerFrame{WorkerOp::ReadReply, frame.seq, reply.take()});
+    send_frame(data, WorkerFrame{WorkerOp::ReadReply, frame.seq, frame.trace_id, reply.take()});
   }
 
   const LoggedReply& logged_reply(const WorkerFrame& frame, bool want_read) {
@@ -323,6 +488,19 @@ struct Supervisor::Impl {
     return it->second;
   }
 
+  /// Pulls the worker's trace rings + metrics every obs_pull_every applied
+  /// checkpoints. Fire-and-forget at seq 0: the ObsReport comes back through
+  /// the normal receive loop, so a worker busy running the guest never
+  /// stalls the supervisor here.
+  void maybe_pull_obs() {
+    if (!obs_active()) return;
+    if (++ckpts_since_pull < cfg.obs_pull_every) return;
+    ckpts_since_pull = 0;
+    send_frame(data, WorkerFrame{WorkerOp::PullObs, 0, 0, {}});
+    static obs::Counter& c_pulls = obs::counter("sup.obs_pulls");
+    c_pulls.add(1);
+  }
+
   /// Returns true when the session is complete (Done handled).
   bool handle(const WorkerFrame& frame) {
     switch (frame.op) {
@@ -330,8 +508,17 @@ struct Supervisor::Impl {
         if (frame.seq > applied_seq) {
           applied_seq = frame.seq;
           store_checkpoint(frame.payload);
+          maybe_pull_obs();
         }
         return false;
+      case WorkerOp::ObsReport: {
+        const WorkerObsReport report = decode_obs_report(frame.payload);
+        outcome.worker_trace = report.trace;
+        outcome.worker_metrics_json = report.metrics_json;
+        return false;
+      }
+      case WorkerOp::ClockSyncAck:
+        return false;  // late ack after a recovery race; offset already set
       case WorkerOp::DevWrite:
         handle_dev_write(frame);
         return false;
@@ -382,6 +569,9 @@ struct Supervisor::Impl {
       if (::waitpid(pid, &status, WNOHANG) == pid) pid = -1;
     }
     kill_child();
+    if (!cfg.trace_out.empty()) {
+      obs::write_chrome_trace(cfg.trace_out, merged_processes());
+    }
     return std::move(outcome);
   }
 };

@@ -20,21 +20,27 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cosim/checkpoint.hpp"
 #include "cosim/worker.hpp"
 #include "ipc/channel.hpp"
+#include "obs/trace.hpp"
 
 namespace nisc::cosim {
 
 struct SupervisorConfig {
   /// Path to the cosim_issworker binary.
   std::string worker_path;
-  /// Guest program + cadence shipped to every spawn.
+  /// Guest program + cadence shipped to every spawn. Its trace/obs_export
+  /// fields control the *worker's* rings and side-band; the fields below
+  /// control the supervisor side (obs_export here also forces the worker
+  /// flag on, since the side-band needs both ends).
   WorkerConfig worker;
   /// Fault injected into spawn N (fault_plan[N]); spawns beyond the end run
   /// clean. Lets a crash-matrix cell kill the worker several times.
@@ -46,6 +52,30 @@ struct SupervisorConfig {
   /// When non-empty, every checkpoint is also written to this file (the
   /// crash-matrix failure artifact and the cosim_ckpt handoff point).
   std::string checkpoint_path;
+
+  // -- cross-process observability (DESIGN.md §10.5-10.6) -------------------
+  /// Speak the observability side-band: clock-offset handshake per spawn,
+  /// periodic ObsReport pulls, final pull before Done. Requires a worker
+  /// that advertises kWorkerFeatureObs in its Hello (older workers degrade
+  /// to the plain protocol).
+  bool obs_export = false;
+  /// Pull an ObsReport every N applied checkpoints (>= 1).
+  int obs_pull_every = 1;
+  /// Labels the session: merged-trace process names, postmortem directory
+  /// names.
+  std::string session_label = "cosim";
+  /// When non-empty, the merged supervisor+worker Chrome trace is written
+  /// here after a successful run.
+  std::string trace_out;
+  /// When non-empty, every recovery (death/hang/protocol error) writes a
+  /// postmortem bundle into a fresh subdirectory of this path before the
+  /// worker is respawned.
+  std::string postmortem_dir;
+  /// Optional hook rendering conformance findings from the wire-capture
+  /// dump for the bundle's findings.txt (the analysis layer links *against*
+  /// cosim, so the supervisor cannot call it directly; tools inject e.g.
+  /// analysis::check_frames here).
+  std::function<std::string(std::span<const std::uint8_t> capture_dump)> findings_hook;
 };
 
 struct SupervisorOutcome {
@@ -59,6 +89,16 @@ struct SupervisorOutcome {
   std::uint64_t writes_applied = 0;
   std::uint64_t reads_served = 0;
   std::uint64_t irqs_sent = 0;
+
+  // -- observability (populated when obs_export ran) ------------------------
+  /// Worker steady-clock offset from the latest ClockSync handshake:
+  /// supervisor_ns = worker_ns + clock_offset_ns.
+  std::int64_t clock_offset_ns = 0;
+  /// Last ObsReport the worker exported (trace rings + metrics JSON).
+  obs::TraceSnapshot worker_trace;
+  std::string worker_metrics_json;
+  /// Postmortem bundles written, in order.
+  std::vector<std::string> postmortem_paths;
 };
 
 /// Runs one supervised session to completion. Single-threaded and

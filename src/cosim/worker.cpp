@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <optional>
 #include <thread>
 
@@ -28,11 +29,15 @@ const char* worker_op_name(WorkerOp op) noexcept {
     case WorkerOp::WriteAck: return "WriteAck";
     case WorkerOp::ReadReply: return "ReadReply";
     case WorkerOp::Irq: return "Irq";
+    case WorkerOp::ClockSync: return "ClockSync";
+    case WorkerOp::PullObs: return "PullObs";
     case WorkerOp::Hello: return "Hello";
     case WorkerOp::Ckpt: return "Ckpt";
     case WorkerOp::DevWrite: return "DevWrite";
     case WorkerOp::DevRead: return "DevRead";
     case WorkerOp::Done: return "Done";
+    case WorkerOp::ClockSyncAck: return "ClockSyncAck";
+    case WorkerOp::ObsReport: return "ObsReport";
   }
   return "?";
 }
@@ -45,6 +50,17 @@ std::vector<std::uint8_t> encode_worker_config(const WorkerConfig& config) {
   w.u64(config.ckpt_every);
   w.u8(static_cast<std::uint8_t>(config.fault.kind));
   w.u64(config.fault.at_instret);
+  // Observability extension: tagged so pre-extension decoders (which stop
+  // here) and post-extension decoders (which verify the magic) both work.
+  w.u32(kWorkerConfigExtMagic);
+  std::uint8_t flags = 0;
+  if (config.trace) flags |= 1;
+  if (config.obs_export) flags |= 2;
+  w.u8(flags);
+  w.u64(config.trace_buf);
+  w.u32(config.clock_period_ps);
+  w.u32(config.worker_index);
+  w.str(config.session_label);
   return w.take();
 }
 
@@ -58,15 +74,42 @@ WorkerConfig decode_worker_config(std::span<const std::uint8_t> payload) {
   util::require(config.ckpt_every > 0, "worker config: ckpt_every must be positive");
   config.fault.kind = static_cast<FaultKind>(r.u8());
   config.fault.at_instret = r.u64();
+  if (r.remaining() >= 4 && r.u32() == kWorkerConfigExtMagic) {
+    const std::uint8_t flags = r.u8();
+    config.trace = (flags & 1) != 0;
+    config.obs_export = (flags & 2) != 0;
+    config.trace_buf = r.u64();
+    config.clock_period_ps = r.u32();
+    config.worker_index = r.u32();
+    config.session_label = r.str();
+    // Bytes after the extension belong to a future revision; ignore them.
+  }
   return config;
 }
 
+std::size_t worker_op_fixed_payload(WorkerOp op) noexcept {
+  switch (op) {
+    case WorkerOp::DevWrite: return 8;   // u32 addr | u32 value
+    case WorkerOp::DevRead: return 4;    // u32 addr
+    case WorkerOp::WriteAck: return 8;   // u64 irq high-water
+    case WorkerOp::ReadReply: return 12; // u32 value | u64 irq high-water
+    case WorkerOp::Irq: return 4;        // u32 line
+    default: return 0;
+  }
+}
+
 void send_frame(ipc::Channel& channel, const WorkerFrame& frame) {
+  const std::size_t fixed = worker_op_fixed_payload(frame.op);
+  const bool trailer = frame.trace_id != 0 && fixed != 0 && frame.payload.size() == fixed;
   ByteWriter w;
-  w.u32(static_cast<std::uint32_t>(1 + 8 + frame.payload.size()));
+  w.u32(static_cast<std::uint32_t>(1 + 8 + frame.payload.size() + (trailer ? 12 : 0)));
   w.u8(static_cast<std::uint8_t>(frame.op));
   w.u64(frame.seq);
   w.bytes(frame.payload);
+  if (trailer) {
+    w.u64(frame.trace_id);
+    w.u32(kFrameTraceMagic);
+  }
   channel.send(w.data());
 }
 
@@ -86,7 +129,58 @@ WorkerFrame recv_frame(ipc::Channel& channel) {
   frame.op = static_cast<WorkerOp>(r.u8());
   frame.seq = r.u64();
   frame.payload = r.bytes(r.remaining());
+  // Strip the optional correlation trailer: only fixed-payload ops carry it,
+  // and only when the length and closing magic both line up (anything else
+  // is a plain payload from an older peer).
+  const std::size_t fixed = worker_op_fixed_payload(frame.op);
+  if (fixed != 0 && frame.payload.size() == fixed + 12) {
+    const std::uint8_t* tail = frame.payload.data() + fixed;
+    const std::uint32_t magic = static_cast<std::uint32_t>(tail[8]) | (tail[9] << 8) |
+                                (tail[10] << 16) | (static_cast<std::uint32_t>(tail[11]) << 24);
+    if (magic == kFrameTraceMagic) {
+      std::uint64_t id = 0;
+      for (int i = 7; i >= 0; --i) id = (id << 8) | tail[i];
+      frame.trace_id = id;
+      frame.payload.resize(fixed);
+    }
+  }
   return frame;
+}
+
+std::uint64_t peek_frame_trace_id(ipc::CaptureDir dir,
+                                  std::span<const std::uint8_t> bytes) noexcept {
+  if (dir != ipc::CaptureDir::Tx || bytes.size() < 4 + 1 + 8 + 12) return 0;
+  const std::uint32_t body_len = static_cast<std::uint32_t>(bytes[0]) | (bytes[1] << 8) |
+                                 (bytes[2] << 16) | (static_cast<std::uint32_t>(bytes[3]) << 24);
+  if (bytes.size() != 4u + body_len) return 0;  // not a single whole frame
+  const std::size_t fixed = worker_op_fixed_payload(static_cast<WorkerOp>(bytes[4]));
+  if (fixed == 0 || body_len != 1 + 8 + fixed + 12) return 0;
+  const std::uint8_t* tail = bytes.data() + 4 + 1 + 8 + fixed;
+  const std::uint32_t magic = static_cast<std::uint32_t>(tail[8]) | (tail[9] << 8) |
+                              (tail[10] << 16) | (static_cast<std::uint32_t>(tail[11]) << 24);
+  if (magic != kFrameTraceMagic) return 0;
+  std::uint64_t id = 0;
+  for (int i = 7; i >= 0; --i) id = (id << 8) | tail[i];
+  return id;
+}
+
+std::vector<std::uint8_t> encode_obs_report(const WorkerObsReport& report) {
+  ByteWriter w;
+  w.u64(report.worker_now_ns);
+  w.blob({reinterpret_cast<const std::uint8_t*>(report.metrics_json.data()),
+          report.metrics_json.size()});
+  w.bytes(obs::encode_trace_snapshot(report.trace));
+  return w.take();
+}
+
+WorkerObsReport decode_obs_report(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload, "obs report");
+  WorkerObsReport report;
+  report.worker_now_ns = r.u64();
+  const std::vector<std::uint8_t> json = r.blob();
+  report.metrics_json.assign(reinterpret_cast<const char*>(json.data()), json.size());
+  report.trace = obs::decode_trace_snapshot(r.bytes(r.remaining()));
+  return report;
 }
 
 // ---------------------------------------------------------------------------
@@ -98,6 +192,26 @@ std::uint64_t now_us() {
   return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
                                         std::chrono::steady_clock::now().time_since_epoch())
                                         .count());
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+void send_obs_report(ipc::Channel& data) {
+  WorkerObsReport report;
+  report.worker_now_ns = now_ns();
+  report.metrics_json = obs::MetricsRegistry::instance().render_json();
+  report.trace = obs::take_trace_snapshot();
+  send_frame(data, WorkerFrame{WorkerOp::ObsReport, 0, 0, encode_obs_report(report)});
+}
+
+void send_clock_sync_ack(ipc::Channel& data) {
+  ByteWriter w;
+  w.u64(now_ns());
+  send_frame(data, WorkerFrame{WorkerOp::ClockSyncAck, 0, 0, w.take()});
 }
 
 /// The guest-facing side of one supervised session.
@@ -136,16 +250,20 @@ class WorkerSession {
   /// Runs the guest to completion, emitting checkpoints every
   /// config.ckpt_every retired instructions.
   void run() {
+    update_sim_time();
     obs::instant(resumed_ ? "worker.resume" : "worker.start", "worker", "instret",
                  cpu_.instret());
     for (;;) {
       const std::uint64_t next_ckpt =
           (cpu_.instret() / config_.ckpt_every + 1) * config_.ckpt_every;
       const iss::Halt halt = cpu_.run(next_ckpt - cpu_.instret());
+      update_sim_time();
       if (halt == iss::Halt::Quantum) {
         send_checkpoint(WorkerOp::Ckpt, iss::Halt::None);
+        poll_sideband();
         continue;
       }
+      if (config_.obs_export) send_obs_report(data_);
       send_checkpoint(WorkerOp::Done, halt);
       return;
     }
@@ -161,7 +279,14 @@ class WorkerSession {
     }
   }
 
+  /// Publishes guest time (cycles x clock period) for this thread's trace
+  /// events, so worker spans carry sim_ps like kernel-side spans do.
+  void update_sim_time() noexcept {
+    obs::set_thread_sim_time_ps(cpu_.cycles() * config_.clock_period_ps);
+  }
+
   iss::Cpu::EcallResult on_ecall(iss::Cpu& cpu) {
+    update_sim_time();
     switch (cpu.reg(17)) {  // a7
       case kEcallDevWrite:
         dev_write(cpu.reg(10), cpu.reg(11));
@@ -183,20 +308,36 @@ class WorkerSession {
     }
   }
 
+  /// Flow id stamped on the frame carrying `seq`: the worker index (1-based
+  /// so ids are nonzero) in the top 16 bits keeps ids unique across a
+  /// many-worker merge. 0 (= no trailer) while tracing is off.
+  std::uint64_t flow_id_for(std::uint64_t seq) const noexcept {
+    if (!obs::tracing_enabled()) return 0;
+    return (static_cast<std::uint64_t>(config_.worker_index + 1) << 48) | seq;
+  }
+
   void dev_write(std::uint32_t addr, std::uint32_t value) {
+    obs::ScopedSpan span("worker.ecall.dev_write", "worker", "addr", addr);
     ByteWriter w;
     w.u32(addr);
     w.u32(value);
-    send_frame(data_, WorkerFrame{WorkerOp::DevWrite, ++tx_seq_, w.take()});
+    const std::uint64_t seq = ++tx_seq_;
+    const std::uint64_t flow = flow_id_for(seq);
+    obs::flow_begin("dev_access", "flow", flow);
+    send_frame(data_, WorkerFrame{WorkerOp::DevWrite, seq, flow, w.take()});
     const WorkerFrame ack = expect_reply(WorkerOp::WriteAck);
     ByteReader r(ack.payload, "WriteAck payload");
     drain_irqs(r.u64());
   }
 
   std::uint32_t dev_read(std::uint32_t addr) {
+    obs::ScopedSpan span("worker.ecall.dev_read", "worker", "addr", addr);
     ByteWriter w;
     w.u32(addr);
-    send_frame(data_, WorkerFrame{WorkerOp::DevRead, ++tx_seq_, w.take()});
+    const std::uint64_t seq = ++tx_seq_;
+    const std::uint64_t flow = flow_id_for(seq);
+    obs::flow_begin("dev_access", "flow", flow);
+    send_frame(data_, WorkerFrame{WorkerOp::DevRead, seq, flow, w.take()});
     const WorkerFrame reply = expect_reply(WorkerOp::ReadReply);
     ByteReader r(reply.payload, "ReadReply payload");
     const std::uint32_t value = r.u32();
@@ -204,15 +345,47 @@ class WorkerSession {
     return value;
   }
 
-  WorkerFrame expect_reply(WorkerOp op) {
-    const WorkerFrame frame = recv_frame(data_);
-    if (frame.op != op || frame.seq != tx_seq_) {
-      throw RuntimeError(std::string("worker: expected ") + worker_op_name(op) + " seq " +
-                         std::to_string(tx_seq_) + ", got " + worker_op_name(frame.op) + " seq " +
-                         std::to_string(frame.seq));
+  /// Consumes an observability side-band frame (seq 0, never logged);
+  /// returns false for anything else.
+  bool handle_sideband(const WorkerFrame& frame) {
+    switch (frame.op) {
+      case WorkerOp::PullObs:
+        send_obs_report(data_);
+        return true;
+      case WorkerOp::ClockSync:
+        send_clock_sync_ack(data_);
+        return true;
+      default:
+        return false;
     }
-    ++replies_rx_;
-    return frame;
+  }
+
+  /// Drains side-band requests parked on the data socket at a checkpoint
+  /// boundary (no request of ours is outstanding, so anything readable here
+  /// must be side-band).
+  void poll_sideband() {
+    if (!config_.obs_export) return;
+    while (data_.readable(0)) {
+      const WorkerFrame frame = recv_frame(data_);
+      if (!handle_sideband(frame)) {
+        throw RuntimeError(std::string("worker: unexpected ") + worker_op_name(frame.op) +
+                           " at a checkpoint boundary");
+      }
+    }
+  }
+
+  WorkerFrame expect_reply(WorkerOp op) {
+    for (;;) {
+      const WorkerFrame frame = recv_frame(data_);
+      if (handle_sideband(frame)) continue;
+      if (frame.op != op || frame.seq != tx_seq_) {
+        throw RuntimeError(std::string("worker: expected ") + worker_op_name(op) + " seq " +
+                           std::to_string(tx_seq_) + ", got " + worker_op_name(frame.op) +
+                           " seq " + std::to_string(frame.seq));
+      }
+      ++replies_rx_;
+      return frame;
+    }
   }
 
   /// Consumes irq frames until the delivered count reaches `target` (the
@@ -238,6 +411,7 @@ class WorkerSession {
 
   void send_checkpoint(WorkerOp op, iss::Halt halt) {
     const std::uint64_t t0 = now_us();
+    obs::ScopedSpan span("worker.checkpoint", "worker", "instret", cpu_.instret());
     // The checkpoint frame consumes a sequence number *before* the snapshot
     // is taken, so the stored tx_seq covers this very frame: a resumed
     // worker then re-numbers its replayed frames exactly as the original
@@ -259,7 +433,7 @@ class WorkerSession {
     w.bytes(encode_checkpoint(checkpoint));
     static obs::Histogram& h_save = obs::histogram("ckpt.save_us", obs::default_us_bounds());
     h_save.observe(now_us() - t0);
-    send_frame(data_, WorkerFrame{op, seq, w.take()});
+    send_frame(data_, WorkerFrame{op, seq, 0, w.take()});
   }
 
   void trigger_fault() {
@@ -303,7 +477,8 @@ int run_worker(ipc::Channel data, ipc::Channel irq) {
     irq.set_io_timeout(30000);
     ByteWriter hello;
     hello.u32(kWorkerHelloMagic);
-    send_frame(data, WorkerFrame{WorkerOp::Hello, 0, hello.take()});
+    hello.u32(kWorkerFeatureObs);  // pre-feature supervisors ignore the tail
+    send_frame(data, WorkerFrame{WorkerOp::Hello, 0, 0, hello.take()});
 
     const WorkerFrame init = recv_frame(data);
     WorkerConfig config;
@@ -317,6 +492,23 @@ int run_worker(ipc::Channel data, ipc::Channel irq) {
     } else {
       throw RuntimeError(std::string("worker: expected Start/Resume, got ") +
                          worker_op_name(init.op));
+    }
+
+    if (config.trace) {
+      obs::enable_tracing(config.trace_buf);
+      // Wire-level counters + flow steps for every correlated frame we send.
+      data.attach_observer(
+          std::make_shared<ipc::ObsTap>("worker.data", peek_frame_trace_id, "dev_access", "flow"));
+    }
+    if (config.obs_export) {
+      // Clock-offset handshake: reply with our steady clock so the
+      // supervisor can rebase our ring timestamps onto its timeline.
+      const WorkerFrame sync = recv_frame(data);
+      if (sync.op != WorkerOp::ClockSync) {
+        throw RuntimeError(std::string("worker: expected ClockSync, got ") +
+                           worker_op_name(sync.op));
+      }
+      send_clock_sync_ack(data);
     }
 
     WorkerSession session(data, irq, std::move(config));

@@ -13,6 +13,16 @@
 // Frame format on both sockets (little-endian):
 //   u32 body_len | u8 op | u64 seq | payload
 //
+// Fixed-payload ops (DevWrite/DevRead/WriteAck/ReadReply/Irq) may carry an
+// optional correlation-id trailer after the payload:
+//   u64 trace_id | u32 "FTID"
+// Decoders that predate the trailer keep working: every handler reads a
+// fixed-size payload prefix and ignores trailing bytes, and new decoders
+// only strip the trailer when the length and magic both match. The
+// trace_id doubles as a Chrome-trace flow id, so a worker-side ecall span
+// and the supervisor-side device-access span it caused render as one flow
+// arrow in the merged timeline (DESIGN.md §10.5).
+//
 // Crash-consistency contract:
 //  * every worker->supervisor frame carries a monotonically increasing
 //    sequence number (tx_seq); the supervisor deduplicates replays after a
@@ -25,7 +35,11 @@
 //    uninterrupted one;
 //  * checkpoints are emitted on instruction-count boundaries with no
 //    request outstanding, so channel snapshots never contain partial
-//    frames (the frame-boundary invariant).
+//    frames (the frame-boundary invariant);
+//  * the observability side-band (ClockSync/PullObs/ClockSyncAck/ObsReport)
+//    runs entirely at seq 0: it never consumes a tx_seq, is never logged or
+//    replayed, and therefore leaves the bit-identical-replay property of
+//    the checkpoint scheme untouched.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +47,9 @@
 #include <string>
 #include <vector>
 
+#include "ipc/capture.hpp"
 #include "ipc/channel.hpp"
+#include "obs/trace.hpp"
 
 namespace nisc::cosim {
 
@@ -54,11 +70,23 @@ struct WorkerFault {
 };
 
 /// Everything a worker needs to run a guest, sent in the Start/Resume frame.
+/// The observability fields ride in a tagged extension block ("WCX1") after
+/// the original fields, so configs encoded by old supervisors decode here
+/// with the defaults and configs encoded here decode in old workers (their
+/// reader stops before the extension).
 struct WorkerConfig {
   std::string guest_source;       ///< RV32IM assembly, assembled in the worker
   std::uint64_t mem_size = 1 << 20;
   std::uint64_t ckpt_every = 64;  ///< checkpoint cadence in retired instructions
   WorkerFault fault;
+
+  // -- observability extension (DESIGN.md §10.5) ----------------------------
+  bool trace = false;             ///< enable the worker's trace rings
+  bool obs_export = false;        ///< speak the ClockSync/PullObs side-band
+  std::uint64_t trace_buf = 0;    ///< per-thread ring capacity (0 = default)
+  std::uint32_t clock_period_ps = 1000;  ///< guest cycle -> sim_ps conversion
+  std::uint32_t worker_index = 0;        ///< namespaces the worker's flow ids
+  std::string session_label = "worker";  ///< process label in merged traces
 
   bool operator==(const WorkerConfig&) const = default;
 };
@@ -73,12 +101,16 @@ enum class WorkerOp : std::uint8_t {
   WriteAck = 0x03,   ///< payload: u64 irq high-water mark; seq echoes the DevWrite
   ReadReply = 0x04,  ///< payload: u32 value | u64 irq high-water mark
   Irq = 0x05,        ///< irq socket only; payload: u32 line; seq: irq ordinal
+  ClockSync = 0x06,  ///< seq 0; payload: u64 supervisor steady-clock ns
+  PullObs = 0x07,    ///< seq 0; empty payload — request an ObsReport
 
-  Hello = 0x10,      ///< payload: u32 protocol magic; worker is ready
+  Hello = 0x10,      ///< payload: u32 protocol magic [| u32 feature bits]
   Ckpt = 0x11,       ///< payload: checkpoint bytes (ISS + WRKR + CHAN sections)
   DevWrite = 0x12,   ///< payload: u32 addr | u32 value
   DevRead = 0x13,    ///< payload: u32 addr
   Done = 0x14,       ///< payload: u8 halt reason | final checkpoint bytes
+  ClockSyncAck = 0x15,  ///< seq 0; payload: u64 worker steady-clock ns
+  ObsReport = 0x16,     ///< seq 0; payload: WorkerObsReport
 };
 
 const char* worker_op_name(WorkerOp op) noexcept;
@@ -86,24 +118,61 @@ const char* worker_op_name(WorkerOp op) noexcept;
 /// Magic carried by Hello frames (protocol version 1).
 inline constexpr std::uint32_t kWorkerHelloMagic = 0x314B5257u;  // "WRK1"
 
+/// Hello feature bits (appended after the magic; absent = no features).
+inline constexpr std::uint32_t kWorkerFeatureObs = 1u << 0;
+
+/// Magic closing the optional trace-id trailer on fixed-payload frames.
+inline constexpr std::uint32_t kFrameTraceMagic = 0x44495446u;  // "FTID"
+
+/// Magic opening the WorkerConfig observability extension block.
+inline constexpr std::uint32_t kWorkerConfigExtMagic = 0x31584357u;  // "WCX1"
+
 /// Guard on frame bodies; anything larger is stream corruption.
 inline constexpr std::uint32_t kMaxWorkerFrame = 64u << 20;
 
 struct WorkerFrame {
   WorkerOp op = WorkerOp::Hello;
   std::uint64_t seq = 0;
+  std::uint64_t trace_id = 0;  ///< 0 = no correlation trailer on the wire
   std::vector<std::uint8_t> payload;
 
   bool operator==(const WorkerFrame&) const = default;
 };
 
-/// Writes one frame (atomically, as a single send).
+/// Payload size of ops eligible for the trace-id trailer; 0 for ops whose
+/// payload is variable (those never carry a trailer).
+std::size_t worker_op_fixed_payload(WorkerOp op) noexcept;
+
+/// Writes one frame (atomically, as a single send). A nonzero trace_id on a
+/// fixed-payload op is appended as the 12-byte trailer.
 void send_frame(ipc::Channel& channel, const WorkerFrame& frame);
 
 /// Blocking read of one frame; throws RuntimeError on a malformed or
 /// oversized header (the supervisor treats that as a protocol error and
-/// recycles the worker).
+/// recycles the worker). Strips a well-formed trace-id trailer into
+/// frame.trace_id.
 WorkerFrame recv_frame(ipc::Channel& channel);
+
+/// Trace-id peeker for an ipc::ObsTap on a worker-protocol socket: returns
+/// the correlation-trailer id of one complete Tx transfer (send_frame
+/// writes a whole frame per send, so Tx transfers are parseable; Rx traffic
+/// arrives as header/body chunks and yields 0).
+std::uint64_t peek_frame_trace_id(ipc::CaptureDir dir,
+                                  std::span<const std::uint8_t> bytes) noexcept;
+
+/// Everything a worker exports on PullObs and before Done: its steady-clock
+/// reading (for offset drift checks), its metrics registry rendered as the
+/// schema-1 JSON, and its trace rings.
+struct WorkerObsReport {
+  std::uint64_t worker_now_ns = 0;
+  std::string metrics_json;
+  obs::TraceSnapshot trace;
+
+  bool operator==(const WorkerObsReport&) const = default;
+};
+
+std::vector<std::uint8_t> encode_obs_report(const WorkerObsReport& report);
+WorkerObsReport decode_obs_report(std::span<const std::uint8_t> payload);
 
 // -- guest-visible device ABI (ecall, args a0/a1, selector a7) --------------
 inline constexpr std::uint32_t kEcallExit = 0;      ///< a0: exit code

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "ipc/message.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/hex.hpp"
 
 namespace nisc::ipc {
@@ -56,6 +58,34 @@ std::size_t WireCapture::size() const {
 std::uint64_t WireCapture::total_recorded() const {
   std::lock_guard lock(mutex_);
   return next_seq_;
+}
+
+ObsTap::ObsTap(const std::string& label, TraceIdPeeker peeker, std::string_view flow_name,
+               std::string_view flow_cat)
+    : tx_bytes_(obs::counter("ipc." + label + ".tx_bytes")),
+      tx_transfers_(obs::counter("ipc." + label + ".tx_transfers")),
+      rx_bytes_(obs::counter("ipc." + label + ".rx_bytes")),
+      rx_transfers_(obs::counter("ipc." + label + ".rx_transfers")),
+      event_name_(obs::intern("ipc." + label + ".event")),
+      flow_name_(obs::intern(flow_name)),
+      flow_cat_(obs::intern(flow_cat)),
+      peeker_(std::move(peeker)) {}
+
+void ObsTap::on_wire(CaptureDir dir, std::span<const std::uint8_t> bytes) {
+  if (dir == CaptureDir::Tx) {
+    tx_bytes_.add(bytes.size());
+    tx_transfers_.add(1);
+  } else {
+    rx_bytes_.add(bytes.size());
+    rx_transfers_.add(1);
+  }
+  if (peeker_ && obs::tracing_enabled()) {
+    if (const std::uint64_t id = peeker_(dir, bytes)) obs::flow_step(flow_name_, flow_cat_, id);
+  }
+}
+
+void ObsTap::on_wire_event(std::string_view tag) {
+  if (obs::tracing_enabled()) obs::emit('i', event_name_, obs::intern(tag));
 }
 
 }  // namespace nisc::ipc

@@ -15,11 +15,16 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace nisc::obs {
+class Counter;
+}  // namespace nisc::obs
 
 namespace nisc::ipc {
 
@@ -70,6 +75,43 @@ class WireCapture {
   std::size_t max_frames_;
   std::uint64_t next_seq_ = 0;
   std::deque<Entry> ring_;
+};
+
+/// WireObserver feeding the obs layer: per-direction transfer/byte counters
+/// ("ipc.<label>.tx_bytes", ".tx_transfers", ".rx_bytes", ".rx_transfers")
+/// plus — when a peeker is installed — a Chrome-trace flow-step event for
+/// every transfer carrying a correlation id, which is how wire traffic
+/// joins the cross-process flow arrows of DESIGN.md §10.5.
+///
+/// The counters use relaxed atomics and the flow emit goes to the calling
+/// thread's own trace ring, so attaching a tap keeps the channel's
+/// thread-safety story unchanged. The peeker runs on the I/O hot path;
+/// implementations must be cheap, non-throwing, and return 0 for transfers
+/// without an id (partial frames included — Rx traffic arrives split into
+/// header/body chunks).
+class ObsTap : public WireObserver {
+ public:
+  using TraceIdPeeker =
+      std::function<std::uint64_t(CaptureDir dir, std::span<const std::uint8_t> bytes)>;
+
+  /// `label` namespaces the counters; `flow_name`/`flow_cat` are the trace
+  /// flow-event identity and must match the flow_begin/flow_end pair the
+  /// protocol emits (they are interned, so any string works).
+  explicit ObsTap(const std::string& label, TraceIdPeeker peeker = {},
+                  std::string_view flow_name = "wire.flow", std::string_view flow_cat = "flow");
+
+  void on_wire(CaptureDir dir, std::span<const std::uint8_t> bytes) override;
+  void on_wire_event(std::string_view tag) override;
+
+ private:
+  obs::Counter& tx_bytes_;
+  obs::Counter& tx_transfers_;
+  obs::Counter& rx_bytes_;
+  obs::Counter& rx_transfers_;
+  const char* event_name_;  ///< interned "ipc.<label>.event"
+  const char* flow_name_;
+  const char* flow_cat_;
+  TraceIdPeeker peeker_;
 };
 
 }  // namespace nisc::ipc

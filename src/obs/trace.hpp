@@ -10,8 +10,12 @@
 // The hot-path contract mirrors the metrics registry:
 //   * tracing disabled (the default): one relaxed atomic load per
 //     potential event — span helpers check tracing_enabled() first;
-//   * tracing enabled: one steady-clock read plus a handful of stores into
-//     the per-thread ring; no locks, no allocation after ring creation.
+//   * tracing enabled: one steady-clock read plus a handful of relaxed
+//     atomic stores into the per-thread ring; no locks, no allocation after
+//     ring creation. Ring slots are field-atomic so an export taken
+//     mid-recording reads them without data races (a concurrently
+//     overwritten slot may mix fields from two events; the exporter's
+//     repair pass keeps the output loadable regardless).
 //
 // Span names/categories must be string literals (or strings interned via
 // obs::intern) — events store the pointer, not a copy.
@@ -19,13 +23,27 @@
 // Simulated time: the SystemC kernel publishes the current sim time for its
 // thread via set_thread_sim_time_ps(); every event emitted on that thread
 // while a simulation runs carries it as a "sim_ps" arg, so the Perfetto
-// wall-time view can be correlated with simulated time.
+// wall-time view can be correlated with simulated time. The supervised ISS
+// worker publishes cycles * clock_period_ps the same way (DESIGN.md §10.5).
+//
+// Cross-process export (DESIGN.md §10.5): take_trace_snapshot() materializes
+// every ring into a serializable TraceSnapshot; encode/decode move it across
+// a process boundary (the worker wire's ObsReport frame); the ProcessTrace
+// overloads of chrome_trace_json merge N per-process snapshots into one
+// Perfetto-loadable file with per-process track names and per-process clock
+// offsets, so worker timestamps rebase onto the supervisor timeline.
+//
+// Ring eviction is surfaced as the registry counter "trace.dropped_events"
+// (one add per overwritten slot) so silent overflow shows up in
+// `cosim_stat stats`; per-thread dropped counts ride in the snapshot.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace nisc::obs {
 
@@ -66,10 +84,29 @@ const char* intern(std::string_view s);
 void emit(char phase, const char* name, const char* category,
           const char* arg_name = nullptr, std::uint64_t arg_value = 0) noexcept;
 
+/// Raw flow emit. `phase` is 's' (flow start), 't' (flow step) or 'f' (flow
+/// finish); `flow_id` links the arrows across threads and processes. Flow
+/// events bind to the enclosing slice, so emit them inside a span.
+void emit_flow(char phase, const char* name, const char* category,
+               std::uint64_t flow_id) noexcept;
+
 /// Instant event helper (no-op while disabled).
 inline void instant(const char* name, const char* category,
                     const char* arg_name = nullptr, std::uint64_t arg_value = 0) noexcept {
   if (tracing_enabled()) emit('i', name, category, arg_name, arg_value);
+}
+
+/// Flow helpers (no-ops while disabled): a start/finish pair with the same
+/// id renders as a Perfetto flow arrow between the enclosing slices — the
+/// correlation-id mechanism of the cross-process export (DESIGN.md §10.5).
+inline void flow_begin(const char* name, const char* category, std::uint64_t id) noexcept {
+  if (tracing_enabled() && id != 0) emit_flow('s', name, category, id);
+}
+inline void flow_step(const char* name, const char* category, std::uint64_t id) noexcept {
+  if (tracing_enabled() && id != 0) emit_flow('t', name, category, id);
+}
+inline void flow_end(const char* name, const char* category, std::uint64_t id) noexcept {
+  if (tracing_enabled() && id != 0) emit_flow('f', name, category, id);
 }
 
 /// RAII begin/end span. Costs one relaxed load when tracing is off.
@@ -98,13 +135,69 @@ class ScopedSpan {
 std::size_t trace_event_count();
 std::uint64_t trace_dropped_count();
 
-/// Renders every buffered event as Chrome trace_event JSON:
+// ---------------------------------------------------------------------------
+// Snapshot + cross-process merge (DESIGN.md §10.5)
+
+/// A materialized copy of every ring: names become owned strings, so the
+/// snapshot survives serialization across a process boundary.
+struct TraceSnapshot {
+  struct Event {
+    std::string name;
+    std::string cat;
+    std::string arg_name;  ///< empty = no argument
+    std::uint64_t arg_value = 0;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t sim_ps = kNoSimTime;
+    std::uint64_t flow_id = 0;
+    char phase = 'i';
+
+    bool operator==(const Event&) const = default;
+  };
+  struct Thread {
+    std::uint32_t tid = 0;
+    std::uint64_t dropped = 0;  ///< events evicted from this ring
+    std::vector<Event> events;  ///< chronological
+
+    bool operator==(const Thread&) const = default;
+  };
+  std::vector<Thread> threads;
+
+  bool operator==(const TraceSnapshot&) const = default;
+};
+
+/// Copies every ring's current contents. Safe while threads are recording:
+/// slots are read with relaxed atomics (a slot overwritten mid-copy may mix
+/// two events; slots never written decode as empty and are skipped).
+TraceSnapshot take_trace_snapshot();
+
+/// Versioned little-endian serialization ("NTRC"), the payload of the
+/// worker wire's ObsReport frame. decode throws util::RuntimeError on
+/// magic/version mismatch or truncation.
+std::vector<std::uint8_t> encode_trace_snapshot(const TraceSnapshot& snapshot);
+TraceSnapshot decode_trace_snapshot(std::span<const std::uint8_t> bytes);
+
+/// One process's contribution to a merged export. `clock_offset_ns` is
+/// added to every timestamp, rebasing the process's steady clock onto the
+/// merge target's timeline (the supervisor measures it via the ClockSync
+/// handshake); a non-empty label becomes the Perfetto process_name.
+struct ProcessTrace {
+  std::string label;
+  std::uint32_t pid = 1;
+  std::int64_t clock_offset_ns = 0;
+  TraceSnapshot snapshot;
+};
+
+/// Renders N per-process snapshots as one Chrome trace_event JSON document:
 /// {"traceEvents":[...],"displayTimeUnit":"ns"}. Unbalanced spans are
-/// repaired (orphan ends dropped, dangling begins closed at the last
-/// timestamp) so the result always loads in Perfetto / chrome://tracing.
+/// repaired per thread (orphan ends dropped, dangling begins closed at the
+/// last timestamp) so the result always loads in Perfetto.
+std::string chrome_trace_json(std::span<const ProcessTrace> processes);
+
+/// Single-process convenience: snapshots the calling process's rings.
 std::string chrome_trace_json();
 
 /// Writes chrome_trace_json() to `path`; returns false on I/O failure.
 bool write_chrome_trace(const std::string& path);
+bool write_chrome_trace(const std::string& path, std::span<const ProcessTrace> processes);
 
 }  // namespace nisc::obs

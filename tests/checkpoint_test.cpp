@@ -284,6 +284,121 @@ TEST(WorkerCodecTest, FramesRoundTripOverASocketpair) {
   EXPECT_EQ(recv_frame(pair.a), empty);
 }
 
+TEST(WorkerCodecTest, ConfigObsExtensionRoundTrips) {
+  WorkerConfig config;
+  config.guest_source = kGuestSource;
+  config.mem_size = 1 << 18;
+  config.ckpt_every = 97;
+  config.trace = true;
+  config.obs_export = true;
+  config.trace_buf = 4096;
+  config.clock_period_ps = 1250;
+  config.worker_index = 3;
+  config.session_label = "matrix-7";
+  EXPECT_EQ(decode_worker_config(encode_worker_config(config)), config);
+}
+
+TEST(WorkerCodecTest, ConfigWithoutExtensionDecodesToDefaults) {
+  // A pre-observability encoder stops after the fault block: chopping the
+  // "WCX1" extension off must decode (old-wire compatibility) and leave the
+  // obs fields at their defaults.
+  WorkerConfig config;
+  config.guest_source = kGuestSource;
+  config.trace = true;
+  config.obs_export = true;
+  config.session_label = "dropme";
+  std::vector<std::uint8_t> wire = encode_worker_config(config);
+
+  // The extension is the encoding's tail: magic + flags + trace_buf +
+  // clock_period + worker_index + label (u16 length prefix).
+  const std::size_t ext_len = 4 + 1 + 8 + 4 + 4 + 2 + config.session_label.size();
+  ASSERT_GT(wire.size(), ext_len);
+  ASSERT_EQ(wire[wire.size() - ext_len], 'W');  // "WCX1" magic starts here
+  wire.resize(wire.size() - ext_len);
+
+  const WorkerConfig decoded = decode_worker_config(wire);
+  EXPECT_EQ(decoded.guest_source, kGuestSource);
+  EXPECT_FALSE(decoded.trace);
+  EXPECT_FALSE(decoded.obs_export);
+  EXPECT_EQ(decoded.session_label, "worker");
+}
+
+TEST(WorkerCodecTest, FrameTraceIdTrailerRoundTrips) {
+  ipc::ChannelPair pair = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  pair.a.set_io_timeout(2000);
+  pair.b.set_io_timeout(2000);
+
+  WorkerFrame frame;
+  frame.op = WorkerOp::DevWrite;
+  frame.seq = 42;
+  frame.trace_id = (1ULL << 48) | 42;
+  frame.payload = {0, 2, 0, 0, 9, 0, 0, 0};
+  send_frame(pair.a, frame);
+  const WorkerFrame got = recv_frame(pair.b);
+  EXPECT_EQ(got, frame);
+  EXPECT_EQ(got.trace_id, (1ULL << 48) | 42);
+  EXPECT_EQ(got.payload.size(), worker_op_fixed_payload(WorkerOp::DevWrite));
+
+  // trace_id 0 = no trailer on the wire: both shapes interleave freely.
+  frame.trace_id = 0;
+  frame.seq = 43;
+  send_frame(pair.a, frame);
+  EXPECT_EQ(recv_frame(pair.b), frame);
+}
+
+TEST(WorkerCodecTest, LegacyDecoderSeesTrailerAsPayloadSuffix) {
+  // What an old (pre-trailer) decoder does with a tagged frame: the 12-byte
+  // trailer rides inside the payload. The frame still parses — prefix
+  // fields are untouched — which is the compat contract: new fields extend,
+  // never reshape. A variable-payload op (Ckpt) never gets a trailer, so
+  // only fixed-payload ops need the suffix-tolerant read.
+  ipc::ChannelPair pair = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  pair.a.set_io_timeout(2000);
+  pair.b.set_io_timeout(2000);
+
+  // Hand-encode DevWrite + trailer the way send_frame does...
+  const std::uint64_t id = 0xABCDULL;
+  std::vector<std::uint8_t> body;
+  body.push_back(static_cast<std::uint8_t>(WorkerOp::DevWrite));
+  for (int i = 0; i < 8; ++i) body.push_back(i == 0 ? 7 : 0);  // seq 7
+  for (int i = 0; i < 8; ++i) body.push_back(0x5A);            // fixed payload
+  for (int i = 0; i < 8; ++i) body.push_back(static_cast<std::uint8_t>(id >> (8 * i)));
+  for (const char c : {'F', 'T', 'I', 'D'}) body.push_back(static_cast<std::uint8_t>(c));
+  std::uint8_t len[4];
+  const std::uint32_t body_len = static_cast<std::uint32_t>(body.size());
+  std::memcpy(len, &body_len, 4);
+  pair.a.send(len);
+  pair.a.send(body);
+
+  // ...the modern decoder strips it back out:
+  const WorkerFrame got = recv_frame(pair.b);
+  EXPECT_EQ(got.op, WorkerOp::DevWrite);
+  EXPECT_EQ(got.seq, 7u);
+  EXPECT_EQ(got.trace_id, id);
+  EXPECT_EQ(got.payload.size(), 8u);
+
+  // ...and peek_frame_trace_id reads it off the raw transfer (the ObsTap
+  // wire-observer path) without decoding the frame.
+  std::vector<std::uint8_t> transfer(len, len + 4);
+  transfer.insert(transfer.end(), body.begin(), body.end());
+  EXPECT_EQ(peek_frame_trace_id(ipc::CaptureDir::Tx, transfer), id);
+  // Untagged or partial transfers peek as 0 (no correlation).
+  transfer.resize(transfer.size() - 1);
+  EXPECT_EQ(peek_frame_trace_id(ipc::CaptureDir::Tx, transfer), 0u);
+}
+
+TEST(WorkerCodecTest, ObsReportRoundTrips) {
+  WorkerObsReport report;
+  report.worker_now_ns = 0x1122334455ULL;
+  report.metrics_json = "{\"schema\":1,\"counters\":{\"x\":3}}";
+  obs::TraceSnapshot::Thread thread;
+  thread.tid = 9;
+  thread.dropped = 2;
+  thread.events.push_back({"w.span", "worker", "addr", 0x200, 777, 5000, 0xF1, 'B'});
+  report.trace.threads.push_back(std::move(thread));
+  EXPECT_EQ(decode_obs_report(encode_obs_report(report)), report);
+}
+
 TEST(WorkerCodecTest, OversizedFrameHeaderIsAProtocolError) {
   ipc::ChannelPair pair = ipc::make_channel_pair(ipc::Transport::SocketPair);
   pair.b.set_io_timeout(2000);

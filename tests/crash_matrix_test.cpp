@@ -90,6 +90,12 @@ SupervisorConfig base_config() {
   config.worker.mem_size = 1 << 16;
   config.worker.ckpt_every = 64;
   config.hang_timeout_ms = 5000;
+  // CI forensics: when NISC_POSTMORTEM_DIR is set (the crash-matrix job
+  // exports it), every recovery leaves a flight-recorder bundle there, and
+  // the job uploads the directory as an artifact on failure.
+  if (const char* dir = std::getenv("NISC_POSTMORTEM_DIR"); dir != nullptr && *dir != '\0') {
+    config.postmortem_dir = dir;
+  }
   return config;
 }
 

@@ -3,6 +3,7 @@
 // back with the in-repo JSON parser.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <map>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/error.hpp"
 #include "util/json.hpp"
 
 using namespace nisc;
@@ -213,6 +215,213 @@ TEST_F(ChromeTraceTest, InternReturnsStablePointers) {
   const char* b = obs::intern(std::string("runtime.") + "name");
   EXPECT_EQ(a, b);
   EXPECT_STREQ(a, "runtime.name");
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process snapshot + merge (DESIGN.md §10.5)
+
+TEST_F(ChromeTraceTest, TraceSnapshotEncodeDecodeRoundTrip) {
+  obs::enable_tracing();
+  obs::set_thread_sim_time_ps(4242);
+  {
+    obs::ScopedSpan span("snap.span", "test", "k", 9);
+    obs::flow_begin("snap.flow", "flow", 0xBEEF);
+    obs::instant("snap.tick", "test");
+  }
+  obs::set_thread_sim_time_ps(obs::kNoSimTime);
+  obs::disable_tracing();
+
+  const obs::TraceSnapshot snap = obs::take_trace_snapshot();
+  ASSERT_FALSE(snap.threads.empty());
+  std::size_t events = 0;
+  for (const auto& t : snap.threads) events += t.events.size();
+  ASSERT_GE(events, 4u);  // B + s + i + E
+
+  const std::vector<std::uint8_t> wire = obs::encode_trace_snapshot(snap);
+  const obs::TraceSnapshot back = obs::decode_trace_snapshot(wire);
+  EXPECT_EQ(back, snap);
+
+  // The flow event and the sim_ps stamp survive the wire.
+  bool flow_seen = false;
+  for (const auto& t : back.threads) {
+    for (const auto& e : t.events) {
+      if (e.phase == 's') {
+        EXPECT_EQ(e.flow_id, 0xBEEFu);
+        EXPECT_EQ(e.sim_ps, 4242u);
+        flow_seen = true;
+      }
+    }
+  }
+  EXPECT_TRUE(flow_seen);
+
+  // Corruption is loud, not silent: bad magic and truncation both throw.
+  std::vector<std::uint8_t> bad = wire;
+  bad[0] ^= 0xFF;
+  EXPECT_THROW(obs::decode_trace_snapshot(bad), util::RuntimeError);
+  EXPECT_THROW(
+      obs::decode_trace_snapshot(std::span<const std::uint8_t>(wire.data(), wire.size() - 1)),
+      util::RuntimeError);
+}
+
+TEST_F(ChromeTraceTest, MergedExportAlignsClocksAndLinksFlows) {
+  // Two hand-built process snapshots: a supervisor-side flow start and a
+  // worker-side flow finish sharing one id, with the worker clock 5µs
+  // behind (offset +5000ns rebases it).
+  obs::TraceSnapshot sup;
+  sup.threads.push_back({1, 0, {
+      {"sup.dev_write", "sup", "seq", 1, 10000, obs::kNoSimTime, 0, 'B'},
+      {"dev_access", "flow", "", 0, 10500, obs::kNoSimTime, 77, 's'},
+      {"sup.dev_write", "sup", "", 0, 11000, obs::kNoSimTime, 0, 'E'},
+  }});
+  obs::TraceSnapshot wrk;
+  wrk.threads.push_back({2, 3, {
+      {"worker.ecall", "worker", "addr", 0x200, 5200, 7000, 0, 'B'},
+      {"dev_access", "flow", "", 0, 5400, 7000, 77, 'f'},
+      {"worker.ecall", "worker", "", 0, 5600, 7000, 0, 'E'},
+  }});
+  std::vector<obs::ProcessTrace> procs;
+  procs.push_back({"m/supervisor", 1, 0, std::move(sup)});
+  procs.push_back({"m/worker", 2, 5000, std::move(wrk)});
+
+  const util::JsonValue doc = util::parse_json(obs::chrome_trace_json(procs));
+  const util::JsonArray& events = doc.at("traceEvents").as_array();
+
+  std::map<std::string, unsigned> process_names;  // name -> pid
+  double flow_start_ts = -1, flow_finish_ts = -1;
+  unsigned flow_start_pid = 0, flow_finish_pid = 0;
+  std::string flow_start_id, flow_finish_id;
+  for (const util::JsonValue& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M" && e.at("name").as_string() == "process_name") {
+      process_names[e.at("args").at("name").as_string()] =
+          static_cast<unsigned>(e.at("pid").as_uint());
+    }
+    if (ph == "s") {
+      flow_start_ts = e.at("ts").as_double();
+      flow_start_pid = static_cast<unsigned>(e.at("pid").as_uint());
+      flow_start_id = e.at("id").as_string();
+    }
+    if (ph == "f") {
+      flow_finish_ts = e.at("ts").as_double();
+      flow_finish_pid = static_cast<unsigned>(e.at("pid").as_uint());
+      flow_finish_id = e.at("id").as_string();
+      EXPECT_EQ(e.at("bp").as_string(), "e");
+    }
+  }
+  EXPECT_EQ(process_names["m/supervisor"], 1u);
+  EXPECT_EQ(process_names["m/worker"], 2u);
+  // Same flow id on both sides, different pids: the Perfetto arrow.
+  EXPECT_EQ(flow_start_id, flow_finish_id);
+  EXPECT_NE(flow_start_id, "");
+  EXPECT_EQ(flow_start_pid, 1u);
+  EXPECT_EQ(flow_finish_pid, 2u);
+  // Worker ts 5400ns + offset 5000ns = 10400ns = 10.4µs: lands between the
+  // supervisor's flow start (10.5µs) minus slack and span end.
+  EXPECT_DOUBLE_EQ(flow_finish_ts, 10.4);
+  EXPECT_DOUBLE_EQ(flow_start_ts, 10.5);
+
+  // Worker events keep their sim_ps args through the merge.
+  bool sim_seen = false;
+  for (const util::JsonValue& e : events) {
+    if (e.at("ph").as_string() != "B") continue;
+    if (e.at("name").as_string() != "worker.ecall") continue;
+    EXPECT_EQ(e.at("args").at("sim_ps").as_uint(), 7000u);
+    EXPECT_EQ(e.at("args").at("addr").as_uint(), 0x200u);
+    sim_seen = true;
+  }
+  EXPECT_TRUE(sim_seen);
+}
+
+TEST_F(ChromeTraceTest, DroppedEventsSurfaceAsCounter) {
+  const std::uint64_t before = obs::counter("trace.dropped_events").value();
+  obs::enable_tracing(32);
+  std::thread spammer([] {
+    for (int i = 0; i < 500; ++i) obs::instant("spam", "test");
+  });
+  spammer.join();
+  obs::disable_tracing();
+  // At least 500-32 evictions landed on the registry counter (S1: the same
+  // counter `cosim_stat stats` prints).
+  EXPECT_GE(obs::counter("trace.dropped_events").value(), before + 468);
+  const util::JsonValue doc =
+      util::parse_json(obs::MetricsRegistry::instance().render_json());
+  EXPECT_GE(doc.at("counters").at("trace.dropped_events").as_uint(), before + 468);
+
+  // The per-thread dropped count also rides in the snapshot.
+  const obs::TraceSnapshot snap = obs::take_trace_snapshot();
+  std::uint64_t snap_dropped = 0;
+  for (const auto& t : snap.threads) snap_dropped += t.dropped;
+  EXPECT_GE(snap_dropped, 468u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (S3): export and render while writers are live. Run under
+// TSan these must stay clean — rings are field-atomic, the registry locks.
+
+TEST(MetricsConcurrencyTest, RenderAndSnapshotUnderConcurrentUpdates) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&stop, w] {
+      obs::Counter& c = obs::counter("test.concurrent_counter");
+      obs::Gauge& g = obs::gauge("test.concurrent_gauge");
+      obs::Histogram& h = obs::histogram("test.concurrent_hist", {10, 100, 1000});
+      // A fixed floor of iterations, then spin until the readers finish —
+      // guarantees real overlap regardless of scheduling.
+      for (std::uint64_t i = 0; i < 1000 || !stop.load(std::memory_order_relaxed); ++i) {
+        c.add();
+        g.set(static_cast<std::int64_t>(i) * (w % 2 ? 1 : -1));
+        h.observe(i % 2000);
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    const std::string json = obs::MetricsRegistry::instance().render_json();
+    const util::JsonValue doc = util::parse_json(json);
+    EXPECT_EQ(doc.at("schema").as_int(), 1);
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+    const util::JsonValue doc2 = util::parse_json(obs::render_snapshot_json(snap));
+    EXPECT_EQ(doc2.at("schema").as_int(), 1);
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_GE(obs::counter("test.concurrent_counter").value(), 1u);
+}
+
+TEST_F(ChromeTraceTest, ExportWhileRecording) {
+  obs::enable_tracing(1024);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        obs::ScopedSpan span("live.span", "test", "n", 1);
+        obs::flow_step("live.flow", "flow", 0x1234);
+        obs::instant("live.tick", "test");
+      }
+    });
+  }
+  // Snapshots and full JSON exports taken mid-recording must stay
+  // well-formed (torn slots are skipped or repaired, never emitted raw).
+  for (int round = 0; round < 20; ++round) {
+    const obs::TraceSnapshot snap = obs::take_trace_snapshot();
+    const std::vector<std::uint8_t> wire = obs::encode_trace_snapshot(snap);
+    EXPECT_EQ(obs::decode_trace_snapshot(wire), snap);
+    const util::JsonValue doc = util::parse_json(obs::chrome_trace_json());
+    int balance = 0;
+    for (const util::JsonValue& e : doc.at("traceEvents").as_array()) {
+      const std::string& ph = e.at("ph").as_string();
+      if (ph == "B") ++balance;
+      if (ph == "E") {
+        --balance;
+        EXPECT_GE(balance, 0);
+      }
+    }
+    EXPECT_EQ(balance, 0);
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  obs::disable_tracing();
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 //
 //   cosim_stat STATS.json                 metrics-registry snapshot -> table
 //   cosim_stat BENCH_x.json               bench results -> table
+//   cosim_stat diff A.json B.json         delta table between two stats or
+//                                         two bench documents (eyeballing
+//                                         regressions before the gate)
 //   cosim_stat --check-bench CUR.json --baseline BASE.json
 //              [--max-regress-pct N]      exit 1 when any shared result's
 //                                         median regressed more than N%
@@ -13,6 +16,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -25,6 +30,7 @@ namespace {
 int fail_usage() {
   std::fprintf(stderr,
                "usage: cosim_stat FILE.json\n"
+               "       cosim_stat diff A.json B.json\n"
                "       cosim_stat --check-bench CURRENT.json --baseline BASELINE.json"
                " [--max-regress-pct N]\n");
   return 2;
@@ -116,9 +122,129 @@ int check_bench(const std::string& current_path, const std::string& baseline_pat
   return 0;
 }
 
+// -- diff -------------------------------------------------------------------
+
+/// "A -> B (+delta)" row over the union of names in two scalar maps.
+void diff_scalar_section(const JsonValue& a, const JsonValue& b, const char* section,
+                         const char* suffix) {
+  const JsonValue* section_a = a.find(section);
+  const JsonValue* section_b = b.find(section);
+  std::set<std::string> names;
+  if (section_a != nullptr) {
+    for (const auto& [name, value] : section_a->as_object()) names.insert(name);
+  }
+  if (section_b != nullptr) {
+    for (const auto& [name, value] : section_b->as_object()) names.insert(name);
+  }
+  for (const std::string& name : names) {
+    const JsonValue* va = section_a != nullptr ? section_a->find(name) : nullptr;
+    const JsonValue* vb = section_b != nullptr ? section_b->find(name) : nullptr;
+    if (va == nullptr) {
+      std::printf("%-36s %16s %16.6g %12s%s\n", name.c_str(), "-", vb->as_double(), "added",
+                  suffix);
+    } else if (vb == nullptr) {
+      std::printf("%-36s %16.6g %16s %12s%s\n", name.c_str(), va->as_double(), "-", "removed",
+                  suffix);
+    } else {
+      const double da = va->as_double();
+      const double db = vb->as_double();
+      std::printf("%-36s %16.6g %16.6g %+12.6g%s\n", name.c_str(), da, db, db - da, suffix);
+    }
+  }
+}
+
+int diff_stats(const JsonValue& a, const JsonValue& b) {
+  std::printf("%-36s %16s %16s %12s\n", "metric", "A", "B", "delta");
+  diff_scalar_section(a, b, "counters", "");
+  diff_scalar_section(a, b, "gauges", "  (gauge)");
+  const JsonValue* hist_a = a.find("histograms");
+  const JsonValue* hist_b = b.find("histograms");
+  std::set<std::string> names;
+  if (hist_a != nullptr) {
+    for (const auto& [name, value] : hist_a->as_object()) names.insert(name);
+  }
+  if (hist_b != nullptr) {
+    for (const auto& [name, value] : hist_b->as_object()) names.insert(name);
+  }
+  if (!names.empty()) {
+    std::printf("\n%-36s %16s %16s %12s\n", "histogram", "count A", "count B", "p50 delta");
+    for (const std::string& name : names) {
+      const JsonValue* ha = hist_a != nullptr ? hist_a->find(name) : nullptr;
+      const JsonValue* hb = hist_b != nullptr ? hist_b->find(name) : nullptr;
+      if (ha == nullptr || hb == nullptr) {
+        std::printf("%-36s %16s %16s %12s\n", name.c_str(),
+                    ha != nullptr ? "present" : "-", hb != nullptr ? "present" : "-",
+                    ha == nullptr ? "added" : "removed");
+        continue;
+      }
+      std::printf("%-36s %16llu %16llu %+12.6g\n", name.c_str(),
+                  static_cast<unsigned long long>(ha->at("count").as_uint()),
+                  static_cast<unsigned long long>(hb->at("count").as_uint()),
+                  hb->at("p50").as_double() - ha->at("p50").as_double());
+    }
+  }
+  return 0;
+}
+
+int diff_bench(const JsonValue& a, const JsonValue& b) {
+  std::printf("bench %s vs %s\n\n", a.at("bench").as_string().c_str(),
+              b.at("bench").as_string().c_str());
+  std::printf("%-44s %14s %14s %9s %8s\n", "result", "A median", "B median", "delta", "unit");
+  std::map<std::string, const JsonValue*> results_b;
+  for (const JsonValue& r : b.at("results").as_array()) {
+    results_b[r.at("name").as_string()] = &r;
+  }
+  for (const JsonValue& ra : a.at("results").as_array()) {
+    const std::string& name = ra.at("name").as_string();
+    const auto it = results_b.find(name);
+    if (it == results_b.end()) {
+      std::printf("%-44s %14.6g %14s %9s\n", name.c_str(), ra.at("median").as_double(), "-",
+                  "removed");
+      continue;
+    }
+    const double ma = ra.at("median").as_double();
+    const double mb = it->second->at("median").as_double();
+    if (ma > 0.0) {
+      std::printf("%-44s %14.6g %14.6g %+8.1f%% %8s\n", name.c_str(), ma, mb,
+                  (mb - ma) / ma * 100.0, ra.at("unit").as_string().c_str());
+    } else {
+      std::printf("%-44s %14.6g %14.6g %9s %8s\n", name.c_str(), ma, mb, "-",
+                  ra.at("unit").as_string().c_str());
+    }
+    results_b.erase(it);
+  }
+  for (const auto& [name, r] : results_b) {
+    std::printf("%-44s %14s %14.6g %9s\n", name.c_str(), "-", r->at("median").as_double(),
+                "added");
+  }
+  return 0;
+}
+
+int diff_files(const std::string& path_a, const std::string& path_b) {
+  const JsonValue a = nisc::util::parse_json_file(path_a);
+  const JsonValue b = nisc::util::parse_json_file(path_b);
+  const bool bench_a = a.find("results") != nullptr;
+  const bool bench_b = b.find("results") != nullptr;
+  if (bench_a != bench_b) {
+    std::fprintf(stderr, "cosim_stat: %s and %s are different document kinds\n", path_a.c_str(),
+                 path_b.c_str());
+    return 2;
+  }
+  return bench_a ? diff_bench(a, b) : diff_stats(a, b);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 4 && std::strcmp(argv[1], "diff") == 0) {
+    try {
+      return diff_files(argv[2], argv[3]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cosim_stat: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (argc > 1 && std::strcmp(argv[1], "diff") == 0) return fail_usage();
   std::vector<std::string> files;
   std::string check_current;
   std::string baseline;
