@@ -21,6 +21,8 @@ const char* violation_kind_name(ViolationKind kind) noexcept {
     case ViolationKind::Deadlock: return "deadlock";
     case ViolationKind::UnspecifiedReception: return "unspecified-reception";
     case ViolationKind::StuckProgress: return "stuck-progress";
+    case ViolationKind::DuplicateEffect: return "duplicate-effect";
+    case ViolationKind::LostAck: return "lost-ack";
   }
   return "?";
 }
@@ -30,6 +32,8 @@ const char* violation_rule(ViolationKind kind) noexcept {
     case ViolationKind::Deadlock: return "NL410";
     case ViolationKind::UnspecifiedReception: return "NL411";
     case ViolationKind::StuckProgress: return "NL412";
+    case ViolationKind::DuplicateEffect: return "NL413";
+    case ViolationKind::LostAck: return "NL414";
   }
   return "NL410";
 }
@@ -37,13 +41,22 @@ const char* violation_rule(ViolationKind kind) noexcept {
 namespace {
 
 /// One global state of the composition: both endpoint states plus, per
-/// channel, a FIFO each way and a liveness flag.
+/// channel, a FIFO each way and a liveness flag. The crash-environment
+/// bookkeeping (effect masks, last checkpoint, crash budget) rides along so
+/// duplicate/lost effects are distinguishable global states, not a property
+/// recovered from traces.
 struct GlobalState {
   int a = 0;
   int b = 0;
   /// queues[channel][0] carries A->B, queues[channel][1] carries B->A.
   std::vector<std::array<std::vector<int>, 2>> queues;
   std::vector<char> open;
+  int crashes = 0;   ///< crash/respawn cycles taken so far
+  int b_ckpt = -1;   ///< B state restored on respawn; -1 = CrashSpec::b_restart
+  int dup_effect = -1;  ///< unit applied twice by A (NL413), else -1
+  std::uint32_t a_mask = 0;       ///< units A has applied (ProtoTransition::apply_effect)
+  std::uint32_t b_mask = 0;       ///< units B has retired (ProtoTransition::retire_effect)
+  std::uint32_t b_ckpt_mask = 0;  ///< b_mask recorded by the last checkpoint
 };
 
 std::string key_of(const GlobalState& s) {
@@ -55,7 +68,27 @@ std::string key_of(const GlobalState& s) {
       if (dir == 0) key += "/";
     }
   }
+  if (s.crashes != 0 || s.a_mask != 0 || s.b_mask != 0 || s.b_ckpt >= 0 || s.dup_effect >= 0) {
+    key += '#';
+    for (int v : {s.crashes, static_cast<int>(s.a_mask), static_cast<int>(s.b_mask), s.b_ckpt,
+                  static_cast<int>(s.b_ckpt_mask), s.dup_effect}) {
+      key += std::to_string(v);
+      key += '.';
+    }
+  }
   return key;
+}
+
+/// NL414: after a recovery, B sits in a state awaiting the ack of an effect
+/// A has already applied but B never retired — the ack is gone for good when
+/// no replay re-ack can reach B. Returns the starved unit, or -1.
+int lost_ack_unit(const ProtocolModel& model, const GlobalState& s) {
+  if (s.crashes == 0) return -1;
+  const int unit = model.endpoint_b.state(s.b).awaiting_effect;
+  if (unit < 0 || unit >= 32) return -1;
+  const std::uint32_t bit = 1u << unit;
+  if ((s.a_mask & bit) == 0 || (s.b_mask & bit) != 0) return -1;
+  return unit;
 }
 
 /// Connection-reset semantics: a closed endpoint never consumes its inbox,
@@ -107,8 +140,26 @@ const char* effect_suffix(TraceStep::Effect effect) {
     case TraceStep::Effect::Duplicated: return " [duplicated]";
     case TraceStep::Effect::Corrupted: return " [arrives as garbage]";
     case TraceStep::Effect::Cut: return "";
+    case TraceStep::Effect::Crashed: return "";
   }
   return "";
+}
+
+/// Folds a transition's crash-bookkeeping tags into the successor state.
+/// Applying a unit whose mask bit is already set is the NL413 witness.
+void apply_crash_tags(const ProtoTransition& t, GlobalState& next) {
+  if (t.apply_effect >= 0 && t.apply_effect < 32) {
+    const std::uint32_t bit = 1u << t.apply_effect;
+    if ((next.a_mask & bit) != 0 && next.dup_effect < 0) next.dup_effect = t.apply_effect;
+    next.a_mask |= bit;
+  }
+  if (t.retire_effect >= 0 && t.retire_effect < 32) {
+    next.b_mask |= 1u << t.retire_effect;
+  }
+  if (t.ckpt_state >= 0) {
+    next.b_ckpt = t.ckpt_state;
+    next.b_ckpt_mask = t.ckpt_mask;
+  }
 }
 
 /// Appends every move available to one endpoint ('A' or 'B').
@@ -122,11 +173,12 @@ void endpoint_successors(const ProtocolModel& model, const EnvOptions& env, cons
   const int out_dir = is_a ? 0 : 1;  // queue index this endpoint sends into
   const int in_dir = is_a ? 1 : 0;
 
-  const auto emit = [&](int to, TraceStep step, auto&& mutate_queues) {
+  const auto emit = [&](const ProtoTransition& t, TraceStep step, auto&& mutate_queues) {
     Successor succ;
     succ.state = s;
-    (is_a ? succ.state.a : succ.state.b) = to;
+    (is_a ? succ.state.a : succ.state.b) = t.to;
     mutate_queues(succ.state);
+    apply_crash_tags(t, succ.state);
     apply_closed_clearing(model, succ.state);
     succ.step = std::move(step);
     succ.step.endpoint = who;
@@ -138,7 +190,7 @@ void endpoint_successors(const ProtocolModel& model, const EnvOptions& env, cons
       TraceStep step;
       step.kind = ActionKind::Internal;
       step.text = self.role() + ": " + t.label;
-      emit(t.to, std::move(step), [](GlobalState&) {});
+      emit(t, std::move(step), [](GlobalState&) {});
       continue;
     }
     const auto ch = static_cast<std::size_t>(t.channel);
@@ -151,7 +203,7 @@ void endpoint_successors(const ProtocolModel& model, const EnvOptions& env, cons
       step.channel = t.channel;
       step.text = self.role() + " receives " + model.symbol_name(t.symbol) + " on " +
                   model.channel_name(t.channel);
-      emit(t.to, std::move(step), [&](GlobalState& next) {
+      emit(t, std::move(step), [&](GlobalState& next) {
         auto& q = next.queues[ch][static_cast<std::size_t>(in_dir)];
         q.erase(q.begin());
       });
@@ -174,30 +226,82 @@ void endpoint_successors(const ProtocolModel& model, const EnvOptions& env, cons
       // Peer tore its wire down: the bytes go nowhere (connection reset).
       TraceStep step = send_step(TraceStep::Effect::Normal);
       step.text += " (peer closed, discarded)";
-      emit(t.to, std::move(step), [](GlobalState&) {});
+      emit(t, std::move(step), [](GlobalState&) {});
       continue;
     }
     const std::vector<int>& outbox = s.queues[ch][static_cast<std::size_t>(out_dir)];
     if (outbox.size() >= env.channel_capacity) continue;  // backpressure
-    emit(t.to, send_step(TraceStep::Effect::Normal), [&](GlobalState& next) {
+    emit(t, send_step(TraceStep::Effect::Normal), [&](GlobalState& next) {
       next.queues[ch][static_cast<std::size_t>(out_dir)].push_back(t.symbol);
     });
     if (env.lossy) {
-      emit(t.to, send_step(TraceStep::Effect::Lost), [](GlobalState&) {});
+      emit(t, send_step(TraceStep::Effect::Lost), [](GlobalState&) {});
     }
     if (env.duplicating && outbox.size() + 2 <= env.channel_capacity) {
-      emit(t.to, send_step(TraceStep::Effect::Duplicated), [&](GlobalState& next) {
+      emit(t, send_step(TraceStep::Effect::Duplicated), [&](GlobalState& next) {
         auto& q = next.queues[ch][static_cast<std::size_t>(out_dir)];
         q.push_back(t.symbol);
         q.push_back(t.symbol);
       });
     }
     if (env.corrupting && model.garbage_symbol >= 0) {
-      emit(t.to, send_step(TraceStep::Effect::Corrupted), [&](GlobalState& next) {
+      emit(t, send_step(TraceStep::Effect::Corrupted), [&](GlobalState& next) {
         next.queues[ch][static_cast<std::size_t>(out_dir)].push_back(model.garbage_symbol);
       });
     }
   }
+}
+
+/// The crash move: the environment kills endpoint B mid-run and the
+/// supervisor respawns it. Modeled atomically — B restarts from its last
+/// checkpoint (or CrashSpec::b_restart when none), every in-flight queue is
+/// flushed (SIGKILL + fresh sockets), A snaps from a handshake state back to
+/// serving (Hello/Start/Resume never ride the modeled wire), and the
+/// environment re-delivers the interrupt for every unit that was applied by
+/// A but is unretired in the restored B — exactly Supervisor::recover()'s
+/// irq-log replay. Only offered in A states where the real supervisor polls
+/// (handlers run atomically between polls).
+void crash_successors(const ProtocolModel& model, const EnvOptions& env, const GlobalState& s,
+                      std::vector<Successor>& out) {
+  const CrashSpec& crash = model.crash;
+  if (!env.crashing || !crash.enabled) return;
+  if (s.crashes >= static_cast<int>(env.max_crashes)) return;
+  if (model.endpoint_b.state(s.b).closed) return;
+  const auto a_in = [&](const std::vector<int>& states) {
+    return std::find(states.begin(), states.end(), s.a) != states.end();
+  };
+  const bool in_handshake = a_in(crash.a_handshake_states);
+  if (!in_handshake && !a_in(crash.a_stable_states)) return;
+
+  Successor succ;
+  succ.state = s;
+  GlobalState& next = succ.state;
+  ++next.crashes;
+  const bool from_ckpt = s.b_ckpt >= 0;
+  next.b = from_ckpt ? s.b_ckpt : crash.b_restart;
+  next.b_mask = from_ckpt ? s.b_ckpt_mask : 0;
+  if (in_handshake) next.a = crash.a_serve;
+  for (auto& q : next.queues) {
+    q[0].clear();
+    q[1].clear();
+  }
+  std::string resent;
+  for (int u = 0; u < crash.units && u < static_cast<int>(crash.unit_irq_symbols.size()); ++u) {
+    const int sym = crash.unit_irq_symbols[static_cast<std::size_t>(u)];
+    if (sym < 0 || crash.irq_channel < 0) continue;
+    const std::uint32_t bit = 1u << u;
+    if ((next.a_mask & bit) == 0 || (next.b_mask & bit) != 0) continue;
+    next.queues[static_cast<std::size_t>(crash.irq_channel)][0].push_back(sym);
+    if (!resent.empty()) resent += ",";
+    resent += model.symbol_name(sym);
+  }
+  succ.step.endpoint = 'E';
+  succ.step.kind = ActionKind::Internal;
+  succ.step.effect = TraceStep::Effect::Crashed;
+  succ.step.text = "environment kills " + model.endpoint_b.role() + "; respawn from " +
+                   model.endpoint_b.state(next.b).name +
+                   (resent.empty() ? "" : " (irq re-sent: " + resent + ")");
+  out.push_back(std::move(succ));
 }
 
 std::vector<Successor> successors(const ProtocolModel& model, const EnvOptions& env,
@@ -205,6 +309,7 @@ std::vector<Successor> successors(const ProtocolModel& model, const EnvOptions& 
   std::vector<Successor> out;
   endpoint_successors(model, env, s, 'A', out);
   endpoint_successors(model, env, s, 'B', out);
+  crash_successors(model, env, s, out);
   if (env.disconnecting) {
     for (std::size_t c = 0; c < s.open.size(); ++c) {
       if (s.open[c] == 0) continue;
@@ -231,10 +336,13 @@ std::string violation_key(ViolationKind kind, const GlobalState& s,
   int faults_a = 0;
   int faults_b = 0;
   int cuts = 0;
+  int crashes = 0;
   for (const TraceStep& step : trace) {
     if (step.effect == TraceStep::Effect::Normal) continue;
     if (step.effect == TraceStep::Effect::Cut) {
       ++cuts;
+    } else if (step.effect == TraceStep::Effect::Crashed) {
+      ++crashes;
     } else if (step.endpoint == 'A') {
       ++faults_a;
     } else {
@@ -242,7 +350,8 @@ std::string violation_key(ViolationKind kind, const GlobalState& s,
     }
   }
   return std::string(violation_kind_name(kind)) + "#" + key_of(s) + "#" +
-         std::to_string(faults_a) + "." + std::to_string(faults_b) + "." + std::to_string(cuts);
+         std::to_string(faults_a) + "." + std::to_string(faults_b) + "." + std::to_string(cuts) +
+         "." + std::to_string(crashes);
 }
 
 }  // namespace
@@ -284,7 +393,7 @@ ExploreReport explore(const ProtocolModel& model, const EnvOptions& env,
   };
 
   std::vector<std::string> seen_keys;
-  std::size_t count_by_kind[3] = {};
+  std::size_t count_by_kind[5] = {};
   const auto add_violation = [&](ViolationKind kind, int id) {
     if (count_by_kind[static_cast<int>(kind)] >= limits.max_violations_per_kind) return;
     const Node& node = nodes[static_cast<std::size_t>(id)];
@@ -312,7 +421,13 @@ ExploreReport explore(const ProtocolModel& model, const EnvOptions& env,
       for (const auto& q : state.queues) {
         if (!q[0].empty() || !q[1].empty()) queued = true;
       }
-      add_violation(queued ? ViolationKind::UnspecifiedReception : ViolationKind::Deadlock, id);
+      // A post-recovery ack starvation is the sharper diagnosis than the
+      // generic deadlock/unspecified-reception it manifests as.
+      if (lost_ack_unit(model, state) >= 0) {
+        add_violation(ViolationKind::LostAck, id);
+      } else {
+        add_violation(queued ? ViolationKind::UnspecifiedReception : ViolationKind::Deadlock, id);
+      }
     }
     for (Successor& succ : succs) {
       std::string key = key_of(succ.state);
@@ -328,10 +443,13 @@ ExploreReport explore(const ProtocolModel& model, const EnvOptions& env,
       }
       const int child = static_cast<int>(nodes.size());
       const bool accept = accepting(model, succ.state);
+      const bool fresh_dup =
+          succ.state.dup_effect >= 0 && state.dup_effect < 0;  // this edge re-applied the unit
       nodes.push_back(Node{std::move(succ.state), id, std::move(succ.step), accept, false});
       children[static_cast<std::size_t>(id)].push_back(child);
       children.emplace_back();
       frontier.push_back(child);
+      if (fresh_dup) add_violation(ViolationKind::DuplicateEffect, child);
     }
     if (!report.complete) break;
   }
@@ -367,7 +485,9 @@ ExploreReport explore(const ProtocolModel& model, const EnvOptions& env,
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       // Deadlocks are already reported with their sharper rule.
       if (can_accept[i] == 0 && !nodes[i].dead) {
-        add_violation(ViolationKind::StuckProgress, static_cast<int>(i));
+        add_violation(lost_ack_unit(model, nodes[i].state) >= 0 ? ViolationKind::LostAck
+                                                                : ViolationKind::StuckProgress,
+                      static_cast<int>(i));
       }
     }
   }
@@ -436,6 +556,8 @@ std::string render_json(const ExploreReport& report) {
   field("duplicating", flag(report.env.duplicating), false);
   field("corrupting", flag(report.env.corrupting), false);
   field("disconnecting", flag(report.env.disconnecting), false);
+  field("crashing", flag(report.env.crashing), false);
+  field("max_crashes", std::to_string(report.env.max_crashes), false);
   out += "}";
   field("states", std::to_string(report.states), false);
   field("edges", std::to_string(report.edges), false);
@@ -465,7 +587,9 @@ FaultPlanResult fault_plan_for(const Counterexample& ce, char endpoint) {
   FaultPlanResult result;
   std::uint64_t nth = 0;
   for (const TraceStep& step : ce.trace) {
-    if (step.effect == TraceStep::Effect::Cut) {
+    if (step.effect == TraceStep::Effect::Cut || step.effect == TraceStep::Effect::Crashed) {
+      // A FaultPlan speaks wire faults only; crash placement needs the
+      // crash-matrix harness (CrashAt / chaos knobs) instead.
       result.complete = false;
       continue;
     }

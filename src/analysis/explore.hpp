@@ -11,7 +11,20 @@
 //   NL410 Deadlock              no successor, not accepting, queues empty
 //   NL411 UnspecifiedReception  no successor with a message stuck in a queue
 //   NL412 StuckProgress         no accepting state reachable any more
+//   NL413 DuplicateEffect       a guest-visible effect applied twice after a
+//                               crash/respawn recovery (dedup failure)
+//   NL414 LostAck               endpoint B waits forever for the ack of an
+//                               effect that was applied before a crash
 // BFS order makes every counterexample trace minimal for its violation.
+//
+// The crash environment (EnvOptions::crashing) models SIGKILL-at-any-point
+// plus supervised respawn for models with a CrashSpec: endpoint B jumps back
+// to its last checkpoint (or its restart state), every queue is flushed, and
+// the environment re-delivers the interrupts recorded for already-applied
+// but not-yet-retired effects — mirroring Supervisor::recover()'s irq-log
+// replay. Effect/checkpoint bookkeeping rides along in the global state, so
+// exploration proves the seq-dedup/replay automaton loses or duplicates no
+// effect under *every* kill interleaving, not just sampled kill points.
 #pragma once
 
 #include <cstdint>
@@ -33,8 +46,15 @@ struct EnvOptions {
   bool corrupting = false;     ///< a sent message may arrive as garbage
                                ///  (CorruptByte/Truncate at the symbol level)
   bool disconnecting = false;  ///< a channel may be cut, flushing its queues
+  /// Endpoint B may be killed and respawned at any point (requires the
+  /// model to carry a CrashSpec; ignored otherwise). Kept out of faulty():
+  /// crash-consistency is a separate proof from wire-fault tolerance.
+  bool crashing = false;
+  /// Crash/respawn cycles per run under `crashing` (2 covers crash-during-
+  /// recovery double faults without blowing up the state space).
+  std::size_t max_crashes = 2;
 
-  /// All four adversarial behaviors on (the `--faults` environment).
+  /// All four adversarial wire behaviors on (the `--faults` environment).
   static EnvOptions faulty();
 };
 
@@ -46,7 +66,13 @@ struct ExploreLimits {
   std::size_t max_violations_per_kind = 4;
 };
 
-enum class ViolationKind : std::uint8_t { Deadlock, UnspecifiedReception, StuckProgress };
+enum class ViolationKind : std::uint8_t {
+  Deadlock,
+  UnspecifiedReception,
+  StuckProgress,
+  DuplicateEffect,
+  LostAck,
+};
 
 const char* violation_kind_name(ViolationKind kind) noexcept;
 /// The NL41x rule id for a violation kind.
@@ -58,8 +84,8 @@ struct TraceStep {
   ActionKind kind = ActionKind::Internal;
   int symbol = -1;
   int channel = -1;
-  /// What the environment did to a Send ('E' steps use Cut).
-  enum class Effect : std::uint8_t { Normal, Lost, Duplicated, Corrupted, Cut };
+  /// What the environment did to a Send ('E' steps use Cut or Crashed).
+  enum class Effect : std::uint8_t { Normal, Lost, Duplicated, Corrupted, Cut, Crashed };
   Effect effect = Effect::Normal;
   std::string text;  ///< human-readable rendering
 };

@@ -1,14 +1,89 @@
 #include "analysis/frame.hpp"
 
 #include <algorithm>
+#include <string_view>
 
+#include "cosim/worker.hpp"
 #include "ipc/message.hpp"
 #include "util/hex.hpp"
 
 namespace nisc::analysis {
 
+namespace {
+
+/// Worker dialect: {u32 body_len, u8 op, u64 seq, payload [| u64 trace_id,
+/// u32 "FTID"]}. Mirrors cosim::recv_frame's validation, including the
+/// length+magic rule for the optional trace trailer.
+std::size_t check_worker_frames(std::span<const std::uint8_t> buffer, DiagEngine& diags,
+                                const std::string& origin) {
+  std::size_t good = 0;
+  std::size_t offset = 0;
+  int ordinal = 0;
+  while (offset < buffer.size()) {
+    ++ordinal;
+    SourceLoc loc{origin, ordinal, 0};
+    const std::size_t remaining = buffer.size() - offset;
+    if (remaining < 4) {
+      diags.report(Severity::Error, "frame.truncated",
+                   "worker frame #" + std::to_string(ordinal) + " at offset " +
+                       std::to_string(offset) + ": only " + std::to_string(remaining) +
+                       " byte(s) left, length field needs 4",
+                   loc);
+      break;
+    }
+    const std::uint32_t len = util::read_le(buffer.subspan(offset), 4);
+    if (len < 1 + 8 || len > cosim::kMaxWorkerFrame) {
+      diags.report(Severity::Error, "frame.oversized",
+                   "worker frame #" + std::to_string(ordinal) + " at offset " +
+                       std::to_string(offset) + ": body length " + std::to_string(len) +
+                       " outside [9, " + std::to_string(cosim::kMaxWorkerFrame) +
+                       "]; stopping scan",
+                   loc);
+      break;
+    }
+    if (remaining - 4 < len) {
+      diags.report(Severity::Error, "frame.truncated",
+                   "worker frame #" + std::to_string(ordinal) + " at offset " +
+                       std::to_string(offset) + ": body needs " + std::to_string(len) +
+                       " bytes but only " + std::to_string(remaining - 4) + " remain",
+                   loc);
+      break;
+    }
+    const std::span<const std::uint8_t> body = buffer.subspan(offset + 4, len);
+    const auto op = static_cast<cosim::WorkerOp>(body[0]);
+    const std::string_view name = cosim::worker_op_name(op);
+    if (name == "?") {
+      diags.report(Severity::Error, "frame.malformed",
+                   "worker frame #" + std::to_string(ordinal) + ": unknown op " +
+                       std::to_string(static_cast<unsigned>(body[0])),
+                   loc);
+    } else {
+      std::size_t payload_len = len - (1 + 8);
+      const std::size_t fixed = cosim::worker_op_fixed_payload(op);
+      if (fixed != 0 && payload_len == fixed + 12 &&
+          util::read_le(body.subspan(1 + 8 + fixed + 8), 4) == cosim::kFrameTraceMagic) {
+        payload_len = fixed;  // trace-id trailer, not payload
+      }
+      if (fixed != 0 && payload_len != fixed) {
+        diags.report(Severity::Error, "frame.malformed",
+                     "worker frame #" + std::to_string(ordinal) + " (" + std::string(name) +
+                         "): payload is " + std::to_string(payload_len) + " byte(s), op fixes " +
+                         std::to_string(fixed),
+                     loc);
+      } else {
+        ++good;
+      }
+    }
+    offset += 4 + len;
+  }
+  return good;
+}
+
+}  // namespace
+
 std::size_t check_frames(std::span<const std::uint8_t> buffer, DiagEngine& diags,
-                         const std::string& origin) {
+                         const std::string& origin, FrameDialect dialect) {
+  if (dialect == FrameDialect::Worker) return check_worker_frames(buffer, diags, origin);
   std::size_t good = 0;
   std::size_t offset = 0;
   int ordinal = 0;

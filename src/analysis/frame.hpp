@@ -1,18 +1,25 @@
-// Driver-Kernel wire-protocol frame validator (paper §4.2).
+// Wire-protocol frame validator (paper §4.2).
 //
-// Validates a buffer holding zero or more concatenated framed messages
-// ({u32 packet_size, body}) as produced by ipc::encode_message. Each frame
-// body is decoded with ipc::decode_message_body and re-encoded; a decode
-// failure or a round-trip mismatch is a defect in the sender.
+// Validates a buffer holding zero or more concatenated framed messages in
+// one of two dialects:
+//  * DriverKernel: {u32 packet_size, body} as produced by
+//    ipc::encode_message. Each body is decoded with ipc::decode_message_body
+//    and re-encoded; a decode failure or a round-trip mismatch is a defect
+//    in the sender.
+//  * Worker: {u32 body_len, u8 op, u64 seq, payload} as produced by
+//    cosim::send_frame. Fixed-payload ops may carry the optional 12-byte
+//    FTID trace-id trailer, which is recognised by length + closing magic
+//    and is NOT a defect (postmortem captures of traced sessions must not
+//    false-positive on it).
 //
 // Rules:
 //  * frame.truncated (error): buffer ends inside a size field or a body.
-//  * frame.oversized (error): packet_size exceeds ipc::kMaxMessageBody
+//  * frame.oversized (error): the size field exceeds the dialect's limit
 //    (corrupt size field; scanning stops — resynchronisation is hopeless).
-//  * frame.malformed (error): body fails to decode (bad type, truncated
-//    item, trailing bytes).
+//  * frame.malformed (error): body fails to decode (bad type / unknown op,
+//    truncated item, payload length off for a fixed-payload op).
 //  * frame.roundtrip (warning): body decodes but re-encoding differs —
-//    the frame is readable but not canonical.
+//    the frame is readable but not canonical (DriverKernel only).
 //
 // The reported SourceLoc uses `file` for the buffer's origin and `line` for
 // the 1-based frame ordinal within it.
@@ -26,9 +33,16 @@
 
 namespace nisc::analysis {
 
+/// Which framing dialect check_frames validates.
+enum class FrameDialect : std::uint8_t {
+  DriverKernel,  ///< ipc::encode_message frames
+  Worker,        ///< cosim::send_frame frames (supervisor <-> worker wire)
+};
+
 /// Validates every frame in `buffer`; returns the number of well-formed
 /// frames (decoded and canonical).
 std::size_t check_frames(std::span<const std::uint8_t> buffer, DiagEngine& diags,
-                         const std::string& origin = "<frames>");
+                         const std::string& origin = "<frames>",
+                         FrameDialect dialect = FrameDialect::DriverKernel);
 
 }  // namespace nisc::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "cosim/worker.hpp"
 #include "ipc/message.hpp"
 
 namespace nisc::analysis {
@@ -29,6 +30,23 @@ constexpr int kRspStopReply = 6;
 constexpr int kRspGarbage = 7;
 constexpr int kChRsp = 0;
 
+// Worker model symbol ids (supervisor <-> cosim_issworker recovery wire).
+constexpr int kWkHello = 0;
+constexpr int kWkStart = 1;
+constexpr int kWkResume = 2;
+constexpr int kWkDevWrite = 3;
+constexpr int kWkWriteAck = 4;
+constexpr int kWkDevRead = 5;
+constexpr int kWkReadReply = 6;
+constexpr int kWkIrq = 7;
+constexpr int kWkCkpt = 8;
+constexpr int kWkDone = 9;
+constexpr int kWkClockSync = 10;
+constexpr int kWkClockSyncAck = 11;
+constexpr int kWkPullObs = 12;
+constexpr int kWkObsReport = 13;
+constexpr int kWkGarbage = 14;
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -40,19 +58,28 @@ int ProtocolAutomaton::add_state(std::string name, bool accepting, bool closed) 
   return static_cast<int>(states_.size()) - 1;
 }
 
-void ProtocolAutomaton::send(int from, int symbol, int channel, int to, bool recovery) {
-  by_state_[static_cast<std::size_t>(from)].push_back(
-      ProtoTransition{ActionKind::Send, symbol, channel, to, recovery, {}});
+ProtoTransition& ProtocolAutomaton::send(int from, int symbol, int channel, int to,
+                                         bool recovery) {
+  auto& out = by_state_[static_cast<std::size_t>(from)];
+  out.push_back(ProtoTransition{ActionKind::Send, symbol, channel, to, recovery, {}});
+  return out.back();
 }
 
-void ProtocolAutomaton::recv(int from, int symbol, int channel, int to, bool recovery) {
-  by_state_[static_cast<std::size_t>(from)].push_back(
-      ProtoTransition{ActionKind::Recv, symbol, channel, to, recovery, {}});
+ProtoTransition& ProtocolAutomaton::recv(int from, int symbol, int channel, int to,
+                                         bool recovery) {
+  auto& out = by_state_[static_cast<std::size_t>(from)];
+  out.push_back(ProtoTransition{ActionKind::Recv, symbol, channel, to, recovery, {}});
+  return out.back();
 }
 
-void ProtocolAutomaton::internal(int from, int to, std::string label, bool recovery) {
-  by_state_[static_cast<std::size_t>(from)].push_back(
-      ProtoTransition{ActionKind::Internal, -1, -1, to, recovery, std::move(label)});
+ProtoTransition& ProtocolAutomaton::internal(int from, int to, std::string label, bool recovery) {
+  auto& out = by_state_[static_cast<std::size_t>(from)];
+  out.push_back(ProtoTransition{ActionKind::Internal, -1, -1, to, recovery, std::move(label)});
+  return out.back();
+}
+
+void ProtocolAutomaton::set_awaiting(int state, int effect) {
+  states_[static_cast<std::size_t>(state)].awaiting_effect = effect;
 }
 
 int ProtocolAutomaton::find_state(std::string_view name) const noexcept {
@@ -70,6 +97,8 @@ const char* model_name(ModelId id) noexcept {
     case ModelId::DriverKernel: return "driver-kernel";
     case ModelId::GdbKernel: return "gdb-kernel";
     case ModelId::GdbWrapper: return "gdb-wrapper";
+    case ModelId::Worker: return "worker";
+    case ModelId::DriverIrq: return "driver-irq";
   }
   return "?";
 }
@@ -78,6 +107,8 @@ std::optional<ModelId> model_from_name(std::string_view name) noexcept {
   if (name == "driver-kernel") return ModelId::DriverKernel;
   if (name == "gdb-kernel") return ModelId::GdbKernel;
   if (name == "gdb-wrapper") return ModelId::GdbWrapper;
+  if (name == "worker") return ModelId::Worker;
+  if (name == "driver-irq") return ModelId::DriverIrq;
   return std::nullopt;
 }
 
@@ -92,6 +123,13 @@ const std::string& ProtocolModel::symbol_name(int symbol) const {
 
 const std::string& ProtocolModel::channel_name(int channel) const {
   return channels[static_cast<std::size_t>(channel)];
+}
+
+int ProtocolModel::channel_id(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (channels[i] == name) return static_cast<int>(i);
+  }
+  return -1;
 }
 
 namespace {
@@ -295,6 +333,276 @@ ProtocolModel make_gdb_wrapper(const ModelOptions& o) {
   return m;
 }
 
+/// Supervisor <-> cosim_issworker recovery wire (DESIGN.md §12). The model
+/// unrolls a minimal session of two durable effect units — unit 0 is a
+/// DevWrite whose ack's irq high-water mark makes the worker drain one Irq
+/// before retiring the ecall, unit 1 a synchronous DevRead — because seq
+/// dedup is then expressible in pure automaton states: the supervisor's
+/// Serve<N> state encodes how many units it durably applied, so a replayed
+/// request is re-acked from the reply log (no apply_effect tag) while a fresh
+/// one applies. The optional checkpoint between the units pins the worker's
+/// respawn point via the ckpt tag on the supervisor's Ckpt consumption.
+/// Endpoint A is the supervisor (the tapped side), endpoint B the worker.
+ProtocolModel make_worker(const ModelOptions& o) {
+  ProtocolModel m;
+  m.id = ModelId::Worker;
+  m.name = model_name(m.id);
+  m.wire = WireFormat::Worker;
+  m.symbols = {"HELLO",     "START",          "RESUME",   "DEV-WRITE",  "WRITE-ACK",
+               "DEV-READ",  "READ-REPLY",     "IRQ",      "CKPT",       "DONE",
+               "CLOCK-SYNC", "CLOCK-SYNC-ACK", "PULL-OBS", "OBS-REPORT", "GARBAGE"};
+  m.channels = {"data", "irq"};
+  m.monitored_channels = {kChData};  // capture/observer sits on the data socket
+  m.garbage_symbol = kWkGarbage;
+  m.reset_event = "respawn";
+  m.reset_state = 0;  // the spawn handshake restarts at WaitHello
+
+  ProtocolAutomaton sup("supervisor");
+  const int wait_hello = sup.add_state("WaitHello");
+  const int send_cfg = sup.add_state("SendCfg");
+  int a_sync = -1;
+  int a_await_sync = -1;
+  if (o.sideband) {
+    a_sync = sup.add_state("SyncClock");
+    a_await_sync = sup.add_state("AwaitSyncAck");
+  }
+  const int serve0 = sup.add_state("Serve0", /*accepting=*/true);
+  const int raise_irq = sup.add_state("RaiseIrq");
+  const int ack_write = sup.add_state("AckWrite");
+  const int serve1 = sup.add_state("Serve1", /*accepting=*/true);
+  const int reply_read = sup.add_state("ReplyRead");
+  const int serve2 = sup.add_state("Serve2", /*accepting=*/true);
+  const int a_done = sup.add_state("SessionDone", /*accepting=*/true);
+  const int a_abort = o.recovery ? sup.add_state("Aborted", /*accepting=*/true, /*closed=*/true)
+                                 : -1;
+
+  sup.recv(wait_hello, kWkHello, kChData, send_cfg);
+  const int post_cfg = o.sideband ? a_sync : serve0;
+  sup.send(send_cfg, kWkStart, kChData, post_cfg);
+  sup.send(send_cfg, kWkResume, kChData, post_cfg);
+  if (o.sideband) {
+    // Per-spawn clock sync: strictly ordered before guest traffic, both
+    // peers know obs is on from the config, so no skip branch exists.
+    sup.send(a_sync, kWkClockSync, kChData, a_await_sync);
+    sup.recv(a_await_sync, kWkClockSyncAck, kChData, serve0);
+  }
+
+  // Fresh unit 0: apply the write, raise its interrupt (before the ack, as
+  // handle_dev_write does), then ack with the irq high-water mark.
+  sup.recv(serve0, kWkDevWrite, kChData, raise_irq).apply_effect = 0;
+  sup.send(raise_irq, kWkIrq, kChIrq, ack_write);
+  sup.send(ack_write, kWkWriteAck, kChData, serve1);
+  // Fresh unit 1: the synchronous read.
+  sup.recv(serve1, kWkDevRead, kChData, reply_read).apply_effect = 1;
+  sup.send(reply_read, kWkReadReply, kChData, serve2);
+
+  if (o.worker_reply_log && !o.worker_eager_prune) {
+    // Replayed requests after a recovery are answered from the reply log
+    // with their historical irq marks — acknowledged again, applied never.
+    const int re_ack1 = sup.add_state("ReAck@1");
+    const int re_ack2 = sup.add_state("ReAck@2");
+    const int re_reply = sup.add_state("ReReply@2");
+    sup.recv(serve1, kWkDevWrite, kChData, re_ack1);
+    sup.send(re_ack1, kWkWriteAck, kChData, serve1);
+    sup.recv(serve2, kWkDevWrite, kChData, re_ack2);
+    sup.send(re_ack2, kWkWriteAck, kChData, serve2);
+    sup.recv(serve2, kWkDevRead, kChData, re_reply);
+    sup.send(re_reply, kWkReadReply, kChData, serve2);
+  } else if (!o.worker_reply_log) {
+    // NL413 negative control: with seq dedup gone a replayed request is
+    // indistinguishable from a fresh one and re-applies the device effect.
+    sup.recv(serve1, kWkDevWrite, kChData, raise_irq).apply_effect = 0;
+    sup.recv(serve2, kWkDevWrite, kChData, raise_irq).apply_effect = 0;
+    sup.recv(serve2, kWkDevRead, kChData, reply_read).apply_effect = 1;
+  }
+  // NL414 negative control (worker_eager_prune): the log entry died at ack
+  // time, so Serve1/Serve2 simply have no transition for a replayed request.
+
+  sup.recv(serve2, kWkDone, kChData, a_done);
+
+  ProtocolAutomaton worker("worker");
+  const int w_init = worker.add_state("Init");
+  const int w_wait_cfg = worker.add_state("WaitConfig");
+  int w_sync = -1;
+  int w_sync_ack = -1;
+  if (o.sideband) {
+    w_sync = worker.add_state("SyncClock");
+    w_sync_ack = worker.add_state("SyncAck");
+  }
+  const int w_run1 = worker.add_state("Run1");
+  const int w_await_ack = worker.add_state("AwaitAck");
+  const int w_drain_irq = worker.add_state("DrainIrq");
+  const int w_ckpt = worker.add_state("CkptBoundary");
+  const int w_run2 = worker.add_state("Run2");
+  const int w_await_reply = worker.add_state("AwaitReply");
+  const int w_done = worker.add_state("Done");
+  const int w_exit = worker.add_state("Exited", /*accepting=*/true, /*closed=*/true);
+  worker.set_awaiting(w_await_ack, 0);
+  worker.set_awaiting(w_await_reply, 1);
+
+  worker.send(w_init, kWkHello, kChData, w_wait_cfg);
+  const int w_post_cfg = o.sideband ? w_sync : w_run1;
+  worker.recv(w_wait_cfg, kWkStart, kChData, w_post_cfg);
+  worker.recv(w_wait_cfg, kWkResume, kChData, w_post_cfg);
+  if (o.sideband) {
+    worker.recv(w_sync, kWkClockSync, kChData, w_sync_ack);
+    worker.send(w_sync_ack, kWkClockSyncAck, kChData, w_run1);
+  }
+  worker.send(w_run1, kWkDevWrite, kChData, w_await_ack);
+  worker.recv(w_await_ack, kWkWriteAck, kChData, w_drain_irq);
+  // The ack's irq high-water mark forces the drain before the ecall retires:
+  // interrupt delivery is deterministic in the instruction stream.
+  worker.recv(w_drain_irq, kWkIrq, kChIrq, w_ckpt).retire_effect = 0;
+  // The ckpt_every cadence may or may not hit the boundary between the units.
+  worker.send(w_ckpt, kWkCkpt, kChData, w_run2);
+  worker.internal(w_ckpt, w_run2, "skip-ckpt");
+  worker.send(w_run2, kWkDevRead, kChData, w_await_reply);
+  worker.recv(w_await_reply, kWkReadReply, kChData, w_done).retire_effect = 1;
+  worker.send(w_done, kWkDone, kChData, w_exit);
+
+  // The checkpoint between the units: consuming it (seq > applied_seq, or a
+  // deterministic replay of the same bytes) pins the worker's respawn point
+  // to Run2 with unit 0 retired. A replayed Ckpt can reach Serve2 too (a
+  // from-reset replay that checkpoints this time), hence both self-loops.
+  for (int serve : {serve1, serve2}) {
+    ProtoTransition& ckpt = sup.recv(serve, kWkCkpt, kChData, serve);
+    ckpt.ckpt_state = w_run2;
+    ckpt.ckpt_mask = 0x1;
+  }
+
+  // Live-monitor tolerance at Serve0: a post-Resume epoch of a *real*
+  // session can open with a replayed DEV-READ, a checkpoint, or DONE before
+  // the monitor saw any write — the worker resumed carrying effects that the
+  // two-unit unrolling attributes to earlier epochs. Exploration never
+  // reaches these transitions (a crash restores B at or before A's durable
+  // progress, so A:Serve0 implies B:Run1 with nothing applied), hence the
+  // crash-fault proofs are unaffected.
+  if (o.worker_reply_log && !o.worker_eager_prune) {
+    const int re_reply0 = sup.add_state("ReReply@0");
+    sup.recv(serve0, kWkDevRead, kChData, re_reply0);
+    sup.send(re_reply0, kWkReadReply, kChData, serve0);
+  }
+  {
+    ProtoTransition& ckpt0 = sup.recv(serve0, kWkCkpt, kChData, serve0);
+    ckpt0.ckpt_state = w_run1;
+    ckpt0.ckpt_mask = 0;
+  }
+  sup.recv(serve0, kWkDone, kChData, a_done);
+
+  // Seq-0 side-band is legal in every non-closed state: the supervisor's
+  // handle() tolerates ClockSyncAck/ObsReport anywhere, the worker drains
+  // ClockSync/PullObs inline wherever it blocks.
+  if (o.sideband) {
+    for (std::size_t s = 0; s < sup.states().size(); ++s) {
+      const int id = static_cast<int>(s);
+      if (sup.state(id).closed) continue;
+      // AwaitSyncAck already consumes the ack via its real transition; a
+      // tolerance self-loop there would let the walk eat it and stall.
+      if (id != a_await_sync) sup.recv(id, kWkClockSyncAck, kChData, id);
+      sup.recv(id, kWkObsReport, kChData, id);
+    }
+    for (int serve : {serve0, serve1, serve2}) {
+      sup.send(serve, kWkPullObs, kChData, serve);  // fire-and-forget obs pull
+    }
+    for (std::size_t s = 0; s < worker.states().size(); ++s) {
+      const int id = static_cast<int>(s);
+      if (worker.state(id).closed) continue;
+      if (id != w_sync) worker.recv(id, kWkClockSync, kChData, id);
+      worker.recv(id, kWkPullObs, kChData, id);
+    }
+    worker.send(w_done, kWkObsReport, kChData, w_done);  // final pre-Done report
+  }
+
+  if (o.recovery) {
+    // Garbage on the wire aborts the session from the supervisor's side (a
+    // decode error recovers by respawn; modelled as an accepted teardown).
+    for (std::size_t s = 0; s < sup.states().size(); ++s) {
+      if (sup.state(static_cast<int>(s)).closed) continue;
+      sup.recv(static_cast<int>(s), kWkGarbage, kChData, a_abort, /*recovery=*/true);
+    }
+    const int w_dead = worker.add_state("Dead", /*accepting=*/true, /*closed=*/true);
+    for (std::size_t s = 0; s < worker.states().size(); ++s) {
+      if (worker.state(static_cast<int>(s)).closed) continue;
+      worker.recv(static_cast<int>(s), kWkGarbage, kChData, w_dead, /*recovery=*/true);
+    }
+  }
+
+  m.crash.enabled = true;
+  m.crash.units = 2;
+  m.crash.b_restart = w_run1;
+  m.crash.a_serve = serve0;
+  m.crash.a_handshake_states = {wait_hello, send_cfg};
+  if (o.sideband) {
+    m.crash.a_handshake_states.push_back(a_sync);
+    m.crash.a_handshake_states.push_back(a_await_sync);
+  }
+  m.crash.a_stable_states = {serve0, serve1, serve2, a_done};
+  m.crash.irq_channel = kChIrq;
+  m.crash.unit_irq_symbols = {kWkIrq, -1};
+
+  m.endpoint_a = std::move(sup);
+  m.endpoint_b = std::move(worker);
+  return m;
+}
+
+/// The Driver-Kernel irq socket (ROADMAP's "unmonitored epsilon channel"):
+/// delivery plus the ISR-acknowledge cycle. Endpoint A is the InterruptPump
+/// (the tapped receiving end — attach the live monitor with
+/// flip_direction=true when the tap sits on the raising side), endpoint B
+/// the kernel extension raising interrupts. By default the symbol table
+/// matches the Driver-Kernel wire format so the decoder's MsgType cast
+/// stays valid; data-plane messages on the irq socket are NL401. With
+/// ModelOptions::worker_wire the same automaton decodes Worker frames
+/// instead — the live-monitor flavor for the supervisor's irq socket,
+/// where a respawn resets the decoders and the irq-log re-send on Resume
+/// is accepted as fresh Irq deliveries.
+ProtocolModel make_driver_irq(const ModelOptions& o) {
+  ProtocolModel m;
+  m.id = ModelId::DriverIrq;
+  m.name = model_name(m.id);
+  int irq_sym = kDkInterrupt;
+  int garbage_sym = kDkGarbage;
+  if (o.worker_wire) {
+    m.wire = WireFormat::Worker;
+    m.symbols = {"HELLO",     "START",          "RESUME",   "DEV-WRITE",  "WRITE-ACK",
+                 "DEV-READ",  "READ-REPLY",     "IRQ",      "CKPT",       "DONE",
+                 "CLOCK-SYNC", "CLOCK-SYNC-ACK", "PULL-OBS", "OBS-REPORT", "GARBAGE"};
+    m.reset_event = "respawn";
+    m.reset_state = 0;  // the replacement socket starts idle
+    irq_sym = kWkIrq;
+    garbage_sym = kWkGarbage;
+  } else {
+    m.wire = WireFormat::DriverKernel;
+    m.symbols = {"READ", "WRITE", "READ-REPLY", "INTERRUPT", "GARBAGE"};
+  }
+  m.channels = {"irq"};
+  m.monitored_channels = {0};
+  m.garbage_symbol = garbage_sym;
+
+  ProtocolAutomaton pump("pump");
+  const int idle = pump.add_state("Idle", /*accepting=*/true);
+  const int isr = pump.add_state("Isr");
+  pump.recv(idle, irq_sym, /*channel=*/0, isr);
+  pump.internal(isr, idle, "ack");  // kernel_.raise_irq completed
+  if (o.recovery) {
+    // A decode error makes the pump thread exit; its wire is then dead.
+    const int dead = pump.add_state("PumpDead", /*accepting=*/true, /*closed=*/true);
+    pump.recv(idle, garbage_sym, /*channel=*/0, dead, /*recovery=*/true);
+    pump.recv(isr, garbage_sym, /*channel=*/0, dead, /*recovery=*/true);
+  }
+  m.endpoint_a = std::move(pump);
+
+  ProtocolAutomaton kernel("kernel");
+  const int run = kernel.add_state("Run", /*accepting=*/true);
+  kernel.send(run, irq_sym, /*channel=*/0, run);
+  if (o.recovery) {
+    const int quiesced = kernel.add_state("Quiesced", /*accepting=*/true, /*closed=*/true);
+    kernel.internal(run, quiesced, "quiesce", /*recovery=*/true);
+  }
+  m.endpoint_b = std::move(kernel);
+  return m;
+}
+
 }  // namespace
 
 ProtocolModel make_model(ModelId id, const ModelOptions& options) {
@@ -302,6 +610,8 @@ ProtocolModel make_model(ModelId id, const ModelOptions& options) {
     case ModelId::DriverKernel: return make_driver_kernel(options);
     case ModelId::GdbKernel: return make_gdb_kernel(options);
     case ModelId::GdbWrapper: return make_gdb_wrapper(options);
+    case ModelId::Worker: return make_worker(options);
+    case ModelId::DriverIrq: return make_driver_irq(options);
   }
   return make_driver_kernel(options);
 }
@@ -348,8 +658,38 @@ std::uint32_t read_le32(const std::uint8_t* p) {
 
 }  // namespace
 
+namespace {
+
+int worker_symbol_of(cosim::WorkerOp op) noexcept {
+  switch (op) {
+    case cosim::WorkerOp::Hello: return kWkHello;
+    case cosim::WorkerOp::Start: return kWkStart;
+    case cosim::WorkerOp::Resume: return kWkResume;
+    case cosim::WorkerOp::DevWrite: return kWkDevWrite;
+    case cosim::WorkerOp::WriteAck: return kWkWriteAck;
+    case cosim::WorkerOp::DevRead: return kWkDevRead;
+    case cosim::WorkerOp::ReadReply: return kWkReadReply;
+    case cosim::WorkerOp::Irq: return kWkIrq;
+    case cosim::WorkerOp::Ckpt: return kWkCkpt;
+    case cosim::WorkerOp::Done: return kWkDone;
+    case cosim::WorkerOp::ClockSync: return kWkClockSync;
+    case cosim::WorkerOp::ClockSyncAck: return kWkClockSyncAck;
+    case cosim::WorkerOp::PullObs: return kWkPullObs;
+    case cosim::WorkerOp::ObsReport: return kWkObsReport;
+  }
+  return -1;
+}
+
+}  // namespace
+
 StreamDecoder::StreamDecoder(WireFormat format, bool toward_target)
     : format_(format), toward_target_(toward_target) {}
+
+void StreamDecoder::reset() {
+  wedged_ = false;
+  buffer_.clear();
+  reader_ = rsp::PacketReader{};
+}
 
 std::size_t StreamDecoder::pending() const noexcept {
   return format_ == WireFormat::Rsp ? reader_.pending_bytes() : buffer_.size();
@@ -371,6 +711,58 @@ void StreamDecoder::feed(std::span<const std::uint8_t> bytes, std::vector<WireSy
           out.push_back(classify_rsp(event->payload, toward_target_));
           break;
       }
+    }
+    return;
+  }
+
+  if (format_ == WireFormat::Worker) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+    while (buffer_.size() >= 4) {
+      const std::uint32_t len = read_le32(buffer_.data());
+      if (len < 1 + 8 || len > cosim::kMaxWorkerFrame) {
+        wedged_ = true;
+        out.push_back(WireSymbol{kWkGarbage, true,
+                                 "worker frame length " + std::to_string(len) +
+                                     " outside [9, " + std::to_string(cosim::kMaxWorkerFrame) +
+                                     "] (stream corrupt?)"});
+        return;
+      }
+      if (buffer_.size() < 4u + len) break;
+      const auto op = static_cast<cosim::WorkerOp>(buffer_[4]);
+      std::uint64_t seq = 0;
+      for (int i = 7; i >= 0; --i) seq = (seq << 8) | buffer_[5 + static_cast<std::size_t>(i)];
+      std::size_t payload_len = len - (1 + 8);
+      // Strip the optional 12-byte FTID correlation trailer: only
+      // fixed-payload ops carry it, and only when length + closing magic
+      // both line up (cosim::recv_frame applies the same rule).
+      std::uint64_t trace_id = 0;
+      const std::size_t fixed = cosim::worker_op_fixed_payload(op);
+      if (fixed != 0 && payload_len == fixed + 12) {
+        const std::uint8_t* tail = buffer_.data() + 4 + 1 + 8 + fixed;
+        if (read_le32(tail + 8) == cosim::kFrameTraceMagic) {
+          for (int i = 7; i >= 0; --i) trace_id = (trace_id << 8) | tail[i];
+          payload_len = fixed;
+        }
+      }
+      const int symbol = worker_symbol_of(op);
+      if (symbol >= 0) {
+        WireSymbol sym;
+        sym.symbol = symbol;
+        sym.detail = std::string(cosim::worker_op_name(op)) + "(seq " + std::to_string(seq) +
+                     ", " + std::to_string(payload_len) + " payload byte(s)" +
+                     (trace_id != 0 ? ", traced" : "") + ")";
+        out.push_back(std::move(sym));
+      } else {
+        // Framing stays intact (plausible length), so classify the frame as
+        // garbage and keep decoding subsequent ones.
+        out.push_back(WireSymbol{
+            kWkGarbage, true,
+            "unknown worker op 0x" + [](unsigned v) {
+              const char* hex = "0123456789abcdef";
+              return std::string{hex[(v >> 4) & 0xF], hex[v & 0xF]};
+            }(buffer_[4])});
+      }
+      buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
     }
     return;
   }
@@ -504,6 +896,16 @@ void ConformanceMonitor::on_transfer(ipc::CaptureDir dir, std::span<const std::u
 }
 
 void ConformanceMonitor::on_event(std::string_view tag) {
+  if (!model_.reset_event.empty() && tag == model_.reset_event && model_.reset_state >= 0) {
+    // Kill + respawn cycle: the old socket may die mid-frame (that is what a
+    // SIGKILL does, not a protocol violation) and the replacement socket
+    // starts on a frame boundary with a fresh handshake.
+    tx_.reset();
+    rx_.reset();
+    current_.clear();
+    current_.insert(model_.reset_state);
+    return;
+  }
   const std::set<int> reach = closure(current_, /*include_recovery=*/true);
   std::set<int> next;
   for (int s : reach) {
@@ -559,12 +961,17 @@ bool ConformanceMonitor::state_possible(std::string_view name) const {
 // ---------------------------------------------------------------------------
 // Live monitor
 
-LiveConformanceMonitor::LiveConformanceMonitor(ProtocolModel model, std::string origin)
-    : monitor_(std::move(model), diags_, MonitorOptions{std::move(origin), true}) {}
+LiveConformanceMonitor::LiveConformanceMonitor(ProtocolModel model, std::string origin,
+                                               bool flip_direction)
+    : monitor_(std::move(model), diags_, MonitorOptions{std::move(origin), true}),
+      flip_direction_(flip_direction) {}
 
 void LiveConformanceMonitor::on_wire(ipc::CaptureDir dir, std::span<const std::uint8_t> bytes) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (finished_) return;
+  if (flip_direction_) {
+    dir = dir == ipc::CaptureDir::Tx ? ipc::CaptureDir::Rx : ipc::CaptureDir::Tx;
+  }
   monitor_.on_transfer(dir, bytes);
 }
 

@@ -11,13 +11,19 @@
 //   (b) walked against live or captured wire traffic by a conformance
 //       monitor that turns violations into NL4xx diagnostics.
 //
-// Three models are provided, one per co-simulation scheme:
+// Five models are provided:
 //   driver-kernel  ScPortDriver <-> DriverKernelExtension (data + irq port,
 //                  including the PR 2 quiesce degradation states)
 //   gdb-kernel     GdbClient (kernel-embedded) <-> GdbStub over RSP
 //   gdb-wrapper    GdbClient (lock-step wrapper) <-> GdbStub over RSP
-// Endpoint A is always the SystemC side (kernel extension / client); endpoint
-// B is the target side (driver / stub). RSP '+'/'-' acks are advisory in this
+//   worker         Supervisor <-> cosim_issworker recovery wire (Hello,
+//                  Start/Resume replay, DevWrite/WriteAck + DevRead/ReadReply
+//                  with irq high-water drain, Ckpt, seq-0 side-band)
+//   driver-irq     DriverKernelExtension -> InterruptPump delivery +
+//                  ISR-acknowledge cycle on the otherwise-epsilon irq socket
+// Endpoint A is the side the capture layer taps (SystemC kernel / client /
+// supervisor; for driver-irq, the pump end that receives deliveries);
+// endpoint B is the peer. RSP '+'/'-' acks are advisory in this
 // implementation (both peers tolerate their loss), so they are not part of
 // the modelled alphabet and the monitor filters them out.
 #pragma once
@@ -53,6 +59,10 @@ struct ProtoState {
   /// checker discards messages sent toward a closed endpoint (connection
   /// reset semantics).
   bool closed = false;
+  /// Endpoint B blocks here waiting for the peer to answer effect unit N
+  /// (-1 = not waiting). The crash-fault explorer classifies a stuck run in
+  /// such a state as NL414 lost-ack when A already applied the unit.
+  int awaiting_effect = -1;
 };
 
 struct ProtoTransition {
@@ -67,6 +77,17 @@ struct ProtoTransition {
   /// Internal transitions carry a label ("quiesce", "timeout", ...) so the
   /// monitor can follow out-of-band notifications (WireObserver events).
   std::string label;
+  /// Crash-consistency semantics for the crash-fault explorer
+  /// (explore.hpp EnvOptions::crashing). `apply_effect`: endpoint A durably
+  /// applies effect unit N on this transition — taking it while the unit is
+  /// already applied is NL413 duplicate-effect. `retire_effect`: endpoint B
+  /// retires unit N (the guest observed the ack). `ckpt_state`/`ckpt_mask`:
+  /// applying this checkpoint pins B's respawn point to that state with that
+  /// retired-unit mask.
+  int apply_effect = -1;
+  int retire_effect = -1;
+  int ckpt_state = -1;
+  std::uint32_t ckpt_mask = 0;
 };
 
 /// One endpoint's protocol automaton.
@@ -75,9 +96,11 @@ class ProtocolAutomaton {
   explicit ProtocolAutomaton(std::string role) : role_(std::move(role)) {}
 
   int add_state(std::string name, bool accepting = false, bool closed = false);
-  void send(int from, int symbol, int channel, int to, bool recovery = false);
-  void recv(int from, int symbol, int channel, int to, bool recovery = false);
-  void internal(int from, int to, std::string label, bool recovery = false);
+  ProtoTransition& send(int from, int symbol, int channel, int to, bool recovery = false);
+  ProtoTransition& recv(int from, int symbol, int channel, int to, bool recovery = false);
+  ProtoTransition& internal(int from, int to, std::string label, bool recovery = false);
+  /// Marks `state` as blocking on the peer's answer for effect unit `effect`.
+  void set_awaiting(int state, int effect);
 
   const std::string& role() const noexcept { return role_; }
   const std::vector<ProtoState>& states() const noexcept { return states_; }
@@ -97,13 +120,13 @@ class ProtocolAutomaton {
 // ---------------------------------------------------------------------------
 // Models
 
-enum class ModelId : std::uint8_t { DriverKernel, GdbKernel, GdbWrapper };
+enum class ModelId : std::uint8_t { DriverKernel, GdbKernel, GdbWrapper, Worker, DriverIrq };
 
 const char* model_name(ModelId id) noexcept;
 std::optional<ModelId> model_from_name(std::string_view name) noexcept;
 
 /// Which wire framing a model's traffic uses.
-enum class WireFormat : std::uint8_t { DriverKernel, Rsp };
+enum class WireFormat : std::uint8_t { DriverKernel, Rsp, Worker };
 
 struct ModelOptions {
   /// Include the resilience transitions (quiesce/degrade/timeout/die). The
@@ -117,6 +140,45 @@ struct ModelOptions {
   bool sync_reads = true;
   /// Driver-Kernel only: the kernel raises device interrupts.
   bool interrupts = true;
+  /// Worker only: the seq-0 observability side-band is active (the spawn
+  /// ClockSync handshake plus PullObs/ObsReport, legal in every non-closed
+  /// state for the monitor).
+  bool sideband = true;
+  /// Worker only: the supervisor keeps its reply log, so a replayed DevWrite
+  /// or DevRead is re-acked from the log instead of re-applied. Turning this
+  /// off is the NL413 negative control: recovery replays then duplicate the
+  /// device effect.
+  bool worker_reply_log = true;
+  /// Worker only: prune the reply log at ack time instead of at checkpoint
+  /// time. The NL414 negative control: a post-crash replay of an
+  /// already-applied unit finds no log entry, so the worker's ack is lost.
+  bool worker_eager_prune = false;
+  /// Driver-Irq only: decode the channel as Worker wire frames instead of
+  /// Driver-Kernel messages. This is the live-monitor flavor for the
+  /// supervisor's irq socket: Irq frames out, respawn re-sends tolerated,
+  /// the ISR acknowledge stays an internal epsilon (`flip_direction` puts
+  /// the supervisor in the sender role).
+  bool worker_wire = false;
+};
+
+/// How endpoint B dies and respawns under the crash-fault environment
+/// (explore.hpp EnvOptions::crashing). The respawn handshake
+/// (Hello -> Resume + irq-log re-send) is modelled atomically: the killed
+/// endpoint resumes from its last applied checkpoint (or `b_restart` when
+/// none was taken), every in-flight queue is flushed, and the environment
+/// re-enqueues the irq for each unit A applied but the restored B has not
+/// retired — exactly the supervisor's irq_log re-send on Start and Resume.
+struct CrashSpec {
+  bool enabled = false;
+  int units = 0;           ///< number of durable effect units in the model
+  int b_restart = -1;      ///< B's respawn state when no checkpoint exists
+  int a_serve = -1;        ///< A's post-handshake state (A mid-handshake folds here)
+  std::vector<int> a_handshake_states;  ///< A states folded to `a_serve` on crash
+  std::vector<int> a_stable_states;     ///< A states where a kill may strike
+  int irq_channel = -1;
+  /// Per effect unit: irq symbol the environment re-delivers on respawn
+  /// (-1 = the unit raises no interrupt).
+  std::vector<int> unit_irq_symbols;
 };
 
 /// A complete two-endpoint protocol model.
@@ -131,12 +193,20 @@ struct ProtocolModel {
   /// one). Transitions on unmonitored channels are epsilon to the monitor.
   std::vector<int> monitored_channels;
   int garbage_symbol = -1;  ///< symbol for undecodable traffic, -1 if none
+  /// Out-of-band event tag announcing a kill+respawn cycle (the supervisor's
+  /// "respawn" notification). The monitor resets both stream decoders — a
+  /// SIGKILL legitimately truncates a frame mid-wire — and resynchronizes to
+  /// `reset_state` instead of treating the event as an Internal label.
+  std::string reset_event;
+  int reset_state = -1;  ///< endpoint A state after `reset_event`
+  CrashSpec crash;       ///< crash-fault environment hooks (explore.hpp)
   ProtocolAutomaton endpoint_a{"a"};  ///< SystemC side (kernel / client)
   ProtocolAutomaton endpoint_b{"b"};  ///< target side (driver / stub)
 
   bool monitored(int channel) const noexcept;
   const std::string& symbol_name(int symbol) const;
   const std::string& channel_name(int channel) const;
+  int channel_id(std::string_view name) const noexcept;  ///< -1 when absent
 };
 
 ProtocolModel make_model(ModelId id, const ModelOptions& options = {});
@@ -153,8 +223,11 @@ struct WireSymbol {
 
 /// Incremental per-direction reassembler: raw transport bytes in, protocol
 /// symbols out. Driver-Kernel frames are rebuilt across arbitrary chunk
-/// boundaries (recv_exact captures header and body separately); RSP streams
-/// reuse rsp::PacketReader ('+'/'-' acks produce no symbol).
+/// boundaries (recv_exact captures header and body separately); worker
+/// frames (`u32 len | u8 op | u64 seq | payload`) are reassembled the same
+/// way with the optional 12-byte FTID trace trailer stripped by length +
+/// magic; RSP streams reuse rsp::PacketReader ('+'/'-' acks produce no
+/// symbol).
 class StreamDecoder {
  public:
   /// `toward_target`: bytes flowing A->B (commands) rather than B->A
@@ -162,6 +235,11 @@ class StreamDecoder {
   StreamDecoder(WireFormat format, bool toward_target);
 
   void feed(std::span<const std::uint8_t> bytes, std::vector<WireSymbol>& out);
+
+  /// Drops any partial frame and un-wedges: the stream legitimately restarts
+  /// from a frame boundary (a killed worker's socket is replaced by a fresh
+  /// one on respawn).
+  void reset();
 
   /// Bytes buffered mid-frame (a non-zero value at end of stream is NL402).
   std::size_t pending() const noexcept;
@@ -257,7 +335,10 @@ class ConformanceMonitor {
 /// finish() or once the channel is quiet.
 class LiveConformanceMonitor final : public ipc::WireObserver {
  public:
-  LiveConformanceMonitor(ProtocolModel model, std::string origin);
+  /// `flip_direction`: the observer sits on endpoint B's channel end (e.g.
+  /// the InterruptPump side), so the tap's Rx is an A-side send and vice
+  /// versa; flip before feeding the monitor.
+  LiveConformanceMonitor(ProtocolModel model, std::string origin, bool flip_direction = false);
 
   void on_wire(ipc::CaptureDir dir, std::span<const std::uint8_t> bytes) override;
   void on_wire_event(std::string_view tag) override;
@@ -272,6 +353,7 @@ class LiveConformanceMonitor final : public ipc::WireObserver {
   mutable std::mutex mutex_;
   DiagEngine diags_;
   ConformanceMonitor monitor_;
+  bool flip_direction_ = false;
   bool finished_ = false;
 };
 

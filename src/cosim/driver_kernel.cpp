@@ -152,6 +152,11 @@ void DriverKernelExtension::on_cycle_end(sysc::sc_simcontext& ctx) {
         quiesce(std::string("output push failed: ") + e.what());
         return;
       }
+      // Data-arrival notification: the interrupt rides the same cycle's
+      // drain below, after the data it announces is already on the wire.
+      if (options_.data_irq >= 0) {
+        post_interrupt(static_cast<std::uint32_t>(options_.data_irq));
+      }
     }
   }
   // Reverse throttle: hold simulated time while the guest lags far behind
@@ -303,6 +308,9 @@ void InterruptPump::run() {
       if (auto irq = msg.irq()) {
         kernel_.raise_irq(*irq);
         delivered_.fetch_add(1);
+        // ISR-acknowledge edge of the DriverIrq automaton: a live monitor on
+        // this channel returns from Isr to Idle on the event.
+        channel_.notify_observer("ack");
       }
     }
   } catch (const util::RuntimeError&) {

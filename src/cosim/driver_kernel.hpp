@@ -45,6 +45,11 @@ struct DriverKernelOptions {
   /// multi-processor designs each CPU's extension must list its own ports,
   /// or the first extension would consume every CPU's data.
   std::vector<std::string> owned_ports;
+  /// IRQ number announced on the interrupt socket whenever a cycle pushed
+  /// fresh iss_out data to this driver — paper Fig. 5's "interrupt
+  /// generated?" edge as a data-arrival notification. Negative disables it
+  /// (the driver then learns of data only by draining its data socket).
+  int data_irq = -1;
 };
 
 struct DriverKernelStats {

@@ -133,6 +133,7 @@ DriverTarget::DriverTarget(const std::string& guest_source, DriverTargetConfig c
     data.a.attach_capture(capture_);
   }
   if (config_.wire_observer) data.a.attach_observer(config_.wire_observer);
+  if (config_.irq_observer) irq.b.attach_observer(config_.irq_observer);
   data_kernel_side_ = std::move(data.a);
   irq_kernel_side_ = std::move(irq.a);
   irq_target_side_ = std::move(irq.b);

@@ -131,6 +131,10 @@ struct DriverTargetConfig {
   /// Live wire tap on the kernel-side data endpoint (e.g. an
   /// analysis::LiveConformanceMonitor); null = none.
   std::shared_ptr<ipc::WireObserver> wire_observer;
+  /// Live wire tap on the pump-side interrupt endpoint. Sees every
+  /// INTERRUPT as an Rx transfer plus the pump's "ack" wire event, i.e.
+  /// exactly the DriverIrq automaton's alphabet (no flip_direction needed).
+  std::shared_ptr<ipc::WireObserver> irq_observer;
   /// Hard deadline on every blocking channel send/recv.
   int io_timeout_ms = 30000;
   /// Pay-after settlement bound: when the SystemC side stops depositing for

@@ -173,12 +173,22 @@ struct Supervisor::Impl {
     irq = ipc::Channel::from_socket(std::move(irq_sp.parent));
     data.set_io_timeout(cfg.hang_timeout_ms);
     irq.set_io_timeout(cfg.hang_timeout_ms);
+    std::shared_ptr<ipc::WireObserver> data_tap;
     if (!cfg.postmortem_dir.empty() || cfg.obs_export) {
       wire_capture = std::make_shared<ipc::WireCapture>(cfg.session_label + "-data");
       data.attach_capture(wire_capture);
-      data.attach_observer(
-          std::make_shared<ipc::ObsTap>("sup.data", peek_frame_trace_id, "dev_access", "flow"));
+      data_tap =
+          std::make_shared<ipc::ObsTap>("sup.data", peek_frame_trace_id, "dev_access", "flow");
     }
+    // A channel holds one observer slot; compose the supervisor's own tap
+    // with the injected one (e.g. a live conformance monitor) when both run.
+    if (data_tap && cfg.data_observer) {
+      data.attach_observer(std::make_shared<ipc::FanoutWireObserver>(
+          std::vector<std::shared_ptr<ipc::WireObserver>>{data_tap, cfg.data_observer}));
+    } else if (data_tap || cfg.data_observer) {
+      data.attach_observer(data_tap ? data_tap : cfg.data_observer);
+    }
+    if (cfg.irq_observer) irq.attach_observer(cfg.irq_observer);
 
     // Handshake: Hello, then Start (fresh) or Resume (replay the latest
     // checkpoint and re-send the interrupts it had not absorbed).
@@ -285,6 +295,12 @@ struct Supervisor::Impl {
                          std::to_string(cfg.max_recoveries) + ")");
     }
     obs::ScopedSpan span("sup.recover", "sup");
+    // Epoch boundary for live conformance monitors: a SIGKILL legitimately
+    // truncates a frame mid-wire, so announce the respawn before the old
+    // sockets die — the monitors reset their decoders and resynchronize on
+    // the replacement pair's fresh handshake.
+    data.notify_observer("respawn");
+    irq.notify_observer("respawn");
     kill_child();
     spawn();
   }
@@ -429,7 +445,10 @@ struct Supervisor::Impl {
     const std::uint32_t addr = r.u32();
     const std::uint32_t value = r.u32();
     std::uint64_t irq_mark = 0;
-    if (frame.seq <= applied_seq) {
+    // chaos_no_dedup (the NL413 negative control) treats every replay as
+    // fresh: the device effect is applied twice, exactly the duplication
+    // the model checker's counterexample predicts.
+    if (!cfg.chaos_no_dedup && frame.seq <= applied_seq) {
       // Replay of an applied write: re-ack with the *historical* irq mark so
       // the worker drains interrupts at the same instruction boundary as the
       // original run.
@@ -460,7 +479,7 @@ struct Supervisor::Impl {
     const std::uint32_t addr = r.u32();
     std::uint32_t value = 0;
     std::uint64_t irq_mark = 0;
-    if (frame.seq <= applied_seq) {
+    if (!cfg.chaos_no_dedup && frame.seq <= applied_seq) {
       // Replay: answer from the log — the device may have moved on since.
       const LoggedReply& logged = logged_reply(frame, true);
       value = logged.value;

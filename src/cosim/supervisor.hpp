@@ -74,8 +74,24 @@ struct SupervisorConfig {
   /// Optional hook rendering conformance findings from the wire-capture
   /// dump for the bundle's findings.txt (the analysis layer links *against*
   /// cosim, so the supervisor cannot call it directly; tools inject e.g.
-  /// analysis::check_frames here).
+  /// analysis::check_capture here).
   std::function<std::string(std::span<const std::uint8_t> capture_dump)> findings_hook;
+
+  // -- live conformance taps (DESIGN.md §11) --------------------------------
+  /// Attached to every spawn's data / irq socket (composed with the
+  /// supervisor's own ObsTap when observability is on). Each recovery
+  /// announces itself with an out-of-band "respawn" wire event *before* the
+  /// old child is killed, so a live monitor (analysis::
+  /// LiveConformanceMonitor) can reset its decoders at the epoch boundary.
+  std::shared_ptr<ipc::WireObserver> data_observer;
+  std::shared_ptr<ipc::WireObserver> irq_observer;
+
+  /// Chaos knob for the NL413 negative control: skip the sequence-number
+  /// dedup so recovery replays re-apply device effects. A supervised run
+  /// with a kill then diverges from the uninterrupted control run — the
+  /// real-system shadow of `cosim_lint --model=worker --env=crash
+  /// --no-reply-log`.
+  bool chaos_no_dedup = false;
 };
 
 struct SupervisorOutcome {

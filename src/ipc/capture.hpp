@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -112,6 +113,32 @@ class ObsTap : public WireObserver {
   const char* flow_name_;
   const char* flow_cat_;
   TraceIdPeeker peeker_;
+};
+
+/// Fans one channel's observer slot out to several observers (a Channel
+/// holds exactly one) — e.g. the supervisor's ObsTap plus a live
+/// conformance monitor on the same socket. Children are fixed at
+/// construction; thread-safety is each child's own concern, exactly as if
+/// it were attached directly.
+class FanoutWireObserver : public WireObserver {
+ public:
+  explicit FanoutWireObserver(std::vector<std::shared_ptr<WireObserver>> children)
+      : children_(std::move(children)) {}
+
+  void on_wire(CaptureDir dir, std::span<const std::uint8_t> bytes) override {
+    for (const auto& child : children_) {
+      if (child) child->on_wire(dir, bytes);
+    }
+  }
+
+  void on_wire_event(std::string_view tag) override {
+    for (const auto& child : children_) {
+      if (child) child->on_wire_event(tag);
+    }
+  }
+
+ private:
+  std::vector<std::shared_ptr<WireObserver>> children_;
 };
 
 }  // namespace nisc::ipc

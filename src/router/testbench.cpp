@@ -98,12 +98,17 @@ Testbench::Testbench(TestbenchConfig config) : config_(config) {
         dc.pay_timeout_ms = config_.pay_timeout_ms;
         dc.watchdog = config_.watchdog;
         dc.wire_observer = config_.wire_observer;
+        dc.irq_observer = config_.irq_observer;
         dc.write_port = router_->from_cpu_port_name(cpu);
         dc.read_port = router_->to_cpu_port_name(cpu);
         auto target = std::make_unique<cosim::DriverTarget>(bulk_checksum_source(), dc);
         cosim::DriverKernelOptions options;
         options.instructions_per_us = config_.instructions_per_us;
         options.owned_ports = {router_->to_cpu_port_name(cpu)};
+        // Announce every pushed packet on the interrupt socket so the
+        // DriverIrq delivery/acknowledge cycle is exercised (and can be
+        // live-monitored) in every Driver-Kernel cell.
+        options.data_irq = static_cast<int>(cpu);
         auto ext = std::make_unique<cosim::DriverKernelExtension>(
             target->take_data_endpoint(), target->take_interrupt_endpoint(),
             &target->budget(), options);

@@ -53,6 +53,9 @@ struct TestbenchConfig {
   /// Live wire tap attached to every session's SystemC-side endpoint (e.g.
   /// an analysis::LiveConformanceMonitor). Shared across CPUs; null = none.
   std::shared_ptr<ipc::WireObserver> wire_observer;
+  /// Live wire tap on every Driver-Kernel session's pump-side interrupt
+  /// endpoint (the DriverIrq automaton's channel). Shared; null = none.
+  std::shared_ptr<ipc::WireObserver> irq_observer;
   /// Resilience knobs forwarded to each session (see cosim::GdbTargetConfig
   /// / DriverTargetConfig). Matrix tests shrink these so every fault cell
   /// settles quickly.

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diag.hpp"
+#include "analysis/protocol.hpp"
 #include "cosim/checkpoint.hpp"
 #include "cosim/supervisor.hpp"
 #include "cosim/worker.hpp"
@@ -98,6 +100,42 @@ SupervisorConfig base_config() {
   }
   return config;
 }
+
+/// Live conformance monitors on both supervisor sockets (DESIGN.md §11):
+/// the Worker model walks the data wire, the worker-wire DriverIrq model
+/// the interrupt wire (flip_direction: the supervisor is the sender there).
+/// Matrix cells assert zero NL4xx findings live — not just bit-identical
+/// checkpoints after the fact.
+struct LiveMonitors {
+  std::shared_ptr<analysis::LiveConformanceMonitor> data;
+  std::shared_ptr<analysis::LiveConformanceMonitor> irq;
+
+  explicit LiveMonitors(const std::string& label) {
+    analysis::ModelOptions data_options;
+    data_options.sideband = false;  // no obs side-band in these cells
+    data = std::make_shared<analysis::LiveConformanceMonitor>(
+        analysis::make_model(analysis::ModelId::Worker, data_options), label + ".data");
+    analysis::ModelOptions irq_options;
+    irq_options.worker_wire = true;
+    irq = std::make_shared<analysis::LiveConformanceMonitor>(
+        analysis::make_model(analysis::ModelId::DriverIrq, irq_options), label + ".irq",
+        /*flip_direction=*/true);
+  }
+
+  void attach(SupervisorConfig& config) const {
+    config.data_observer = data;
+    config.irq_observer = irq;
+  }
+
+  void expect_clean(const std::string& label) {
+    data->finish();
+    irq->finish();
+    EXPECT_EQ(data->diags().errors(), 0u)
+        << label << " data wire:\n" << analysis::render_text(data->diags());
+    EXPECT_EQ(irq->diags().errors(), 0u)
+        << label << " irq wire:\n" << analysis::render_text(irq->diags());
+  }
+};
 
 void dump_artifact(const std::string& name, std::span<const std::uint8_t> bytes) {
   const std::string path = ::testing::TempDir() + name;
@@ -174,15 +212,18 @@ TEST(CrashMatrixTest, KilledWorkerRecoversBitIdenticallyAtRandomizedPoints) {
       points.insert(rng.between(1, control.total_instret - 1));
     }
     for (const std::uint64_t at : points) {
-      SupervisorConfig config = base_config();
-      config.fault_plan = {{FaultKind::CrashAt, at}};
-      Supervisor supervisor(std::move(config));
-      const SupervisorOutcome outcome = supervisor.run();
       const std::string label =
           "kill-s" + std::to_string(seed) + "-i" + std::to_string(at);
+      SupervisorConfig config = base_config();
+      config.fault_plan = {{FaultKind::CrashAt, at}};
+      LiveMonitors monitors(label);
+      monitors.attach(config);
+      Supervisor supervisor(std::move(config));
+      const SupervisorOutcome outcome = supervisor.run();
       EXPECT_EQ(outcome.recoveries, 1) << label;
       EXPECT_EQ(outcome.guest_halt, static_cast<std::uint8_t>(iss::Halt::Ecall)) << label;
       expect_bit_identical(control.outcome, outcome, label);
+      monitors.expect_clean(label);
     }
   }
 }
@@ -202,10 +243,34 @@ TEST(CrashMatrixTest, GarbageOnTheWireIsAProtocolErrorAndRecovered) {
   const ControlRun& control = control_run();
   SupervisorConfig config = base_config();
   config.fault_plan = {{FaultKind::GarbageAt, control.total_instret / 3}};
+  LiveMonitors monitors("garbage");
+  monitors.attach(config);
   Supervisor supervisor(std::move(config));
   const SupervisorOutcome outcome = supervisor.run();
   EXPECT_GE(outcome.recoveries, 1);
   expect_bit_identical(control.outcome, outcome, "garbage");
+  // The live data monitor must flag the corruption (NL402: the decoder
+  // wedges on an implausible frame) and recover across the respawn reset —
+  // the epochs after the reset replay cleanly, so NL402 is the only rule.
+  monitors.data->finish();
+  EXPECT_TRUE(monitors.data->diags().has_rule("NL402"))
+      << analysis::render_text(monitors.data->diags());
+}
+
+TEST(CrashMatrixTest, ChaosNoDedupDuplicatesEffectsLikeNL413Predicts) {
+  // The model checker's NL413 negative control, run against the real
+  // supervisor: disable seq dedup, kill the worker once past the first
+  // checkpoint, and the recovery replay re-applies device effects — the
+  // run diverges from control exactly as the counterexample predicts.
+  const ControlRun& control = control_run();
+  SupervisorConfig config = base_config();
+  config.chaos_no_dedup = true;
+  config.fault_plan = {{FaultKind::CrashAt, control.total_instret / 2}};
+  Supervisor supervisor(std::move(config));
+  const SupervisorOutcome outcome = supervisor.run();
+  EXPECT_GE(outcome.recoveries, 1);
+  EXPECT_GT(outcome.writes_applied, control.outcome.writes_applied);
+  EXPECT_NE(outcome.final_checkpoint, control.outcome.final_checkpoint);
 }
 
 TEST(CrashMatrixTest, RepeatedCrashesStillConverge) {
@@ -214,10 +279,13 @@ TEST(CrashMatrixTest, RepeatedCrashesStillConverge) {
   config.fault_plan = {{FaultKind::CrashAt, control.total_instret / 4},
                        {FaultKind::CrashAt, control.total_instret / 2},
                        {FaultKind::CrashAt, (3 * control.total_instret) / 4}};
+  LiveMonitors monitors("multi-crash");
+  monitors.attach(config);
   Supervisor supervisor(std::move(config));
   const SupervisorOutcome outcome = supervisor.run();
   EXPECT_EQ(outcome.recoveries, 3);
   expect_bit_identical(control.outcome, outcome, "multi-crash");
+  monitors.expect_clean("multi-crash");
 }
 
 TEST(CrashMatrixTest, RecoveryBudgetIsEnforced) {

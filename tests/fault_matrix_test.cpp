@@ -18,7 +18,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <tuple>
 
@@ -126,6 +128,15 @@ std::shared_ptr<analysis::LiveConformanceMonitor> make_monitor(Scheme scheme) {
       analysis::make_model(model_for(scheme)), "<live>");
 }
 
+/// Driver-Kernel cells additionally tap the interrupt socket on its pump
+/// side: INTERRUPT frames arrive as Rx and the pump reports each ISR
+/// retirement as an "ack" wire event, so the tap replays the delivery +
+/// acknowledge cycle of the DriverIrq automaton (DESIGN.md §11).
+std::shared_ptr<analysis::LiveConformanceMonitor> make_irq_monitor() {
+  return std::make_shared<analysis::LiveConformanceMonitor>(
+      analysis::make_model(analysis::ModelId::DriverIrq), "<live.irq>");
+}
+
 sysc::sc_time drain_limit(Scheme scheme) {
   return scheme == Scheme::GdbWrapper ? sysc::sc_time::from_ps(2000000000)   // 2 ms
                                       : sysc::sc_time::from_ps(5000000000);  // 5 ms
@@ -141,6 +152,11 @@ TEST_P(FaultMatrix, CellSettlesWithDocumentedOutcome) {
   config.fault_plan = plan_for(kind);
   auto monitor = make_monitor(scheme);
   config.wire_observer = monitor;
+  std::shared_ptr<analysis::LiveConformanceMonitor> irq_monitor;
+  if (scheme == Scheme::DriverKernel) {
+    irq_monitor = make_irq_monitor();
+    config.irq_observer = irq_monitor;
+  }
 
   const auto start = std::chrono::steady_clock::now();
   Testbench bench(config);
@@ -184,15 +200,32 @@ TEST_P(FaultMatrix, CellSettlesWithDocumentedOutcome) {
   monitor->finish();
   RecordProperty("outcome", outcome_name(outcome));
   RecordProperty("nl4xx_errors", static_cast<int>(monitor->diags().errors()));
+  std::uint64_t irq_msgs = 0;
+  std::uint64_t irq_errors = 0;
+  if (irq_monitor) {
+    irq_monitor->finish();
+    irq_msgs = irq_monitor->messages_seen();
+    irq_errors = irq_monitor->diags().errors();
+    RecordProperty("irq_nl4xx_errors", static_cast<int>(irq_errors));
+    // The fault plan bites the data transport; the interrupt socket itself
+    // stays clean, so the delivery/acknowledge cycle must conform even in a
+    // faulted cell unless the run degraded (a quiesced port or dark driver
+    // can strand a delivered irq mid-cycle).
+    if (outcome == Outcome::Recovered) {
+      EXPECT_EQ(irq_errors, 0u) << analysis::render_text(irq_monitor->diags());
+    }
+  }
   std::printf("[ cell ] %s / %s / %s -> %s (%llu/%llu packets, %llu faults, "
-              "%llu wire msgs, %llu NL4xx errors)\n",
+              "%llu wire msgs, %llu NL4xx errors, %llu irq msgs, %llu irq NL4xx)\n",
               router::scheme_name(scheme), ipc::transport_name(transport),
               ipc::fault_kind_name(kind), outcome_name(outcome),
               static_cast<unsigned long long>(report.received),
               static_cast<unsigned long long>(report.produced),
               static_cast<unsigned long long>(bench.faults_injected()),
               static_cast<unsigned long long>(monitor->messages_seen()),
-              static_cast<unsigned long long>(monitor->diags().errors()));
+              static_cast<unsigned long long>(monitor->diags().errors()),
+              static_cast<unsigned long long>(irq_msgs),
+              static_cast<unsigned long long>(irq_errors));
 }
 
 // A healthy control row: the same cell configuration with no plan installed
@@ -206,6 +239,11 @@ TEST_P(HealthyBaseline, AllTrafficDelivered) {
   TestbenchConfig config = cell_config(scheme, transport);
   auto monitor = make_monitor(scheme);
   config.wire_observer = monitor;
+  std::shared_ptr<analysis::LiveConformanceMonitor> irq_monitor;
+  if (scheme == Scheme::DriverKernel) {
+    irq_monitor = make_irq_monitor();
+    config.irq_observer = irq_monitor;
+  }
   Testbench bench(config);
   bench.run_until_drained(drain_limit(scheme));
   TestbenchReport report = bench.report();
@@ -218,6 +256,14 @@ TEST_P(HealthyBaseline, AllTrafficDelivered) {
   monitor->finish();
   EXPECT_GT(monitor->messages_seen(), 0u);
   EXPECT_EQ(monitor->diags().errors(), 0u) << analysis::render_text(monitor->diags());
+  if (irq_monitor) {
+    // Packet arrival is announced over the interrupt socket, so a healthy
+    // Driver-Kernel run must replay clean delivery/acknowledge cycles.
+    irq_monitor->finish();
+    EXPECT_GT(irq_monitor->messages_seen(), 0u);
+    EXPECT_EQ(irq_monitor->diags().errors(), 0u)
+        << analysis::render_text(irq_monitor->diags());
+  }
 }
 
 std::string scheme_tag(Scheme scheme) {

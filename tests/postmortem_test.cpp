@@ -16,9 +16,12 @@
 #include <iterator>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "analysis/diag.hpp"
+#include "analysis/protocol.hpp"
 #include "cosim/checkpoint.hpp"
 #include "cosim/supervisor.hpp"
 #include "cosim/worker.hpp"
@@ -230,6 +233,35 @@ TEST_F(PostmortemTest, FindingsHookOutputLandsInTheBundle) {
   const std::string findings = slurp(outcome.postmortem_paths[0] + "/findings.txt");
   EXPECT_TRUE(hook_ran);
   EXPECT_NE(findings.find("hook saw "), std::string::npos);
+}
+
+TEST_F(PostmortemTest, WorkerCaptureFindingsHaveNoFalsePositives) {
+  // Regression: the bundle's findings.txt used to run the Driver-Kernel
+  // frame validator over the worker-wire capture, flagging every frame as
+  // undecodable (NL402) — FTID trace trailers included. Replaying the dump
+  // through the Worker model must produce no undecodable-frame or
+  // impossible-message findings on a real traced session.
+  obs::enable_tracing();
+  SupervisorConfig config = obs_config("pmlint");
+  config.postmortem_dir = ::testing::TempDir() + "pm-lint";
+  // Kill early so the 32-transfer capture ring still holds the whole epoch
+  // from Hello: the replay then starts at the model's initial state.
+  config.fault_plan = {{FaultKind::CrashAt, 20}};
+  config.findings_hook = [](std::span<const std::uint8_t> dump) {
+    analysis::DiagEngine diags;
+    analysis::check_capture(dump, analysis::make_model(analysis::ModelId::Worker), diags,
+                            "wire.capture");
+    return analysis::render_text(diags);
+  };
+  Supervisor supervisor(std::move(config));
+  const SupervisorOutcome outcome = supervisor.run();
+  obs::disable_tracing();
+
+  ASSERT_EQ(outcome.postmortem_paths.size(), 1u);
+  const std::string findings = slurp(outcome.postmortem_paths[0] + "/findings.txt");
+  EXPECT_NE(findings.find("conformance:"), std::string::npos) << findings;
+  EXPECT_EQ(findings.find("undecodable"), std::string::npos) << findings;
+  EXPECT_EQ(findings.find("NL401"), std::string::npos) << findings;
 }
 
 TEST_F(PostmortemTest, ObsSidebandPreservesBitIdenticalRecovery) {

@@ -7,6 +7,7 @@
 // the live monitor.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "analysis/frame.hpp"
 #include "analysis/protocol.hpp"
 #include "cosim/driver_kernel.hpp"
+#include "cosim/worker.hpp"
 #include "ipc/capture.hpp"
 #include "ipc/channel.hpp"
 #include "ipc/fault.hpp"
@@ -41,10 +43,37 @@ std::vector<std::uint8_t> rsp_bytes(std::string_view payload) {
   return std::vector<std::uint8_t>(framed.begin(), framed.end());
 }
 
+/// One worker wire frame (u32 body_len | u8 op | u64 seq | payload), with
+/// the optional 12-byte FTID trace trailer when `trace_id` is nonzero and
+/// the op has a fixed payload — byte-compatible with cosim::send_frame.
+std::vector<std::uint8_t> worker_frame_bytes(cosim::WorkerOp op, std::uint64_t seq,
+                                             std::vector<std::uint8_t> payload = {},
+                                             std::uint64_t trace_id = 0) {
+  const std::size_t fixed = cosim::worker_op_fixed_payload(op);
+  const bool trailer = trace_id != 0 && fixed != 0 && payload.size() == fixed;
+  std::vector<std::uint8_t> out;
+  const auto le32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  const auto le64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  le32(static_cast<std::uint32_t>(1 + 8 + payload.size() + (trailer ? 12 : 0)));
+  out.push_back(static_cast<std::uint8_t>(op));
+  le64(seq);
+  out.insert(out.end(), payload.begin(), payload.end());
+  if (trailer) {
+    le64(trace_id);
+    le32(cosim::kFrameTraceMagic);
+  }
+  return out;
+}
+
 // ------------------------------------------------------------------- Models
 
-TEST(ProtocolModelTest, AllThreeModelsBuild) {
-  for (ModelId id : {ModelId::DriverKernel, ModelId::GdbKernel, ModelId::GdbWrapper}) {
+TEST(ProtocolModelTest, AllFiveModelsBuild) {
+  for (ModelId id : {ModelId::DriverKernel, ModelId::GdbKernel, ModelId::GdbWrapper,
+                     ModelId::Worker, ModelId::DriverIrq}) {
     ProtocolModel model = make_model(id);
     EXPECT_EQ(model.id, id);
     EXPECT_FALSE(model.symbols.empty());
@@ -54,6 +83,39 @@ TEST(ProtocolModelTest, AllThreeModelsBuild) {
     EXPECT_EQ(model_from_name(model.name), id);
   }
   EXPECT_FALSE(model_from_name("no-such-model").has_value());
+}
+
+TEST(ProtocolModelTest, WorkerShape) {
+  ProtocolModel model = make_model(ModelId::Worker);
+  EXPECT_EQ(model.wire, WireFormat::Worker);
+  EXPECT_TRUE(model.monitored(0));   // data socket carries the capture
+  EXPECT_FALSE(model.monitored(1));  // irq socket is its own wire
+  EXPECT_EQ(model.reset_event, "respawn");
+  EXPECT_EQ(model.reset_state, 0);
+  EXPECT_TRUE(model.crash.enabled);
+  EXPECT_EQ(model.crash.units, 2);
+  ASSERT_EQ(model.crash.unit_irq_symbols.size(), 2u);
+  EXPECT_GE(model.crash.unit_irq_symbols[0], 0);  // the DevWrite unit irqs
+  EXPECT_EQ(model.crash.unit_irq_symbols[1], -1);
+  // The sideband states only exist when the side-band is spoken.
+  EXPECT_GE(model.endpoint_a.find_state("SyncClock"), 0);
+  ModelOptions nosb;
+  nosb.sideband = false;
+  EXPECT_LT(make_model(ModelId::Worker, nosb).endpoint_a.find_state("SyncClock"), 0);
+}
+
+TEST(ProtocolModelTest, DriverIrqWorkerWireVariant) {
+  ProtocolModel plain = make_model(ModelId::DriverIrq);
+  EXPECT_EQ(plain.wire, WireFormat::DriverKernel);
+  EXPECT_TRUE(plain.reset_event.empty());
+
+  ModelOptions o;
+  o.worker_wire = true;
+  ProtocolModel wk = make_model(ModelId::DriverIrq, o);
+  EXPECT_EQ(wk.wire, WireFormat::Worker);
+  EXPECT_EQ(wk.reset_event, "respawn");
+  EXPECT_EQ(wk.symbols.size(), 15u);  // the full worker alphabet
+  EXPECT_GE(wk.endpoint_a.find_state("Isr"), 0);
 }
 
 TEST(ProtocolModelTest, DriverKernelShape) {
@@ -108,6 +170,77 @@ TEST(ExploreTest, RecoveryHandlesFullyAdversarialEnvironment) {
     ExploreReport report = explore(make_model(id), EnvOptions::faulty());
     EXPECT_TRUE(report.clean()) << model_name(id) << ":\n" << render_text(report);
   }
+}
+
+TEST(ExploreTest, WorkerAndDriverIrqFaultFreeAreClean) {
+  for (ModelId id : {ModelId::Worker, ModelId::DriverIrq}) {
+    ExploreReport report = explore(make_model(id));
+    EXPECT_TRUE(report.clean()) << model_name(id) << ":\n" << render_text(report);
+    EXPECT_GT(report.states, 5u);
+  }
+  // The irq automaton also survives the fully adversarial wire.
+  ExploreReport irq = explore(make_model(ModelId::DriverIrq), EnvOptions::faulty());
+  EXPECT_TRUE(irq.clean()) << render_text(irq);
+}
+
+TEST(ExploreTest, WorkerIsCrashConsistentUnderKillAnywhere) {
+  // The tentpole proof: SIGKILL at every reachable state (two kills deep),
+  // respawn from the last checkpoint, irq-log re-delivery — and no effect is
+  // ever duplicated (NL413), no ack ever lost (NL414), no dead end appears.
+  EnvOptions crash;
+  crash.crashing = true;
+  for (bool sideband : {true, false}) {
+    ModelOptions options;
+    options.sideband = sideband;
+    ExploreReport report = explore(make_model(ModelId::Worker, options), crash);
+    EXPECT_TRUE(report.clean())
+        << "sideband=" << sideband << ":\n" << render_text(report);
+    // The crash environment must actually enlarge the space (kill points).
+    ExploreReport fault_free = explore(make_model(ModelId::Worker, options));
+    EXPECT_GT(report.states, fault_free.states) << "sideband=" << sideband;
+  }
+}
+
+TEST(ExploreTest, DisabledReplyLogDuplicatesEffectNL413) {
+  // Negative control: without the reply log a post-crash replay re-applies
+  // the device write — the checker must find NL413 with a minimal trace
+  // that contains the kill itself.
+  ModelOptions options;
+  options.worker_reply_log = false;
+  EnvOptions crash;
+  crash.crashing = true;
+  ExploreReport report = explore(make_model(ModelId::Worker, options), crash);
+  ASSERT_FALSE(report.violations.empty());
+  const auto dup = std::find_if(report.violations.begin(), report.violations.end(),
+                                [](const Counterexample& ce) {
+                                  return ce.kind == ViolationKind::DuplicateEffect;
+                                });
+  ASSERT_NE(dup, report.violations.end()) << render_text(report);
+  EXPECT_STREQ(violation_rule(dup->kind), "NL413");
+  EXPECT_STREQ(violation_kind_name(dup->kind), "duplicate-effect");
+  EXPECT_TRUE(std::any_of(dup->trace.begin(), dup->trace.end(), [](const TraceStep& s) {
+    return s.effect == TraceStep::Effect::Crashed;
+  })) << render_text(report);
+  // BFS minimality: kill after the first applied write, replay, re-apply.
+  EXPECT_LE(dup->trace.size(), 10u) << render_text(report);
+}
+
+TEST(ExploreTest, EagerReplyLogPruningLosesAckNL414) {
+  // Negative control: pruning the reply log at ack time (instead of at the
+  // checkpoint) starves a replayed request after a crash — the worker waits
+  // forever for the ack of an effect the supervisor already applied.
+  ModelOptions options;
+  options.worker_eager_prune = true;
+  EnvOptions crash;
+  crash.crashing = true;
+  ExploreReport report = explore(make_model(ModelId::Worker, options), crash);
+  const auto lost = std::find_if(report.violations.begin(), report.violations.end(),
+                                 [](const Counterexample& ce) {
+                                   return ce.kind == ViolationKind::LostAck;
+                                 });
+  ASSERT_NE(lost, report.violations.end()) << render_text(report);
+  EXPECT_STREQ(violation_rule(lost->kind), "NL414");
+  EXPECT_STREQ(violation_kind_name(lost->kind), "lost-ack");
 }
 
 TEST(ExploreTest, LossWithoutRecoveryDeadlocksDriverKernel) {
@@ -200,6 +333,105 @@ TEST(StreamDecoderTest, RspAcksAreFilteredAndPayloadsClassified) {
   decoder.feed(bytes, out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_FALSE(out[0].malformed);
+}
+
+TEST(StreamDecoderTest, WorkerFramesReassembleWithChunkBoundaryInsideTrailer) {
+  // A traced DevWrite: 8 payload bytes + the 12-byte FTID trailer. Split the
+  // stream so one chunk boundary falls inside the trailer — the decoder must
+  // still emit exactly one symbol and strip the trailer from the payload.
+  StreamDecoder decoder(WireFormat::Worker, /*toward_target=*/false);
+  const std::vector<std::uint8_t> frame =
+      worker_frame_bytes(cosim::WorkerOp::DevWrite, 1, {1, 0, 0, 0, 42, 0, 0, 0},
+                         /*trace_id=*/0xABCDu);
+  ASSERT_EQ(frame.size(), 4u + 1 + 8 + 8 + 12);
+  std::vector<WireSymbol> out;
+  const std::size_t mid_trailer = frame.size() - 6;  // inside the u64 trace_id
+  decoder.feed(std::span<const std::uint8_t>(frame.data(), mid_trailer), out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_GT(decoder.pending(), 0u);
+  decoder.feed(std::span<const std::uint8_t>(frame.data() + mid_trailer,
+                                             frame.size() - mid_trailer),
+               out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].malformed);
+  EXPECT_NE(out[0].detail.find("traced"), std::string::npos);
+  EXPECT_NE(out[0].detail.find("8 payload byte(s)"), std::string::npos) << out[0].detail;
+  EXPECT_EQ(decoder.pending(), 0u);
+}
+
+TEST(StreamDecoderTest, WorkerDrainSplitMidTrailerAndTruncatedFinalFrame) {
+  // drain_to_frame_boundary on the worker wire (the checkpoint invariant):
+  // a drain that starts with the frame torn inside the FTID trailer keeps
+  // reading until the trailer completes, and a sender that dies mid-frame
+  // leaves the drain dirty.
+  ipc::ChannelPair pair = ipc::make_channel_pair(ipc::Transport::SocketPair);
+  const std::vector<std::uint8_t> frame =
+      worker_frame_bytes(cosim::WorkerOp::WriteAck, 3, {7, 0, 0, 0, 0, 0, 0, 0},
+                         /*trace_id=*/0x1122334455667788u);
+  const std::size_t split = frame.size() - 9;  // boundary inside the trailer
+  pair.b.send(std::span<const std::uint8_t>(frame.data(), split));
+  std::thread finisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    pair.b.send(std::span<const std::uint8_t>(frame.data() + split, frame.size() - split));
+  });
+  DrainResult drained = drain_to_frame_boundary(pair.a, WireFormat::Worker,
+                                                /*toward_target=*/false, /*timeout_ms=*/2000);
+  finisher.join();
+  EXPECT_TRUE(drained.clean);
+  EXPECT_EQ(drained.bytes, frame);
+  ASSERT_EQ(drained.symbols.size(), 1u);
+  EXPECT_FALSE(drained.symbols[0].malformed);
+  EXPECT_NE(drained.symbols[0].detail.find("traced"), std::string::npos);
+
+  // Truncated final frame: the sender never completes the body.
+  pair.b.send(std::span<const std::uint8_t>(frame.data(), split));
+  DrainResult dirty = drain_to_frame_boundary(pair.a, WireFormat::Worker,
+                                              /*toward_target=*/false, /*timeout_ms=*/50);
+  EXPECT_FALSE(dirty.clean);
+  EXPECT_EQ(dirty.bytes.size(), split);
+}
+
+TEST(FrameDialectTest, WorkerFramesValidateAndTrailersAreNotDefects) {
+  // Satellite regression: the Driver-Kernel validator false-positives on
+  // every worker frame; the Worker dialect accepts them, FTID trailers
+  // included, and still catches real defects.
+  std::vector<std::uint8_t> stream;
+  const auto append = [&](std::vector<std::uint8_t> f) {
+    stream.insert(stream.end(), f.begin(), f.end());
+  };
+  append(worker_frame_bytes(cosim::WorkerOp::Hello, 0, {0x57, 0x52, 0x4B, 0x31}));
+  append(worker_frame_bytes(cosim::WorkerOp::DevWrite, 1, {1, 0, 0, 0, 9, 0, 0, 0},
+                            /*trace_id=*/77));
+  append(worker_frame_bytes(cosim::WorkerOp::WriteAck, 1, {0, 0, 0, 0, 0, 0, 0, 0}));
+
+  DiagEngine worker_diags;
+  EXPECT_EQ(check_frames(stream, worker_diags, "<worker>", FrameDialect::Worker), 3u);
+  EXPECT_EQ(worker_diags.errors(), 0u);
+  EXPECT_EQ(worker_diags.warnings(), 0u);
+
+  DiagEngine dk_diags;
+  check_frames(stream, dk_diags, "<worker-as-dk>");  // the old false positive
+  EXPECT_GT(dk_diags.errors(), 0u);
+
+  // Real defects still fire: unknown op, then a fixed-payload length lie.
+  std::vector<std::uint8_t> bad_op = worker_frame_bytes(cosim::WorkerOp::Hello, 0, {});
+  bad_op[4] = 0x7F;
+  DiagEngine bad_op_diags;
+  EXPECT_EQ(check_frames(bad_op, bad_op_diags, "<bad-op>", FrameDialect::Worker), 0u);
+  EXPECT_TRUE(bad_op_diags.has_rule("frame.malformed"));
+
+  std::vector<std::uint8_t> short_write =
+      worker_frame_bytes(cosim::WorkerOp::DevWrite, 2, {1, 2, 3});
+  DiagEngine short_diags;
+  EXPECT_EQ(check_frames(short_write, short_diags, "<short>", FrameDialect::Worker), 0u);
+  EXPECT_TRUE(short_diags.has_rule("frame.malformed"));
+
+  std::vector<std::uint8_t> torn =
+      worker_frame_bytes(cosim::WorkerOp::DevRead, 3, {8, 0, 0, 0});
+  torn.resize(torn.size() - 2);
+  DiagEngine torn_diags;
+  EXPECT_EQ(check_frames(torn, torn_diags, "<torn>", FrameDialect::Worker), 0u);
+  EXPECT_TRUE(torn_diags.has_rule("frame.truncated"));
 }
 
 // ------------------------------------------------------ Conformance monitor
@@ -371,6 +603,117 @@ TEST(ConformanceMonitorTest, DrainToFrameBoundaryReassemblesSplitFrames) {
                               /*timeout_ms=*/50);
   EXPECT_FALSE(dirty.clean);
   EXPECT_EQ(dirty.bytes.size(), split);
+}
+
+TEST(ConformanceMonitorTest, ObsEnabledWorkerSessionReplaysWithZeroFindings) {
+  // Satellite regression: a captured obs-enabled session — spawn ClockSync
+  // handshake, seq-0 PullObs/ObsReport interleaved with guest traffic, FTID
+  // trailers on the data frames — must replay through the Worker model with
+  // zero findings. Frames are recorded from the supervisor's side (Tx =
+  // supervisor send), exactly as the real capture ring sees them.
+  ipc::WireCapture capture("sup-data", 32);
+  const auto rec = [&](ipc::CaptureDir dir, std::vector<std::uint8_t> frame) {
+    capture.record(dir, frame);
+  };
+  using cosim::WorkerOp;
+  rec(ipc::CaptureDir::Rx, worker_frame_bytes(WorkerOp::Hello, 0, {0x57, 0x52, 0x4B, 0x31,
+                                                                   1, 0, 0, 0}));
+  rec(ipc::CaptureDir::Tx, worker_frame_bytes(WorkerOp::Start, 0, {1, 2, 3}));
+  rec(ipc::CaptureDir::Tx, worker_frame_bytes(WorkerOp::ClockSync, 0, {0, 0, 0, 0, 0, 0, 0, 0}));
+  rec(ipc::CaptureDir::Rx,
+      worker_frame_bytes(WorkerOp::ClockSyncAck, 0, {9, 0, 0, 0, 0, 0, 0, 0}));
+  rec(ipc::CaptureDir::Rx, worker_frame_bytes(WorkerOp::DevWrite, 1,
+                                              {0, 1, 0, 0, 42, 0, 0, 0}, /*trace_id=*/5));
+  rec(ipc::CaptureDir::Tx, worker_frame_bytes(WorkerOp::WriteAck, 1,
+                                              {1, 0, 0, 0, 0, 0, 0, 0}, /*trace_id=*/5));
+  rec(ipc::CaptureDir::Rx, worker_frame_bytes(WorkerOp::Ckpt, 2, {0xAA, 0xBB}));
+  rec(ipc::CaptureDir::Tx, worker_frame_bytes(WorkerOp::PullObs, 0, {}));
+  rec(ipc::CaptureDir::Rx, worker_frame_bytes(WorkerOp::ObsReport, 0, {0x7B, 0x7D}));
+  rec(ipc::CaptureDir::Rx, worker_frame_bytes(WorkerOp::DevRead, 3, {4, 1, 0, 0},
+                                              /*trace_id=*/6));
+  rec(ipc::CaptureDir::Tx,
+      worker_frame_bytes(WorkerOp::ReadReply, 3, {7, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0},
+                         /*trace_id=*/6));
+  rec(ipc::CaptureDir::Rx, worker_frame_bytes(WorkerOp::Done, 4, {1, 0xCC}));
+
+  DiagEngine diags;
+  const std::size_t transfers =
+      check_capture(capture.dump(), make_model(ModelId::Worker), diags, "<obs-session>");
+  EXPECT_EQ(transfers, 12u);
+  EXPECT_EQ(diags.errors(), 0u) << render_text(diags);
+  EXPECT_EQ(diags.warnings(), 0u) << render_text(diags);
+}
+
+TEST(ConformanceMonitorTest, RespawnEventResetsWorkerDecodersAndState) {
+  // A SIGKILL tears the last frame mid-wire; the supervisor announces
+  // "respawn" before the replacement socket speaks. The live monitor must
+  // drop the torn bytes and accept the fresh handshake with no findings.
+  auto monitor = std::make_shared<LiveConformanceMonitor>(make_model(ModelId::Worker),
+                                                          "<live>");
+  using cosim::WorkerOp;
+  const std::vector<std::uint8_t> hello =
+      worker_frame_bytes(WorkerOp::Hello, 0, {0x57, 0x52, 0x4B, 0x31});
+  const std::vector<std::uint8_t> sync =
+      worker_frame_bytes(WorkerOp::ClockSync, 0, {0, 0, 0, 0, 0, 0, 0, 0});
+  const std::vector<std::uint8_t> sync_ack =
+      worker_frame_bytes(WorkerOp::ClockSyncAck, 0, {9, 0, 0, 0, 0, 0, 0, 0});
+  monitor->on_wire(ipc::CaptureDir::Rx, hello);
+  monitor->on_wire(ipc::CaptureDir::Tx, worker_frame_bytes(WorkerOp::Start, 0, {1}));
+  monitor->on_wire(ipc::CaptureDir::Tx, sync);
+  monitor->on_wire(ipc::CaptureDir::Rx, sync_ack);
+  // Worker dies mid-frame: only half a DevWrite arrives.
+  const std::vector<std::uint8_t> torn =
+      worker_frame_bytes(WorkerOp::DevWrite, 1, {0, 1, 0, 0, 42, 0, 0, 0});
+  monitor->on_wire(ipc::CaptureDir::Rx,
+                   std::span<const std::uint8_t>(torn.data(), torn.size() / 2));
+  monitor->on_wire_event("respawn");
+  // Fresh epoch: full handshake again, this time a Resume.
+  monitor->on_wire(ipc::CaptureDir::Rx, hello);
+  monitor->on_wire(ipc::CaptureDir::Tx, worker_frame_bytes(WorkerOp::Resume, 0, {1}));
+  monitor->on_wire(ipc::CaptureDir::Tx, sync);
+  monitor->on_wire(ipc::CaptureDir::Rx, sync_ack);
+  monitor->on_wire(ipc::CaptureDir::Rx, torn);  // the replayed write, whole
+  monitor->on_wire(ipc::CaptureDir::Tx,
+                   worker_frame_bytes(WorkerOp::WriteAck, 1, {1, 0, 0, 0, 0, 0, 0, 0}));
+  monitor->finish();
+  EXPECT_EQ(monitor->diags().errors(), 0u) << render_text(monitor->diags());
+}
+
+TEST(ConformanceMonitorTest, DriverIrqMonitorAcceptsDeliveryAckCycles) {
+  // Pump-side monitor (no flip): INTERRUPTs arrive as Rx, the pump's "ack"
+  // wire event closes each Isr cycle.
+  auto monitor = std::make_shared<LiveConformanceMonitor>(make_model(ModelId::DriverIrq),
+                                                          "<irq>");
+  const std::vector<std::uint8_t> irq =
+      frame_bytes(ipc::DriverMessage::interrupt(2));
+  for (int i = 0; i < 3; ++i) {
+    monitor->on_wire(ipc::CaptureDir::Rx, irq);
+    monitor->on_wire_event("ack");
+  }
+  monitor->finish();
+  EXPECT_EQ(monitor->diags().errors(), 0u) << render_text(monitor->diags());
+  EXPECT_EQ(monitor->messages_seen(), 3u);
+}
+
+TEST(ConformanceMonitorTest, WorkerWireIrqMonitorAcceptsSupervisorIrqStream) {
+  // The supervisor's irq socket: Worker-format Irq frames, sent by the
+  // supervisor (flip_direction puts it in the sender role), arbitrarily many
+  // per session via the internal-ack epsilon, respawn re-sends included.
+  ModelOptions o;
+  o.worker_wire = true;
+  auto monitor = std::make_shared<LiveConformanceMonitor>(
+      make_model(ModelId::DriverIrq, o), "<sup-irq>", /*flip_direction=*/true);
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    monitor->on_wire(ipc::CaptureDir::Tx,
+                     worker_frame_bytes(cosim::WorkerOp::Irq, seq, {2, 0, 0, 0}));
+  }
+  monitor->on_wire_event("respawn");
+  for (std::uint64_t seq = 3; seq <= 5; ++seq) {  // irq-log re-send overlaps
+    monitor->on_wire(ipc::CaptureDir::Tx,
+                     worker_frame_bytes(cosim::WorkerOp::Irq, seq, {2, 0, 0, 0}));
+  }
+  monitor->finish();
+  EXPECT_EQ(monitor->diags().errors(), 0u) << render_text(monitor->diags());
 }
 
 // ---------------------------------------- Counterexample -> FaultPlan replay

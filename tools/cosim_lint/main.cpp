@@ -26,14 +26,25 @@
 //     --protocol           model-check the wire protocol automata (DESIGN.md
 //                          §11): exhaustive exploration, NL41x counterexamples
 //     --model NAME         restrict --protocol/--conform to one model
-//                          (driver-kernel | gdb-kernel | gdb-wrapper)
+//                          (driver-kernel | gdb-kernel | gdb-wrapper |
+//                           worker | driver-irq)
 //     --faults             compose with the adversarial channel environment
-//                          (lossy + duplicating + corrupting + disconnecting)
+//                          (lossy + duplicating + corrupting + disconnecting;
+//                          the worker model rides a reliable socketpair, so
+//                          its adversary is the crash environment instead)
 //     --env LIST           pick adversarial behaviors individually, e.g.
-//                          --env lossy,corrupting (implies --protocol faults)
+//                          --env lossy,corrupting or --env crash (implies
+//                          --protocol faults); "crash" is kill-at-any-state
+//                          + respawn + Resume replay from the last Ckpt
 //     --no-recovery        drop the resilience transitions from the automata
 //     --no-push            driver-kernel: kernel does not push outputs
 //     --no-interrupts      driver-kernel: kernel raises no interrupts
+//     --no-sideband        worker: drop the seq-0 ClockSync/PullObs ops
+//     --no-reply-log       worker: supervisor re-applies replayed effects
+//                          instead of re-acking from the reply log (the
+//                          NL413 duplicate-effect negative control)
+//     --eager-prune        worker: reply log pruned before the ack is known
+//                          to have landed (the NL414 lost-ack control)
 //     --channel-cap N      in-flight messages per channel direction (default 2)
 //     --conform FILE       replay a wire-capture post-mortem through the
 //                          protocol conformance monitor (NL40x rules)
@@ -76,10 +87,12 @@ int usage(const char* argv0) {
                "       %*s [--mem-size N] [--no-flow] [--no-interproc] [--context-k N]\n"
                "       %*s [--stats] [--max-warnings N]\n"
                "       %*s [--rtos-prelude] [--frames FILE] [--protocol] [--model NAME]\n"
-               "       %*s [--faults] [--no-recovery] [--no-push] [--no-interrupts]\n"
+               "       %*s [--faults] [--env LIST] [--no-recovery] [--no-push]\n"
+               "       %*s [--no-interrupts] [--no-sideband] [--no-reply-log] [--eager-prune]\n"
                "       %*s [--channel-cap N] [--conform FILE] [--emit-test DIR] [--builtin]\n"
                "       %*s [file.s ... | -]\n",
                argv0, static_cast<int>(std::string(argv0).size()), "",
+               static_cast<int>(std::string(argv0).size()), "",
                static_cast<int>(std::string(argv0).size()), "",
                static_cast<int>(std::string(argv0).size()), "",
                static_cast<int>(std::string(argv0).size()), "",
@@ -201,8 +214,8 @@ int main(int argc, char** argv) {
       protocol = true;
     } else if (arg == "--faults") {
       faults = true;
-    } else if (arg == "--env") {
-      const char* list = next();
+    } else if (arg == "--env" || arg.rfind("--env=", 0) == 0) {
+      const char* list = arg == "--env" ? next() : arg.c_str() + 6;
       if (list == nullptr) return usage(argv[0]);
       custom_env = analysis::EnvOptions{};
       for (std::string_view flag : util::split(list, ',')) {
@@ -215,6 +228,8 @@ int main(int argc, char** argv) {
           custom_env->corrupting = true;
         } else if (flag == "disconnecting") {
           custom_env->disconnecting = true;
+        } else if (flag == "crash") {
+          custom_env->crashing = true;
         } else if (!flag.empty()) {
           std::fprintf(stderr, "--env: unknown behavior '%.*s'\n",
                        static_cast<int>(flag.size()), flag.data());
@@ -227,6 +242,12 @@ int main(int argc, char** argv) {
       model_options.push_outputs = false;
     } else if (arg == "--no-interrupts") {
       model_options.interrupts = false;
+    } else if (arg == "--no-sideband") {
+      model_options.sideband = false;
+    } else if (arg == "--no-reply-log") {
+      model_options.worker_reply_log = false;
+    } else if (arg == "--eager-prune") {
+      model_options.worker_eager_prune = true;
     } else if (arg == "--model" || arg.rfind("--model=", 0) == 0) {
       const char* name = arg == "--model" ? next() : arg.c_str() + 8;
       if (name == nullptr) return usage(argv[0]);
@@ -355,14 +376,24 @@ int main(int argc, char** argv) {
     std::vector<analysis::ModelId> ids;
     if (model_filter.empty()) {
       ids = {analysis::ModelId::DriverKernel, analysis::ModelId::GdbKernel,
-             analysis::ModelId::GdbWrapper};
+             analysis::ModelId::GdbWrapper, analysis::ModelId::Worker,
+             analysis::ModelId::DriverIrq};
     } else {
       ids = {*analysis::model_from_name(model_filter)};
     }
     protocol_json = "\"protocol\":[";
     for (std::size_t i = 0; i < ids.size(); ++i) {
+      analysis::EnvOptions model_env = env;
+      if (ids[i] == analysis::ModelId::Worker && faults && !custom_env) {
+        // The worker wire rides a reliable SOCK_STREAM socketpair, so its
+        // adversary is not byte-level wire faults but SIGKILL: --faults
+        // composes this model with the crash environment instead.
+        model_env = analysis::EnvOptions{};
+        model_env.channel_capacity = channel_cap;
+        model_env.crashing = true;
+      }
       const analysis::ProtocolModel model = analysis::make_model(ids[i], model_options);
-      const analysis::ExploreReport report = analysis::explore(model, env);
+      const analysis::ExploreReport report = analysis::explore(model, model_env);
       analysis::report_violations(report, diags);
       if (i > 0) protocol_json += ",";
       protocol_json += analysis::render_json(report);
@@ -373,7 +404,7 @@ int main(int argc, char** argv) {
         const std::filesystem::path out_path =
             std::filesystem::path(emit_test_dir) / analysis::emitted_test_filename(ids[i]);
         std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
-        out << analysis::emit_regression_tests(report, ids[i], model_options, env);
+        out << analysis::emit_regression_tests(report, ids[i], model_options, model_env);
         if (!out) {
           std::fprintf(stderr, "cannot write %s\n", out_path.string().c_str());
           return 2;

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "analysis/diag.hpp"
-#include "analysis/frame.hpp"
+#include "analysis/protocol.hpp"
 #include "cosim/supervisor.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
@@ -252,9 +252,14 @@ int demo(const std::string& worker_path, const std::string& out_dir) {
   cfg.obs_export = true;
   cfg.session_label = "demo";
   cfg.trace_out = out_dir + "/merged.json";
+  // The data socket speaks the Worker wire format, so the capture replay
+  // must decode it with the Worker model — running the Driver-Kernel frame
+  // validator over it false-positives on every frame.
   cfg.findings_hook = [](std::span<const std::uint8_t> dump) {
     nisc::analysis::DiagEngine diags;
-    nisc::analysis::check_frames(dump, diags, "wire.capture");
+    nisc::analysis::check_capture(
+        dump, nisc::analysis::make_model(nisc::analysis::ModelId::Worker, {}), diags,
+        "wire.capture");
     return nisc::analysis::render_text(diags);
   };
 
